@@ -1,0 +1,228 @@
+//! The affine type lattice and the per-op transfer function (paper §4.7).
+//!
+//! `Scalar ⊑ Affine ⊑ AffineMod ⊑ NonAffine`, joined with `max`. *Scalar*
+//! means uniform across the threads of a CTA (kernel parameters, grid/block
+//! dimensions, and — because the affine engine executes per CTA — block
+//! indices). *Affine* is linear in the thread index; *AffineMod* is affine
+//! followed by one scalar modulo (§4.4); *NonAffine* is everything else.
+
+use simt_ir::{Op, Operand};
+
+/// A point in the affine type lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AffClass {
+    /// Uniform across the CTA.
+    Scalar,
+    /// Linear in the thread index.
+    Affine,
+    /// Affine followed by a scalar modulo.
+    AffineMod,
+    /// Not representable as an affine tuple.
+    NonAffine,
+}
+
+impl AffClass {
+    /// Lattice join.
+    pub fn join(self, other: AffClass) -> AffClass {
+        self.max(other)
+    }
+
+    /// Is the class representable by the affine engine (≤ AffineMod)?
+    pub fn is_affine(self) -> bool {
+        self != AffClass::NonAffine
+    }
+}
+
+/// Class of a non-register operand.
+pub fn operand_class(op: Operand) -> AffClass {
+    match op {
+        Operand::Imm(_) | Operand::Param(_) => AffClass::Scalar,
+        Operand::Special(s) => {
+            if s.is_cta_uniform() {
+                AffClass::Scalar
+            } else {
+                AffClass::Affine
+            }
+        }
+        Operand::Reg(_) => unreachable!("register classes come from dataflow"),
+    }
+}
+
+/// Result of the per-op transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Class of the destination.
+    pub class: AffClass,
+    /// The op needed a divergence-extension slot (min/max/abs/sel with
+    /// affine operands, §4.6).
+    pub divergent: bool,
+}
+
+/// Transfer function: destination class of `op` given source classes.
+pub fn transfer(op: Op, srcs: &[AffClass]) -> Transfer {
+    use AffClass::*;
+    let max = srcs.iter().copied().fold(Scalar, AffClass::join);
+    // Uniform inputs compute uniformly, whatever the op.
+    if max == Scalar {
+        return Transfer {
+            class: Scalar,
+            divergent: false,
+        };
+    }
+    let plain = |class| Transfer {
+        class,
+        divergent: false,
+    };
+    match op {
+        Op::Mov | Op::Neg => plain(if srcs[0] == AffineMod && op == Op::Neg {
+            NonAffine
+        } else {
+            srcs[0]
+        }),
+        Op::Add | Op::Sub => {
+            let (a, b) = (srcs[0], srcs[1]);
+            match (a, b) {
+                (NonAffine, _) | (_, NonAffine) => plain(NonAffine),
+                (AffineMod, AffineMod) => plain(NonAffine),
+                (AffineMod, Scalar) => plain(AffineMod),
+                (Scalar, AffineMod) => plain(if op == Op::Sub { NonAffine } else { AffineMod }),
+                (AffineMod, Affine) | (Affine, AffineMod) => plain(NonAffine),
+                _ => plain(a.join(b)),
+            }
+        }
+        Op::Mul => {
+            let (a, b) = (srcs[0], srcs[1]);
+            if a == Scalar && b.is_affine() {
+                plain(b)
+            } else if b == Scalar && a.is_affine() {
+                plain(a)
+            } else {
+                plain(NonAffine)
+            }
+        }
+        Op::Mad => {
+            let prod = transfer(Op::Mul, &srcs[0..2]);
+            let sum = transfer(Op::Add, &[prod.class, srcs[2]]);
+            Transfer {
+                class: sum.class,
+                divergent: false,
+            }
+        }
+        Op::Shl => {
+            if srcs[1] == Scalar && srcs[0].is_affine() {
+                plain(srcs[0])
+            } else {
+                plain(NonAffine)
+            }
+        }
+        Op::Rem => {
+            if srcs[1] == Scalar && srcs[0] <= Affine {
+                plain(AffineMod)
+            } else {
+                plain(NonAffine)
+            }
+        }
+        Op::Min | Op::Max | Op::Abs => {
+            // Divergence-extended ops (§4.6): value assignment +
+            // predication folded into one instruction.
+            if max <= Affine {
+                Transfer {
+                    class: Affine,
+                    divergent: true,
+                }
+            } else {
+                plain(NonAffine)
+            }
+        }
+        // Everything else is not linear in tid.
+        _ => plain(NonAffine),
+    }
+}
+
+/// Is a comparison decoupleable by the Predicate Expansion Unit? The paper
+/// requires one operand to be a scalar (§4.3).
+pub fn predicate_decoupleable(a: AffClass, b: AffClass, float: bool) -> bool {
+    if float {
+        return a == AffClass::Scalar && b == AffClass::Scalar;
+    }
+    (a == AffClass::Scalar && b.is_affine()) || (b == AffClass::Scalar && a.is_affine())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_ir::SpecialReg;
+    use AffClass::*;
+
+    #[test]
+    fn lattice_order() {
+        assert!(Scalar < Affine);
+        assert!(Affine < AffineMod);
+        assert!(AffineMod < NonAffine);
+        assert_eq!(Scalar.join(Affine), Affine);
+        assert_eq!(NonAffine.join(Scalar), NonAffine);
+    }
+
+    #[test]
+    fn scalar_inputs_always_scalar() {
+        for op in [Op::FMul, Op::Xor, Op::Div, Op::FSqrt] {
+            assert_eq!(transfer(op, &[Scalar, Scalar, Scalar]).class, Scalar);
+        }
+    }
+
+    #[test]
+    fn add_mul_rules() {
+        assert_eq!(transfer(Op::Add, &[Affine, Scalar]).class, Affine);
+        assert_eq!(transfer(Op::Add, &[Affine, Affine]).class, Affine);
+        assert_eq!(transfer(Op::Mul, &[Affine, Scalar]).class, Affine);
+        assert_eq!(transfer(Op::Mul, &[Affine, Affine]).class, NonAffine);
+        assert_eq!(transfer(Op::Mad, &[Affine, Scalar, Scalar]).class, Affine);
+        assert_eq!(transfer(Op::Mad, &[Affine, Affine, Scalar]).class, NonAffine);
+    }
+
+    #[test]
+    fn mod_rules() {
+        assert_eq!(transfer(Op::Rem, &[Affine, Scalar]).class, AffineMod);
+        assert_eq!(transfer(Op::Add, &[AffineMod, Scalar]).class, AffineMod);
+        assert_eq!(transfer(Op::Mul, &[AffineMod, Scalar]).class, AffineMod);
+        assert_eq!(transfer(Op::Add, &[AffineMod, Affine]).class, NonAffine);
+        assert_eq!(transfer(Op::Rem, &[AffineMod, Scalar]).class, NonAffine);
+    }
+
+    #[test]
+    fn divergence_extended_ops() {
+        let t = transfer(Op::Max, &[Affine, Scalar]);
+        assert_eq!(t.class, Affine);
+        assert!(t.divergent);
+        let t = transfer(Op::Min, &[Scalar, Scalar]);
+        assert_eq!(t.class, Scalar);
+        assert!(!t.divergent);
+        assert_eq!(transfer(Op::Abs, &[AffineMod]).class, NonAffine);
+    }
+
+    #[test]
+    fn bitwise_on_affine_is_nonaffine() {
+        assert_eq!(transfer(Op::And, &[Affine, Scalar]).class, NonAffine);
+        assert_eq!(transfer(Op::Shr, &[Affine, Scalar]).class, NonAffine);
+        assert_eq!(transfer(Op::Shl, &[Affine, Scalar]).class, Affine);
+    }
+
+    #[test]
+    fn operand_classes() {
+        assert_eq!(operand_class(Operand::Imm(5)), Scalar);
+        assert_eq!(operand_class(Operand::Param(0)), Scalar);
+        assert_eq!(operand_class(Operand::Special(SpecialReg::TidX)), Affine);
+        assert_eq!(operand_class(Operand::Special(SpecialReg::CtaIdX)), Scalar);
+        assert_eq!(operand_class(Operand::Special(SpecialReg::NTidX)), Scalar);
+    }
+
+    #[test]
+    fn predicate_rules() {
+        assert!(predicate_decoupleable(Scalar, Affine, false));
+        assert!(predicate_decoupleable(AffineMod, Scalar, false));
+        assert!(!predicate_decoupleable(Affine, Affine, false));
+        assert!(!predicate_decoupleable(NonAffine, Scalar, false));
+        assert!(predicate_decoupleable(Scalar, Scalar, true));
+        assert!(!predicate_decoupleable(Scalar, Affine, true));
+    }
+}

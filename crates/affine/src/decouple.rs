@@ -1,0 +1,665 @@
+//! The decoupling transform (paper §4.7 "Decoupling"): split a kernel into
+//! the affine instruction stream (Figure 7a) and the non-affine stream
+//! (Figure 7b).
+//!
+//! * Eligible loads become `enq.data` (affine) + `ld deq.data` (non-affine);
+//! * eligible stores become `enq.addr` + `st [deq.addr]`;
+//! * eligible predicate computations become `setp; enq.pred` + `@deq.pred
+//!   bra`;
+//! * slice (predecessor) instructions move to the affine stream and are
+//!   removed from the non-affine stream when nothing left there depends on
+//!   them;
+//! * control flow that affects affine instructions (decoupleable branches,
+//!   barriers) is replicated to both streams; regions under data-dependent
+//!   branches are omitted from the affine stream entirely (they contain no
+//!   decoupled instructions — see DESIGN.md).
+
+use crate::analysis::{AffineAnalysis, Candidate, CandidateKind};
+use simt_ir::{AddrMode, Instr, Kernel, Op, Operand, PredSrc, QueueKind};
+use std::collections::{HashMap, HashSet};
+
+/// Statistics about one decoupling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecoupleStats {
+    /// Loads rewritten to `enq.data`/`deq.data`.
+    pub loads: usize,
+    /// Stores rewritten to `enq.addr`/`deq.addr`.
+    pub stores: usize,
+    /// Predicates rewritten to `enq.pred`/`deq.pred`.
+    pub preds: usize,
+    /// Instructions removed from the non-affine stream.
+    pub removed: usize,
+    /// Static length of the affine stream.
+    pub affine_len: usize,
+    /// Static length of the non-affine stream.
+    pub non_affine_len: usize,
+    /// Static length of the original kernel.
+    pub original_len: usize,
+}
+
+/// The two streams plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct DecoupledKernel {
+    /// The affine stream (runs on the DAC affine warp).
+    pub affine: Kernel,
+    /// The non-affine stream (replaces the original kernel on the SIMT
+    /// warps).
+    pub non_affine: Kernel,
+    /// Whether anything was decoupled at all (false ⇒ both streams are the
+    /// original kernel and DAC adds no value).
+    pub any_decoupled: bool,
+    /// Transform statistics.
+    pub stats: DecoupleStats,
+}
+
+/// Decouple `kernel` using a completed analysis.
+///
+/// Always succeeds: when no candidate survives, the result has
+/// `any_decoupled == false`, an empty affine stream, and the original
+/// kernel as the non-affine stream.
+pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
+    let trivial = || DecoupledKernel {
+        affine: Kernel {
+            name: format!("{}@affine", kernel.name),
+            instrs: vec![Instr::Exit],
+            num_regs: 0,
+            num_preds: 0,
+            num_params: kernel.num_params,
+            shared_bytes: 0,
+        },
+        non_affine: kernel.clone(),
+        any_decoupled: false,
+        stats: DecoupleStats {
+            original_len: kernel.instrs.len(),
+            non_affine_len: kernel.instrs.len(),
+            affine_len: 1,
+            ..Default::default()
+        },
+    };
+
+    // Keep only pred candidates consumed by exactly one branch (one enq per
+    // deq).
+    let candidates: Vec<&Candidate> = analysis
+        .candidates
+        .iter()
+        .filter(|c| match c.kind {
+            CandidateKind::Pred => {
+                let dst = kernel.instrs[c.pc].def_pred().unwrap();
+                let mut branch_uses = 0;
+                for (upc, u) in kernel.instrs.iter().enumerate() {
+                    if matches!(u, Instr::Bra { pred: Some(PredSrc::Reg(g)), .. } if g.pred == dst)
+                        && analysis.rd.pred_defs_at(upc, dst).contains(&c.pc)
+                    {
+                        branch_uses += 1;
+                    }
+                }
+                branch_uses == 1
+            }
+            _ => true,
+        })
+        .collect();
+    if candidates.is_empty() {
+        return trivial();
+    }
+
+    let n = kernel.instrs.len();
+    let cand_at: HashMap<usize, &Candidate> = candidates.iter().map(|c| (c.pc, *c)).collect();
+    let slice_union: HashSet<usize> = candidates.iter().flat_map(|c| c.slice.iter().copied()).collect();
+
+    // Branches whose predicate was decoupled: remember the enq'ing setp.
+    let mut branch_uses_deq: HashSet<usize> = HashSet::new();
+    for c in &candidates {
+        if c.kind == CandidateKind::Pred {
+            let dst = kernel.instrs[c.pc].def_pred().unwrap();
+            for (upc, u) in kernel.instrs.iter().enumerate() {
+                if matches!(u, Instr::Bra { pred: Some(PredSrc::Reg(g)), .. } if g.pred == dst)
+                    && analysis.rd.pred_defs_at(upc, dst).contains(&c.pc)
+                {
+                    branch_uses_deq.insert(upc);
+                }
+            }
+        }
+    }
+
+    // ----- affine stream membership -----
+    // Control skeleton (untainted branches, barriers, exits), slices,
+    // candidates; plus setp slices for replicated branches.
+    let mut in_affine = vec![false; n];
+    for pc in 0..n {
+        if analysis.tainted[pc] {
+            continue;
+        }
+        let i = &kernel.instrs[pc];
+        let keep = slice_union.contains(&pc)
+            || cand_at.contains_key(&pc)
+            || matches!(i, Instr::Bra { .. } | Instr::Bar | Instr::Exit);
+        if keep {
+            in_affine[pc] = true;
+        }
+    }
+    // Replicated branches need their predicates computable in the affine
+    // stream: pull in setp defs and their slices.
+    let mut worklist: Vec<usize> = (0..n).filter(|&pc| in_affine[pc]).collect();
+    while let Some(pc) = worklist.pop() {
+        let i = &kernel.instrs[pc];
+        let mut need_regs: Vec<u16> = Vec::new();
+        if in_affine[pc] {
+            match i {
+                Instr::Bra { pred: Some(PredSrc::Reg(g)), .. } => {
+                    for pd in analysis.rd.pred_defs_at(pc, g.pred) {
+                        if analysis.tainted[pd] || !analysis.pred_decoupleable[pd] {
+                            return trivial(); // cannot replicate control
+                        }
+                        if !in_affine[pd] {
+                            in_affine[pd] = true;
+                            worklist.push(pd);
+                        }
+                    }
+                }
+                _ => {
+                    // Candidates are rewritten to enq: only the address
+                    // register (and guard) is read in the affine stream —
+                    // never the stored value or the load destination.
+                    match cand_at.get(&pc).map(|c| c.kind) {
+                        Some(CandidateKind::LoadData) | Some(CandidateKind::StoreAddr) => {
+                            match i {
+                                Instr::Ld { addr: AddrMode::Reg(r, _), .. }
+                                | Instr::St { addr: AddrMode::Reg(r, _), .. } => {
+                                    need_regs.push(*r)
+                                }
+                                _ => unreachable!(),
+                            }
+                        }
+                        _ => need_regs.extend(i.src_regs()),
+                    }
+                    for p in i.src_preds() {
+                        for pd in analysis.rd.pred_defs_at(pc, p) {
+                            if analysis.tainted[pd] || !analysis.pred_decoupleable[pd] {
+                                return trivial();
+                            }
+                            if !in_affine[pd] {
+                                in_affine[pd] = true;
+                                worklist.push(pd);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for r in need_regs {
+            for d in analysis.rd.reg_defs_at(pc, r) {
+                if analysis.tainted[d] || !analysis.def_class[d].is_affine() {
+                    return trivial(); // affine stream cannot compute this
+                }
+                if !in_affine[d] {
+                    in_affine[d] = true;
+                    worklist.push(d);
+                }
+            }
+        }
+    }
+
+    // ----- build the affine stream -----
+    let mut aff_instrs: Vec<Instr> = Vec::new();
+    let mut aff_map: HashMap<usize, usize> = HashMap::new(); // old pc → new pc of its first emitted instr
+    let mut extra_reg = kernel.num_regs;
+    let mut branch_fixups: Vec<(usize, usize)> = Vec::new(); // (aff idx, old target)
+    for pc in 0..n {
+        if !in_affine[pc] {
+            continue;
+        }
+        aff_map.insert(pc, aff_instrs.len());
+        let i = &kernel.instrs[pc];
+        match cand_at.get(&pc).map(|c| c.kind) {
+            Some(CandidateKind::LoadData) | Some(CandidateKind::StoreAddr) => {
+                let (addr, width, guard, kind, space) = match i {
+                    Instr::Ld { addr, width, guard, space, .. } => {
+                        (*addr, *width, *guard, QueueKind::Data, *space)
+                    }
+                    Instr::St { addr, width, guard, space, .. } => {
+                        (*addr, *width, *guard, QueueKind::Addr, *space)
+                    }
+                    _ => unreachable!(),
+                };
+                let AddrMode::Reg(r, disp) = addr else { unreachable!() };
+                let src = if disp != 0 {
+                    let t = extra_reg;
+                    extra_reg += 1;
+                    aff_instrs.push(Instr::Alu {
+                        op: Op::Add,
+                        dst: t,
+                        srcs: [Operand::Reg(r), Operand::Imm(disp), Operand::Imm(0)],
+                        guard,
+                    });
+                    t
+                } else {
+                    r
+                };
+                aff_instrs.push(Instr::Enq {
+                    kind,
+                    src: Some(src),
+                    pred: None,
+                    width,
+                    space,
+                    guard,
+                });
+            }
+            Some(CandidateKind::Pred) => {
+                aff_instrs.push(i.clone());
+                let dst = i.def_pred().unwrap();
+                aff_instrs.push(Instr::Enq {
+                    kind: QueueKind::Pred,
+                    src: None,
+                    pred: Some(dst),
+                    width: simt_ir::Width::W32,
+                    space: simt_ir::Space::Global,
+                    guard: None,
+                });
+            }
+            None => match i {
+                Instr::Bra { target, pred } => {
+                    branch_fixups.push((aff_instrs.len(), *target));
+                    aff_instrs.push(Instr::Bra {
+                        target: usize::MAX,
+                        pred: *pred,
+                    });
+                }
+                other => aff_instrs.push(other.clone()),
+            },
+        }
+    }
+    // Remap affine branch targets: old target → first affine pc at or after
+    // it.
+    let map_target = |map: &HashMap<usize, usize>, len: usize, old: usize| -> usize {
+        (old..n).find_map(|p| map.get(&p).copied()).unwrap_or(len.saturating_sub(1))
+    };
+    for (idx, old) in branch_fixups {
+        let t = map_target(&aff_map, aff_instrs.len(), old);
+        if let Instr::Bra { target, .. } = &mut aff_instrs[idx] {
+            *target = t;
+        }
+    }
+    if !aff_instrs.iter().any(|i| matches!(i, Instr::Exit)) {
+        aff_instrs.push(Instr::Exit);
+    }
+
+    // ----- build the non-affine stream -----
+    // Which slice instructions must stay because something kept uses them?
+    let is_candidate = |pc: usize| cand_at.contains_key(&pc);
+    let mut stay: HashSet<usize> = HashSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for pc in 0..n {
+            let removed_here =
+                (slice_union.contains(&pc) || is_candidate(pc)) && !stay.contains(&pc);
+            // Candidates stay (rewritten), so their operand regs count as
+            // uses; pure slice instructions only count if staying.
+            let counts_as_user = !removed_here || is_candidate(pc);
+            if !counts_as_user {
+                continue;
+            }
+            let i = &kernel.instrs[pc];
+            // Which registers does the *rewritten* instruction read?
+            let read_regs: Vec<u16> = match cand_at.get(&pc).map(|c| c.kind) {
+                Some(CandidateKind::LoadData) => Vec::new(), // deq supplies addr
+                Some(CandidateKind::StoreAddr) => match i {
+                    Instr::St { src, .. } => src.reg().into_iter().collect(),
+                    _ => Vec::new(),
+                },
+                Some(CandidateKind::Pred) => Vec::new(), // setp removed
+                None => i.src_regs(),
+            };
+            for r in read_regs {
+                for d in analysis.rd.reg_defs_at(pc, r) {
+                    if slice_union.contains(&d) && stay.insert(d) {
+                        changed = true;
+                    }
+                }
+            }
+            // Predicates still read directly (guards, non-decoupled
+            // branches) keep their setps.
+            let reads_preds: Vec<u16> = match cand_at.get(&pc).map(|c| c.kind) {
+                Some(CandidateKind::Pred) => Vec::new(),
+                _ => {
+                    if branch_uses_deq.contains(&pc) {
+                        Vec::new()
+                    } else if matches!(cand_at.get(&pc).map(|c| c.kind), Some(_)) {
+                        Vec::new() // rewritten ld/st drop their guards
+                    } else {
+                        i.src_preds()
+                    }
+                }
+            };
+            for p in reads_preds {
+                for d in analysis.rd.pred_defs_at(pc, p) {
+                    if slice_union.contains(&d) && stay.insert(d) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut na_instrs: Vec<Instr> = Vec::new();
+    let mut na_map: HashMap<usize, usize> = HashMap::new();
+    let mut na_fixups: Vec<(usize, usize)> = Vec::new();
+    let mut stats = DecoupleStats {
+        original_len: n,
+        ..Default::default()
+    };
+    for pc in 0..n {
+        let i = &kernel.instrs[pc];
+        let removed = (slice_union.contains(&pc) && !stay.contains(&pc) && !is_candidate(pc))
+            || matches!(cand_at.get(&pc).map(|c| c.kind), Some(CandidateKind::Pred));
+        if removed {
+            stats.removed += 1;
+            continue;
+        }
+        na_map.insert(pc, na_instrs.len());
+        match cand_at.get(&pc).map(|c| c.kind) {
+            Some(CandidateKind::LoadData) => {
+                stats.loads += 1;
+                let Instr::Ld { dst, space, width, .. } = i else { unreachable!() };
+                na_instrs.push(Instr::Ld {
+                    dst: *dst,
+                    space: *space,
+                    addr: AddrMode::DeqData,
+                    width: *width,
+                    guard: None, // mask lives in the record
+                });
+            }
+            Some(CandidateKind::StoreAddr) => {
+                stats.stores += 1;
+                let Instr::St { space, src, width, .. } = i else { unreachable!() };
+                na_instrs.push(Instr::St {
+                    space: *space,
+                    addr: AddrMode::DeqAddr,
+                    src: *src,
+                    width: *width,
+                    guard: None,
+                });
+            }
+            Some(CandidateKind::Pred) => unreachable!("removed above"),
+            None => match i {
+                Instr::Bra { target, pred } => {
+                    let pred = if branch_uses_deq.contains(&pc) {
+                        stats.preds += 1;
+                        let negate = match pred {
+                            Some(PredSrc::Reg(g)) => g.negate,
+                            _ => false,
+                        };
+                        Some(PredSrc::Deq { negate })
+                    } else {
+                        *pred
+                    };
+                    na_fixups.push((na_instrs.len(), *target));
+                    na_instrs.push(Instr::Bra {
+                        target: usize::MAX,
+                        pred,
+                    });
+                }
+                other => na_instrs.push(other.clone()),
+            },
+        }
+    }
+    for (idx, old) in na_fixups {
+        let t = map_target(&na_map, na_instrs.len(), old);
+        if let Instr::Bra { target, .. } = &mut na_instrs[idx] {
+            *target = t;
+        }
+    }
+
+    stats.affine_len = aff_instrs.len();
+    stats.non_affine_len = na_instrs.len();
+
+    let affine = Kernel {
+        name: format!("{}@affine", kernel.name),
+        instrs: aff_instrs,
+        num_regs: extra_reg,
+        num_preds: kernel.num_preds,
+        num_params: kernel.num_params,
+        shared_bytes: 0,
+    };
+    let non_affine = Kernel {
+        name: format!("{}@nonaffine", kernel.name),
+        instrs: na_instrs,
+        num_regs: kernel.num_regs,
+        num_preds: kernel.num_preds,
+        num_params: kernel.num_params,
+        shared_bytes: kernel.shared_bytes,
+    };
+    if affine.validate().is_err() || non_affine.validate().is_err() {
+        return trivial();
+    }
+    DecoupledKernel {
+        affine,
+        non_affine,
+        any_decoupled: true,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AffineAnalysis;
+
+    fn figure4_kernel() -> Kernel {
+        simt_ir::asm::parse_kernel(
+            r#"
+.kernel example
+.params 4
+    mul r0, %ctaid.x, %ntid.x;
+    add r1, r0, %tid.x;
+    shl r2, r1, 2;
+    add r3, %p0, r2;
+    add r4, %p1, r2;
+    mov r5, 0;
+LOOP:
+    ld.global r6, [r3];
+    add r7, r6, 1;
+    st.global [r4], r7;
+    add r5, r5, 1;
+    mul r8, %p3, 4;
+    add r3, r8, r3;
+    add r4, r8, r4;
+    setp.ne p0, %p2, r5;
+    @p0 bra LOOP;
+    exit;
+"#,
+        )
+        .unwrap()
+    }
+
+    fn decoupled_figure4() -> DecoupledKernel {
+        let k = figure4_kernel();
+        let a = AffineAnalysis::run(&k);
+        decouple(&k, &a)
+    }
+
+    #[test]
+    fn figure7_shape() {
+        let d = decoupled_figure4();
+        assert!(d.any_decoupled);
+        assert_eq!(d.stats.loads, 1);
+        assert_eq!(d.stats.stores, 1);
+        assert_eq!(d.stats.preds, 1);
+        // Affine stream contains enq.data, enq.addr, enq.pred.
+        let kinds: Vec<QueueKind> = d
+            .affine
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Enq { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert!(kinds.contains(&QueueKind::Data));
+        assert!(kinds.contains(&QueueKind::Addr));
+        assert!(kinds.contains(&QueueKind::Pred));
+        // Non-affine stream: deq forms, and it got much shorter — the
+        // paper's Figure 7b has 5 instructions from 16.
+        assert!(d
+            .non_affine
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Ld { addr: AddrMode::DeqData, .. })));
+        assert!(d
+            .non_affine
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::St { addr: AddrMode::DeqAddr, .. })));
+        assert!(d
+            .non_affine
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Bra { pred: Some(PredSrc::Deq { .. }), .. })));
+        assert!(
+            d.non_affine.instrs.len() <= 6,
+            "non-affine stream too long:\n{}",
+            d.non_affine.disassemble()
+        );
+        d.affine.validate().unwrap();
+        d.non_affine.validate().unwrap();
+    }
+
+    #[test]
+    fn nonaffine_loop_branch_targets_loop_head() {
+        let d = decoupled_figure4();
+        // The non-affine stream is LOOP: ld, add, st, @deq.pred bra LOOP;
+        // exit — the branch must target the ld.
+        let bra_idx = d
+            .non_affine
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Bra { .. }))
+            .unwrap();
+        let ld_idx = d
+            .non_affine
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Ld { .. }))
+            .unwrap();
+        match d.non_affine.instrs[bra_idx] {
+            Instr::Bra { target, .. } => assert_eq!(target, ld_idx),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn affine_stream_keeps_address_updates() {
+        let d = decoupled_figure4();
+        // The loop-carried address updates (add r3, r8, r3) live in the
+        // affine stream.
+        let has_addr_update = d.affine.instrs.iter().any(|i| {
+            matches!(i, Instr::Alu { op: Op::Add, dst: 3, .. })
+        });
+        assert!(has_addr_update, "{}", d.affine.disassemble());
+        // And the affine loop branch exists.
+        assert!(d
+            .affine
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Bra { pred: Some(PredSrc::Reg(_)), .. })));
+    }
+
+    #[test]
+    fn no_candidates_yields_trivial() {
+        // Pure indirect chase: nothing to decouple... the first load is
+        // affine though, so use registers only.
+        let k = simt_ir::asm::parse_kernel(
+            ".kernel nothing\n.params 1\n mov r0, 5;\n add r1, r0, r0;\n exit;",
+        )
+        .unwrap();
+        let a = AffineAnalysis::run(&k);
+        let d = decouple(&k, &a);
+        assert!(!d.any_decoupled);
+        assert_eq!(d.non_affine.instrs.len(), k.instrs.len());
+    }
+
+    #[test]
+    fn displaced_address_gets_add_before_enq() {
+        let k = simt_ir::asm::parse_kernel(
+            r#"
+.kernel disp
+.params 1
+    mul r0, %tid.x, 4;
+    add r1, %p0, r0;
+    ld.global r2, [r1+8];
+    exit;
+"#,
+        )
+        .unwrap();
+        let a = AffineAnalysis::run(&k);
+        let d = decouple(&k, &a);
+        assert!(d.any_decoupled);
+        // An Add of the displacement precedes the enq.
+        let enq_idx = d
+            .affine
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Enq { .. }))
+            .unwrap();
+        match &d.affine.instrs[enq_idx - 1] {
+            Instr::Alu { op: Op::Add, srcs, .. } => {
+                assert_eq!(srcs[1], Operand::Imm(8));
+            }
+            i => panic!("expected displacement add, got {i}"),
+        }
+    }
+
+    #[test]
+    fn store_value_dependency_keeps_slice_instr() {
+        // The stored VALUE is the affine tid — its defs must stay in the
+        // non-affine stream even though they are also in the address slice.
+        let k = simt_ir::asm::parse_kernel(
+            r#"
+.kernel keep
+.params 1
+    mul r0, %tid.x, 4;
+    add r1, %p0, r0;
+    st.global [r1], r0;
+    exit;
+"#,
+        )
+        .unwrap();
+        let a = AffineAnalysis::run(&k);
+        let d = decouple(&k, &a);
+        assert!(d.any_decoupled);
+        // r0's def must survive in the non-affine stream (store reads it).
+        assert!(d
+            .non_affine
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Alu { dst: 0, .. })),
+            "{}",
+            d.non_affine.disassemble()
+        );
+    }
+
+    #[test]
+    fn enq_deq_counts_align() {
+        let d = decoupled_figure4();
+        let enqs = d
+            .affine
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Enq { .. }))
+            .count();
+        let deqs = d
+            .non_affine
+            .instrs
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Ld { addr: AddrMode::DeqData, .. }
+                        | Instr::St { addr: AddrMode::DeqAddr, .. }
+                        | Instr::Bra { pred: Some(PredSrc::Deq { .. }), .. }
+                )
+            })
+            .count();
+        assert_eq!(enqs, deqs);
+    }
+}

@@ -1,0 +1,354 @@
+//! The affine tuple: `value(tid) = base + Σ_d tid_d · off_d`, with an
+//! optional modulo extension (paper §4.4).
+//!
+//! Within the DAC runtime the affine engine executes once per CTA, so CTA
+//! indices fold into `base` at instantiation and only the three *thread*
+//! dimensions keep offsets (the paper maps one base and up to six offsets
+//! onto SIMT lanes; our per-CTA execution needs only the thread three —
+//! see DESIGN.md).
+
+use simt_ir::{eval, Op, Value};
+
+/// The modulo extension of a tuple (§4.4): with it present, the value is
+/// `base + (mod_base + Σ tid_d · off_d) mod divisor` (Euclidean remainder
+/// of the paper's address arithmetic — results stay within `[0, divisor)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModExt {
+    /// The old base reduced mod `divisor`.
+    pub mod_base: i64,
+    /// The scalar divisor.
+    pub divisor: i64,
+}
+
+/// An affine tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AffineTuple {
+    /// Scalar part (uniform across the CTA's threads).
+    pub base: i64,
+    /// Per-thread-dimension offsets (x, y, z).
+    pub off: [i64; 3],
+    /// Modulo extension, if this is a mod-type tuple.
+    pub mod_ext: Option<ModExt>,
+}
+
+impl AffineTuple {
+    /// A scalar tuple `(v, 0)`.
+    pub fn scalar(v: Value) -> Self {
+        AffineTuple {
+            base: v as i64,
+            off: [0; 3],
+            mod_ext: None,
+        }
+    }
+
+    /// The thread-index tuple for dimension `d` (`tid.x` is `dim 0`).
+    pub fn tid(d: usize) -> Self {
+        let mut off = [0i64; 3];
+        off[d] = 1;
+        AffineTuple {
+            base: 0,
+            off,
+            mod_ext: None,
+        }
+    }
+
+    /// Is the tuple a scalar (no thread dependence)?
+    pub fn is_scalar(&self) -> bool {
+        self.off == [0; 3] && self.mod_ext.is_none()
+    }
+
+    /// The scalar value, if [`AffineTuple::is_scalar`].
+    pub fn as_scalar(&self) -> Option<Value> {
+        self.is_scalar().then_some(self.base as Value)
+    }
+
+    /// Evaluate the tuple for thread `(tx, ty, tz)`.
+    pub fn eval(&self, t: (u32, u32, u32)) -> Value {
+        let lin = (t.0 as i64).wrapping_mul(self.off[0])
+            .wrapping_add((t.1 as i64).wrapping_mul(self.off[1]))
+            .wrapping_add((t.2 as i64).wrapping_mul(self.off[2]));
+        let v = match self.mod_ext {
+            None => self.base.wrapping_add(lin),
+            Some(m) => {
+                let inner = m.mod_base.wrapping_add(lin);
+                let r = if m.divisor == 0 {
+                    0
+                } else {
+                    inner.rem_euclid(m.divisor)
+                };
+                self.base.wrapping_add(r)
+            }
+        };
+        v as Value
+    }
+
+    /// Tuple + tuple (paper eq. 2). Mod-type tuples only accept a scalar
+    /// addend (added to `base`).
+    pub fn add(&self, rhs: &AffineTuple) -> Option<AffineTuple> {
+        match (self.mod_ext, rhs.mod_ext) {
+            (None, None) => Some(AffineTuple {
+                base: self.base.wrapping_add(rhs.base),
+                off: [
+                    self.off[0].wrapping_add(rhs.off[0]),
+                    self.off[1].wrapping_add(rhs.off[1]),
+                    self.off[2].wrapping_add(rhs.off[2]),
+                ],
+                mod_ext: None,
+            }),
+            (Some(_), None) if rhs.is_scalar() => Some(AffineTuple {
+                base: self.base.wrapping_add(rhs.base),
+                ..*self
+            }),
+            (None, Some(_)) if self.is_scalar() => rhs.add(self),
+            _ => None,
+        }
+    }
+
+    /// Tuple − tuple. `mod − scalar` is allowed; `scalar − mod` is not
+    /// (the remainder term would need negation).
+    pub fn sub(&self, rhs: &AffineTuple) -> Option<AffineTuple> {
+        match (self.mod_ext, rhs.mod_ext) {
+            (None, None) => Some(AffineTuple {
+                base: self.base.wrapping_sub(rhs.base),
+                off: [
+                    self.off[0].wrapping_sub(rhs.off[0]),
+                    self.off[1].wrapping_sub(rhs.off[1]),
+                    self.off[2].wrapping_sub(rhs.off[2]),
+                ],
+                mod_ext: None,
+            }),
+            (Some(_), None) if rhs.is_scalar() => Some(AffineTuple {
+                base: self.base.wrapping_sub(rhs.base),
+                ..*self
+            }),
+            _ => None,
+        }
+    }
+
+    /// Tuple × scalar (paper eq. 3); for mod-type tuples every field
+    /// including the divisor is scaled (§4.4). Negative scale of a mod
+    /// tuple is rejected (Euclidean remainder would flip).
+    pub fn mul_scalar(&self, s: i64) -> Option<AffineTuple> {
+        let mod_ext = match self.mod_ext {
+            None => None,
+            Some(m) => {
+                if s < 0 {
+                    return None;
+                }
+                Some(ModExt {
+                    mod_base: m.mod_base.wrapping_mul(s),
+                    divisor: m.divisor.wrapping_mul(s),
+                })
+            }
+        };
+        Some(AffineTuple {
+            base: self.base.wrapping_mul(s),
+            off: [
+                self.off[0].wrapping_mul(s),
+                self.off[1].wrapping_mul(s),
+                self.off[2].wrapping_mul(s),
+            ],
+            mod_ext,
+        })
+    }
+
+    /// Left shift by a scalar = multiply by `2^s`.
+    pub fn shl_scalar(&self, s: i64) -> Option<AffineTuple> {
+        if !(0..63).contains(&s) {
+            return None;
+        }
+        self.mul_scalar(1i64 << s)
+    }
+
+    /// Remainder by a scalar divisor (§4.4): the result becomes a mod-type
+    /// tuple. Only plain affine tuples may enter a `rem`.
+    pub fn rem_scalar(&self, d: i64) -> Option<AffineTuple> {
+        if self.mod_ext.is_some() || d <= 0 {
+            return None;
+        }
+        Some(AffineTuple {
+            base: 0,
+            off: self.off,
+            mod_ext: Some(ModExt {
+                mod_base: self.base.rem_euclid(d),
+                divisor: d,
+            }),
+        })
+    }
+
+    /// Negation (plain tuples only).
+    pub fn neg(&self) -> Option<AffineTuple> {
+        if self.mod_ext.is_some() {
+            return None;
+        }
+        Some(AffineTuple {
+            base: self.base.wrapping_neg(),
+            off: [
+                self.off[0].wrapping_neg(),
+                self.off[1].wrapping_neg(),
+                self.off[2].wrapping_neg(),
+            ],
+            mod_ext: None,
+        })
+    }
+
+    /// Apply an arbitrary op to *scalar* tuples via the shared functional
+    /// semantics (the "scalar computation" subsumption: anything uniform is
+    /// computable once on the base).
+    pub fn scalar_op(op: Op, srcs: &[AffineTuple]) -> Option<AffineTuple> {
+        let mut vals = [0u64; 3];
+        for (i, t) in srcs.iter().enumerate() {
+            vals[i] = t.as_scalar()?;
+        }
+        Some(AffineTuple::scalar(eval::eval(op, vals[0], vals[1], vals[2])))
+    }
+}
+
+/// Evaluate an integer ALU op on affine tuples; `None` means the result is
+/// not representable as a single tuple (the compiler must have prevented
+/// this, or the caller falls back to divergent/per-thread handling).
+pub fn tuple_op(op: Op, srcs: &[AffineTuple]) -> Option<AffineTuple> {
+    // Uniform inputs: evaluate once on the bases, any op.
+    if srcs.iter().all(|t| t.is_scalar()) {
+        return AffineTuple::scalar_op(op, srcs);
+    }
+    match op {
+        Op::Mov => Some(srcs[0]),
+        Op::Add => srcs[0].add(&srcs[1]),
+        Op::Sub => srcs[0].sub(&srcs[1]),
+        Op::Neg => srcs[0].neg(),
+        Op::Mul => match (srcs[0].as_scalar(), srcs[1].as_scalar()) {
+            (Some(s), None) => srcs[1].mul_scalar(s as i64),
+            (None, Some(s)) => srcs[0].mul_scalar(s as i64),
+            _ => None,
+        },
+        Op::Mad => {
+            let prod = tuple_op(Op::Mul, &srcs[0..2])?;
+            prod.add(&srcs[2])
+        }
+        Op::Shl => {
+            let s = srcs[1].as_scalar()? as i64;
+            srcs[0].shl_scalar(s)
+        }
+        Op::Rem => {
+            let d = srcs[1].as_scalar()? as i64;
+            srcs[0].rem_scalar(d)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(base: i64, ox: i64) -> AffineTuple {
+        AffineTuple {
+            base,
+            off: [ox, 0, 0],
+            mod_ext: None,
+        }
+    }
+
+    #[test]
+    fn paper_figure1_example() {
+        // A = (0x100, 4), B = (0x200, 0) ⇒ C = A + B = (0x300, 4).
+        let a = t(0x100, 4);
+        let b = AffineTuple::scalar(0x200);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.base, 0x300);
+        assert_eq!(c.off[0], 4);
+        for tid in 0..32u32 {
+            assert_eq!(c.eval((tid, 0, 0)), 0x300 + 4 * tid as u64);
+        }
+    }
+
+    #[test]
+    fn mul_by_scalar_and_shl() {
+        let tid = AffineTuple::tid(0);
+        let r1 = tuple_op(Op::Mul, &[tid, AffineTuple::scalar(4)]).unwrap();
+        assert_eq!(r1, t(0, 4));
+        let r2 = tuple_op(Op::Shl, &[tid, AffineTuple::scalar(2)]).unwrap();
+        assert_eq!(r2, t(0, 4));
+        // affine × affine is not representable.
+        assert!(tuple_op(Op::Mul, &[tid, tid]).is_none());
+    }
+
+    #[test]
+    fn mad_matches_componentwise() {
+        // addr = tid * 4 + base.
+        let r = tuple_op(
+            Op::Mad,
+            &[
+                AffineTuple::tid(0),
+                AffineTuple::scalar(4),
+                AffineTuple::scalar(0x80000),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.eval((3, 0, 0)), 0x8000C);
+    }
+
+    #[test]
+    fn mod_tuple_semantics() {
+        // v = (tid * 4 + 6) % 8.
+        let a = tuple_op(
+            Op::Mad,
+            &[AffineTuple::tid(0), AffineTuple::scalar(4), AffineTuple::scalar(6)],
+        )
+        .unwrap();
+        let m = tuple_op(Op::Rem, &[a, AffineTuple::scalar(8)]).unwrap();
+        for tid in 0..16u32 {
+            let expect = ((tid as i64 * 4 + 6).rem_euclid(8)) as u64;
+            assert_eq!(m.eval((tid, 0, 0)), expect, "tid {tid}");
+        }
+        // mod + scalar adds to base.
+        let shifted = m.add(&AffineTuple::scalar(100)).unwrap();
+        assert_eq!(shifted.eval((1, 0, 0)), 100 + 2);
+        // mod × scalar scales everything including the divisor.
+        let scaled = tuple_op(Op::Mul, &[m, AffineTuple::scalar(4)]).unwrap();
+        for tid in 0..16u32 {
+            let expect = 4 * ((tid as i64 * 4 + 6).rem_euclid(8)) as u64;
+            assert_eq!(scaled.eval((tid, 0, 0)), expect, "tid {tid}");
+        }
+        // mod + mod is not representable.
+        assert!(m.add(&m).is_none());
+        // mod of a mod is not representable.
+        assert!(tuple_op(Op::Rem, &[m, AffineTuple::scalar(3)]).is_none());
+    }
+
+    #[test]
+    fn scalar_subsumption_covers_any_op() {
+        // Uniform float math stays scalar: 2.0 * 3.0 = 6.0.
+        let a = AffineTuple::scalar(2.0f32.to_bits() as u64);
+        let b = AffineTuple::scalar(3.0f32.to_bits() as u64);
+        let r = tuple_op(Op::FMul, &[a, b]).unwrap();
+        assert_eq!(f32::from_bits(r.as_scalar().unwrap() as u32), 6.0);
+        // But affine float math is not supported.
+        assert!(tuple_op(Op::FAdd, &[AffineTuple::tid(0), b]).is_none());
+    }
+
+    #[test]
+    fn multi_dim_offsets() {
+        // addr = tid.x * 4 + tid.y * 256.
+        let x = tuple_op(Op::Mul, &[AffineTuple::tid(0), AffineTuple::scalar(4)]).unwrap();
+        let y = tuple_op(Op::Mul, &[AffineTuple::tid(1), AffineTuple::scalar(256)]).unwrap();
+        let a = x.add(&y).unwrap();
+        assert_eq!(a.eval((3, 2, 0)), 12 + 512);
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let a = t(100, 8);
+        let b = t(40, 4);
+        assert_eq!(a.sub(&b).unwrap(), t(60, 4));
+        assert_eq!(a.neg().unwrap().eval((2, 0, 0)) as i64, -(116));
+    }
+
+    #[test]
+    fn eval_wraps_like_hardware() {
+        let a = t(i64::MAX, 1);
+        // Must not panic; wrapping semantics.
+        let _ = a.eval((5, 0, 0));
+    }
+}

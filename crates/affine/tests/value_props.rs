@@ -1,0 +1,89 @@
+//! Property-based tests on divergent affine values (§4.6).
+
+use affine::value::DivergentVal;
+use affine::{AffineTuple, AffineVal};
+use proptest::prelude::*;
+
+fn tup(base: i64, off: i64) -> AffineTuple {
+    AffineTuple {
+        base,
+        off: [off, 0, 0],
+        mod_ext: None,
+    }
+}
+
+proptest! {
+    /// Merging a sequence of masked writes gives each lane the value of the
+    /// last write whose mask covered it (register semantics under
+    /// divergence).
+    #[test]
+    fn merge_masked_is_last_writer_wins(
+        writes in prop::collection::vec((any::<u32>(), -100i64..100, -8i64..8), 1..4),
+    ) {
+        let nw = 2usize;
+        let mut val: Option<AffineVal> = None;
+        // Reference: per-lane last writer.
+        let mut last: Vec<Option<(i64, i64)>> = vec![None; nw * 32];
+        let mut ok = true;
+        for (mask, base, off) in &writes {
+            let masks = [*mask, mask.rotate_left(7)];
+            match AffineVal::merge_masked(val.as_ref(), tup(*base, *off), &masks, nw) {
+                Some(v) => {
+                    val = Some(v);
+                    for w in 0..nw {
+                        for lane in 0..32 {
+                            if masks[w] & (1 << lane) != 0 {
+                                last[w * 32 + lane] = Some((*base, *off));
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Exceeded the divergent-tuple budget; the compiler
+                    // prevents this, stop the scenario here.
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            if let Some(v) = val {
+                for w in 0..nw {
+                    for lane in 0..32 {
+                        if let Some((base, off)) = last[w * 32 + lane] {
+                            let tid = (w * 32 + lane) as u32;
+                            let got = v.eval(w, lane, (tid, 0, 0));
+                            let expect = tup(base, off).eval((tid, 0, 0));
+                            prop_assert_eq!(got, expect, "warp {} lane {}", w, lane);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A divergent value never carries more than four tuples, and every
+    /// selector points inside the tuple vector.
+    #[test]
+    fn divergent_invariants(
+        writes in prop::collection::vec((any::<u32>(), -4i64..4, -2i64..2), 1..6),
+    ) {
+        let mut val: Option<AffineVal> = None;
+        for (mask, base, off) in &writes {
+            if let Some(v) =
+                AffineVal::merge_masked(val.as_ref(), tup(*base, *off), &[*mask], 1)
+            {
+                val = Some(v);
+            }
+        }
+        if let Some(AffineVal::Divergent(DivergentVal { tuples, select })) = val {
+            prop_assert!(tuples.len() <= affine::value::MAX_DIVERGENT_TUPLES);
+            prop_assert!(tuples.len() >= 2, "single-tuple value must collapse");
+            for row in &select {
+                for &s in row.iter() {
+                    prop_assert!((s as usize) < tuples.len());
+                }
+            }
+        }
+    }
+}

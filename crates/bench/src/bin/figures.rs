@@ -1,0 +1,408 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! figures <experiment> [--scale N] [--bench ABBR[,ABBR...]]
+//!
+//! experiments:
+//!   table1   simulator configuration
+//!   table2   benchmark list + measured compute/memory classification
+//!   fig6     % static instructions that are potentially affine
+//!   fig16    speedups of CAE / MTA / DAC over baseline
+//!   fig17    DAC warp-instruction count normalized to baseline
+//!   fig18    affine coverage, DAC vs CAE (compute-intensive set)
+//!   fig19    % of loads issued by the affine warp (memory-intensive set)
+//!   fig20    MTA prefetcher coverage (memory-intensive set)
+//!   fig21    energy normalized to baseline
+//!   area     DAC area overhead (§4.8)
+//!   ablate   queue-size / locking / divergence ablations (beyond paper)
+//!   all      everything above
+//! ```
+
+use dac_bench::{evaluate, geomean, FullRow};
+use dac_core::DacConfig;
+use gpu_energy::EnergyModel;
+use gpu_workloads::{all_benchmarks, gpu_for, run_dac, run_design, Design, Workload};
+use simt_sim::{GpuConfig, GpuSim};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = String::from("all");
+    let mut scale = 1u32;
+    let mut filter: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args[i + 1].parse().expect("bad --scale");
+                i += 1;
+            }
+            "--bench" => {
+                filter = Some(
+                    args[i + 1]
+                        .split(',')
+                        .map(|s| s.to_uppercase())
+                        .collect(),
+                );
+                i += 1;
+            }
+            c => cmd = c.to_string(),
+        }
+        i += 1;
+    }
+
+    let mut benches = all_benchmarks(scale);
+    if let Some(f) = &filter {
+        benches.retain(|w| f.contains(&w.abbr.to_uppercase()));
+    }
+
+    match cmd.as_str() {
+        "table1" => table1(),
+        "area" => area(),
+        _ => {
+            eprintln!("running {} benchmarks at scale {scale}...", benches.len());
+            let rows: Vec<FullRow> = benches
+                .iter()
+                .map(|w| {
+                    eprint!("  {:4} ", w.abbr);
+                    let t = std::time::Instant::now();
+                    let r = evaluate(w);
+                    eprintln!("ok ({:.1?})", t.elapsed());
+                    r
+                })
+                .collect();
+            match cmd.as_str() {
+                "table2" => table2(&rows),
+                "fig6" => fig6(&rows),
+                "fig16" => fig16(&rows),
+                "fig17" => fig17(&rows),
+                "fig18" => fig18(&rows),
+                "fig19" => fig19(&rows),
+                "fig20" => fig20(&rows),
+                "fig21" => fig21(&rows),
+                "ablate" => ablate(&benches),
+                "all" => {
+                    table1();
+                    table2(&rows);
+                    fig6(&rows);
+                    fig16(&rows);
+                    fig17(&rows);
+                    fig18(&rows);
+                    fig19(&rows);
+                    fig20(&rows);
+                    fig21(&rows);
+                    area();
+                    ablate(&benches);
+                }
+                other => {
+                    eprintln!("unknown experiment {other}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+fn hdr(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn table1() {
+    hdr("Table 1: Simulation Parameters");
+    let g = GpuConfig::gtx480();
+    println!("Baseline GPU");
+    println!(
+        "  GPU        Fermi (GTX480), {} SMs, {} warps/SM",
+        g.num_sms, g.max_warps_per_sm
+    );
+    println!("  SM         {} SIMT lanes, {} schedulers (two-level active)", g.lanes, g.schedulers);
+    println!(
+        "  L1         {} KB/SM, {} ways, {} MSHRs",
+        g.mem.l1_size / 1024,
+        g.mem.l1_ways,
+        g.mem.mshr_entries
+    );
+    println!(
+        "  L2         {} KB total, {} partitions, {} ways",
+        g.mem.l2_size_per_partition * g.mem.num_partitions as u64 / 1024,
+        g.mem.num_partitions,
+        g.mem.l2_ways
+    );
+    println!("GPU Prefetcher (MTA)");
+    println!(
+        "  Buffer     {} KB/SM (in addition to L1)",
+        gpu_for(Design::Mta).mem.prefetch_buffer_size / 1024
+    );
+    println!("Compact Affine Execution (CAE)");
+    println!("  Units      2 affine units per SM (one per scheduler)");
+    let d = DacConfig::paper();
+    println!("Decoupled Affine Computation (DAC)");
+    println!("  ATQ        {} entries/SM", d.atq_entries);
+    println!(
+        "  PWAQ       {} entries/SM, partitioned among resident warps ({}/warp at max occupancy)",
+        d.pwaq_total,
+        d.pwaq_total / g.max_warps_per_sm
+    );
+    println!(
+        "  PWPQ       {} entries/SM, partitioned among resident warps ({}/warp at max occupancy)",
+        d.pwpq_total,
+        d.pwpq_total / g.max_warps_per_sm
+    );
+}
+
+fn table2(rows: &[FullRow]) {
+    hdr("Table 2: Benchmarks and measured classification (perfect-mem speedup ≥ 1.5 ⇒ memory-intensive)");
+    println!("{:<6} {:<18} {:<6} {:>9} {:<10}", "Abbr", "Name", "Suite", "PerfSpd", "Class");
+    for r in rows {
+        println!(
+            "{:<6} {:<18} {:<6} {:>8.2}x {:<10}",
+            r.abbr,
+            r.name,
+            r.suite,
+            r.perfect_speedup,
+            if r.memory_intensive { "memory" } else { "compute" }
+        );
+    }
+    let mem = rows.iter().filter(|r| r.memory_intensive).count();
+    println!("-> {} memory-intensive, {} compute-intensive (paper: 18 / 11)", mem, rows.len() - mem);
+}
+
+fn fig6(rows: &[FullRow]) {
+    hdr("Figure 6: % of static instructions that are potentially affine");
+    println!(
+        "{:<6} {:>7} {:>7} {:>7} {:>8}",
+        "Bench", "Arith", "Mem", "Branch", "Total%"
+    );
+    let mut fracs = Vec::new();
+    for r in rows {
+        let t = r.mix.total as f64;
+        println!(
+            "{:<6} {:>6.1}% {:>6.1}% {:>6.1}% {:>7.1}%",
+            r.abbr,
+            100.0 * r.mix.affine_arithmetic as f64 / t,
+            100.0 * r.mix.affine_memory as f64 / t,
+            100.0 * r.mix.affine_branch as f64 / t,
+            100.0 * r.mix.potential_affine_fraction()
+        );
+        fracs.push(r.mix.potential_affine_fraction());
+    }
+    let mean = fracs.iter().sum::<f64>() / fracs.len().max(1) as f64;
+    println!("MEAN   potential affine = {:.1}% (paper: ~50%)", 100.0 * mean);
+}
+
+fn fig16(rows: &[FullRow]) {
+    hdr("Figure 16: Speedup of CAE, MTA, and DAC over the baseline GTX 480");
+    println!(
+        "{:<6} {:<8} {:>7} {:>7} {:>7}",
+        "Bench", "Class", "CAE", "MTA", "DAC"
+    );
+    let (mut mem_rows, mut cmp_rows) = (Vec::new(), Vec::new());
+    for r in rows {
+        println!(
+            "{:<6} {:<8} {:>6.2}x {:>6.2}x {:>6.2}x",
+            r.abbr,
+            if r.memory_intensive { "memory" } else { "compute" },
+            r.speedup(Design::Cae),
+            r.speedup(Design::Mta),
+            r.speedup(Design::Dac)
+        );
+        if r.memory_intensive {
+            mem_rows.push(r);
+        } else {
+            cmp_rows.push(r);
+        }
+    }
+    for (label, set, paper) in [
+        ("memory-intensive", &mem_rows, "MTA 1.16x / DAC 1.44x"),
+        ("compute-intensive", &cmp_rows, "CAE 1.15x / DAC 1.34x"),
+    ] {
+        if set.is_empty() {
+            continue;
+        }
+        println!(
+            "GEOMEAN {label:<18} CAE {:.2}x  MTA {:.2}x  DAC {:.2}x   (paper: {paper})",
+            geomean(set.iter().map(|r| r.speedup(Design::Cae))),
+            geomean(set.iter().map(|r| r.speedup(Design::Mta))),
+            geomean(set.iter().map(|r| r.speedup(Design::Dac))),
+        );
+    }
+    println!(
+        "GEOMEAN all                DAC {:.2}x   (paper: 1.40x)",
+        geomean(rows.iter().map(|r| r.speedup(Design::Dac)))
+    );
+}
+
+fn fig17(rows: &[FullRow]) {
+    hdr("Figure 17: DAC warp instructions normalized to baseline (non-affine + affine streams)");
+    println!("{:<6} {:>10} {:>9} {:>8}", "Bench", "NonAffine", "Affine", "Total");
+    let mut totals = Vec::new();
+    let mut aff_fracs = Vec::new();
+    for r in rows {
+        let (na, aff) = r.instr_ratio();
+        println!("{:<6} {:>9.3} {:>9.3} {:>8.3}", r.abbr, na, aff, na + aff);
+        totals.push(na + aff);
+        let s = &r.runs[3].report.stats;
+        aff_fracs.push(s.affine_instruction_fraction());
+    }
+    let mean = totals.iter().sum::<f64>() / totals.len().max(1) as f64;
+    let afrac = aff_fracs.iter().sum::<f64>() / aff_fracs.len().max(1) as f64;
+    println!("MEAN   total ratio = {mean:.3} (paper: 0.74), affine share = {:.1}% (paper: 4.6%)", 100.0 * afrac);
+}
+
+fn fig18(rows: &[FullRow]) {
+    hdr("Figure 18: Affine instruction coverage, DAC vs CAE (compute-intensive set)");
+    println!("{:<6} {:>7} {:>7}", "Bench", "CAE", "DAC");
+    let set: Vec<&FullRow> = rows.iter().filter(|r| !r.memory_intensive).collect();
+    for r in &set {
+        println!(
+            "{:<6} {:>6.1}% {:>6.1}%",
+            r.abbr,
+            100.0 * r.cae_coverage(),
+            100.0 * r.dac_coverage()
+        );
+    }
+    if !set.is_empty() {
+        println!(
+            "GEOMEAN  CAE {:.1}%  DAC {:.1}%   (paper: CAE 25% / DAC 34%)",
+            100.0 * geomean(set.iter().map(|r| r.cae_coverage().max(1e-6))),
+            100.0 * geomean(set.iter().map(|r| r.dac_coverage().max(1e-6)))
+        );
+    }
+}
+
+fn fig19(rows: &[FullRow]) {
+    hdr("Figure 19: % of global/local load requests issued by the affine warp (memory-intensive set)");
+    println!("{:<6} {:>8}", "Bench", "Affine%");
+    let set: Vec<&FullRow> = rows.iter().filter(|r| r.memory_intensive).collect();
+    let mut fr = Vec::new();
+    for r in &set {
+        println!("{:<6} {:>7.1}%", r.abbr, 100.0 * r.decoupled_load_fraction());
+        fr.push(r.decoupled_load_fraction());
+    }
+    let mean = fr.iter().sum::<f64>() / fr.len().max(1) as f64;
+    println!("MEAN   {:.1}% (paper: 79.8%)", 100.0 * mean);
+}
+
+fn fig20(rows: &[FullRow]) {
+    hdr("Figure 20: MTA prefetcher coverage (memory-intensive set)");
+    println!("{:<6} {:>9}", "Bench", "Coverage");
+    let set: Vec<&FullRow> = rows.iter().filter(|r| r.memory_intensive).collect();
+    let mut cov = Vec::new();
+    for r in &set {
+        println!("{:<6} {:>8.1}%", r.abbr, 100.0 * r.mta_coverage());
+        cov.push(r.mta_coverage());
+    }
+    let mean = cov.iter().sum::<f64>() / cov.len().max(1) as f64;
+    println!("MEAN   {:.1}%", 100.0 * mean);
+}
+
+fn fig21(rows: &[FullRow]) {
+    hdr("Figure 21: DAC energy normalized to baseline");
+    let model = EnergyModel::gtx480();
+    println!(
+        "{:<6} {:>7} {:>7} {:>7} {:>9} {:>8} {:>7}",
+        "Bench", "ALU", "RF", "OtherD", "DACovhd", "Static", "Total"
+    );
+    let mut totals = Vec::new();
+    for r in rows {
+        let base = r.energy(Design::Baseline, &model);
+        let dac = r.energy(Design::Dac, &model);
+        let bt = base.total();
+        println!(
+            "{:<6} {:>7.3} {:>7.3} {:>7.3} {:>9.4} {:>8.3} {:>7.3}",
+            r.abbr,
+            dac.alu / bt,
+            dac.regfile / bt,
+            dac.other_dynamic / bt,
+            dac.dac_overhead / bt,
+            dac.static_ / bt,
+            dac.total() / bt
+        );
+        totals.push(dac.total() / bt);
+    }
+    println!(
+        "GEOMEAN total = {:.3} (paper: 0.798)",
+        geomean(totals.iter().copied())
+    );
+}
+
+fn area() {
+    hdr("Section 4.8: DAC area overhead");
+    let sms = GpuConfig::gtx480().num_sms;
+    println!(
+        "SRAM {} B/SM ≈ {:.2} mm²/SM; 2 ALUs ≈ {:.2} mm²/SM",
+        gpu_energy::area::SRAM_BYTES_PER_SM,
+        gpu_energy::area::SRAM_MM2_PER_SM,
+        gpu_energy::area::ALU_MM2_PER_SM
+    );
+    println!(
+        "total {:.2} mm² on a {:.0} mm² die = {:.2}% (paper: 1.06%)",
+        gpu_energy::area::dac_area_mm2(sms),
+        gpu_energy::area::GTX480_DIE_MM2,
+        100.0 * gpu_energy::area::dac_area_overhead(sms)
+    );
+}
+
+/// Design-space ablations beyond the paper: queue depth, line locking,
+/// divergent-tuple support.
+fn ablate(benches: &[Workload]) {
+    hdr("Ablations (beyond the paper): DAC speedup vs design knobs");
+    // A representative memory-bound subset keeps this affordable.
+    let subset: Vec<&Workload> = benches
+        .iter()
+        .filter(|w| ["LIB", "ST", "CS", "SR2", "LBM"].contains(&w.abbr))
+        .collect();
+    if subset.is_empty() {
+        println!("(no matching benchmarks in filter)");
+        return;
+    }
+    let gpu = GpuSim::new(gpu_for(Design::Dac));
+    println!("{:<28} {}", "config", "geomean speedup over baseline");
+    let base_cycles: Vec<(f64, &Workload)> = subset
+        .iter()
+        .map(|w| {
+            let b = run_design(w, Design::Baseline, &GpuSim::new(gpu_for(Design::Baseline)));
+            (b.report.cycles as f64, *w)
+        })
+        .collect();
+    let run_cfg = |label: &str, cfg: DacConfig| {
+        let speedups: Vec<f64> = base_cycles
+            .iter()
+            .map(|(bc, w)| {
+                let r = run_dac(w, &gpu, cfg.clone());
+                bc / r.report.cycles as f64
+            })
+            .collect();
+        println!("{:<28} {:.3}x", label, geomean(speedups));
+    };
+    run_cfg("paper (ATQ24, PWQ192, lock)", DacConfig::paper());
+    run_cfg(
+        "shallow queues (PWQ48)",
+        DacConfig {
+            pwaq_total: 48,
+            pwpq_total: 48,
+            ..DacConfig::paper()
+        },
+    );
+    run_cfg(
+        "deep queues (PWQ768)",
+        DacConfig {
+            pwaq_total: 768,
+            pwpq_total: 768,
+            ..DacConfig::paper()
+        },
+    );
+    run_cfg(
+        "no line locking",
+        DacConfig {
+            lock_lines: false,
+            ..DacConfig::paper()
+        },
+    );
+    run_cfg(
+        "tiny ATQ (4)",
+        DacConfig {
+            atq_entries: 4,
+            ..DacConfig::paper()
+        },
+    );
+}

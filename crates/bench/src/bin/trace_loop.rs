@@ -1,0 +1,49 @@
+//! Minimal timing probe: one warp, N-iteration streaming loop.
+use simt_ir::{CmpOp, KernelBuilder, LaunchConfig, Op, Operand, Program, Space, Width};
+use simt_mem::SparseMemory;
+use simt_sim::{GpuConfig, GpuSim};
+
+fn main() {
+    let mut b = KernelBuilder::new("probe", 3);
+    let tid = b.tid_linear_x();
+    let off = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let a0 = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
+    let o0 = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+    let i = b.mov(Operand::Imm(0));
+    b.label("loop");
+    let v = b.ld(Space::Global, a0, 0, Width::W32);
+    let r = b.alu2(Op::Add, Operand::Reg(v), Operand::Imm(1));
+    b.st(Space::Global, o0, 0, Operand::Reg(r), Width::W32);
+    b.alu_into(a0, Op::Add, &[Operand::Reg(a0), Operand::Imm(4096)]);
+    b.alu_into(o0, Op::Add, &[Operand::Reg(o0), Operand::Imm(4096)]);
+    b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Param(2));
+    b.bra_if(p, "loop");
+    b.exit();
+    let kernel = b.build();
+    for (ctas, num_sms, iters) in [(15u32, 15usize, 6u64), (30, 15, 6), (60, 15, 6), (120, 15, 6)] {
+        let warps = 4u32;
+        let launch = LaunchConfig::linear(ctas, warps * 32, vec![0x100_0000, 0x200_0000, iters]);
+        let prog = Program::new(kernel.clone(), launch.clone()).unwrap();
+        let mut mem = SparseMemory::new();
+        let gpu = GpuSim::new(GpuConfig { num_sms, ..GpuConfig::gtx480() });
+        let rep = gpu.run(&prog, &mut mem);
+        println!("BASE ctas {ctas:3} sms {num_sms:2}: cycles {}", rep.cycles);
+
+        let analysis = affine::AffineAnalysis::run(&kernel);
+        let dk = affine::decouple(&kernel, &analysis);
+        let dprog = Program::new(dk.non_affine.clone(), launch.clone()).unwrap();
+        let mut dac = dac_core::Dac::new(dac_core::DacConfig::paper(), dk);
+        let mut mem2 = SparseMemory::new();
+        let rep2 = gpu.run_with(&dprog, &mut mem2, &mut dac);
+        println!(
+            "DAC  ctas {ctas:3} sms {num_sms:2}: cycles {} (speedup {:.2}) deq_data {} deq_empty {} aeu {} enq_full {}",
+            rep2.cycles,
+            rep.cycles as f64 / rep2.cycles as f64,
+            rep2.stats.deq_data_stalls,
+            rep2.stats.deq_empty_stalls,
+            rep2.stats.aeu_records,
+            rep2.stats.enq_full_stalls
+        );
+    }
+}

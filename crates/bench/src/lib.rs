@@ -1,0 +1,173 @@
+//! `dac-bench` — the evaluation harness: runs every benchmark under every
+//! design and regenerates each table and figure of the paper (see
+//! EXPERIMENTS.md for the index).
+
+use affine::AffineAnalysis;
+use gpu_energy::{energy_of, EnergyBreakdown, EnergyModel};
+use gpu_workloads::{classify, gpu_for, run_design, BenchRun, Design, Workload};
+use simt_sim::GpuSim;
+
+/// Everything measured for one benchmark.
+pub struct FullRow {
+    /// Benchmark abbreviation.
+    pub abbr: &'static str,
+    /// Full name.
+    pub name: &'static str,
+    /// Suite tag (Table 2).
+    pub suite: char,
+    /// Measured: memory-intensive under the perfect-memory test (§5.1.2).
+    pub memory_intensive: bool,
+    /// Perfect-memory speedup used for the classification.
+    pub perfect_speedup: f64,
+    /// Static instruction mix (Figure 6).
+    pub mix: affine::StaticMix,
+    /// Runs per design, in [`Design::ALL`] order.
+    pub runs: Vec<BenchRun>,
+}
+
+impl FullRow {
+    fn run(&self, d: Design) -> &BenchRun {
+        let idx = Design::ALL.iter().position(|&x| x == d).unwrap();
+        &self.runs[idx]
+    }
+
+    /// Speedup of `d` over the baseline.
+    pub fn speedup(&self, d: Design) -> f64 {
+        self.run(Design::Baseline).report.cycles as f64 / self.run(d).report.cycles as f64
+    }
+
+    /// DAC's warp-instruction count normalized to baseline, split into
+    /// (non-affine, affine) components (Figure 17).
+    pub fn instr_ratio(&self) -> (f64, f64) {
+        let base = self.run(Design::Baseline).report.stats.warp_instructions as f64;
+        let dac = &self.run(Design::Dac).report.stats;
+        (
+            dac.warp_instructions as f64 / base,
+            dac.affine_instructions as f64 / base,
+        )
+    }
+
+    /// DAC's dynamic affine coverage: the fraction of baseline warp
+    /// instructions eliminated by decoupling (Figure 18).
+    pub fn dac_coverage(&self) -> f64 {
+        let base = self.run(Design::Baseline).report.stats.warp_instructions as f64;
+        let dac = self.run(Design::Dac).report.stats.warp_instructions as f64;
+        ((base - dac) / base).max(0.0)
+    }
+
+    /// CAE's dynamic affine coverage: instructions executed on the affine
+    /// units as a fraction of all warp instructions (Figure 18).
+    pub fn cae_coverage(&self) -> f64 {
+        let s = &self.run(Design::Cae).report.stats;
+        if s.warp_instructions == 0 {
+            0.0
+        } else {
+            s.cae_affine_instructions as f64 / s.warp_instructions as f64
+        }
+    }
+
+    /// Fraction of global/local loads issued by the affine warp (Fig. 19).
+    pub fn decoupled_load_fraction(&self) -> f64 {
+        self.run(Design::Dac).report.stats.decoupled_load_fraction()
+    }
+
+    /// MTA prefetcher coverage: demand accesses served by the prefetch
+    /// buffer or merged with an in-flight prefetch, over all demand
+    /// traffic that would otherwise have gone below L1 (Figure 20).
+    pub fn mta_coverage(&self) -> f64 {
+        let m = &self.run(Design::Mta).report.mem;
+        let covered = (m.pbuf_hits + m.prefetch_merged) as f64;
+        let denom = covered + m.l1_misses as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            covered / denom
+        }
+    }
+
+    /// Energy of `d` relative to baseline (Figure 21).
+    pub fn energy(&self, d: Design, model: &EnergyModel) -> EnergyBreakdown {
+        energy_of(&self.run(d).report, model)
+    }
+
+    /// Normalized total energy of DAC vs baseline.
+    pub fn dac_energy_ratio(&self, model: &EnergyModel) -> f64 {
+        self.energy(Design::Dac, model)
+            .normalized_to(&self.energy(Design::Baseline, model))
+    }
+}
+
+/// Evaluate one benchmark under all four designs, verifying that every
+/// design produces bit-identical outputs.
+///
+/// # Panics
+///
+/// Panics if any design changes the program's output (a correctness bug).
+pub fn evaluate(w: &Workload) -> FullRow {
+    let analysis = AffineAnalysis::run(&w.kernel);
+    let mix = analysis.static_mix(&w.kernel);
+    let (memory_intensive, perfect_speedup) = classify(w);
+    let runs: Vec<BenchRun> = Design::ALL
+        .iter()
+        .map(|&d| run_design(w, d, &GpuSim::new(gpu_for(d))))
+        .collect();
+    let golden = runs[0].memory.read_u32_vec(w.output.0, w.output.1);
+    for (i, r) in runs.iter().enumerate().skip(1) {
+        let out = r.memory.read_u32_vec(w.output.0, w.output.1);
+        assert_eq!(
+            out, golden,
+            "{}: design {} changed program output",
+            w.abbr,
+            Design::ALL[i].name()
+        );
+    }
+    FullRow {
+        abbr: w.abbr,
+        name: w.name,
+        suite: w.suite.tag(),
+        memory_intensive,
+        perfect_speedup,
+        mix,
+        runs,
+    }
+}
+
+/// Geometric mean.
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.into_iter().collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = v.iter().map(|x| x.ln()).sum();
+    (s / v.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean([]), 0.0);
+    }
+
+    /// The headline experiment on one memory-bound benchmark: DAC must
+    /// beat baseline and decouple most loads, with all designs correct.
+    #[test]
+    fn evaluate_lib_end_to_end() {
+        let w = gpu_workloads::benchmark("LIB", 1).unwrap();
+        let row = evaluate(&w);
+        assert!(row.memory_intensive, "LIB must be memory-intensive");
+        assert!(
+            row.speedup(Design::Dac) > 1.05,
+            "DAC speedup {}",
+            row.speedup(Design::Dac)
+        );
+        assert!(row.decoupled_load_fraction() > 0.8);
+        let (na, aff) = row.instr_ratio();
+        assert!(na < 1.0, "non-affine ratio {na}");
+        assert!(aff > 0.0 && aff < 0.5);
+    }
+}

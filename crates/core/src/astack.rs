@@ -1,0 +1,271 @@
+//! The two-level Affine SIMT Stack (paper §4.5).
+//!
+//! The affine warp "executes" all threads of a CTA in lock-step, so its
+//! reconvergence stack carries one lane mask *per non-affine warp*. The
+//! Warp Level Stack (WLS) encodes each warp's mask in two bits — `11` (all
+//! active), `00` (none), `10` (mixed) — and only mixed warps touch their
+//! Per Warp Stack (PWS). We track full masks for correctness and count the
+//! WLS/PWS update split for the energy model.
+
+/// One affine-stack entry: a path with per-warp lane masks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineStackEntry {
+    /// Current PC of this path (indices into the affine stream).
+    pub pc: usize,
+    /// Reconvergence PC (`usize::MAX` = exit).
+    pub rpc: usize,
+    /// Active lanes per warp of the CTA.
+    pub masks: Vec<u32>,
+}
+
+impl AffineStackEntry {
+    fn live(&self, exited: &[u32]) -> bool {
+        self.masks
+            .iter()
+            .zip(exited)
+            .any(|(m, e)| m & !e != 0)
+    }
+}
+
+/// The affine warp's SIMT stack for one CTA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineStack {
+    entries: Vec<AffineStackEntry>,
+    exited: Vec<u32>,
+    /// Warp-level (2-bit) mask updates — cheap WLS traffic.
+    pub wls_updates: u64,
+    /// Per-thread mask updates (mixed warps) — PWS traffic.
+    pub pws_updates: u64,
+}
+
+impl AffineStack {
+    /// Start at PC 0 with the CTA's launch masks.
+    pub fn new(launch_masks: Vec<u32>) -> Self {
+        let n = launch_masks.len();
+        AffineStack {
+            entries: vec![AffineStackEntry {
+                pc: 0,
+                rpc: usize::MAX,
+                masks: launch_masks,
+            }],
+            exited: vec![0; n],
+            wls_updates: 0,
+            pws_updates: 0,
+        }
+    }
+
+    /// Current PC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the affine warp already finished.
+    pub fn pc(&self) -> usize {
+        self.entries.last().expect("affine stack empty").pc
+    }
+
+    /// Active lanes of `warp` on the current path.
+    pub fn active(&self, warp: usize) -> u32 {
+        let top = self.entries.last().expect("affine stack empty");
+        top.masks[warp] & !self.exited[warp]
+    }
+
+    /// All warps' active masks on the current path.
+    pub fn active_masks(&self) -> Vec<u32> {
+        let top = self.entries.last().expect("affine stack empty");
+        top.masks
+            .iter()
+            .zip(&self.exited)
+            .map(|(m, e)| m & !e)
+            .collect()
+    }
+
+    /// Finished?
+    pub fn done(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current depth (hardware budget: 8 entries, §4.8).
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn count_updates(&mut self, masks: &[u32]) {
+        for &m in masks {
+            self.wls_updates += 1;
+            if m != 0 && m != u32::MAX {
+                self.pws_updates += 1;
+            }
+        }
+    }
+
+    fn settle(&mut self) {
+        loop {
+            let Some(top) = self.entries.last() else { return };
+            if !top.live(&self.exited) {
+                self.entries.pop();
+                continue;
+            }
+            if self.entries.len() > 1 && top.pc == top.rpc {
+                self.entries.pop();
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Advance past a non-control instruction.
+    pub fn advance(&mut self) {
+        self.entries.last_mut().expect("affine stack empty").pc += 1;
+        self.settle();
+    }
+
+    /// Jump the current path to an arbitrary PC (barrier bookkeeping never
+    /// needs this; kept for engine-level control).
+    pub fn set_pc(&mut self, pc: usize) {
+        self.entries.last_mut().expect("affine stack empty").pc = pc;
+        self.settle();
+    }
+
+    /// Execute a branch with per-warp taken masks. Semantics mirror the
+    /// per-warp [`simt_sim::SimtStack`] exactly (taken path runs first), so
+    /// the affine and non-affine streams visit paths in the same order —
+    /// that ordering is what keeps enq/deq FIFOs aligned.
+    pub fn branch(&mut self, taken: &[u32], target: usize, rpc: usize) -> bool {
+        let active = self.active_masks();
+        let taken: Vec<u32> = taken
+            .iter()
+            .zip(&active)
+            .map(|(t, a)| t & a)
+            .collect();
+        let not_taken: Vec<u32> = active
+            .iter()
+            .zip(&taken)
+            .map(|(a, t)| a & !t)
+            .collect();
+        let fallthrough = self.pc() + 1;
+        let any_taken = taken.iter().any(|&m| m != 0);
+        let any_nt = not_taken.iter().any(|&m| m != 0);
+        self.count_updates(&taken);
+        if !any_nt {
+            self.entries.last_mut().unwrap().pc = target;
+            self.settle();
+            false
+        } else if !any_taken {
+            self.entries.last_mut().unwrap().pc = fallthrough;
+            self.settle();
+            false
+        } else {
+            self.entries.last_mut().unwrap().pc = rpc;
+            self.entries.push(AffineStackEntry {
+                pc: fallthrough,
+                rpc,
+                masks: not_taken,
+            });
+            self.entries.push(AffineStackEntry {
+                pc: target,
+                rpc,
+                masks: taken,
+            });
+            self.settle();
+            true
+        }
+    }
+
+    /// Currently active threads exit.
+    pub fn exit(&mut self) {
+        let active = self.active_masks();
+        for (e, a) in self.exited.iter_mut().zip(&active) {
+            *e |= a;
+        }
+        self.settle();
+        if self
+            .entries
+            .iter()
+            .all(|en| !en.live(&self.exited))
+        {
+            self.entries.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_flow_two_warps() {
+        let mut s = AffineStack::new(vec![u32::MAX, u32::MAX]);
+        s.advance();
+        assert_eq!(s.pc(), 1);
+        assert!(!s.branch(&[u32::MAX, u32::MAX], 5, 9));
+        assert_eq!(s.pc(), 5);
+        s.exit();
+        assert!(s.done());
+    }
+
+    #[test]
+    fn warp_level_divergence() {
+        // Warp 0 takes, warp 1 falls through — whole-warp granularity.
+        let mut s = AffineStack::new(vec![u32::MAX, u32::MAX]);
+        assert!(s.branch(&[u32::MAX, 0], 10, 20));
+        assert_eq!(s.pc(), 10);
+        assert_eq!(s.active(0), u32::MAX);
+        assert_eq!(s.active(1), 0);
+        // Walk taken path to rpc.
+        for _ in 10..20 {
+            s.advance();
+        }
+        // Now the not-taken path (warp 1) at the fallthrough.
+        assert_eq!(s.pc(), 1);
+        assert_eq!(s.active(0), 0);
+        assert_eq!(s.active(1), u32::MAX);
+        for _ in 1..20 {
+            s.advance();
+        }
+        assert_eq!(s.pc(), 20);
+        assert_eq!(s.active(0), u32::MAX);
+        assert_eq!(s.active(1), u32::MAX);
+    }
+
+    #[test]
+    fn intra_warp_divergence_counts_pws() {
+        let mut s = AffineStack::new(vec![u32::MAX]);
+        s.branch(&[0x0000_FFFF], 4, 8);
+        assert!(s.pws_updates > 0, "mixed warp must touch the PWS");
+        assert_eq!(s.active(0), 0x0000_FFFF);
+    }
+
+    #[test]
+    fn uniform_warps_avoid_pws() {
+        let mut s = AffineStack::new(vec![u32::MAX, u32::MAX]);
+        s.branch(&[u32::MAX, 0], 4, 8);
+        assert_eq!(s.pws_updates, 0, "all-or-nothing warps are WLS-only");
+        assert!(s.wls_updates > 0);
+    }
+
+    #[test]
+    fn partial_launch_mask() {
+        // Last warp has 8 live threads.
+        let mut s = AffineStack::new(vec![u32::MAX, 0xFF]);
+        assert_eq!(s.active(1), 0xFF);
+        s.exit();
+        assert!(s.done());
+    }
+
+    #[test]
+    fn matches_simt_stack_path_order() {
+        // The affine stack must visit taken-then-fallthrough like the
+        // per-warp stack, or enq/deq order would skew.
+        let mut a = AffineStack::new(vec![u32::MAX]);
+        let mut w = simt_sim::SimtStack::new(u32::MAX);
+        a.branch(&[0xF0F0_F0F0], 7, 12);
+        w.branch(0xF0F0_F0F0, 7, 12);
+        assert_eq!(a.pc(), w.pc());
+        for _ in 0..5 {
+            a.advance();
+            w.advance();
+            assert_eq!(a.pc(), w.pc());
+            assert_eq!(a.active(0), w.active_mask());
+        }
+    }
+}

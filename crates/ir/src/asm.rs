@@ -1,0 +1,659 @@
+//! A textual assembler for the IR, in the style of the paper's
+//! pseudo-assembly (Figure 4b).
+//!
+//! # Syntax
+//!
+//! ```text
+//! .kernel example
+//! .params 4
+//! .shared 1024
+//!     mul r0, %ctaid.x, %ntid.x;
+//!     add r1, r0, %tid.x;      // linear thread id
+//!     shl r2, r1, 2;
+//!     add r3, %p0, r2;         // %pN = kernel parameter N
+//! LOOP:
+//!     ld.global r4, [r3];
+//!     st.global [r3+4], r4;
+//!     setp.lt p0, r1, %p1;     // pN = predicate register N
+//!     @p0 bra LOOP;
+//!     exit;
+//! ```
+//!
+//! Registers are `rN`, predicates `pN`, parameters `%pN`, special registers
+//! `%tid.x`, `%ctaid.x`, `%ntid.x`, `%nctaid.x` (plus `.y`/`.z`). Memory
+//! widths default to `.b32` and may be overridden (`ld.global.b8`). The
+//! decoupled-stream forms `deq.data`, `deq.addr`, `@deq.pred`, and the
+//! `enq.*` opcodes are accepted so compiler output can be round-tripped.
+
+use crate::instr::{AddrMode, AtomOp, CmpOp, Guard, Instr, Op, PredSrc, QueueKind};
+use crate::kernel::Kernel;
+use crate::types::{Operand, Space, SpecialReg, Width};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembler diagnostic with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+/// Parse a full kernel from assembly text.
+///
+/// # Errors
+///
+/// Returns a [`ParseAsmError`] pointing at the first malformed line, or at
+/// the end of input for undefined labels.
+pub fn parse_kernel(text: &str) -> Result<Kernel, ParseAsmError> {
+    let mut name = String::from("kernel");
+    let mut num_params = 0u16;
+    let mut shared_bytes = 0u32;
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new(); // (pc, label, line)
+    let mut max_reg = 0u16;
+    let mut max_pred = 0u16;
+
+    for (ln0, raw) in text.lines().enumerate() {
+        let line = ln0 + 1;
+        let mut s = raw;
+        if let Some(i) = s.find("//") {
+            s = &s[..i];
+        }
+        if let Some(i) = s.find('#') {
+            s = &s[..i];
+        }
+        let s = s.trim().trim_end_matches(';').trim();
+        if s.is_empty() {
+            continue;
+        }
+
+        // Directives.
+        if let Some(rest) = s.strip_prefix(".kernel") {
+            name = rest.trim().to_string();
+            continue;
+        }
+        if let Some(rest) = s.strip_prefix(".params") {
+            num_params = rest.trim().parse().map_err(|_| err(line, "bad .params"))?;
+            continue;
+        }
+        if let Some(rest) = s.strip_prefix(".shared") {
+            shared_bytes = rest.trim().parse().map_err(|_| err(line, "bad .shared"))?;
+            continue;
+        }
+
+        // Label (possibly followed by an instruction on the same line).
+        let mut s = s;
+        while let Some(colon) = s.find(':') {
+            let (lbl, rest) = s.split_at(colon);
+            let lbl = lbl.trim();
+            if lbl.contains(char::is_whitespace) || lbl.contains('.') || lbl.contains(',') {
+                break; // not a label, e.g. inside an operand
+            }
+            labels.insert(lbl.to_string(), instrs.len());
+            s = rest[1..].trim();
+            if s.is_empty() {
+                break;
+            }
+        }
+        if s.is_empty() {
+            continue;
+        }
+
+        let instr = parse_instr(s, line, &mut fixups, instrs.len())?;
+        track_regs(&instr, &mut max_reg, &mut max_pred);
+        instrs.push(instr);
+    }
+
+    for (pc, label, line) in fixups {
+        let target = *labels
+            .get(&label)
+            .ok_or_else(|| err(line, &format!("undefined label {label}")))?;
+        if let Instr::Bra { target: t, .. } = &mut instrs[pc] {
+            *t = target;
+        }
+    }
+
+    Ok(Kernel {
+        name,
+        instrs,
+        num_regs: max_reg,
+        num_preds: max_pred,
+        num_params,
+        shared_bytes,
+    })
+}
+
+fn err(line: usize, msg: &str) -> ParseAsmError {
+    ParseAsmError {
+        line,
+        msg: msg.to_string(),
+    }
+}
+
+fn track_regs(i: &Instr, max_reg: &mut u16, max_pred: &mut u16) {
+    let bump_r = |r: u16, m: &mut u16| *m = (*m).max(r + 1);
+    if let Some(d) = i.def_reg() {
+        bump_r(d, max_reg);
+    }
+    for r in i.src_regs() {
+        bump_r(r, max_reg);
+    }
+    if let Some(p) = i.def_pred() {
+        bump_r(p, max_pred);
+    }
+    for p in i.src_preds() {
+        bump_r(p, max_pred);
+    }
+}
+
+fn parse_instr(
+    s: &str,
+    line: usize,
+    fixups: &mut Vec<(usize, String, usize)>,
+    pc: usize,
+) -> Result<Instr, ParseAsmError> {
+    // Guard prefix.
+    let (guard, pred_src_deq, s) = if let Some(rest) = s.strip_prefix("@deq.pred") {
+        (None, Some(false), rest.trim())
+    } else if let Some(rest) = s.strip_prefix("@!deq.pred") {
+        (None, Some(true), rest.trim())
+    } else if let Some(rest) = s.strip_prefix("@!") {
+        let (p, rest) = take_pred(rest, line)?;
+        (Some(Guard::neg(p)), None, rest.trim())
+    } else if let Some(rest) = s.strip_prefix('@') {
+        let (p, rest) = take_pred(rest, line)?;
+        (Some(Guard::pos(p)), None, rest.trim())
+    } else {
+        (None, None, s)
+    };
+
+    let (mnemonic, rest) = match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim()),
+        None => (s, ""),
+    };
+    let parts: Vec<&str> = mnemonic.split('.').collect();
+    let ops: Vec<String> = split_operands(rest);
+
+    let get = |i: usize| -> Result<&str, ParseAsmError> {
+        ops.get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| err(line, &format!("{mnemonic}: missing operand {i}")))
+    };
+
+    match parts[0] {
+        "bra" => {
+            let label = get(0)?.to_string();
+            let pred = match (guard, pred_src_deq) {
+                (Some(g), None) => Some(PredSrc::Reg(g)),
+                (None, Some(negate)) => Some(PredSrc::Deq { negate }),
+                (None, None) => None,
+                _ => return Err(err(line, "bra: conflicting predicates")),
+            };
+            fixups.push((pc, label, line));
+            Ok(Instr::Bra {
+                target: usize::MAX,
+                pred,
+            })
+        }
+        "bar" => Ok(Instr::Bar),
+        "exit" => Ok(Instr::Exit),
+        "setp" => {
+            let cmp = parse_cmp(parts.get(1).copied().unwrap_or(""), line)?;
+            let float = parts.get(2) == Some(&"f32");
+            let dst = parse_pred_name(get(0)?, line)?;
+            let a = parse_operand(get(1)?, line)?;
+            let b = parse_operand(get(2)?, line)?;
+            Ok(Instr::SetP {
+                dst,
+                cmp,
+                a,
+                b,
+                float,
+                guard,
+            })
+        }
+        "sel" => {
+            let dst = parse_reg_name(get(0)?, line)?;
+            let a = parse_operand(get(1)?, line)?;
+            let b = parse_operand(get(2)?, line)?;
+            let p = parse_pred_name(get(3)?, line)?;
+            Ok(Instr::Sel {
+                dst,
+                pred: Guard::pos(p),
+                a,
+                b,
+            })
+        }
+        "ld" => {
+            let space = parse_space(parts.get(1).copied().unwrap_or(""), line)?;
+            let width = parse_width(parts.get(2).copied(), line)?;
+            let dst = parse_reg_name(get(0)?, line)?;
+            let addr = parse_addr(get(1)?, line)?;
+            Ok(Instr::Ld {
+                dst,
+                space,
+                addr,
+                width,
+                guard,
+            })
+        }
+        "st" => {
+            let space = parse_space(parts.get(1).copied().unwrap_or(""), line)?;
+            let width = parse_width(parts.get(2).copied(), line)?;
+            let addr = parse_addr(get(0)?, line)?;
+            let src = parse_operand(get(1)?, line)?;
+            Ok(Instr::St {
+                space,
+                addr,
+                src,
+                width,
+                guard,
+            })
+        }
+        "atom" => {
+            let op = match parts.get(1).copied().unwrap_or("") {
+                "add" => AtomOp::Add,
+                "min" => AtomOp::Min,
+                "max" => AtomOp::Max,
+                "exch" => AtomOp::Exch,
+                o => return Err(err(line, &format!("unknown atomic op {o}"))),
+            };
+            let dst = parse_reg_name(get(0)?, line)?;
+            let addr = parse_addr(get(1)?, line)?;
+            let src = parse_operand(get(2)?, line)?;
+            Ok(Instr::Atom {
+                op,
+                dst,
+                addr,
+                src,
+                guard,
+            })
+        }
+        "enq" => {
+            let kind = match parts.get(1).copied().unwrap_or("") {
+                "data" => QueueKind::Data,
+                "addr" => QueueKind::Addr,
+                "pred" => QueueKind::Pred,
+                k => return Err(err(line, &format!("unknown queue {k}"))),
+            };
+            if kind == QueueKind::Pred {
+                let p = parse_pred_name(get(0)?, line)?;
+                Ok(Instr::Enq {
+                    kind,
+                    src: None,
+                    pred: Some(p),
+                    width: Width::W32,
+                    space: Space::Global,
+                    guard,
+                })
+            } else {
+                // Optional `.local` then optional `.bNN`.
+                let mut idx = 2;
+                let space = if parts.get(idx) == Some(&"local") {
+                    idx += 1;
+                    Space::Local
+                } else {
+                    Space::Global
+                };
+                let width = parse_width(parts.get(idx).copied(), line)?;
+                let r = parse_reg_name(get(0)?, line)?;
+                Ok(Instr::Enq {
+                    kind,
+                    src: Some(r),
+                    pred: None,
+                    width,
+                    space,
+                    guard,
+                })
+            }
+        }
+        _ => {
+            let op = parse_alu_op(mnemonic).ok_or_else(|| {
+                err(line, &format!("unknown instruction {mnemonic}"))
+            })?;
+            let dst = parse_reg_name(get(0)?, line)?;
+            let mut srcs = [Operand::Imm(0); 3];
+            for (i, slot) in srcs.iter_mut().enumerate().take(op.arity()) {
+                *slot = parse_operand(get(i + 1)?, line)?;
+            }
+            Ok(Instr::Alu {
+                op,
+                dst,
+                srcs,
+                guard,
+            })
+        }
+    }
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    // Split on commas not inside brackets.
+    let mut out = Vec::new();
+    let mut depth = 0;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn take_pred(s: &str, line: usize) -> Result<(u16, &str), ParseAsmError> {
+    let end = s
+        .find(char::is_whitespace)
+        .ok_or_else(|| err(line, "guard with no instruction"))?;
+    let p = parse_pred_name(&s[..end], line)?;
+    Ok((p, &s[end..]))
+}
+
+fn parse_reg_name(s: &str, line: usize) -> Result<u16, ParseAsmError> {
+    s.strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, &format!("expected register, got {s}")))
+}
+
+fn parse_pred_name(s: &str, line: usize) -> Result<u16, ParseAsmError> {
+    s.strip_prefix('p')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, &format!("expected predicate, got {s}")))
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, ParseAsmError> {
+    if let Some(rest) = s.strip_prefix("%p") {
+        let p = rest
+            .parse()
+            .map_err(|_| err(line, &format!("bad param {s}")))?;
+        return Ok(Operand::Param(p));
+    }
+    if let Some(rest) = s.strip_prefix('%') {
+        let sr = match rest {
+            "tid.x" => SpecialReg::TidX,
+            "tid.y" => SpecialReg::TidY,
+            "tid.z" => SpecialReg::TidZ,
+            "ctaid.x" => SpecialReg::CtaIdX,
+            "ctaid.y" => SpecialReg::CtaIdY,
+            "ctaid.z" => SpecialReg::CtaIdZ,
+            "ntid.x" => SpecialReg::NTidX,
+            "ntid.y" => SpecialReg::NTidY,
+            "ntid.z" => SpecialReg::NTidZ,
+            "nctaid.x" => SpecialReg::NCtaIdX,
+            "nctaid.y" => SpecialReg::NCtaIdY,
+            "nctaid.z" => SpecialReg::NCtaIdZ,
+            _ => return Err(err(line, &format!("unknown special {s}"))),
+        };
+        return Ok(Operand::Special(sr));
+    }
+    if s.starts_with('r') && s[1..].chars().all(|c| c.is_ascii_digit()) && s.len() > 1 {
+        return Ok(Operand::Reg(parse_reg_name(s, line)?));
+    }
+    if let Some(hex) = s.strip_prefix("0x") {
+        return i64::from_str_radix(hex, 16)
+            .map(Operand::Imm)
+            .map_err(|_| err(line, &format!("bad immediate {s}")));
+    }
+    if let Ok(f) = s.parse::<i64>() {
+        return Ok(Operand::Imm(f));
+    }
+    if let Some(fl) = s.strip_suffix('f') {
+        if let Ok(v) = fl.parse::<f32>() {
+            return Ok(Operand::Imm(v.to_bits() as i64));
+        }
+    }
+    Err(err(line, &format!("cannot parse operand {s}")))
+}
+
+fn parse_addr(s: &str, line: usize) -> Result<AddrMode, ParseAsmError> {
+    if s == "deq.data" || s == "[deq.data]" {
+        return Ok(AddrMode::DeqData);
+    }
+    if s == "deq.addr" || s == "[deq.addr]" {
+        return Ok(AddrMode::DeqAddr);
+    }
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| err(line, &format!("expected [addr], got {s}")))?;
+    let (reg_s, disp) = if let Some(i) = inner.find('+') {
+        (&inner[..i], inner[i + 1..].trim().parse::<i64>().map_err(|_| err(line, "bad displacement"))?)
+    } else if let Some(i) = inner.rfind('-') {
+        if i == 0 {
+            return Err(err(line, "bad address"));
+        }
+        (&inner[..i], -inner[i + 1..].trim().parse::<i64>().map_err(|_| err(line, "bad displacement"))?)
+    } else {
+        (inner, 0)
+    };
+    Ok(AddrMode::Reg(parse_reg_name(reg_s.trim(), line)?, disp))
+}
+
+fn parse_cmp(s: &str, line: usize) -> Result<CmpOp, ParseAsmError> {
+    match s {
+        "eq" => Ok(CmpOp::Eq),
+        "ne" => Ok(CmpOp::Ne),
+        "lt" => Ok(CmpOp::Lt),
+        "le" => Ok(CmpOp::Le),
+        "gt" => Ok(CmpOp::Gt),
+        "ge" => Ok(CmpOp::Ge),
+        _ => Err(err(line, &format!("unknown comparison {s}"))),
+    }
+}
+
+fn parse_space(s: &str, line: usize) -> Result<Space, ParseAsmError> {
+    match s {
+        "global" => Ok(Space::Global),
+        "shared" => Ok(Space::Shared),
+        "local" => Ok(Space::Local),
+        _ => Err(err(line, &format!("unknown space {s}"))),
+    }
+}
+
+fn parse_width(s: Option<&str>, line: usize) -> Result<Width, ParseAsmError> {
+    match s {
+        None => Ok(Width::W32),
+        Some("b8") => Ok(Width::W8),
+        Some("b16") => Ok(Width::W16),
+        Some("b32") => Ok(Width::W32),
+        Some("b64") => Ok(Width::W64),
+        Some(w) => Err(err(line, &format!("unknown width {w}"))),
+    }
+}
+
+fn parse_alu_op(m: &str) -> Option<Op> {
+    Some(match m {
+        "add" => Op::Add,
+        "sub" => Op::Sub,
+        "mul" => Op::Mul,
+        "mad" => Op::Mad,
+        "div" => Op::Div,
+        "rem" | "mod" => Op::Rem,
+        "min" => Op::Min,
+        "max" => Op::Max,
+        "abs" => Op::Abs,
+        "neg" => Op::Neg,
+        "and" => Op::And,
+        "or" => Op::Or,
+        "xor" => Op::Xor,
+        "not" => Op::Not,
+        "shl" => Op::Shl,
+        "shr" => Op::Shr,
+        "sar" => Op::Sar,
+        "mov" => Op::Mov,
+        "add.f32" => Op::FAdd,
+        "sub.f32" => Op::FSub,
+        "mul.f32" => Op::FMul,
+        "mad.f32" => Op::FMad,
+        "div.f32" => Op::FDiv,
+        "min.f32" => Op::FMin,
+        "max.f32" => Op::FMax,
+        "abs.f32" => Op::FAbs,
+        "neg.f32" => Op::FNeg,
+        "sqrt.f32" => Op::FSqrt,
+        "rcp.f32" => Op::FRcp,
+        "ex2.f32" => Op::FExp2,
+        "lg2.f32" => Op::FLog2,
+        "sin.f32" => Op::FSin,
+        "cos.f32" => Op::FCos,
+        "cvt.f32.s64" => Op::I2F,
+        "cvt.s64.f32" => Op::F2I,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+.kernel example
+.params 4
+    mul r0, %ctaid.x, %ntid.x;
+    add r1, r0, %tid.x;       // tid
+    shl r2, r1, 2;
+    add r3, %p0, r2;          // addrA
+    add r4, %p1, r2;          // addrB
+    mov r5, 0;                // i
+LOOP:
+    ld.global r6, [r3];
+    add r7, r6, 1;
+    st.global [r4], r7;
+    add r5, r5, 1;
+    mul r8, %p3, 4;
+    add r3, r8, r3;
+    add r4, r8, r4;
+    setp.ne p0, %p2, r5;
+    @p0 bra LOOP;
+    exit;
+"#;
+
+    #[test]
+    fn parses_paper_example() {
+        let k = parse_kernel(EXAMPLE).unwrap();
+        assert_eq!(k.name, "example");
+        assert_eq!(k.num_params, 4);
+        assert_eq!(k.instrs.len(), 16);
+        k.validate().unwrap();
+        // The loop branch targets the ld at pc 6.
+        match k.instrs[14] {
+            Instr::Bra { target, pred: Some(PredSrc::Reg(g)) } => {
+                assert_eq!(target, 6);
+                assert!(!g.negate);
+            }
+            ref i => panic!("unexpected {i:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_widths_and_spaces() {
+        let k = parse_kernel(
+            ".kernel w\n ld.shared.b8 r0, [r1+4];\n st.local.b16 [r2-2], r0;\n exit;",
+        )
+        .unwrap();
+        match &k.instrs[0] {
+            Instr::Ld { space, addr, width, .. } => {
+                assert_eq!(*space, Space::Shared);
+                assert_eq!(*addr, AddrMode::Reg(1, 4));
+                assert_eq!(*width, Width::W8);
+            }
+            i => panic!("unexpected {i}"),
+        }
+        match &k.instrs[1] {
+            Instr::St { space, addr, width, .. } => {
+                assert_eq!(*space, Space::Local);
+                assert_eq!(*addr, AddrMode::Reg(2, -2));
+                assert_eq!(*width, Width::W16);
+            }
+            i => panic!("unexpected {i}"),
+        }
+    }
+
+    #[test]
+    fn parses_decoupled_forms() {
+        let k = parse_kernel(
+            ".kernel d\nL:\n ld.global r0, deq.data;\n add r1, r0, 1;\n st.global [deq.addr], r1;\n @deq.pred bra L;\n exit;",
+        )
+        .unwrap();
+        assert!(matches!(
+            k.instrs[0],
+            Instr::Ld { addr: AddrMode::DeqData, .. }
+        ));
+        assert!(matches!(
+            k.instrs[2],
+            Instr::St { addr: AddrMode::DeqAddr, .. }
+        ));
+        assert!(matches!(
+            k.instrs[3],
+            Instr::Bra { pred: Some(PredSrc::Deq { negate: false }), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_enq_forms() {
+        let k = parse_kernel(".kernel a\n enq.data r3;\n enq.addr r4;\n enq.pred p0;\n exit;")
+            .unwrap();
+        assert!(matches!(
+            k.instrs[0],
+            Instr::Enq { kind: QueueKind::Data, src: Some(3), .. }
+        ));
+        assert!(matches!(
+            k.instrs[2],
+            Instr::Enq { kind: QueueKind::Pred, pred: Some(0), .. }
+        ));
+    }
+
+    #[test]
+    fn undefined_label_reports_line() {
+        let e = parse_kernel(".kernel x\n bra NOWHERE;\n exit;").unwrap_err();
+        assert!(e.msg.contains("NOWHERE"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn float_immediates() {
+        let k = parse_kernel(".kernel f\n mov r0, 1.5f;\n exit;").unwrap();
+        match k.instrs[0] {
+            Instr::Alu { srcs, .. } => {
+                assert_eq!(srcs[0], Operand::Imm(1.5f32.to_bits() as i64));
+            }
+            ref i => panic!("unexpected {i:?}"),
+        }
+    }
+
+    #[test]
+    fn guards_parse() {
+        let k = parse_kernel(".kernel g\n @!p1 add r0, r0, 1;\n exit;").unwrap();
+        match k.instrs[0] {
+            Instr::Alu { guard: Some(g), .. } => {
+                assert_eq!(g.pred, 1);
+                assert!(g.negate);
+            }
+            ref i => panic!("unexpected {i:?}"),
+        }
+    }
+}

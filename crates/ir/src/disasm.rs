@@ -1,0 +1,133 @@
+//! A re-parseable disassembler: emits the assembler's own syntax, with
+//! labels generated for branch targets, so that
+//! `parse_kernel(to_asm(k))` reproduces `k` exactly (round-trip property
+//! tested in `tests/roundtrip.rs`).
+
+use crate::instr::{AddrMode, Instr, PredSrc};
+use crate::kernel::Kernel;
+use std::collections::BTreeMap;
+
+/// Render `kernel` in assembler syntax.
+pub fn to_asm(kernel: &Kernel) -> String {
+    // Collect branch targets → label names.
+    let mut labels: BTreeMap<usize, String> = BTreeMap::new();
+    for i in &kernel.instrs {
+        if let Instr::Bra { target, .. } = i {
+            let n = labels.len();
+            labels.entry(*target).or_insert_with(|| format!("L{n}"));
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(".kernel {}\n", kernel.name));
+    out.push_str(&format!(".params {}\n", kernel.num_params));
+    if kernel.shared_bytes > 0 {
+        out.push_str(&format!(".shared {}\n", kernel.shared_bytes));
+    }
+    for (pc, i) in kernel.instrs.iter().enumerate() {
+        if let Some(l) = labels.get(&pc) {
+            out.push_str(&format!("{l}:\n"));
+        }
+        out.push_str("    ");
+        out.push_str(&render(i, &labels));
+        out.push('\n');
+    }
+    // Labels at the end-of-program PC.
+    if let Some(l) = labels.get(&kernel.instrs.len()) {
+        out.push_str(&format!("{l}:\n    exit;\n"));
+    }
+    out
+}
+
+fn render(i: &Instr, labels: &BTreeMap<usize, String>) -> String {
+    match i {
+        Instr::Bra { target, pred } => {
+            let label = labels.get(target).cloned().unwrap_or_else(|| target.to_string());
+            match pred {
+                None => format!("bra {label};"),
+                Some(PredSrc::Reg(g)) => {
+                    format!("@{}p{} bra {label};", if g.negate { "!" } else { "" }, g.pred)
+                }
+                Some(PredSrc::Deq { negate }) => {
+                    format!("@{}deq.pred bra {label};", if *negate { "!" } else { "" })
+                }
+            }
+        }
+        Instr::Ld { dst, space, addr, width, guard } => {
+            let g = guard.map(|g| format!("{g} ")).unwrap_or_default();
+            match addr {
+                AddrMode::Reg(r, 0) => format!("{g}ld.{space}.{width} r{dst}, [r{r}];"),
+                AddrMode::Reg(r, d) if *d >= 0 => {
+                    format!("{g}ld.{space}.{width} r{dst}, [r{r}+{d}];")
+                }
+                AddrMode::Reg(r, d) => format!("{g}ld.{space}.{width} r{dst}, [r{r}{d}];"),
+                AddrMode::DeqData => format!("{g}ld.{space}.{width} r{dst}, deq.data;"),
+                AddrMode::DeqAddr => format!("{g}ld.{space}.{width} r{dst}, deq.addr;"),
+            }
+        }
+        Instr::St { space, addr, src, width, guard } => {
+            let g = guard.map(|g| format!("{g} ")).unwrap_or_default();
+            match addr {
+                AddrMode::Reg(r, 0) => format!("{g}st.{space}.{width} [r{r}], {src};"),
+                AddrMode::Reg(r, d) if *d >= 0 => {
+                    format!("{g}st.{space}.{width} [r{r}+{d}], {src};")
+                }
+                AddrMode::Reg(r, d) => format!("{g}st.{space}.{width} [r{r}{d}], {src};"),
+                _ => format!("{g}st.{space}.{width} [deq.addr], {src};"),
+            }
+        }
+        // The Display impl already emits assembler syntax for the rest.
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::parse_kernel;
+
+    #[test]
+    fn roundtrips_the_paper_kernel() {
+        let text = r#"
+.kernel example
+.params 4
+    mul r0, %ctaid.x, %ntid.x;
+    add r1, r0, %tid.x;
+    shl r2, r1, 2;
+    add r3, %p0, r2;
+    add r4, %p1, r2;
+    mov r5, 0;
+LOOP:
+    ld.global r6, [r3];
+    add r7, r6, 1;
+    st.global [r4], r7;
+    add r5, r5, 1;
+    mul r8, %p3, 4;
+    add r3, r8, r3;
+    add r4, r8, r4;
+    setp.ne p0, %p2, r5;
+    @p0 bra LOOP;
+    exit;
+"#;
+        let k = parse_kernel(text).unwrap();
+        let k2 = parse_kernel(&to_asm(&k)).unwrap();
+        assert_eq!(k.instrs, k2.instrs);
+        assert_eq!(k.num_params, k2.num_params);
+    }
+
+    #[test]
+    fn roundtrips_decoupled_streams() {
+        let text = ".kernel d\nL:\n ld.global r0, deq.data;\n add r1, r0, 1;\n st.global [deq.addr], r1;\n @deq.pred bra L;\n exit;";
+        let k = parse_kernel(text).unwrap();
+        let k2 = parse_kernel(&to_asm(&k)).unwrap();
+        assert_eq!(k.instrs, k2.instrs);
+    }
+
+    #[test]
+    fn negative_displacements_roundtrip() {
+        let text = ".kernel n\n ld.global r0, [r1-8];\n st.shared.b16 [r2+6], r0;\n exit;";
+        let k = parse_kernel(text).unwrap();
+        let k2 = parse_kernel(&to_asm(&k)).unwrap();
+        assert_eq!(k.instrs, k2.instrs);
+    }
+}

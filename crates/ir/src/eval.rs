@@ -1,0 +1,121 @@
+//! Functional semantics of ALU operations.
+//!
+//! These are shared by the simulator's per-thread execution engine, the CAE
+//! baseline's affine units, and DAC's affine-tuple computation (which must
+//! produce values bit-identical to the vector path — the decoupling is an
+//! optimization, not an approximation).
+
+use crate::instr::Op;
+use crate::types::{f32_as_value, value_as_f32, Value};
+
+/// Evaluate an ALU op on up to three source values.
+///
+/// Integer ops act on the full 64-bit register with wrapping semantics;
+/// division/remainder by zero produce 0 (GPU-style, no traps). Float ops act
+/// on the low 32 bits as `f32`.
+#[inline]
+pub fn eval(op: Op, a: Value, b: Value, c: Value) -> Value {
+    let (ai, bi) = (a as i64, b as i64);
+    let (af, bf, cf) = (value_as_f32(a), value_as_f32(b), value_as_f32(c));
+    match op {
+        Op::Add => a.wrapping_add(b),
+        Op::Sub => a.wrapping_sub(b),
+        Op::Mul => a.wrapping_mul(b),
+        Op::Mad => a.wrapping_mul(b).wrapping_add(c),
+        Op::Div => {
+            if bi == 0 {
+                0
+            } else {
+                ai.wrapping_div(bi) as Value
+            }
+        }
+        // Euclidean remainder (result in [0, |b|)): keeps `rem` consistent
+        // with the affine mod-tuple algebra for negative operands. GPU
+        // kernels use `rem` for address wrapping, where operands are
+        // non-negative and Euclidean == truncated anyway.
+        Op::Rem => {
+            if bi == 0 {
+                0
+            } else if ai == i64::MIN && bi == -1 {
+                0
+            } else {
+                ai.rem_euclid(bi) as Value
+            }
+        }
+        Op::Min => ai.min(bi) as Value,
+        Op::Max => ai.max(bi) as Value,
+        Op::Abs => ai.wrapping_abs() as Value,
+        Op::Neg => (ai.wrapping_neg()) as Value,
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Not => !a,
+        Op::Shl => a.wrapping_shl((b & 63) as u32),
+        Op::Shr => a.wrapping_shr((b & 63) as u32),
+        Op::Sar => (ai.wrapping_shr((b & 63) as u32)) as Value,
+        Op::Mov => a,
+        Op::FAdd => f32_as_value(af + bf),
+        Op::FSub => f32_as_value(af - bf),
+        Op::FMul => f32_as_value(af * bf),
+        Op::FMad => f32_as_value(af * bf + cf),
+        Op::FDiv => f32_as_value(af / bf),
+        Op::FMin => f32_as_value(af.min(bf)),
+        Op::FMax => f32_as_value(af.max(bf)),
+        Op::FAbs => f32_as_value(af.abs()),
+        Op::FNeg => f32_as_value(-af),
+        Op::FSqrt => f32_as_value(af.sqrt()),
+        Op::FRcp => f32_as_value(1.0 / af),
+        Op::FExp2 => f32_as_value(af.exp2()),
+        Op::FLog2 => f32_as_value(af.log2()),
+        Op::FSin => f32_as_value(af.sin()),
+        Op::FCos => f32_as_value(af.cos()),
+        Op::I2F => f32_as_value(ai as f32),
+        Op::F2I => (af as i64) as Value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_basics() {
+        assert_eq!(eval(Op::Add, 3, 4, 0), 7);
+        assert_eq!(eval(Op::Sub, 3, 4, 0), (-1i64) as u64);
+        assert_eq!(eval(Op::Mad, 2, 3, 4, ), 10);
+        assert_eq!(eval(Op::Min, (-5i64) as u64, 2, 0), (-5i64) as u64);
+        assert_eq!(eval(Op::Max, (-5i64) as u64, 2, 0), 2);
+        assert_eq!(eval(Op::Abs, (-5i64) as u64, 0, 0), 5);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(eval(Op::Div, 10, 0, 0), 0);
+        assert_eq!(eval(Op::Rem, 10, 0, 0), 0);
+    }
+
+    #[test]
+    fn rem_is_euclidean() {
+        assert_eq!(eval(Op::Rem, 7, 3, 0), 1);
+        // Euclidean: result stays in [0, b).
+        assert_eq!(eval(Op::Rem, (-7i64) as u64, 3, 0), 2);
+        assert_eq!(eval(Op::Rem, (i64::MIN) as u64, (-1i64) as u64, 0), 0);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(eval(Op::Shl, 1, 4, 0), 16);
+        assert_eq!(eval(Op::Shr, 0x8000_0000_0000_0000, 63, 0), 1);
+        assert_eq!(eval(Op::Sar, (-8i64) as u64, 1, 0) as i64, -4);
+    }
+
+    #[test]
+    fn float_ops_low32() {
+        let a = f32_as_value(1.5);
+        let b = f32_as_value(2.0);
+        assert_eq!(value_as_f32(eval(Op::FMul, a, b, 0)), 3.0);
+        assert_eq!(value_as_f32(eval(Op::FMad, a, b, f32_as_value(0.5))), 3.5);
+        assert_eq!(eval(Op::F2I, f32_as_value(-2.7), 0, 0) as i64, -2);
+        assert_eq!(value_as_f32(eval(Op::I2F, 5, 0, 0)), 5.0);
+    }
+}

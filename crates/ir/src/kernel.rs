@@ -1,0 +1,249 @@
+//! Kernel and launch containers.
+
+use crate::instr::Instr;
+use crate::types::Value;
+use std::fmt;
+
+/// A three-component dimension (grid or block shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A 1-D dimension `(x, 1, 1)`.
+    pub fn x(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A 2-D dimension `(x, y, 1)`.
+    pub fn xy(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// Total element count `x * y * z`.
+    pub fn count(self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Convert a linear index into `(x, y, z)` coordinates (x fastest).
+    pub fn unflatten(self, linear: u64) -> (u32, u32, u32) {
+        let x = (linear % self.x as u64) as u32;
+        let y = ((linear / self.x as u64) % self.y as u64) as u32;
+        let z = (linear / (self.x as u64 * self.y as u64)) as u32;
+        (x, y, z)
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Dim3::x(1)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+/// A compiled kernel: a flat instruction vector plus resource requirements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// The instruction stream; branch targets index into this vector.
+    pub instrs: Vec<Instr>,
+    /// Number of general-purpose virtual registers used.
+    pub num_regs: u16,
+    /// Number of predicate registers used.
+    pub num_preds: u16,
+    /// Number of kernel parameter slots.
+    pub num_params: u16,
+    /// Bytes of shared memory required per CTA.
+    pub shared_bytes: u32,
+}
+
+impl Kernel {
+    /// Validate internal consistency: branch targets in range, register
+    /// indices within declared counts, and a terminating `exit` reachable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed instruction found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.instrs.is_empty() {
+            return Err("kernel has no instructions".to_string());
+        }
+        for (pc, i) in self.instrs.iter().enumerate() {
+            if let Instr::Bra { target, .. } = i {
+                if *target >= self.instrs.len() {
+                    return Err(format!("pc {pc}: branch target {target} out of range"));
+                }
+            }
+            if let Some(d) = i.def_reg() {
+                if d >= self.num_regs {
+                    return Err(format!("pc {pc}: register r{d} >= num_regs {}", self.num_regs));
+                }
+            }
+            for r in i.src_regs() {
+                if r >= self.num_regs {
+                    return Err(format!("pc {pc}: source r{r} >= num_regs {}", self.num_regs));
+                }
+            }
+            if let Some(p) = i.def_pred() {
+                if p >= self.num_preds {
+                    return Err(format!("pc {pc}: predicate p{p} >= num_preds {}", self.num_preds));
+                }
+            }
+            for o in i.src_operands() {
+                if let crate::types::Operand::Param(p) = o {
+                    if p >= self.num_params {
+                        return Err(format!(
+                            "pc {pc}: param %p{p} >= num_params {}",
+                            self.num_params
+                        ));
+                    }
+                }
+            }
+        }
+        if !self.instrs.iter().any(|i| matches!(i, Instr::Exit)) {
+            return Err("kernel has no exit instruction".to_string());
+        }
+        Ok(())
+    }
+
+    /// Pretty-print the instruction stream with PCs (debugging aid).
+    pub fn disassemble(&self) -> String {
+        let mut s = format!(
+            ".kernel {} // regs={} preds={} params={} shared={}B\n",
+            self.name, self.num_regs, self.num_preds, self.num_params, self.shared_bytes
+        );
+        for (pc, i) in self.instrs.iter().enumerate() {
+            s.push_str(&format!("{pc:4}:  {i}\n"));
+        }
+        s
+    }
+}
+
+/// A kernel launch: grid/block shape and parameter values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchConfig {
+    pub grid: Dim3,
+    pub block: Dim3,
+    /// Parameter slot values (pointers and scalars), indexed by `Param(i)`.
+    pub params: Vec<Value>,
+}
+
+impl LaunchConfig {
+    /// A 1-D launch.
+    pub fn linear(grid_x: u32, block_x: u32, params: Vec<Value>) -> Self {
+        LaunchConfig {
+            grid: Dim3::x(grid_x),
+            block: Dim3::x(block_x),
+            params,
+        }
+    }
+
+    /// Threads per CTA.
+    pub fn threads_per_cta(&self) -> u32 {
+        self.block.count() as u32
+    }
+
+    /// Warps per CTA (32 threads per warp, rounded up).
+    pub fn warps_per_cta(&self) -> u32 {
+        self.threads_per_cta().div_ceil(32)
+    }
+
+    /// Total CTAs in the grid.
+    pub fn num_ctas(&self) -> u64 {
+        self.grid.count()
+    }
+}
+
+/// A kernel together with its launch configuration — the unit the simulator
+/// executes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub kernel: Kernel,
+    pub launch: LaunchConfig,
+}
+
+impl Program {
+    /// Bundle a kernel and launch, validating the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the kernel validation error, or a mismatch between the
+    /// launch's parameter count and the kernel's declared parameter slots.
+    pub fn new(kernel: Kernel, launch: LaunchConfig) -> Result<Self, String> {
+        kernel.validate()?;
+        if launch.params.len() != kernel.num_params as usize {
+            return Err(format!(
+                "kernel {} expects {} params, launch provides {}",
+                kernel.name,
+                kernel.num_params,
+                launch.params.len()
+            ));
+        }
+        if launch.threads_per_cta() == 0 || launch.threads_per_cta() > 1024 {
+            return Err(format!("threads per CTA {} out of range", launch.threads_per_cta()));
+        }
+        Ok(Program { kernel, launch })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+
+    fn trivial_kernel() -> Kernel {
+        Kernel {
+            name: "t".into(),
+            instrs: vec![Instr::Exit],
+            num_regs: 0,
+            num_preds: 0,
+            num_params: 0,
+            shared_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn dim3_unflatten() {
+        let d = Dim3 { x: 4, y: 3, z: 2 };
+        assert_eq!(d.count(), 24);
+        assert_eq!(d.unflatten(0), (0, 0, 0));
+        assert_eq!(d.unflatten(5), (1, 1, 0));
+        assert_eq!(d.unflatten(23), (3, 2, 1));
+    }
+
+    #[test]
+    fn validate_catches_bad_target() {
+        let mut k = trivial_kernel();
+        k.instrs.insert(0, Instr::Bra { target: 99, pred: None });
+        assert!(k.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn validate_requires_exit() {
+        let mut k = trivial_kernel();
+        k.instrs = vec![Instr::Bar];
+        assert!(k.validate().unwrap_err().contains("no exit"));
+    }
+
+    #[test]
+    fn program_param_check() {
+        let k = trivial_kernel();
+        let err = Program::new(k, LaunchConfig::linear(1, 32, vec![1])).unwrap_err();
+        assert!(err.contains("params"));
+    }
+
+    #[test]
+    fn warps_per_cta_rounds_up() {
+        let l = LaunchConfig::linear(1, 33, vec![]);
+        assert_eq!(l.warps_per_cta(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Functional (value-carrying) memory, sparsely allocated in 4 KiB pages.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Byte-addressable sparse memory. Unwritten bytes read as zero.
+///
+/// This carries the *values* of global/local memory; the timing model in
+/// [`crate::fabric`] is separate (tag-only caches), so functional execution
+/// can run at instruction-issue time while timing unfolds over many cycles.
+#[derive(Debug, Default, Clone)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// New empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr & (PAGE_SIZE as u64 - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        self.page_mut(addr)[off] = v;
+    }
+
+    /// Read `n ≤ 8` bytes little-endian.
+    pub fn read_bytes(&self, addr: u64, n: usize) -> u64 {
+        debug_assert!(n <= 8);
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Write `n ≤ 8` bytes little-endian.
+    pub fn write_bytes(&mut self, addr: u64, v: u64, n: usize) {
+        debug_assert!(n <= 8);
+        for i in 0..n {
+            self.write_u8(addr + i as u64, (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Read a 32-bit word.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_bytes(addr, 4) as u32
+    }
+
+    /// Write a 32-bit word.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        self.write_bytes(addr, v as u64, 4);
+    }
+
+    /// Read an `f32` stored at `addr`.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Write an `f32` at `addr`.
+    pub fn write_f32(&mut self, addr: u64, v: f32) {
+        self.write_u32(addr, v.to_bits());
+    }
+
+    /// Bulk-initialize a region with 32-bit words.
+    pub fn write_u32_slice(&mut self, base: u64, data: &[u32]) {
+        for (i, &w) in data.iter().enumerate() {
+            self.write_u32(base + 4 * i as u64, w);
+        }
+    }
+
+    /// Bulk-initialize a region with `f32` values.
+    pub fn write_f32_slice(&mut self, base: u64, data: &[f32]) {
+        for (i, &f) in data.iter().enumerate() {
+            self.write_f32(base + 4 * i as u64, f);
+        }
+    }
+
+    /// Read `len` 32-bit words starting at `base`.
+    pub fn read_u32_vec(&self, base: u64, len: usize) -> Vec<u32> {
+        (0..len).map(|i| self.read_u32(base + 4 * i as u64)).collect()
+    }
+
+    /// Read `len` `f32` values starting at `base`.
+    pub fn read_f32_vec(&self, base: u64, len: usize) -> Vec<f32> {
+        (0..len).map(|i| self.read_f32(base + 4 * i as u64)).collect()
+    }
+
+    /// Number of resident 4 KiB pages (observability for tests).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u32(0xdead_beef), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_across_page_boundary() {
+        let mut m = SparseMemory::new();
+        let addr = (1 << PAGE_BITS) - 2; // straddles pages
+        m.write_bytes(addr, 0xAABB_CCDD, 4);
+        assert_eq!(m.read_bytes(addr, 4), 0xAABB_CCDD);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn f32_slices() {
+        let mut m = SparseMemory::new();
+        let data = [1.0f32, -2.5, 3.75];
+        m.write_f32_slice(0x1000, &data);
+        assert_eq!(m.read_f32_vec(0x1000, 3), data.to_vec());
+    }
+
+    #[test]
+    fn partial_widths() {
+        let mut m = SparseMemory::new();
+        m.write_u32(0x100, 0x1122_3344);
+        assert_eq!(m.read_u8(0x100), 0x44);
+        assert_eq!(m.read_bytes(0x101, 2), 0x2233);
+        m.write_u8(0x103, 0xFF);
+        assert_eq!(m.read_u32(0x100), 0xFF22_3344);
+    }
+}

@@ -1,0 +1,104 @@
+//! Aggregated memory-system statistics.
+
+/// Counters gathered from every level of the hierarchy.
+///
+/// All counts are *events*, suitable both for reports (hit rates, Figure 20
+/// prefetch coverage) and as inputs to the energy model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 demand hits (all SMs).
+    pub l1_hits: u64,
+    /// L1 demand misses.
+    pub l1_misses: u64,
+    /// Hits in the MTA prefetch buffer.
+    pub pbuf_hits: u64,
+    /// Prefetch-buffer lines evicted without ever being hit.
+    pub pbuf_unused_evictions: u64,
+    /// Prefetch-buffer fills.
+    pub pbuf_fills: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+    /// DRAM row-buffer misses.
+    pub dram_row_misses: u64,
+    /// DRAM requests serviced (reads + writes).
+    pub dram_serviced: u64,
+    /// Stall events due to a full MSHR table.
+    pub mshr_full_stalls: u64,
+    /// Stall events due to full partition/DRAM queues.
+    pub queue_full_stalls: u64,
+    /// Stall events due to the DAC lock budget (`ways - 1` per set).
+    pub lock_budget_stalls: u64,
+    /// Write-backs of dirty L2 lines.
+    pub writebacks: u64,
+    /// Atomic operations processed.
+    pub atomics: u64,
+    /// Prefetch requests dropped because the line was already resident or
+    /// in flight.
+    pub redundant_prefetches: u64,
+    /// Demand misses that merged with an in-flight prefetch (partial
+    /// latency hiding — counts toward prefetcher coverage).
+    pub prefetch_merged: u64,
+    /// Total load requests accepted.
+    pub loads: u64,
+    /// Total store requests accepted.
+    pub stores: u64,
+}
+
+impl MemStats {
+    /// L1 hit rate over demand accesses, in [0, 1].
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// L2 hit rate, in [0, 1].
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// DRAM row-buffer hit rate, in [0, 1].
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.dram_row_hits + self.dram_row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dram_row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero() {
+        let s = MemStats::default();
+        assert_eq!(s.l1_hit_rate(), 0.0);
+        assert_eq!(s.l2_hit_rate(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = MemStats {
+            l1_hits: 3,
+            l1_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

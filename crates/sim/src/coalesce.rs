@@ -1,0 +1,88 @@
+//! The memory-access coalescer: per-lane addresses → unique line
+//! transactions.
+
+/// One coalesced transaction: a cache line and the lanes it serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transaction {
+    /// Line-aligned address.
+    pub line: u64,
+    /// Lanes whose accesses fall in this line.
+    pub lanes: u32,
+}
+
+/// Coalesce per-lane byte addresses (`None` = inactive lane) into unique
+/// line transactions, in first-appearance order (deterministic).
+pub fn coalesce(addrs: &[Option<u64>], line_bytes: u64) -> Vec<Transaction> {
+    debug_assert!(line_bytes.is_power_of_two());
+    let mut out: Vec<Transaction> = Vec::new();
+    for (lane, addr) in addrs.iter().enumerate() {
+        let Some(a) = addr else { continue };
+        let line = a & !(line_bytes - 1);
+        match out.iter_mut().find(|t| t.line == line) {
+            Some(t) => t.lanes |= 1 << lane,
+            None => out.push(Transaction {
+                line,
+                lanes: 1 << lane,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_coalesces_to_one_line() {
+        let addrs: Vec<Option<u64>> = (0..32).map(|i| Some(0x1000 + 4 * i)).collect();
+        let t = coalesce(&addrs, 128);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].line, 0x1000);
+        assert_eq!(t[0].lanes, u32::MAX);
+    }
+
+    #[test]
+    fn stride_two_touches_two_lines() {
+        let addrs: Vec<Option<u64>> = (0..32).map(|i| Some(0x1000 + 8 * i)).collect();
+        let t = coalesce(&addrs, 128);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].line, 0x1000);
+        assert_eq!(t[1].line, 0x1080);
+        assert_eq!(t[0].lanes, 0x0000_FFFF);
+        assert_eq!(t[1].lanes, 0xFFFF_0000);
+    }
+
+    #[test]
+    fn scattered_accesses_one_line_each() {
+        let addrs: Vec<Option<u64>> = (0..32).map(|i| Some(0x10_0000 * i)).collect();
+        let t = coalesce(&addrs, 128);
+        assert_eq!(t.len(), 32);
+    }
+
+    #[test]
+    fn inactive_lanes_skipped() {
+        let mut addrs: Vec<Option<u64>> = vec![None; 32];
+        addrs[3] = Some(0x80);
+        addrs[9] = Some(0x84);
+        let t = coalesce(&addrs, 128);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].lanes, (1 << 3) | (1 << 9));
+    }
+
+    #[test]
+    fn empty_when_all_inactive() {
+        let addrs = vec![None; 32];
+        assert!(coalesce(&addrs, 128).is_empty());
+    }
+
+    #[test]
+    fn misaligned_same_line_merges() {
+        let addrs = vec![Some(0x100u64), Some(0x17F), Some(0x180)];
+        let t = coalesce(&addrs, 128);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].line, 0x100);
+        assert_eq!(t[0].lanes, 0b011);
+        assert_eq!(t[1].line, 0x180);
+    }
+}

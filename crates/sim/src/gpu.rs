@@ -1,0 +1,419 @@
+//! The top-level GPU: CTA dispatch, the main cycle loop, and reports.
+
+use crate::config::GpuConfig;
+use crate::coproc::{CoProcessor, NullCoProcessor};
+use crate::sm::{KernelCtx, Sm};
+use crate::stats::SimStats;
+use simt_ir::{Cfg, Program};
+use simt_mem::{MemStats, MemoryFabric, SparseMemory};
+
+/// Everything a run produced: timing, core events, memory events.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Coprocessor used ("baseline", "dac", "cae", "mta").
+    pub coproc: String,
+    /// Total cycles to completion.
+    pub cycles: u64,
+    /// Core-side statistics.
+    pub stats: SimStats,
+    /// Memory-side statistics.
+    pub mem: MemStats,
+}
+
+impl SimReport {
+    /// Speedup of this run relative to `baseline` (cycles ratio).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+}
+
+/// The whole GPU.
+#[derive(Debug, Clone)]
+pub struct GpuSim {
+    cfg: GpuConfig,
+}
+
+impl GpuSim {
+    /// A GPU with the given configuration.
+    pub fn new(cfg: GpuConfig) -> Self {
+        GpuSim { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Run `program` on the baseline GPU (no coprocessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is malformed or the run exceeds
+    /// `cfg.max_cycles` (deadlock guard).
+    pub fn run(&self, program: &Program, mem: &mut SparseMemory) -> SimReport {
+        let mut null = NullCoProcessor;
+        self.run_with(program, mem, &mut null)
+    }
+
+    /// Run `program` with a coprocessor attached (DAC / CAE / MTA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is malformed or the run exceeds
+    /// `cfg.max_cycles` (deadlock guard).
+    pub fn run_with(
+        &self,
+        program: &Program,
+        mem: &mut SparseMemory,
+        coproc: &mut dyn CoProcessor,
+    ) -> SimReport {
+        program.kernel.validate().expect("invalid kernel");
+        let cfg = &self.cfg;
+        let cfgraph = Cfg::build(&program.kernel);
+        let kctx = KernelCtx {
+            program,
+            reconvergence: &cfgraph.reconvergence,
+        };
+        let mut fabric = MemoryFabric::new(cfg.mem.clone(), cfg.num_sms);
+        let mut sms: Vec<Sm> = (0..cfg.num_sms).map(|i| Sm::new(i, cfg)).collect();
+        let mut stats = SimStats::default();
+        coproc.on_kernel_launch(program, cfg.num_sms);
+
+        let total_ctas = program.launch.num_ctas();
+        let mut next_cta = 0u64;
+        let mut now = 0u64;
+
+        loop {
+            // Dispatch pending CTAs breadth-first: one CTA per SM per pass,
+            // so work spreads across SMs before SMs fill up (as the
+            // hardware scheduler does).
+            loop {
+                let mut progressed = false;
+                for sm in &mut sms {
+                    if next_cta < total_ctas && sm.can_accept_cta(cfg, &kctx) {
+                        sm.launch_cta(&kctx, next_cta, coproc, &mut stats);
+                        next_cta += 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed || next_cta == total_ctas {
+                    break;
+                }
+            }
+
+            fabric.cycle(now);
+            for sm in &mut sms {
+                sm.cycle(now, cfg, &kctx, mem, &mut fabric, coproc, &mut stats);
+            }
+            for sm in &mut sms {
+                sm.retire_ctas(coproc);
+            }
+
+            let done = next_cta == total_ctas
+                && sms.iter().all(|s| s.idle())
+                && fabric.quiescent()
+                && coproc.quiescent();
+            if done {
+                break;
+            }
+            now += 1;
+            assert!(
+                now < cfg.max_cycles,
+                "simulation exceeded {} cycles — deadlock? kernel={} coproc={}",
+                cfg.max_cycles,
+                program.kernel.name,
+                coproc.name()
+            );
+        }
+
+        stats.cycles = now;
+        SimReport {
+            kernel: program.kernel.name.clone(),
+            coproc: coproc.name().to_string(),
+            cycles: now,
+            stats,
+            mem: fabric.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_ir::{AtomOp, CmpOp, KernelBuilder, LaunchConfig, Op, Operand, Space, Width};
+
+    fn small_gpu() -> GpuSim {
+        GpuSim::new(GpuConfig::test_small())
+    }
+
+    /// B[i] = A[i] + 1 over n elements.
+    fn add_one_program(n: u32, a: u64, b: u64) -> Program {
+        let mut k = KernelBuilder::new("add_one", 3);
+        let tid = k.tid_linear_x();
+        let p = k.setp(CmpOp::Ge, Operand::Reg(tid), Operand::Param(2));
+        k.bra_if(p, "done");
+        let off = k.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+        let pa = k.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
+        let pb = k.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+        let v = k.ld(Space::Global, pa, 0, Width::W32);
+        let v1 = k.alu2(Op::Add, Operand::Reg(v), Operand::Imm(1));
+        k.st(Space::Global, pb, 0, Operand::Reg(v1), Width::W32);
+        k.label("done");
+        k.exit();
+        let kernel = k.build();
+        let blocks = n.div_ceil(128);
+        Program::new(
+            kernel,
+            LaunchConfig::linear(blocks, 128, vec![a, b, n as u64]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn add_one_end_to_end() {
+        let n = 1000u32;
+        let a = 0x10_000u64;
+        let b = 0x80_000u64;
+        let mut mem = SparseMemory::new();
+        let input: Vec<u32> = (0..n).collect();
+        mem.write_u32_slice(a, &input);
+        let prog = add_one_program(n, a, b);
+        let report = small_gpu().run(&prog, &mut mem);
+        assert!(report.cycles > 100);
+        let out = mem.read_u32_vec(b, n as usize);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u32 + 1, "element {i}");
+        }
+        assert_eq!(report.stats.ctas_launched, 8);
+        assert!(report.stats.global_loads > 0);
+        assert!(report.stats.warp_instructions > 0);
+    }
+
+    #[test]
+    fn partial_warp_masks_out_of_range_threads() {
+        // n = 40 with 128-thread blocks: only 40 threads do work.
+        let n = 40u32;
+        let a = 0x1000u64;
+        let b = 0x9000u64;
+        let mut mem = SparseMemory::new();
+        mem.write_u32_slice(a, &vec![7u32; 64]);
+        let prog = add_one_program(n, a, b);
+        small_gpu().run(&prog, &mut mem);
+        let out = mem.read_u32_vec(b, 64);
+        for (i, &v) in out.iter().enumerate() {
+            if i < 40 {
+                assert_eq!(v, 8, "element {i}");
+            } else {
+                assert_eq!(v, 0, "element {i} must be untouched");
+            }
+        }
+    }
+
+    /// Divergent kernel: odd threads write 1, even threads write 2.
+    #[test]
+    fn divergent_branches_reconverge() {
+        let mut k = KernelBuilder::new("diverge", 1);
+        let tid = k.tid_linear_x();
+        let bit = k.alu2(Op::And, Operand::Reg(tid), Operand::Imm(1));
+        let p = k.setp(CmpOp::Ne, Operand::Reg(bit), Operand::Imm(0));
+        let off = k.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+        let pa = k.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
+        let val = k.reg();
+        k.bra_if(p, "odd");
+        k.alu_into(val, Op::Mov, &[Operand::Imm(2)]);
+        k.bra("store");
+        k.label("odd");
+        k.alu_into(val, Op::Mov, &[Operand::Imm(1)]);
+        k.label("store");
+        k.st(Space::Global, pa, 0, Operand::Reg(val), Width::W32);
+        k.exit();
+        let prog = Program::new(
+            k.build(),
+            LaunchConfig::linear(1, 64, vec![0x4000]),
+        )
+        .unwrap();
+        let mut mem = SparseMemory::new();
+        small_gpu().run(&prog, &mut mem);
+        let out = mem.read_u32_vec(0x4000, 64);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, if i % 2 == 1 { 1 } else { 2 }, "thread {i}");
+        }
+    }
+
+    /// Loop kernel: each thread sums i for i in 0..reps.
+    #[test]
+    fn loop_executes_correct_trip_count() {
+        let reps = 10u64;
+        let mut k = KernelBuilder::new("loop", 2);
+        let tid = k.tid_linear_x();
+        let acc = k.mov(Operand::Imm(0));
+        let i = k.mov(Operand::Imm(0));
+        k.label("top");
+        k.alu_into(acc, Op::Add, &[Operand::Reg(acc), Operand::Reg(i)]);
+        k.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+        let p = k.setp(CmpOp::Lt, Operand::Reg(i), Operand::Param(1));
+        k.bra_if(p, "top");
+        let off = k.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+        let pa = k.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
+        k.st(Space::Global, pa, 0, Operand::Reg(acc), Width::W32);
+        k.exit();
+        let prog = Program::new(
+            k.build(),
+            LaunchConfig::linear(1, 32, vec![0x4000, reps]),
+        )
+        .unwrap();
+        let mut mem = SparseMemory::new();
+        small_gpu().run(&prog, &mut mem);
+        let expect: u32 = (0..reps as u32).sum();
+        for (i, v) in mem.read_u32_vec(0x4000, 32).iter().enumerate() {
+            assert_eq!(*v, expect, "thread {i}");
+        }
+    }
+
+    /// Shared-memory reversal within a block, with a barrier.
+    #[test]
+    fn shared_memory_and_barrier() {
+        let mut k = KernelBuilder::new("reverse", 2);
+        k.shared(128 * 4);
+        let tid = k.tid_linear_x();
+        let off = k.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+        let pa = k.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
+        let v = k.ld(Space::Global, pa, 0, Width::W32);
+        // shared[tid] = v
+        let soff = k.alu2(Op::Shl, Operand::Special(simt_ir::SpecialReg::TidX), Operand::Imm(2));
+        k.st(Space::Shared, soff, 0, Operand::Reg(v), Width::W32);
+        k.bar();
+        // v2 = shared[127 - tid]
+        let rev = k.alu2(Op::Sub, Operand::Imm(127), Operand::Special(simt_ir::SpecialReg::TidX));
+        let roff = k.alu2(Op::Shl, Operand::Reg(rev), Operand::Imm(2));
+        let v2 = k.ld(Space::Shared, roff, 0, Width::W32);
+        let pb = k.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+        k.st(Space::Global, pb, 0, Operand::Reg(v2), Width::W32);
+        k.exit();
+        let prog = Program::new(
+            k.build(),
+            LaunchConfig::linear(2, 128, vec![0x4000, 0x8000]),
+        )
+        .unwrap();
+        let mut mem = SparseMemory::new();
+        let input: Vec<u32> = (0..256).collect();
+        mem.write_u32_slice(0x4000, &input);
+        let report = small_gpu().run(&prog, &mut mem);
+        assert!(report.stats.barriers > 0);
+        let out = mem.read_u32_vec(0x8000, 256);
+        for blk in 0..2usize {
+            for t in 0..128usize {
+                assert_eq!(
+                    out[blk * 128 + t] as usize,
+                    blk * 128 + (127 - t),
+                    "block {blk} thread {t}"
+                );
+            }
+        }
+    }
+
+    /// Histogram with atomics: counts must be exact.
+    #[test]
+    fn atomic_histogram() {
+        let mut k = KernelBuilder::new("hist", 2);
+        let tid = k.tid_linear_x();
+        let off = k.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+        let pa = k.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
+        let v = k.ld(Space::Global, pa, 0, Width::W32);
+        let bin = k.alu2(Op::And, Operand::Reg(v), Operand::Imm(7));
+        let boff = k.alu2(Op::Shl, Operand::Reg(bin), Operand::Imm(2));
+        let pb = k.alu2(Op::Add, Operand::Param(1), Operand::Reg(boff));
+        let _old = k.atom(AtomOp::Add, pb, 0, Operand::Imm(1));
+        k.exit();
+        let prog = Program::new(
+            k.build(),
+            LaunchConfig::linear(2, 128, vec![0x4000, 0x8000]),
+        )
+        .unwrap();
+        let mut mem = SparseMemory::new();
+        let input: Vec<u32> = (0..256).map(|i| i * 37 + 11).collect();
+        mem.write_u32_slice(0x4000, &input);
+        let report = small_gpu().run(&prog, &mut mem);
+        assert!(report.stats.atomic_instructions > 0);
+        let hist = mem.read_u32_vec(0x8000, 8);
+        let mut expect = [0u32; 8];
+        for &x in &input {
+            expect[(x & 7) as usize] += 1;
+        }
+        assert_eq!(hist, expect.to_vec());
+        assert_eq!(hist.iter().sum::<u32>(), 256);
+    }
+
+    #[test]
+    fn perfect_memory_is_faster() {
+        let n = 4096u32;
+        let a = 0x10_000u64;
+        let b = 0x200_000u64;
+        let prog = add_one_program(n, a, b);
+        let mut mem1 = SparseMemory::new();
+        mem1.write_u32_slice(a, &vec![1u32; n as usize]);
+        let base = small_gpu().run(&prog, &mut mem1);
+        let mut mem2 = SparseMemory::new();
+        mem2.write_u32_slice(a, &vec![1u32; n as usize]);
+        let gpu_perfect = GpuSim::new(GpuConfig {
+            mem: simt_mem::MemConfig::perfect(),
+            ..GpuConfig::test_small()
+        });
+        let perf = gpu_perfect.run(&prog, &mut mem2);
+        assert!(
+            perf.cycles < base.cycles,
+            "perfect {} !< base {}",
+            perf.cycles,
+            base.cycles
+        );
+        // A streaming kernel should be strongly memory-bound.
+        assert!(base.cycles as f64 / perf.cycles as f64 > 1.5);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let prog = add_one_program(512, 0x1000, 0x40_000);
+        let mut m1 = SparseMemory::new();
+        let mut m2 = SparseMemory::new();
+        let r1 = small_gpu().run(&prog, &mut m1);
+        let r2 = small_gpu().run(&prog, &mut m2);
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1.stats, r2.stats);
+    }
+
+    #[test]
+    fn guarded_instructions_respect_predicates() {
+        // if tid < 16: out[tid] = 5 else out[tid] = 9, via guards not branches.
+        let mut k = KernelBuilder::new("guard", 1);
+        let tid = k.tid_linear_x();
+        let p = k.setp(CmpOp::Lt, Operand::Reg(tid), Operand::Imm(16));
+        let off = k.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+        let pa = k.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
+        k.st_guard(
+            Space::Global,
+            pa,
+            0,
+            Operand::Imm(5),
+            Width::W32,
+            simt_ir::instr::Guard::pos(p),
+        );
+        k.st_guard(
+            Space::Global,
+            pa,
+            0,
+            Operand::Imm(9),
+            Width::W32,
+            simt_ir::instr::Guard::neg(p),
+        );
+        k.exit();
+        let prog = Program::new(k.build(), LaunchConfig::linear(1, 32, vec![0x4000])).unwrap();
+        let mut mem = SparseMemory::new();
+        small_gpu().run(&prog, &mut mem);
+        let out = mem.read_u32_vec(0x4000, 32);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, if i < 16 { 5 } else { 9 }, "thread {i}");
+        }
+    }
+}

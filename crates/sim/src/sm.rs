@@ -1,0 +1,941 @@
+//! One streaming multiprocessor: schedulers, scoreboard, functional
+//! execution, LSU, barriers, and CTA residency.
+
+use crate::coalesce::coalesce;
+use crate::config::GpuConfig;
+use crate::coproc::{CoCtx, CoProcessor, IssueCost, RecordKind};
+use crate::stats::SimStats;
+use crate::warp::WarpState;
+use simt_ir::cfg::DefTarget;
+use simt_ir::{eval, AddrMode, AtomOp, Instr, Operand, PredSrc, Program, Space, Width};
+use simt_mem::{AccessOutcome, Client, MemRequest, MemoryFabric, ReqKind, SparseMemory};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Base of the per-thread local-memory window in the global address space.
+pub const LOCAL_BASE: u64 = 1 << 40;
+/// Bytes of local memory per thread.
+pub const LOCAL_STRIDE: u64 = 1 << 16;
+
+/// Immutable per-kernel context shared by all SMs during a run.
+pub struct KernelCtx<'a> {
+    /// The program being executed.
+    pub program: &'a Program,
+    /// Reconvergence PC for every branch (from CFG analysis).
+    pub reconvergence: &'a HashMap<usize, usize>,
+}
+
+impl KernelCtx<'_> {
+    fn rpc_of(&self, pc: usize) -> usize {
+        self.reconvergence.get(&pc).copied().unwrap_or(usize::MAX)
+    }
+}
+
+/// A CTA resident on an SM.
+#[derive(Debug, Clone)]
+pub struct CtaInfo {
+    /// Linear CTA index in the grid.
+    pub cta_linear: u64,
+    /// Grid coordinates.
+    pub coords: (u32, u32, u32),
+    /// Warp slots owned by this CTA.
+    pub warps: Vec<usize>,
+    /// Per-CTA shared memory contents.
+    pub shared: SparseMemory,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoadTrack {
+    warp: usize,
+    dst: Option<u16>,
+    unlock_line: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsuTxn {
+    req: MemRequest,
+}
+
+#[derive(Debug, Clone)]
+struct Scheduler {
+    busy_until: u64,
+    /// Two-level scheduling: the active pool (warp ids); only these warps
+    /// are considered first, pending warps swap in when the pool stalls.
+    active: VecDeque<usize>,
+}
+
+/// One streaming multiprocessor.
+pub struct Sm {
+    /// SM index.
+    pub id: usize,
+    /// Warp slots.
+    pub warps: Vec<Option<WarpState>>,
+    /// CTA slots.
+    pub cta_slots: Vec<Option<CtaInfo>>,
+    schedulers: Vec<Scheduler>,
+    writeback: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    writeback_what: HashMap<u64, (usize, DefTarget)>,
+    next_wb: u64,
+    lsu: VecDeque<LsuTxn>,
+    outstanding: HashMap<u64, LoadTrack>,
+    next_token: u64,
+}
+
+impl Sm {
+    /// Create an SM per `cfg`.
+    pub fn new(id: usize, cfg: &GpuConfig) -> Self {
+        Sm {
+            id,
+            warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
+            cta_slots: (0..cfg.max_ctas_per_sm).map(|_| None).collect(),
+            schedulers: (0..cfg.schedulers)
+                .map(|_| Scheduler {
+                    busy_until: 0,
+                    active: VecDeque::new(),
+                })
+                .collect(),
+            writeback: BinaryHeap::new(),
+            writeback_what: HashMap::new(),
+            next_wb: 0,
+            lsu: VecDeque::new(),
+            outstanding: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Does the SM have room for another CTA of this kernel?
+    pub fn can_accept_cta(&self, cfg: &GpuConfig, kctx: &KernelCtx<'_>) -> bool {
+        let warps_needed = kctx.program.launch.warps_per_cta() as usize;
+        let free_slot = self.cta_slots.iter().any(|s| s.is_none());
+        let free_warps = self.warps.iter().filter(|w| w.is_none()).count();
+        let resident = self.cta_slots.iter().flatten().count() as u32;
+        let shared_ok = kctx.program.kernel.shared_bytes == 0
+            || (resident + 1) * kctx.program.kernel.shared_bytes <= cfg.shared_mem_per_sm;
+        free_slot && free_warps >= warps_needed && shared_ok
+    }
+
+    /// Launch CTA `cta_linear` onto this SM. Returns the slot used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Sm::can_accept_cta`] is false.
+    pub fn launch_cta(
+        &mut self,
+        kctx: &KernelCtx<'_>,
+        cta_linear: u64,
+        coproc: &mut dyn CoProcessor,
+        stats: &mut SimStats,
+    ) -> usize {
+        let launch = &kctx.program.launch;
+        let kernel = &kctx.program.kernel;
+        let slot = self
+            .cta_slots
+            .iter()
+            .position(|s| s.is_none())
+            .expect("no free CTA slot");
+        let warps_needed = launch.warps_per_cta() as usize;
+        let threads = launch.threads_per_cta() as u64;
+        let mut warp_ids = Vec::with_capacity(warps_needed);
+        for w in 0..warps_needed {
+            let id = self
+                .warps
+                .iter()
+                .position(|x| x.is_none())
+                .expect("no free warp slot");
+            let first = w as u64 * 32;
+            let live = threads.saturating_sub(first).min(32) as u32;
+            let mask = if live == 32 { u32::MAX } else { (1u32 << live) - 1 };
+            self.warps[id] = Some(WarpState::new(
+                id,
+                slot,
+                cta_linear,
+                w,
+                kernel.num_regs,
+                kernel.num_preds,
+                mask,
+            ));
+            warp_ids.push(id);
+        }
+        self.cta_slots[slot] = Some(CtaInfo {
+            cta_linear,
+            coords: launch.grid.unflatten(cta_linear),
+            warps: warp_ids.clone(),
+            shared: SparseMemory::new(),
+        });
+        stats.ctas_launched += 1;
+        stats.threads_launched += threads;
+        coproc.on_cta_launch(self.id, slot, cta_linear, &warp_ids);
+        slot
+    }
+
+    /// All warps retired and nothing in flight?
+    pub fn idle(&self) -> bool {
+        self.cta_slots.iter().all(|s| s.is_none())
+            && self.lsu.is_empty()
+            && self.outstanding.is_empty()
+    }
+
+    /// Number of resident CTAs.
+    pub fn resident_ctas(&self) -> usize {
+        self.cta_slots.iter().flatten().count()
+    }
+
+    fn schedule_writeback(&mut self, at: u64, warp: usize, what: DefTarget) {
+        let id = self.next_wb;
+        self.next_wb += 1;
+        self.writeback_what.insert(id, (warp, what));
+        self.writeback.push(Reverse((at, warp, id)));
+    }
+
+    /// Advance the SM one cycle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cycle(
+        &mut self,
+        now: u64,
+        cfg: &GpuConfig,
+        kctx: &KernelCtx<'_>,
+        mem: &mut SparseMemory,
+        fabric: &mut MemoryFabric,
+        coproc: &mut dyn CoProcessor,
+        stats: &mut SimStats,
+    ) {
+        self.drain_writebacks(now);
+        self.drain_responses(now, fabric, coproc);
+
+        // Coprocessor gets first crack at issue slot 0 (the affine warp
+        // shares the SM's issue bandwidth, paper §4.4).
+        let mut slot0_free = self.schedulers[0].busy_until <= now;
+        let slot0_was_free = slot0_free;
+        {
+            let mut ctx = CoCtx {
+                now,
+                sm: self.id,
+                fabric,
+                issue_slot: &mut slot0_free,
+                stats,
+            };
+            coproc.step(&mut ctx);
+        }
+        if slot0_was_free && !slot0_free {
+            // Affine warp consumed scheduler 0 for one instruction.
+            self.schedulers[0].busy_until = now + 1;
+            stats.affine_issue_slots += 1;
+        }
+
+        for s in 0..self.schedulers.len() {
+            if self.schedulers[s].busy_until > now {
+                continue;
+            }
+            if let Some(w) = self.pick_warp(s, now, cfg, kctx, coproc, stats) {
+                let cost = self.issue(w, now, cfg, kctx, mem, fabric, coproc, stats);
+                let busy = match cost {
+                    IssueCost::Normal => cfg.issue_interval,
+                    IssueCost::Fast => 1,
+                };
+                self.schedulers[s].busy_until = now + busy;
+            } else {
+                stats.idle_scheduler_cycles += 1;
+            }
+        }
+
+        self.pump_lsu(now, fabric);
+        self.resolve_barriers(coproc, stats);
+    }
+
+    fn drain_writebacks(&mut self, now: u64) {
+        while let Some(&Reverse((at, _, id))) = self.writeback.peek() {
+            if at > now {
+                break;
+            }
+            self.writeback.pop();
+            if let Some((warp, what)) = self.writeback_what.remove(&id) {
+                if let Some(w) = self.warps[warp].as_mut() {
+                    match what {
+                        DefTarget::Reg(r) => w.release_reg(r),
+                        DefTarget::Pred(p) => w.release_pred(p),
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_responses(
+        &mut self,
+        now: u64,
+        fabric: &mut MemoryFabric,
+        coproc: &mut dyn CoProcessor,
+    ) {
+        for resp in fabric.drain_responses(self.id, now) {
+            match resp.client {
+                Client::Lsu => {
+                    if let Some(track) = self.outstanding.remove(&resp.token) {
+                        if let Some(line) = track.unlock_line {
+                            fabric.unlock(self.id, line);
+                        }
+                        if let Some(r) = track.dst {
+                            if let Some(w) = self.warps[track.warp].as_mut() {
+                                w.release_reg(r);
+                            }
+                        }
+                    }
+                }
+                Client::Dac | Client::Mta => coproc.on_response(&resp),
+            }
+        }
+    }
+
+    /// Two-level warp pick for scheduler `s`: round-robin over the active
+    /// pool's ready warps; on a dry pool, swap a ready pending warp in.
+    fn pick_warp(
+        &mut self,
+        s: usize,
+        now: u64,
+        cfg: &GpuConfig,
+        kctx: &KernelCtx<'_>,
+        coproc: &mut dyn CoProcessor,
+        stats: &mut SimStats,
+    ) -> Option<usize> {
+        let nsched = self.schedulers.len();
+        // Evict finished warps from the pool.
+        self.schedulers[s]
+            .active
+            .retain(|&w| matches!(&self.warps[w], Some(ws) if !ws.done()));
+        // 1. Ready warp already in the active pool (rotating order).
+        let pool: Vec<usize> = self.schedulers[s].active.iter().copied().collect();
+        for &w in &pool {
+            if self.warp_ready(w, now, cfg, kctx, coproc, stats) {
+                // Rotate the pool so the warp after `w` gets priority next.
+                let pos = self.schedulers[s].active.iter().position(|&x| x == w).unwrap();
+                self.schedulers[s].active.rotate_left((pos + 1) % pool.len().max(1));
+                return Some(w);
+            }
+        }
+        // 2. Swap in a ready pending warp.
+        let candidates: Vec<usize> = (0..self.warps.len())
+            .filter(|&w| w % nsched == s)
+            .filter(|w| !pool.contains(w))
+            .filter(|&w| matches!(&self.warps[w], Some(ws) if !ws.done()))
+            .collect();
+        for w in candidates {
+            if self.warp_ready(w, now, cfg, kctx, coproc, stats) {
+                if self.schedulers[s].active.len() >= cfg.active_pool {
+                    self.schedulers[s].active.pop_front();
+                }
+                self.schedulers[s].active.push_back(w);
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    fn warp_ready(
+        &self,
+        w: usize,
+        _now: u64,
+        cfg: &GpuConfig,
+        kctx: &KernelCtx<'_>,
+        coproc: &mut dyn CoProcessor,
+        stats: &mut SimStats,
+    ) -> bool {
+        let Some(warp) = self.warps[w].as_ref() else {
+            return false;
+        };
+        if warp.done() || warp.at_barrier {
+            return false;
+        }
+        let pc = warp.stack.pc();
+        let instr = &kctx.program.kernel.instrs[pc];
+        // Scoreboard: sources and destination must be idle.
+        for r in instr.src_regs() {
+            if warp.reg_pending(r) {
+                return false;
+            }
+        }
+        for p in instr.src_preds() {
+            if warp.pred_pending(p) {
+                return false;
+            }
+        }
+        if let Some(r) = instr.def_reg() {
+            if warp.reg_pending(r) {
+                return false;
+            }
+        }
+        if let Some(p) = instr.def_pred() {
+            if warp.pred_pending(p) {
+                return false;
+            }
+        }
+        // Structural: LSU queue space for memory instructions.
+        if instr.is_mem() && self.lsu.len() >= cfg.lsu_queue {
+            return false;
+        }
+        // Coprocessor gate (dequeue readiness).
+        coproc.can_issue(self.id, w, instr, stats)
+    }
+
+    /// Issue and functionally execute one instruction of warp `w`.
+    #[allow(clippy::too_many_arguments)]
+    fn issue(
+        &mut self,
+        w: usize,
+        now: u64,
+        cfg: &GpuConfig,
+        kctx: &KernelCtx<'_>,
+        mem: &mut SparseMemory,
+        _fabric: &mut MemoryFabric,
+        coproc: &mut dyn CoProcessor,
+        stats: &mut SimStats,
+    ) -> IssueCost {
+        let launch = &kctx.program.launch;
+        let pc = self.warps[w].as_ref().unwrap().stack.pc();
+        let instr = kctx.program.kernel.instrs[pc].clone();
+        let cta_coords;
+        {
+            let warp = self.warps[w].as_ref().unwrap();
+            cta_coords = self.cta_slots[warp.cta_slot]
+                .as_ref()
+                .map(|c| c.coords)
+                .unwrap_or((0, 0, 0));
+        }
+        stats.warp_instructions += 1;
+        let active = self.warps[w].as_ref().unwrap().stack.active_mask();
+        let cost = coproc.issue_cost(self.id, w, &instr, active, stats);
+        self.warps[w].as_mut().unwrap().last_issue = now;
+
+        let eff_mask = {
+            let warp = self.warps[w].as_ref().unwrap();
+            match instr.guard() {
+                Some(g) => {
+                    let bits = warp.pred(g.pred);
+                    active & if g.negate { !bits } else { bits }
+                }
+                None => active,
+            }
+        };
+        let lanes = eff_mask.count_ones() as u64;
+
+        match &instr {
+            Instr::Alu { op, dst, srcs, .. } => {
+                let warp = self.warps[w].as_mut().unwrap();
+                for lane in 0..32 {
+                    if eff_mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let a = warp.operand(srcs[0], lane, launch, cta_coords);
+                    let b = warp.operand(srcs[1], lane, launch, cta_coords);
+                    let c = warp.operand(srcs[2], lane, launch, cta_coords);
+                    warp.set_reg(*dst, lane, eval::eval(*op, a, b, c));
+                }
+                warp.mark_reg_pending(*dst);
+                let lat = if op.is_sfu() { cfg.sfu_latency } else { cfg.alu_latency };
+                self.schedule_writeback(now + lat, w, DefTarget::Reg(*dst));
+                if op.is_sfu() {
+                    stats.sfu_lane_ops += lanes;
+                } else {
+                    stats.alu_lane_ops += lanes;
+                }
+                stats.regfile_accesses += lanes * (op.arity() as u64 + 1);
+                self.warps[w].as_mut().unwrap().stack.advance();
+            }
+            Instr::SetP { dst, cmp, a, b, float, .. } => {
+                let warp = self.warps[w].as_mut().unwrap();
+                let mut bits = 0u32;
+                for lane in 0..32 {
+                    if eff_mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let av = warp.operand(*a, lane, launch, cta_coords);
+                    let bv = warp.operand(*b, lane, launch, cta_coords);
+                    let r = if *float {
+                        cmp.eval_f32(f32::from_bits(av as u32), f32::from_bits(bv as u32))
+                    } else {
+                        cmp.eval_i64(av as i64, bv as i64)
+                    };
+                    if r {
+                        bits |= 1 << lane;
+                    }
+                }
+                warp.set_pred_masked(*dst, bits, eff_mask);
+                warp.mark_pred_pending(*dst);
+                self.schedule_writeback(now + cfg.alu_latency, w, DefTarget::Pred(*dst));
+                stats.alu_lane_ops += lanes;
+                stats.regfile_accesses += lanes * 2;
+                self.warps[w].as_mut().unwrap().stack.advance();
+            }
+            Instr::Sel { dst, pred, a, b } => {
+                let warp = self.warps[w].as_mut().unwrap();
+                let pbits = warp.pred(pred.pred);
+                for lane in 0..32 {
+                    if eff_mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let cond = pbits & (1 << lane) != 0;
+                    let cond = if pred.negate { !cond } else { cond };
+                    let v = if cond {
+                        warp.operand(*a, lane, launch, cta_coords)
+                    } else {
+                        warp.operand(*b, lane, launch, cta_coords)
+                    };
+                    warp.set_reg(*dst, lane, v);
+                }
+                warp.mark_reg_pending(*dst);
+                self.schedule_writeback(now + cfg.alu_latency, w, DefTarget::Reg(*dst));
+                stats.alu_lane_ops += lanes;
+                stats.regfile_accesses += lanes * 3;
+                self.warps[w].as_mut().unwrap().stack.advance();
+            }
+            Instr::Ld { dst, space, addr, width, .. } => {
+                self.exec_load(
+                    w, pc, *dst, *space, *addr, *width, eff_mask, now, cfg, kctx, mem, coproc,
+                    stats, cta_coords,
+                );
+                self.warps[w].as_mut().unwrap().stack.advance();
+            }
+            Instr::St { space, addr, src, width, .. } => {
+                self.exec_store(
+                    w, pc, *space, *addr, *src, *width, eff_mask, cfg, kctx, mem, coproc, stats,
+                    cta_coords,
+                );
+                self.warps[w].as_mut().unwrap().stack.advance();
+            }
+            Instr::Atom { op, dst, addr, src, .. } => {
+                self.exec_atomic(
+                    w, *op, *dst, *addr, *src, eff_mask, now, cfg, kctx, mem, stats, cta_coords,
+                );
+                self.warps[w].as_mut().unwrap().stack.advance();
+            }
+            Instr::Bra { target, pred } => {
+                stats.branches += 1;
+                let rpc = kctx.rpc_of(pc);
+                let taken = match pred {
+                    None => active,
+                    Some(PredSrc::Reg(g)) => {
+                        let bits = self.warps[w].as_ref().unwrap().pred(g.pred);
+                        if g.negate {
+                            !bits
+                        } else {
+                            bits
+                        }
+                    }
+                    Some(PredSrc::Deq { negate }) => {
+                        let bits = coproc
+                            .deq_pred_bits(self.id, w)
+                            .expect("deq.pred issued with empty PWPQ");
+                        if *negate {
+                            !bits
+                        } else {
+                            bits
+                        }
+                    }
+                };
+                self.warps[w]
+                    .as_mut()
+                    .unwrap()
+                    .stack
+                    .branch(taken, *target, rpc);
+            }
+            Instr::Bar => {
+                stats.barriers += 1;
+                let warp = self.warps[w].as_mut().unwrap();
+                warp.at_barrier = true;
+                warp.stack.advance();
+            }
+            Instr::Exit => {
+                self.warps[w].as_mut().unwrap().stack.exit();
+            }
+            Instr::Enq { .. } => {
+                unreachable!("enq must only appear in the affine stream");
+            }
+        }
+        cost
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_load(
+        &mut self,
+        w: usize,
+        pc: usize,
+        dst: u16,
+        space: Space,
+        addr: AddrMode,
+        width: Width,
+        eff_mask: u32,
+        now: u64,
+        cfg: &GpuConfig,
+        kctx: &KernelCtx<'_>,
+        mem: &mut SparseMemory,
+        coproc: &mut dyn CoProcessor,
+        stats: &mut SimStats,
+        cta_coords: (u32, u32, u32),
+    ) -> Option<()> {
+        let launch = &kctx.program.launch;
+        let (addrs, record) = self.resolve_addrs(w, addr, eff_mask, launch, cta_coords, coproc);
+        stats.regfile_accesses += addrs.iter().flatten().count() as u64 * 2;
+        match space {
+            Space::Shared => {
+                stats.shared_accesses += 1;
+                let slot = self.warps[w].as_ref().unwrap().cta_slot;
+                let shared = &mut self.cta_slots[slot].as_mut().unwrap().shared;
+                let mut vals = [0u64; 32];
+                for (lane, a) in addrs.iter().enumerate() {
+                    if let Some(a) = a {
+                        vals[lane] = shared.read_bytes(*a, width.bytes() as usize);
+                    }
+                }
+                let warp = self.warps[w].as_mut().unwrap();
+                for (lane, a) in addrs.iter().enumerate() {
+                    if a.is_some() {
+                        warp.set_reg(dst, lane, vals[lane]);
+                    }
+                }
+                warp.mark_reg_pending(dst);
+                self.schedule_writeback(now + cfg.shared_latency, w, DefTarget::Reg(dst));
+            }
+            Space::Global | Space::Local => {
+                stats.global_loads += 1;
+                // Dequeued records already carry absolute addresses (the
+                // AEU applied the local window when it issued the early
+                // requests).
+                let addrs = if record.is_some() {
+                    addrs
+                } else {
+                    self.translate_local(w, space, addrs, kctx)
+                };
+                // Functional read at issue.
+                {
+                    let warp = self.warps[w].as_mut().unwrap();
+                    for (lane, a) in addrs.iter().enumerate() {
+                        if let Some(a) = a {
+                            let v = mem.read_bytes(*a, width.bytes() as usize);
+                            warp.set_reg(dst, lane, v);
+                        }
+                    }
+                }
+                let txns = coalesce(&addrs, cfg.mem.line_bytes);
+                let lines: Vec<u64> = txns.iter().map(|t| t.line).collect();
+                coproc.observe_mem(self.id, w, pc, space, false, &lines);
+                let decoupled = record.is_some();
+                if decoupled {
+                    stats.decoupled_loads += 1;
+                }
+                let unlock = matches!(
+                    record.as_ref().map(|r| r.kind),
+                    Some(RecordKind::Data)
+                );
+                if txns.is_empty() {
+                    // Fully inactive (guarded off): nothing outstanding.
+                    return Some(());
+                }
+                for t in &txns {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.outstanding.insert(
+                        token,
+                        LoadTrack {
+                            warp: w,
+                            dst: Some(dst),
+                            unlock_line: unlock.then_some(t.line),
+                        },
+                    );
+                    self.warps[w].as_mut().unwrap().mark_reg_pending(dst);
+                    self.lsu.push_back(LsuTxn {
+                        req: MemRequest {
+                            sm: self.id,
+                            line: t.line,
+                            kind: ReqKind::Load,
+                            client: Client::Lsu,
+                            token,
+                        },
+                    });
+                }
+            }
+        }
+        Some(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_store(
+        &mut self,
+        w: usize,
+        pc: usize,
+        space: Space,
+        addr: AddrMode,
+        src: Operand,
+        width: Width,
+        eff_mask: u32,
+        cfg: &GpuConfig,
+        kctx: &KernelCtx<'_>,
+        mem: &mut SparseMemory,
+        coproc: &mut dyn CoProcessor,
+        stats: &mut SimStats,
+        cta_coords: (u32, u32, u32),
+    ) {
+        let launch = &kctx.program.launch;
+        let (addrs, _record) = self.resolve_addrs(w, addr, eff_mask, launch, cta_coords, coproc);
+        stats.regfile_accesses += addrs.iter().flatten().count() as u64 * 2;
+        match space {
+            Space::Shared => {
+                stats.shared_accesses += 1;
+                let slot = self.warps[w].as_ref().unwrap().cta_slot;
+                let mut vals = [0u64; 32];
+                {
+                    let warp = self.warps[w].as_ref().unwrap();
+                    for (lane, a) in addrs.iter().enumerate() {
+                        if a.is_some() {
+                            vals[lane] = warp.operand(src, lane, launch, cta_coords);
+                        }
+                    }
+                }
+                let shared = &mut self.cta_slots[slot].as_mut().unwrap().shared;
+                for (lane, a) in addrs.iter().enumerate() {
+                    if let Some(a) = a {
+                        shared.write_bytes(*a, vals[lane], width.bytes() as usize);
+                    }
+                }
+            }
+            Space::Global | Space::Local => {
+                stats.global_stores += 1;
+                let addrs = if _record.is_some() {
+                    addrs
+                } else {
+                    self.translate_local(w, space, addrs, kctx)
+                };
+                {
+                    let warp = self.warps[w].as_ref().unwrap();
+                    let vals: Vec<(u64, u64)> = addrs
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(lane, a)| {
+                            a.map(|a| (a, warp.operand(src, lane, launch, cta_coords)))
+                        })
+                        .collect();
+                    for (a, v) in vals {
+                        mem.write_bytes(a, v, width.bytes() as usize);
+                    }
+                }
+                let txns = coalesce(&addrs, cfg.mem.line_bytes);
+                let lines: Vec<u64> = txns.iter().map(|t| t.line).collect();
+                coproc.observe_mem(self.id, w, pc, space, true, &lines);
+                for t in &txns {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.lsu.push_back(LsuTxn {
+                        req: MemRequest {
+                            sm: self.id,
+                            line: t.line,
+                            kind: ReqKind::Store,
+                            client: Client::Lsu,
+                            token,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_atomic(
+        &mut self,
+        w: usize,
+        op: AtomOp,
+        dst: u16,
+        addr: AddrMode,
+        src: Operand,
+        eff_mask: u32,
+        _now: u64,
+        cfg: &GpuConfig,
+        kctx: &KernelCtx<'_>,
+        mem: &mut SparseMemory,
+        stats: &mut SimStats,
+        cta_coords: (u32, u32, u32),
+    ) {
+        stats.atomic_instructions += 1;
+        let launch = &kctx.program.launch;
+        let (addrs, _r) = self.resolve_addrs(w, addr, eff_mask, launch, cta_coords, &mut crate::coproc::NullCoProcessor);
+        // Functional RMW, lanes in order (the simulator is the global
+        // serialization point).
+        {
+            let warp = self.warps[w].as_mut().unwrap();
+            for lane in 0..32 {
+                let Some(a) = addrs[lane] else { continue };
+                let old = mem.read_u32(a) as u64;
+                let v = warp.operand(src, lane, launch, cta_coords);
+                let new = match op {
+                    AtomOp::Add => (old as u32).wrapping_add(v as u32) as u64,
+                    AtomOp::Min => (old as i64).min(v as i64) as u64,
+                    AtomOp::Max => (old as i64).max(v as i64) as u64,
+                    AtomOp::Exch => v,
+                };
+                mem.write_u32(a, new as u32);
+                warp.set_reg(dst, lane, old);
+            }
+        }
+        let txns = coalesce(&addrs, cfg.mem.line_bytes);
+        for t in &txns {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.outstanding.insert(
+                token,
+                LoadTrack {
+                    warp: w,
+                    dst: Some(dst),
+                    unlock_line: None,
+                },
+            );
+            self.warps[w].as_mut().unwrap().mark_reg_pending(dst);
+            self.lsu.push_back(LsuTxn {
+                req: MemRequest {
+                    sm: self.id,
+                    line: t.line,
+                    kind: ReqKind::Atomic,
+                    client: Client::Lsu,
+                    token,
+                },
+            });
+        }
+        stats.alu_lane_ops += eff_mask.count_ones() as u64;
+    }
+
+    /// Resolve per-lane addresses from the addressing mode; returns the DAC
+    /// record when the mode was a dequeue form.
+    fn resolve_addrs(
+        &mut self,
+        w: usize,
+        addr: AddrMode,
+        eff_mask: u32,
+        launch: &simt_ir::LaunchConfig,
+        cta_coords: (u32, u32, u32),
+        coproc: &mut dyn CoProcessor,
+    ) -> (Vec<Option<u64>>, Option<crate::coproc::AddrRecord>) {
+        match addr {
+            AddrMode::Reg(r, disp) => {
+                let warp = self.warps[w].as_ref().unwrap();
+                let v: Vec<Option<u64>> = (0..32)
+                    .map(|lane| {
+                        (eff_mask & (1 << lane) != 0).then(|| {
+                            warp.operand(Operand::Reg(r), lane, launch, cta_coords)
+                                .wrapping_add(disp as u64)
+                        })
+                    })
+                    .collect();
+                (v, None)
+            }
+            AddrMode::DeqData | AddrMode::DeqAddr => {
+                let rec = coproc
+                    .deq_record(self.id, w)
+                    .expect("deq issued with empty PWAQ");
+                (rec.thread_addrs.clone(), Some(rec))
+            }
+        }
+    }
+
+    /// Rebase local-space addresses into each thread's private window.
+    fn translate_local(
+        &self,
+        w: usize,
+        space: Space,
+        addrs: Vec<Option<u64>>,
+        kctx: &KernelCtx<'_>,
+    ) -> Vec<Option<u64>> {
+        if space != Space::Local {
+            return addrs;
+        }
+        let warp = self.warps[w].as_ref().unwrap();
+        let tpc = kctx.program.launch.threads_per_cta() as u64;
+        addrs
+            .into_iter()
+            .enumerate()
+            .map(|(lane, a)| {
+                a.map(|a| {
+                    let gtid = warp.cta_linear * tpc + warp.thread_linear(lane);
+                    LOCAL_BASE + gtid * LOCAL_STRIDE + (a % LOCAL_STRIDE)
+                })
+            })
+            .collect()
+    }
+
+    fn pump_lsu(&mut self, now: u64, fabric: &mut MemoryFabric) {
+        // One transaction per cycle reaches the L1 (one coalesced access
+        // per cycle, as on Fermi).
+        if let Some(txn) = self.lsu.front() {
+            match fabric.access(now, txn.req) {
+                AccessOutcome::Accepted => {
+                    let txn = self.lsu.pop_front().unwrap();
+                    // Stores need no tracking.
+                    if txn.req.kind == ReqKind::Store {
+                        self.outstanding.remove(&txn.req.token);
+                    }
+                }
+                AccessOutcome::Stall(_) => {}
+            }
+        }
+    }
+
+    fn resolve_barriers(&mut self, coproc: &mut dyn CoProcessor, stats: &mut SimStats) {
+        let _ = stats;
+        for slot in 0..self.cta_slots.len() {
+            let Some(cta) = self.cta_slots[slot].as_ref() else {
+                continue;
+            };
+            let mut all_arrived = true;
+            let mut any_waiting = false;
+            for &wid in &cta.warps {
+                if let Some(w) = self.warps[wid].as_ref() {
+                    if w.done() {
+                        continue;
+                    }
+                    if w.at_barrier {
+                        any_waiting = true;
+                    } else {
+                        all_arrived = false;
+                    }
+                }
+            }
+            if any_waiting && all_arrived {
+                let warps = cta.warps.clone();
+                for wid in warps {
+                    if let Some(w) = self.warps[wid].as_mut() {
+                        w.at_barrier = false;
+                    }
+                }
+                coproc.on_barrier_release(self.id, slot);
+            }
+        }
+    }
+
+    /// Retire CTAs whose warps have all finished (and drained). Returns the
+    /// retired slot indices.
+    pub fn retire_ctas(&mut self, coproc: &mut dyn CoProcessor) -> Vec<usize> {
+        let mut retired = Vec::new();
+        for slot in 0..self.cta_slots.len() {
+            let Some(cta) = self.cta_slots[slot].as_ref() else {
+                continue;
+            };
+            let all_done = cta.warps.iter().all(|&wid| {
+                self.warps[wid]
+                    .as_ref()
+                    .map(|w| w.done() && w.scoreboard_clear())
+                    .unwrap_or(true)
+            });
+            if all_done {
+                let warps = cta.warps.clone();
+                // Do not free warps with outstanding memory responses.
+                let pending_mem = self
+                    .outstanding
+                    .values()
+                    .any(|t| warps.contains(&t.warp));
+                if pending_mem {
+                    continue;
+                }
+                for wid in warps {
+                    self.warps[wid] = None;
+                }
+                self.cta_slots[slot] = None;
+                coproc.on_cta_retire(self.id, slot);
+                retired.push(slot);
+            }
+        }
+        retired
+    }
+}

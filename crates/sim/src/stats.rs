@@ -1,0 +1,124 @@
+//! Core-side simulation statistics.
+//!
+//! These counters feed the paper's figures directly: warp-instruction counts
+//! (Fig. 17), decoupled-load percentages (Fig. 19), and the event counts the
+//! energy model converts into Joules (Fig. 21).
+
+/// Counters accumulated over a kernel run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total elapsed cycles.
+    pub cycles: u64,
+    /// Warp instructions issued by ordinary (non-affine) warps.
+    pub warp_instructions: u64,
+    /// Warp instructions issued by the DAC affine warp (via coprocessor).
+    pub affine_instructions: u64,
+    /// Instructions CAE executed on its affine units instead of SIMT lanes.
+    pub cae_affine_instructions: u64,
+    /// Per-lane ALU operations (active lanes × ALU instructions).
+    pub alu_lane_ops: u64,
+    /// Per-lane SFU operations.
+    pub sfu_lane_ops: u64,
+    /// Register-file accesses (operand reads + writebacks, per lane).
+    pub regfile_accesses: u64,
+    /// Global/local load warp instructions issued.
+    pub global_loads: u64,
+    /// Global/local load warp instructions whose addresses came from a
+    /// dequeued DAC record (the decoupled loads of Fig. 19).
+    pub decoupled_loads: u64,
+    /// Global/local store warp instructions.
+    pub global_stores: u64,
+    /// Shared-memory warp instructions.
+    pub shared_accesses: u64,
+    /// Atomic warp instructions.
+    pub atomic_instructions: u64,
+    /// Branch warp instructions.
+    pub branches: u64,
+    /// Barrier warp instructions.
+    pub barriers: u64,
+    /// Cycles in which no scheduler on an SM could issue (per-SM summed).
+    pub idle_scheduler_cycles: u64,
+    /// Issue slots consumed by the DAC affine engine.
+    pub affine_issue_slots: u64,
+    /// Warp-issue attempts blocked by an empty dequeue (DAC back-pressure).
+    pub deq_empty_stalls: u64,
+    /// Warp-issue attempts blocked waiting for decoupled data to arrive.
+    pub deq_data_stalls: u64,
+    /// enq instructions blocked on a full Affine Tuple Queue.
+    pub enq_full_stalls: u64,
+    /// DAC expansion-unit events: warp address records produced.
+    pub aeu_records: u64,
+    /// DAC expansion-unit events: predicate bit vectors produced.
+    pub peu_records: u64,
+    /// CTAs launched.
+    pub ctas_launched: u64,
+    /// Threads launched.
+    pub threads_launched: u64,
+    /// MTA prefetch requests issued.
+    pub prefetches_issued: u64,
+}
+
+impl SimStats {
+    /// Total warp instructions across both streams.
+    pub fn total_instructions(&self) -> u64 {
+        self.warp_instructions + self.affine_instructions
+    }
+
+    /// Fraction of loads whose addresses were produced by the affine warp
+    /// (Fig. 19), in [0, 1].
+    pub fn decoupled_load_fraction(&self) -> f64 {
+        if self.global_loads == 0 {
+            0.0
+        } else {
+            self.decoupled_loads as f64 / self.global_loads as f64
+        }
+    }
+
+    /// Fraction of all instructions that ran on the affine stream
+    /// (§5.3's 4.6%), in [0, 1].
+    pub fn affine_instruction_fraction(&self) -> f64 {
+        let t = self.total_instructions();
+        if t == 0 {
+            0.0
+        } else {
+            self.affine_instructions as f64 / t as f64
+        }
+    }
+
+    /// Instructions per cycle (all SMs).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_guard_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.decoupled_load_fraction(), 0.0);
+        assert_eq!(s.affine_instruction_fraction(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn fractions() {
+        let s = SimStats {
+            warp_instructions: 95,
+            affine_instructions: 5,
+            global_loads: 10,
+            decoupled_loads: 8,
+            cycles: 50,
+            ..Default::default()
+        };
+        assert!((s.affine_instruction_fraction() - 0.05).abs() < 1e-12);
+        assert!((s.decoupled_load_fraction() - 0.8).abs() < 1e-12);
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+    }
+}

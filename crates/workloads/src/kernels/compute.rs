@@ -1,0 +1,623 @@
+//! The 11 compute-intensive benchmarks (paper Table 2, left column).
+//!
+//! Each synthetic kernel reproduces the address structure and arithmetic
+//! flavour of its namesake: scalar parameter loops with SFU-heavy bodies
+//! (CP/MQ/TP/BS), mod-addressed butterflies (FFT), 2-D blocks with an
+//! innermost dimension below the warp width (BP — the case where CAE
+//! degrades to scalar-only, §5.4), clamped stencils exercising divergent
+//! affine tuples via `min`/`max` (SR1/HS), shared-memory tables (AES) and
+//! dynamic-programming sweeps (PF).
+
+use super::{init_f32, init_u32, tid_elem_addr, ARR_A, ARR_B, ARR_C};
+use crate::{PaperClass, Suite, Workload};
+use simt_ir::{
+    CmpOp, Dim3, KernelBuilder, LaunchConfig, Op, Operand, Space, SpecialReg, Width,
+};
+use simt_mem::SparseMemory;
+
+fn f32imm(v: f32) -> Operand {
+    Operand::Imm(v.to_bits() as i64)
+}
+
+/// CP — coulombic potential: per grid point, accumulate `q_j / dist_j`
+/// over a scalar loop of atoms (GPGPU-sim distribution).
+pub fn cp(scale: u32) -> Workload {
+    let ctas = 120 * scale;
+    let block = 128u32;
+    let natoms = 24u64;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("cp", 4);
+    let (tid, out_addr) = tid_elem_addr(&mut b, 1, 2);
+    // Grid-point coordinate from tid.
+    let gx = b.alu1(Op::I2F, Operand::Reg(tid));
+    let acc = b.mov(f32imm(0.0));
+    let i = b.mov(Operand::Imm(0));
+    let atom_addr = b.mov(Operand::Param(0));
+    b.label("atoms");
+    // Atom data: (x, q) pairs — scalar loads (same address for all threads).
+    let ax = b.ld(Space::Global, atom_addr, 0, Width::W32);
+    let aq = b.ld(Space::Global, atom_addr, 4, Width::W32);
+    let dx = b.alu2(Op::FSub, Operand::Reg(gx), Operand::Reg(ax));
+    let d2 = b.alu3(Op::FMad, Operand::Reg(dx), Operand::Reg(dx), f32imm(0.05));
+    let dist = b.alu1(Op::FSqrt, Operand::Reg(d2));
+    let inv = b.alu1(Op::FRcp, Operand::Reg(dist));
+    b.alu_into(acc, Op::FMad, &[Operand::Reg(aq), Operand::Reg(inv), Operand::Reg(acc)]);
+    b.alu_into(atom_addr, Op::Add, &[Operand::Reg(atom_addr), Operand::Imm(8)]);
+    b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Param(2));
+    b.bra_if(p, "atoms");
+    b.st(Space::Global, out_addr, 0, Operand::Reg(acc), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, natoms as usize * 2, 101, 0.1, 50.0);
+    Workload {
+        name: "CP",
+        abbr: "CP",
+        suite: Suite::GpgpuSim,
+        paper_class: PaperClass::Compute,
+        kernel: b.build(),
+        launch: LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, natoms, n as u64]),
+        memory,
+        output: (ARR_B, n),
+    }
+}
+
+/// STO — storeGPU: load a block of words and run many mixing rounds of
+/// integer arithmetic before storing a digest.
+pub fn sto(scale: u32) -> Workload {
+    let ctas = 120 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("sto", 2);
+    let (_tid, addr) = tid_elem_addr(&mut b, 0, 3);
+    let v0 = b.ld(Space::Global, addr, 0, Width::W32);
+    let v1 = b.ld(Space::Global, addr, 4, Width::W32);
+    let h = b.mov(Operand::Imm(0x9e37_79b9));
+    let r = b.mov(Operand::Imm(0));
+    b.label("mix");
+    // A round of data mixing (non-affine by design: it computes on data).
+    let t1 = b.alu2(Op::Xor, Operand::Reg(h), Operand::Reg(v0));
+    let t2 = b.alu2(Op::Shl, Operand::Reg(t1), Operand::Imm(5));
+    let t3 = b.alu2(Op::Shr, Operand::Reg(t1), Operand::Imm(7));
+    let t4 = b.alu2(Op::Add, Operand::Reg(t2), Operand::Reg(t3));
+    let t5 = b.alu2(Op::Xor, Operand::Reg(t4), Operand::Reg(v1));
+    let t6 = b.alu3(Op::Mad, Operand::Reg(t5), Operand::Imm(33), Operand::Reg(h));
+    b.alu_into(h, Op::Add, &[Operand::Reg(t6), Operand::Imm(0x85eb)]);
+    b.alu_into(r, Op::Add, &[Operand::Reg(r), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(r), Operand::Imm(20));
+    b.bra_if(p, "mix");
+    let (_t2, out) = {
+        let tid = b.tid_linear_x();
+        let off = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+        let a = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+        (tid, a)
+    };
+    b.st(Space::Global, out, 0, Operand::Reg(h), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_u32(&mut memory, ARR_A, n * 2, 102, u32::MAX);
+    Workload {
+        name: "storeGPU",
+        abbr: "STO",
+        suite: Suite::GpgpuSim,
+        paper_class: PaperClass::Compute,
+        kernel: b.build(),
+        launch: LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B]),
+        memory,
+        output: (ARR_B, n),
+    }
+}
+
+/// AES — table-based rounds: cooperative load of an S-box into shared
+/// memory, then xor/lookup rounds on affine-loaded state.
+pub fn aes(scale: u32) -> Workload {
+    let ctas = 120 * scale;
+    let block = 256u32;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("aes", 3);
+    b.shared(256 * 4);
+    // Cooperative S-box load: shared[tid.x] = sbox[tid.x] (one word each).
+    let tx = b.mov(Operand::Special(SpecialReg::TidX));
+    let soff = b.alu2(Op::Shl, Operand::Reg(tx), Operand::Imm(2));
+    let sbox_addr = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(soff));
+    let sval = b.ld(Space::Global, sbox_addr, 0, Width::W32);
+    b.st(Space::Shared, soff, 0, Operand::Reg(sval), Width::W32);
+    b.bar();
+    let (_tid, addr) = tid_elem_addr(&mut b, 0, 2);
+    let state = b.ld(Space::Global, addr, 0, Width::W32);
+    let s = b.mov(Operand::Reg(state));
+    let round = b.mov(Operand::Imm(0));
+    b.label("round");
+    // Byte-extract lookup (data-dependent shared access).
+    let byte = b.alu2(Op::And, Operand::Reg(s), Operand::Imm(0xFF));
+    let boff = b.alu2(Op::Shl, Operand::Reg(byte), Operand::Imm(2));
+    let sub = b.ld(Space::Shared, boff, 0, Width::W32);
+    let rot = b.alu2(Op::Shr, Operand::Reg(s), Operand::Imm(8));
+    let mix = b.alu2(Op::Xor, Operand::Reg(rot), Operand::Reg(sub));
+    let key = b.alu3(Op::Mad, Operand::Reg(round), Operand::Imm(0x1010_101), Operand::Imm(0x5A5A));
+    b.alu_into(s, Op::Xor, &[Operand::Reg(mix), Operand::Reg(key)]);
+    b.alu_into(round, Op::Add, &[Operand::Reg(round), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(round), Operand::Imm(10));
+    b.bra_if(p, "round");
+    let tid2 = b.tid_linear_x();
+    let ooff = b.alu2(Op::Shl, Operand::Reg(tid2), Operand::Imm(2));
+    let out = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(ooff));
+    b.st(Space::Global, out, 0, Operand::Reg(s), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_u32(&mut memory, ARR_A, n, 103, u32::MAX);
+    init_u32(&mut memory, ARR_C, 256, 104, u32::MAX);
+    Workload {
+        name: "AES",
+        abbr: "AES",
+        suite: Suite::GpgpuSim,
+        paper_class: PaperClass::Compute,
+        kernel: b.build(),
+        launch: LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C]),
+        memory,
+        output: (ARR_B, n),
+    }
+}
+
+/// MQ — mri-q: scalar k-space loop with sin/cos accumulation.
+pub fn mq(scale: u32) -> Workload {
+    let ctas = 120 * scale;
+    let block = 128u32;
+    let kvals = 24u64;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("mq", 4);
+    let (tid, out_addr) = tid_elem_addr(&mut b, 1, 2);
+    let x = b.alu1(Op::I2F, Operand::Reg(tid));
+    let acc = b.mov(f32imm(0.0));
+    let i = b.mov(Operand::Imm(0));
+    let ka = b.mov(Operand::Param(0));
+    b.label("kloop");
+    let kx = b.ld(Space::Global, ka, 0, Width::W32);
+    let phi = b.ld(Space::Global, ka, 4, Width::W32);
+    let arg = b.alu2(Op::FMul, Operand::Reg(kx), Operand::Reg(x));
+    let sn = b.alu1(Op::FSin, Operand::Reg(arg));
+    let cs = b.alu1(Op::FCos, Operand::Reg(arg));
+    let sum = b.alu2(Op::FAdd, Operand::Reg(sn), Operand::Reg(cs));
+    b.alu_into(acc, Op::FMad, &[Operand::Reg(phi), Operand::Reg(sum), Operand::Reg(acc)]);
+    b.alu_into(ka, Op::Add, &[Operand::Reg(ka), Operand::Imm(8)]);
+    b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Param(2));
+    b.bra_if(p, "kloop");
+    b.st(Space::Global, out_addr, 0, Operand::Reg(acc), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, kvals as usize * 2, 105, -1.0, 1.0);
+    Workload {
+        name: "mri_q",
+        abbr: "MQ",
+        suite: Suite::GpgpuSim,
+        paper_class: PaperClass::Compute,
+        kernel: b.build(),
+        launch: LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, kvals, 0]),
+        memory,
+        output: (ARR_B, n),
+    }
+}
+
+/// TP — tpacf: angular-correlation style scalar loop with log binning.
+pub fn tp(scale: u32) -> Workload {
+    let ctas = 120 * scale;
+    let block = 128u32;
+    let points = 20u64;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("tp", 4);
+    let (tid, my_addr) = tid_elem_addr(&mut b, 0, 2);
+    let mine = b.ld(Space::Global, my_addr, 0, Width::W32);
+    let acc = b.mov(Operand::Imm(0));
+    let i = b.mov(Operand::Imm(0));
+    let pa = b.mov(Operand::Param(1));
+    b.label("pts");
+    let other = b.ld(Space::Global, pa, 0, Width::W32);
+    let dot = b.alu2(Op::FMul, Operand::Reg(mine), Operand::Reg(other));
+    let ad = b.alu1(Op::FAbs, Operand::Reg(dot));
+    let biased = b.alu2(Op::FAdd, Operand::Reg(ad), f32imm(1.0001));
+    let lg = b.alu1(Op::FLog2, Operand::Reg(biased));
+    let scaled = b.alu2(Op::FMul, Operand::Reg(lg), f32imm(8.0));
+    let bin = b.alu1(Op::F2I, Operand::Reg(scaled));
+    b.alu_into(acc, Op::Add, &[Operand::Reg(acc), Operand::Reg(bin)]);
+    b.alu_into(pa, Op::Add, &[Operand::Reg(pa), Operand::Imm(4)]);
+    b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Param(3));
+    b.bra_if(p, "pts");
+    let off = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let out = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(off));
+    b.st(Space::Global, out, 0, Operand::Reg(acc), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, n, 106, -1.0, 1.0);
+    init_f32(&mut memory, ARR_B, points as usize, 107, -1.0, 1.0);
+    Workload {
+        name: "tpacf",
+        abbr: "TP",
+        suite: Suite::GpgpuSim,
+        paper_class: PaperClass::Compute,
+        kernel: b.build(),
+        launch: LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, points]),
+        memory,
+        output: (ARR_C, n),
+    }
+}
+
+/// FFT — one butterfly stage with modulo-mapped addresses (the paper's
+/// `mod`-type affine tuples, §4.4) and twiddle computation.
+pub fn fft(scale: u32) -> Workload {
+    let ctas = 120 * scale;
+    let block = 128u32;
+    let span = 16i64; // butterfly span (elements)
+    let n2 = (ctas * block) as usize * 2;
+    let mut b = KernelBuilder::new("fft", 3);
+    let tid = b.tid_linear_x();
+    // j = tid mod span; idx = (tid - j) * 2 + j  — classic butterfly map.
+    let j = b.alu2(Op::Rem, Operand::Reg(tid), Operand::Imm(span));
+    let tmj = b.alu2(Op::Sub, Operand::Reg(tid), Operand::Reg(j));
+    let twice = b.alu2(Op::Shl, Operand::Reg(tmj), Operand::Imm(1));
+    let idx = b.alu2(Op::Add, Operand::Reg(twice), Operand::Reg(j));
+    let off = b.alu2(Op::Shl, Operand::Reg(idx), Operand::Imm(2));
+    let a_lo = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
+    let lo = b.ld(Space::Global, a_lo, 0, Width::W32);
+    let hi = b.ld(Space::Global, a_lo, span * 4, Width::W32);
+    // Twiddle = cos(j·θ) computed per thread; the twiddle chain is
+    // iteratively refined (compute-heavy, like multi-stage butterflies).
+    let jf = b.alu1(Op::I2F, Operand::Reg(j));
+    let ang = b.alu2(Op::FMul, Operand::Reg(jf), f32imm(0.19634954)); // π/16
+    let c = b.alu1(Op::FCos, Operand::Reg(ang));
+    let s = b.alu1(Op::FSin, Operand::Reg(ang));
+    let rr = b.mov(Operand::Imm(0));
+    b.label("refine");
+    let c2 = b.alu2(Op::FMul, Operand::Reg(c), Operand::Reg(c));
+    let s2 = b.alu2(Op::FMul, Operand::Reg(s), Operand::Reg(s));
+    let nc = b.alu2(Op::FSub, Operand::Reg(c2), Operand::Reg(s2));
+    let cs = b.alu2(Op::FMul, Operand::Reg(c), Operand::Reg(s));
+    let ns = b.alu2(Op::FMul, Operand::Reg(cs), f32imm(2.0));
+    let mag = b.alu3(Op::FMad, Operand::Reg(nc), Operand::Reg(nc), f32imm(1e-9));
+    let m2 = b.alu3(Op::FMad, Operand::Reg(ns), Operand::Reg(ns), Operand::Reg(mag));
+    let inv = b.alu1(Op::FRcp, Operand::Reg(m2));
+    let sc = b.alu1(Op::FSqrt, Operand::Reg(inv));
+    b.alu_into(c, Op::FMul, &[Operand::Reg(nc), Operand::Reg(sc)]);
+    b.alu_into(s, Op::FMul, &[Operand::Reg(ns), Operand::Reg(sc)]);
+    b.alu_into(rr, Op::Add, &[Operand::Reg(rr), Operand::Imm(1)]);
+    let pr = b.setp(CmpOp::Lt, Operand::Reg(rr), Operand::Imm(20));
+    b.bra_if(pr, "refine");
+    let hit = b.alu2(Op::FMul, Operand::Reg(hi), Operand::Reg(c));
+    let hit2 = b.alu3(Op::FMad, Operand::Reg(hi), Operand::Reg(s), Operand::Reg(hit));
+    let sum = b.alu2(Op::FAdd, Operand::Reg(lo), Operand::Reg(hit2));
+    let dif = b.alu2(Op::FSub, Operand::Reg(lo), Operand::Reg(hit2));
+    let o_lo = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+    b.st(Space::Global, o_lo, 0, Operand::Reg(sum), Width::W32);
+    b.st(Space::Global, o_lo, span * 4, Operand::Reg(dif), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, n2, 108, -1.0, 1.0);
+    Workload {
+        name: "FFT",
+        abbr: "FFT",
+        suite: Suite::GpgpuSim,
+        paper_class: PaperClass::Compute,
+        kernel: b.build(),
+        launch: LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, span as u64]),
+        memory,
+        output: (ARR_B, n2),
+    }
+}
+
+/// BP — backprop layer: 16×16 blocks (innermost dimension below warp
+/// width — CAE's weak spot, §5.4) with a weighted-sum loop and sigmoid.
+pub fn bp(scale: u32) -> Workload {
+    let ctas = 120 * scale;
+    let bx = 16u32;
+    let by = 16u32;
+    let n = (ctas * bx * by) as usize;
+    let mut b = KernelBuilder::new("bp", 3);
+    // Linear id from 2-D block.
+    let row = b.alu3(
+        Op::Mad,
+        Operand::Special(SpecialReg::CtaIdX),
+        Operand::Special(SpecialReg::NTidY),
+        Operand::Special(SpecialReg::TidY),
+    );
+    let lin = b.alu3(
+        Op::Mad,
+        Operand::Reg(row),
+        Operand::Special(SpecialReg::NTidX),
+        Operand::Special(SpecialReg::TidX),
+    );
+    let woff = b.alu2(Op::Shl, Operand::Reg(lin), Operand::Imm(2));
+    let wadr = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(woff));
+    let w = b.ld(Space::Global, wadr, 0, Width::W32);
+    let acc = b.mov(f32imm(0.0));
+    let i = b.mov(Operand::Imm(0));
+    let ia = b.mov(Operand::Param(2));
+    b.label("sum");
+    let inv = b.ld(Space::Global, ia, 0, Width::W32);
+    b.alu_into(acc, Op::FMad, &[Operand::Reg(w), Operand::Reg(inv), Operand::Reg(acc)]);
+    let sq = b.alu2(Op::FMul, Operand::Reg(acc), Operand::Reg(acc));
+    let damp = b.alu2(Op::FMul, Operand::Reg(sq), f32imm(0.01));
+    b.alu_into(acc, Op::FSub, &[Operand::Reg(acc), Operand::Reg(damp)]);
+    b.alu_into(ia, Op::Add, &[Operand::Reg(ia), Operand::Imm(4)]);
+    b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Imm(16));
+    b.bra_if(p, "sum");
+    // Sigmoid-ish: 1 / (1 + 2^-acc).
+    let neg = b.alu1(Op::FNeg, Operand::Reg(acc));
+    let e = b.alu1(Op::FExp2, Operand::Reg(neg));
+    let d = b.alu2(Op::FAdd, Operand::Reg(e), f32imm(1.0));
+    let sig = b.alu1(Op::FRcp, Operand::Reg(d));
+    let out = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(woff));
+    b.st(Space::Global, out, 0, Operand::Reg(sig), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, n, 109, -0.5, 0.5);
+    init_f32(&mut memory, ARR_C, 16, 110, -1.0, 1.0);
+    Workload {
+        name: "backprop",
+        abbr: "BP",
+        suite: Suite::Rodinia,
+        paper_class: PaperClass::Compute,
+        kernel: b.build(),
+        launch: LaunchConfig {
+            grid: Dim3::x(ctas),
+            block: Dim3::xy(bx, by),
+            params: vec![ARR_A, ARR_B, ARR_C],
+        },
+        memory,
+        output: (ARR_B, n),
+    }
+}
+
+/// SR1 — srad v1: clamped-neighbour diffusion with `max`/`min` on affine
+/// indices (divergent affine tuples, §4.6) and a compute-heavy body.
+pub fn sr1(scale: u32) -> Workload {
+    let ctas = 120 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("sr1", 3);
+    let tid = b.tid_linear_x();
+    // Clamped neighbours: left = max(tid-1, 0), right = min(tid+1, n-1).
+    let tm1 = b.alu2(Op::Sub, Operand::Reg(tid), Operand::Imm(1));
+    let left = b.alu2(Op::Max, Operand::Reg(tm1), Operand::Imm(0));
+    let tp1 = b.alu2(Op::Add, Operand::Reg(tid), Operand::Imm(1));
+    let nm1 = b.alu2(Op::Sub, Operand::Param(2), Operand::Imm(1));
+    let right = b.alu2(Op::Min, Operand::Reg(tp1), Operand::Reg(nm1));
+    let co = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let lo = b.alu2(Op::Shl, Operand::Reg(left), Operand::Imm(2));
+    let ro = b.alu2(Op::Shl, Operand::Reg(right), Operand::Imm(2));
+    let ca = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(co));
+    let la = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(lo));
+    let ra = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(ro));
+    let c = b.ld(Space::Global, ca, 0, Width::W32);
+    let l = b.ld(Space::Global, la, 0, Width::W32);
+    let r = b.ld(Space::Global, ra, 0, Width::W32);
+    // Diffusion coefficient: heavy fp.
+    let dl = b.alu2(Op::FSub, Operand::Reg(l), Operand::Reg(c));
+    let dr = b.alu2(Op::FSub, Operand::Reg(r), Operand::Reg(c));
+    let g2 = b.alu3(Op::FMad, Operand::Reg(dl), Operand::Reg(dl), f32imm(1e-6));
+    let g2b = b.alu3(Op::FMad, Operand::Reg(dr), Operand::Reg(dr), Operand::Reg(g2));
+    let den = b.alu2(Op::FAdd, Operand::Reg(g2b), f32imm(1.0));
+    let q = b.alu1(Op::FRcp, Operand::Reg(den));
+    let sq = b.alu1(Op::FSqrt, Operand::Reg(q));
+    let lgq = b.alu1(Op::FLog2, Operand::Reg(den));
+    let coef = b.alu2(Op::FMul, Operand::Reg(sq), Operand::Reg(lgq));
+    let upd = b.alu3(Op::FMad, Operand::Reg(coef), Operand::Reg(g2b), Operand::Reg(c));
+    // Iterate the diffusion update in registers (srad runs many sweeps).
+    let cur = b.mov(Operand::Reg(upd));
+    let it = b.mov(Operand::Imm(0));
+    b.label("sweep");
+    let dl2 = b.alu2(Op::FSub, Operand::Reg(l), Operand::Reg(cur));
+    let dr2 = b.alu2(Op::FSub, Operand::Reg(r), Operand::Reg(cur));
+    let g = b.alu3(Op::FMad, Operand::Reg(dl2), Operand::Reg(dl2), f32imm(1e-6));
+    let gb = b.alu3(Op::FMad, Operand::Reg(dr2), Operand::Reg(dr2), Operand::Reg(g));
+    let dn = b.alu2(Op::FAdd, Operand::Reg(gb), f32imm(1.0));
+    let qq = b.alu1(Op::FRcp, Operand::Reg(dn));
+    let sq2 = b.alu1(Op::FSqrt, Operand::Reg(qq));
+    b.alu_into(cur, Op::FMad, &[Operand::Reg(sq2), Operand::Reg(gb), Operand::Reg(cur)]);
+    b.alu_into(it, Op::Add, &[Operand::Reg(it), Operand::Imm(1)]);
+    let ps = b.setp(CmpOp::Lt, Operand::Reg(it), Operand::Imm(5));
+    b.bra_if(ps, "sweep");
+    let out = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(co));
+    b.st(Space::Global, out, 0, Operand::Reg(cur), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, n, 111, 0.1, 2.0);
+    Workload {
+        name: "sradv1",
+        abbr: "SR1",
+        suite: Suite::Rodinia,
+        paper_class: PaperClass::Compute,
+        kernel: b.build(),
+        launch: LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, (ctas * block) as u64]),
+        memory,
+        output: (ARR_B, n),
+    }
+}
+
+/// HS — hotspot: iterated 3-point clamped stencil with the thermal-update
+/// arithmetic, re-reading through registers each iteration.
+pub fn hs(scale: u32) -> Workload {
+    let ctas = 120 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("hs", 4);
+    let tid = b.tid_linear_x();
+    let tm1 = b.alu2(Op::Sub, Operand::Reg(tid), Operand::Imm(1));
+    let left = b.alu2(Op::Max, Operand::Reg(tm1), Operand::Imm(0));
+    let tp1 = b.alu2(Op::Add, Operand::Reg(tid), Operand::Imm(1));
+    let nm1 = b.alu2(Op::Sub, Operand::Param(3), Operand::Imm(1));
+    let right = b.alu2(Op::Min, Operand::Reg(tp1), Operand::Reg(nm1));
+    let co = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let lo = b.alu2(Op::Shl, Operand::Reg(left), Operand::Imm(2));
+    let ro = b.alu2(Op::Shl, Operand::Reg(right), Operand::Imm(2));
+    let ta = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(co));
+    let la = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(lo));
+    let ra = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(ro));
+    let pa = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(co));
+    let t = b.ld(Space::Global, ta, 0, Width::W32);
+    let l = b.ld(Space::Global, la, 0, Width::W32);
+    let r = b.ld(Space::Global, ra, 0, Width::W32);
+    let pw = b.ld(Space::Global, pa, 0, Width::W32);
+    let cur = b.mov(Operand::Reg(t));
+    let it = b.mov(Operand::Imm(0));
+    b.label("steps");
+    let lat = b.alu2(Op::FAdd, Operand::Reg(l), Operand::Reg(r));
+    let twice = b.alu2(Op::FMul, Operand::Reg(cur), f32imm(2.0));
+    let lap = b.alu2(Op::FSub, Operand::Reg(lat), Operand::Reg(twice));
+    let flux = b.alu3(Op::FMad, Operand::Reg(lap), f32imm(0.2), Operand::Reg(pw));
+    let damp = b.alu2(Op::FMul, Operand::Reg(flux), f32imm(0.8));
+    let e = b.alu1(Op::FExp2, Operand::Reg(damp));
+    let norm = b.alu2(Op::FAdd, Operand::Reg(e), f32imm(1.0));
+    let rc = b.alu1(Op::FRcp, Operand::Reg(norm));
+    b.alu_into(cur, Op::FMad, &[Operand::Reg(flux), Operand::Reg(rc), Operand::Reg(cur)]);
+    b.alu_into(it, Op::Add, &[Operand::Reg(it), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(it), Operand::Imm(6));
+    b.bra_if(p, "steps");
+    let out = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(co));
+    b.st(Space::Global, out, 0, Operand::Reg(cur), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, n, 112, 20.0, 90.0);
+    init_f32(&mut memory, ARR_C, n, 113, 0.0, 1.0);
+    Workload {
+        name: "hotspot",
+        abbr: "HS",
+        suite: Suite::Rodinia,
+        paper_class: PaperClass::Compute,
+        kernel: b.build(),
+        launch: LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64]),
+        memory,
+        output: (ARR_B, n),
+    }
+}
+
+/// PF — pathfinder: shared-memory dynamic-programming sweep with barriers
+/// and data `min`s.
+pub fn pf(scale: u32) -> Workload {
+    let ctas = 120 * scale;
+    let block = 128u32;
+    let rows = 8u64;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("pf", 4);
+    b.shared(block * 4);
+    let tid = b.tid_linear_x();
+    let tx = b.mov(Operand::Special(SpecialReg::TidX));
+    let soff = b.alu2(Op::Shl, Operand::Reg(tx), Operand::Imm(2));
+    // cost[tid] = wall[0][tid]
+    let goff = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let wadr = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(goff));
+    let first = b.ld(Space::Global, wadr, 0, Width::W32);
+    b.st(Space::Shared, soff, 0, Operand::Reg(first), Width::W32);
+    let row = b.mov(Operand::Imm(1));
+    let stride = b.alu2(Op::Shl, Operand::Param(3), Operand::Imm(2));
+    let rowa = b.alu2(Op::Add, Operand::Reg(wadr), Operand::Reg(stride));
+    b.label("rows");
+    b.bar();
+    // Clamped shared-memory neighbours (affine indices with min/max).
+    let txm = b.alu2(Op::Sub, Operand::Reg(tx), Operand::Imm(1));
+    let lcl = b.alu2(Op::Max, Operand::Reg(txm), Operand::Imm(0));
+    let txp = b.alu2(Op::Add, Operand::Reg(tx), Operand::Imm(1));
+    let rcl = b.alu2(Op::Min, Operand::Reg(txp), Operand::Imm(block as i64 - 1));
+    let loff = b.alu2(Op::Shl, Operand::Reg(lcl), Operand::Imm(2));
+    let roff = b.alu2(Op::Shl, Operand::Reg(rcl), Operand::Imm(2));
+    let c0 = b.ld(Space::Shared, soff, 0, Width::W32);
+    let c1 = b.ld(Space::Shared, loff, 0, Width::W32);
+    let c2 = b.ld(Space::Shared, roff, 0, Width::W32);
+    let m01 = b.alu2(Op::Min, Operand::Reg(c0), Operand::Reg(c1));
+    let m = b.alu2(Op::Min, Operand::Reg(m01), Operand::Reg(c2));
+    let w = b.ld(Space::Global, rowa, 0, Width::W32);
+    let nc = b.alu2(Op::Add, Operand::Reg(m), Operand::Reg(w));
+    b.bar();
+    b.st(Space::Shared, soff, 0, Operand::Reg(nc), Width::W32);
+    b.alu_into(rowa, Op::Add, &[Operand::Reg(rowa), Operand::Reg(stride)]);
+    b.alu_into(row, Op::Add, &[Operand::Reg(row), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(row), Operand::Param(2));
+    b.bra_if(p, "rows");
+    b.bar();
+    let fin = b.ld(Space::Shared, soff, 0, Width::W32);
+    let out = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(goff));
+    b.st(Space::Global, out, 0, Operand::Reg(fin), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_u32(&mut memory, ARR_A, n * rows as usize, 114, 10);
+    Workload {
+        name: "pathfinder",
+        abbr: "PF",
+        suite: Suite::Rodinia,
+        paper_class: PaperClass::Compute,
+        kernel: b.build(),
+        launch: LaunchConfig::linear(
+            ctas,
+            block,
+            vec![ARR_A, ARR_B, rows, (ctas * block) as u64],
+        ),
+        memory,
+        output: (ARR_B, n),
+    }
+}
+
+/// BS — Black-Scholes: pure streaming compute with a deep SFU pipeline per
+/// element.
+pub fn bs(scale: u32) -> Workload {
+    let ctas = 120 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("bs", 4);
+    let (_tid, sa) = tid_elem_addr(&mut b, 0, 2);
+    let tid2 = b.tid_linear_x();
+    let off = b.alu2(Op::Shl, Operand::Reg(tid2), Operand::Imm(2));
+    let xa = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+    let s = b.ld(Space::Global, sa, 0, Width::W32);
+    let x = b.ld(Space::Global, xa, 0, Width::W32);
+    // d1 = (log2(S/X) + 0.5) * rsqrt-ish chain; CND via exp2 polynomial.
+    let ratio = b.alu2(Op::FDiv, Operand::Reg(s), Operand::Reg(x));
+    let lg = b.alu1(Op::FLog2, Operand::Reg(ratio));
+    let d1 = b.alu3(Op::FMad, Operand::Reg(lg), f32imm(0.7), f32imm(0.25));
+    let d2 = b.alu2(Op::FSub, Operand::Reg(d1), f32imm(0.3));
+    let cnd = |b: &mut KernelBuilder, d: simt_ir::RegId| {
+        let nd = b.alu1(Op::FNeg, Operand::Reg(d));
+        let sq = b.alu2(Op::FMul, Operand::Reg(nd), Operand::Reg(nd));
+        let half = b.alu2(Op::FMul, Operand::Reg(sq), f32imm(-0.5));
+        let e = b.alu1(Op::FExp2, Operand::Reg(half));
+        let den = b.alu2(Op::FAdd, Operand::Reg(e), f32imm(1.0));
+        b.alu1(Op::FRcp, Operand::Reg(den))
+    };
+    let c1 = cnd(&mut b, d1);
+    let c2 = cnd(&mut b, d2);
+    // Iterative refinement (Newton-style polish) for compute weight.
+    let it = b.mov(Operand::Imm(0));
+    b.label("polish");
+    let q = b.alu2(Op::FMul, Operand::Reg(c1), Operand::Reg(c2));
+    let e = b.alu1(Op::FExp2, Operand::Reg(q));
+    let l = b.alu1(Op::FLog2, Operand::Reg(e));
+    let adj = b.alu2(Op::FSub, Operand::Reg(l), Operand::Reg(q));
+    b.alu_into(c1, Op::FMad, &[Operand::Reg(adj), f32imm(0.001), Operand::Reg(c1)]);
+    b.alu_into(c2, Op::FMad, &[Operand::Reg(adj), f32imm(-0.001), Operand::Reg(c2)]);
+    b.alu_into(it, Op::Add, &[Operand::Reg(it), Operand::Imm(1)]);
+    let pp = b.setp(CmpOp::Lt, Operand::Reg(it), Operand::Imm(16));
+    b.bra_if(pp, "polish");
+    let disc = b.alu2(Op::FMul, Operand::Reg(x), f32imm(0.95));
+    let term1 = b.alu2(Op::FMul, Operand::Reg(s), Operand::Reg(c1));
+    let term2 = b.alu2(Op::FMul, Operand::Reg(disc), Operand::Reg(c2));
+    let call = b.alu2(Op::FSub, Operand::Reg(term1), Operand::Reg(term2));
+    let put = b.alu2(Op::FSub, Operand::Reg(call), Operand::Reg(s));
+    let oc = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(off));
+    let op = b.alu2(Op::Add, Operand::Param(3), Operand::Reg(off));
+    b.st(Space::Global, oc, 0, Operand::Reg(call), Width::W32);
+    b.st(Space::Global, op, 0, Operand::Reg(put), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, n, 115, 10.0, 100.0);
+    init_f32(&mut memory, ARR_B, n, 116, 10.0, 100.0);
+    Workload {
+        name: "blackscholes",
+        abbr: "BS",
+        suite: Suite::Parboil,
+        paper_class: PaperClass::Compute,
+        kernel: b.build(),
+        launch: LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, super::ARR_D]),
+        memory,
+        output: (ARR_C, n),
+    }
+}

@@ -1,0 +1,948 @@
+//! The 18 memory-intensive benchmarks (paper Table 2, right column).
+//!
+//! Streaming kernels with little arithmetic per byte (LIB/LBM/ST/SR2/CS),
+//! tiled shared-memory GEMM (SG), atomic histogramming (IMG/HI), sparse and
+//! graph kernels whose indirect accesses defeat affine decoupling
+//! (SPV/BT/BFS/CFD — the paper's low-gain cases), clustering loops
+//! (SC/KM), RNG-state updates with modulo addressing (MC/MT), and a
+//! reduction with shared memory and barriers (SP).
+
+use super::{init_f32, init_u32, tid_elem_addr, ARR_A, ARR_B, ARR_C, ARR_D};
+use crate::{PaperClass, Suite, Workload};
+use simt_ir::{
+    AtomOp, CmpOp, Dim3, KernelBuilder, LaunchConfig, Op, Operand, Space, SpecialReg, Width,
+};
+use simt_mem::SparseMemory;
+
+fn f32imm(v: f32) -> Operand {
+    Operand::Imm(v.to_bits() as i64)
+}
+
+fn wl(
+    name: &'static str,
+    abbr: &'static str,
+    suite: Suite,
+    b: KernelBuilder,
+    launch: LaunchConfig,
+    memory: SparseMemory,
+    output: (u64, usize),
+) -> Workload {
+    Workload {
+        name,
+        abbr,
+        suite,
+        paper_class: PaperClass::Memory,
+        kernel: b.build(),
+        launch,
+        memory,
+        output,
+    }
+}
+
+/// LIB — streaming SAXPY-style kernel over several iterations.
+pub fn lib(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let iters = 14u64;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("lib", 4);
+    let (_tid, a0) = tid_elem_addr(&mut b, 0, 2);
+    let tid = b.tid_linear_x();
+    let off = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let b0 = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+    let o0 = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(off));
+    let step = b.alu2(Op::Shl, Operand::Param(3), Operand::Imm(2));
+    let i = b.mov(Operand::Imm(0));
+    b.label("loop");
+    let va = b.ld(Space::Global, a0, 0, Width::W32);
+    let vb = b.ld(Space::Global, b0, 0, Width::W32);
+    let r = b.alu3(Op::FMad, Operand::Reg(va), f32imm(1.5), Operand::Reg(vb));
+    b.st(Space::Global, o0, 0, Operand::Reg(r), Width::W32);
+    b.alu_into(a0, Op::Add, &[Operand::Reg(a0), Operand::Reg(step)]);
+    b.alu_into(b0, Op::Add, &[Operand::Reg(b0), Operand::Reg(step)]);
+    b.alu_into(o0, Op::Add, &[Operand::Reg(o0), Operand::Reg(step)]);
+    b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Imm(iters as i64));
+    b.bra_if(p, "loop");
+    b.exit();
+    let total = n * iters as usize;
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, total, 201, -1.0, 1.0);
+    init_f32(&mut memory, ARR_B, total, 202, -1.0, 1.0);
+    wl(
+        "LIB",
+        "LIB",
+        Suite::GpgpuSim,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64]),
+        memory,
+        (ARR_C, total),
+    )
+}
+
+/// SG — sgemm: 16×16-tiled matrix multiply through shared memory.
+pub fn sg(scale: u32) -> Workload {
+    let tiles = 5 * scale; // grid is tiles × tiles
+    let dim = 16u32;
+    let k = 64u64; // inner dimension
+    let n_out = (tiles * dim) as usize * (tiles * dim) as usize;
+    let row_elems = (tiles * dim) as u64;
+    let mut b = KernelBuilder::new("sg", 5);
+    b.shared(2 * 16 * 16 * 4);
+    // Global row/col of this thread's output element.
+    let row = b.alu3(
+        Op::Mad,
+        Operand::Special(SpecialReg::CtaIdY),
+        Operand::Imm(16),
+        Operand::Special(SpecialReg::TidY),
+    );
+    let col = b.alu3(
+        Op::Mad,
+        Operand::Special(SpecialReg::CtaIdX),
+        Operand::Imm(16),
+        Operand::Special(SpecialReg::TidX),
+    );
+    let acc = b.mov(f32imm(0.0));
+    let t = b.mov(Operand::Imm(0));
+    // Shared tile offsets for this thread.
+    let sa_off = b.alu3(
+        Op::Mad,
+        Operand::Special(SpecialReg::TidY),
+        Operand::Imm(64),
+        Operand::Imm(0),
+    );
+    let sa_mine = b.alu3(
+        Op::Mad,
+        Operand::Special(SpecialReg::TidX),
+        Operand::Imm(4),
+        Operand::Reg(sa_off),
+    );
+    let sb_mine = b.alu2(Op::Add, Operand::Reg(sa_mine), Operand::Imm(1024));
+    b.label("tiles");
+    // Cooperative loads: A[row][t*16+tx], B[t*16+ty][col].
+    let acol = b.alu3(Op::Mad, Operand::Reg(t), Operand::Imm(16), Operand::Special(SpecialReg::TidX));
+    let aidx = b.alu3(Op::Mad, Operand::Reg(row), Operand::Param(3), Operand::Reg(acol));
+    let aoff = b.alu2(Op::Shl, Operand::Reg(aidx), Operand::Imm(2));
+    let aaddr = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(aoff));
+    let av = b.ld(Space::Global, aaddr, 0, Width::W32);
+    b.st(Space::Shared, sa_mine, 0, Operand::Reg(av), Width::W32);
+    let brow = b.alu3(Op::Mad, Operand::Reg(t), Operand::Imm(16), Operand::Special(SpecialReg::TidY));
+    let bidx = b.alu3(Op::Mad, Operand::Reg(brow), Operand::Param(4), Operand::Reg(col));
+    let boff = b.alu2(Op::Shl, Operand::Reg(bidx), Operand::Imm(2));
+    let baddr = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(boff));
+    let bv = b.ld(Space::Global, baddr, 0, Width::W32);
+    b.st(Space::Shared, sb_mine, 0, Operand::Reg(bv), Width::W32);
+    b.bar();
+    // Inner product: A from the shared tile, B streamed from global (the
+    // bandwidth-bound variant — Table 2 classifies sgemm memory-intensive).
+    let kk = b.mov(Operand::Imm(0));
+    let sa_row = b.mov(Operand::Reg(sa_off));
+    let bstride = b.alu2(Op::Shl, Operand::Param(4), Operand::Imm(2));
+    let gb = b.mov(Operand::Reg(baddr));
+    b.label("inner");
+    let x = b.ld(Space::Shared, sa_row, 0, Width::W32);
+    let y = b.ld(Space::Global, gb, 0, Width::W32);
+    b.alu_into(acc, Op::FMad, &[Operand::Reg(x), Operand::Reg(y), Operand::Reg(acc)]);
+    b.alu_into(sa_row, Op::Add, &[Operand::Reg(sa_row), Operand::Imm(4)]);
+    b.alu_into(gb, Op::Add, &[Operand::Reg(gb), Operand::Reg(bstride)]);
+    b.alu_into(kk, Op::Add, &[Operand::Reg(kk), Operand::Imm(1)]);
+    let pi = b.setp(CmpOp::Lt, Operand::Reg(kk), Operand::Imm(8));
+    b.bra_if(pi, "inner");
+    b.bar();
+    b.alu_into(t, Op::Add, &[Operand::Reg(t), Operand::Imm(1)]);
+    let pt = b.setp(CmpOp::Lt, Operand::Reg(t), Operand::Imm((k / 16) as i64));
+    b.bra_if(pt, "tiles");
+    let oidx = b.alu3(Op::Mad, Operand::Reg(row), Operand::Param(4), Operand::Reg(col));
+    let ooff = b.alu2(Op::Shl, Operand::Reg(oidx), Operand::Imm(2));
+    let oaddr = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(ooff));
+    b.st(Space::Global, oaddr, 0, Operand::Reg(acc), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, (row_elems * k) as usize, 203, -1.0, 1.0);
+    init_f32(&mut memory, ARR_B, (k * row_elems) as usize, 204, -1.0, 1.0);
+    wl(
+        "sgemm",
+        "SG",
+        Suite::Rodinia,
+        b,
+        LaunchConfig {
+            grid: Dim3::xy(tiles, tiles),
+            block: Dim3::xy(16, 16),
+            params: vec![ARR_A, ARR_B, ARR_C, k, row_elems],
+        },
+        memory,
+        (ARR_C, n_out),
+    )
+}
+
+/// ST — 3-D 7-point stencil (interior sweep, displacement addressing).
+pub fn st(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let plane = 2048i64; // bytes between z-planes
+    let n = (ctas * block) as usize;
+    let zplanes = 14u64;
+    let mut b = KernelBuilder::new("st", 3);
+    let (_tid, center) = tid_elem_addr(&mut b, 0, 2);
+    let tid2 = b.tid_linear_x();
+    let off = b.alu2(Op::Shl, Operand::Reg(tid2), Operand::Imm(2));
+    let out = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+    let ostride = b.alu2(Op::Shl, Operand::Param(2), Operand::Imm(2));
+    let z = b.mov(Operand::Imm(0));
+    b.label("planes");
+    // Displacement addressing exercises enq with non-zero offsets.
+    let c = b.ld(Space::Global, center, plane, Width::W32);
+    let w = b.ld(Space::Global, center, plane - 4, Width::W32);
+    let e = b.ld(Space::Global, center, plane + 4, Width::W32);
+    let up = b.ld(Space::Global, center, 0, Width::W32);
+    let dn = b.ld(Space::Global, center, 2 * plane, Width::W32);
+    let s1 = b.alu2(Op::FAdd, Operand::Reg(w), Operand::Reg(e));
+    let s2 = b.alu2(Op::FAdd, Operand::Reg(up), Operand::Reg(dn));
+    let s3 = b.alu2(Op::FAdd, Operand::Reg(s1), Operand::Reg(s2));
+    let r = b.alu3(Op::FMad, Operand::Reg(c), f32imm(-4.0), Operand::Reg(s3));
+    b.st(Space::Global, out, 0, Operand::Reg(r), Width::W32);
+    b.alu_into(center, Op::Add, &[Operand::Reg(center), Operand::Reg(ostride)]);
+    b.alu_into(out, Op::Add, &[Operand::Reg(out), Operand::Reg(ostride)]);
+    b.alu_into(z, Op::Add, &[Operand::Reg(z), Operand::Imm(1)]);
+    let pz = b.setp(CmpOp::Lt, Operand::Reg(z), Operand::Imm(zplanes as i64));
+    b.bra_if(pz, "planes");
+    b.exit();
+    let total = n * zplanes as usize;
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, total + (3 * plane as usize) / 4, 205, -1.0, 1.0);
+    wl(
+        "stencil",
+        "ST",
+        Suite::Rodinia,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, (ctas * block) as u64]),
+        memory,
+        (ARR_B, total),
+    )
+}
+
+/// IMG — imghisto: pixel loads are affine; the histogram update is a
+/// data-dependent global atomic.
+pub fn img(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let batches = 14u64;
+    let mut b = KernelBuilder::new("img", 3);
+    let (_tid, addr) = tid_elem_addr(&mut b, 0, 2);
+    let stride = b.alu2(Op::Shl, Operand::Param(2), Operand::Imm(2));
+    let i = b.mov(Operand::Imm(0));
+    b.label("pixels");
+    let v = b.ld(Space::Global, addr, 0, Width::W32);
+    let bin = b.alu2(Op::And, Operand::Reg(v), Operand::Imm(255));
+    let boff = b.alu2(Op::Shl, Operand::Reg(bin), Operand::Imm(2));
+    let haddr = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(boff));
+    let _old = b.atom(AtomOp::Add, haddr, 0, Operand::Imm(1));
+    b.alu_into(addr, Op::Add, &[Operand::Reg(addr), Operand::Reg(stride)]);
+    b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+    let pi = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Imm(batches as i64));
+    b.bra_if(pi, "pixels");
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_u32(&mut memory, ARR_A, n * batches as usize, 206, u32::MAX);
+    wl(
+        "imghisto",
+        "IMG",
+        Suite::GpgpuSim,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, (ctas * block) as u64]),
+        memory,
+        (ARR_B, 256),
+    )
+}
+
+/// HI — histogram with a per-CTA shared-memory stage merged by atomics.
+pub fn hi(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 256u32;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("hi", 2);
+    b.shared(block * 4);
+    // Stage pixels through shared memory (the real kernel's per-CTA
+    // staging, kept deterministic), then count with global atomics.
+    let tx = b.mov(Operand::Special(SpecialReg::TidX));
+    let soff = b.alu2(Op::Shl, Operand::Reg(tx), Operand::Imm(2));
+    let (_tid, addr) = tid_elem_addr(&mut b, 0, 2);
+    let v = b.ld(Space::Global, addr, 0, Width::W32);
+    b.st(Space::Shared, soff, 0, Operand::Reg(v), Width::W32);
+    b.bar();
+    // Each thread bins its neighbour's pixel (forces the shared stage to
+    // matter).
+    let nx = b.alu2(Op::Add, Operand::Reg(tx), Operand::Imm(1));
+    let nwrap = b.alu2(Op::Rem, Operand::Reg(nx), Operand::Imm(block as i64));
+    let noff = b.alu2(Op::Shl, Operand::Reg(nwrap), Operand::Imm(2));
+    let pix = b.ld(Space::Shared, noff, 0, Width::W32);
+    let bin = b.alu2(Op::And, Operand::Reg(pix), Operand::Imm(255));
+    let boff = b.alu2(Op::Shl, Operand::Reg(bin), Operand::Imm(2));
+    let gaddr = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(boff));
+    let _old = b.atom(AtomOp::Add, gaddr, 0, Operand::Imm(1));
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_u32(&mut memory, ARR_A, n, 207, u32::MAX);
+    wl(
+        "histogram",
+        "HI",
+        Suite::Rodinia,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B]),
+        memory,
+        (ARR_B, 256),
+    )
+}
+
+/// LBM — lattice-Boltzmann: stream eight distribution arrays with a light
+/// collision step.
+pub fn lbm(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let nf = 8u64;
+    let mut b = KernelBuilder::new("lbm", 3);
+    let (_tid, base) = tid_elem_addr(&mut b, 0, 2);
+    let arr_stride = b.alu2(Op::Shl, Operand::Param(2), Operand::Imm(2));
+    // Load 8 distributions f_i from consecutive arrays.
+    let mut fs = Vec::new();
+    let fa = b.mov(Operand::Reg(base));
+    for _ in 0..nf {
+        let f = b.ld(Space::Global, fa, 0, Width::W32);
+        fs.push(f);
+        b.alu_into(fa, Op::Add, &[Operand::Reg(fa), Operand::Reg(arr_stride)]);
+    }
+    // Collision: relax toward the mean.
+    let mut sum = b.mov(Operand::Reg(fs[0]));
+    for &f in &fs[1..] {
+        sum = b.alu2(Op::FAdd, Operand::Reg(sum), Operand::Reg(f));
+    }
+    let mean = b.alu2(Op::FMul, Operand::Reg(sum), f32imm(0.125));
+    // Store 8 relaxed distributions into the output arrays.
+    let tid2 = b.tid_linear_x();
+    let off = b.alu2(Op::Shl, Operand::Reg(tid2), Operand::Imm(2));
+    let oa = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+    for &f in &fs {
+        let d = b.alu2(Op::FSub, Operand::Reg(mean), Operand::Reg(f));
+        let nv = b.alu3(Op::FMad, Operand::Reg(d), f32imm(0.6), Operand::Reg(f));
+        b.st(Space::Global, oa, 0, Operand::Reg(nv), Width::W32);
+        b.alu_into(oa, Op::Add, &[Operand::Reg(oa), Operand::Reg(arr_stride)]);
+    }
+    b.exit();
+    let total = n * nf as usize;
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, total, 208, 0.0, 1.0);
+    wl(
+        "LBM",
+        "LBM",
+        Suite::Rodinia,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, (ctas * block) as u64]),
+        memory,
+        (ARR_B, total),
+    )
+}
+
+/// SPV — CSR sparse matrix-vector: affine row-pointer loads, then a
+/// data-dependent inner loop with indirect column accesses.
+pub fn spv(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let rows = (ctas * block) as usize;
+    let nnz_per_row = 6usize;
+    let mut b = KernelBuilder::new("spv", 5);
+    let tid = b.tid_linear_x();
+    let roff = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let rp = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(roff));
+    let start = b.ld(Space::Global, rp, 0, Width::W32);
+    let end = b.ld(Space::Global, rp, 4, Width::W32);
+    let acc = b.mov(f32imm(0.0));
+    let j = b.mov(Operand::Reg(start));
+    b.label("nz");
+    let pj = b.setp(CmpOp::Ge, Operand::Reg(j), Operand::Reg(end));
+    b.bra_if(pj, "done");
+    let joff = b.alu2(Op::Shl, Operand::Reg(j), Operand::Imm(2));
+    let ca = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(joff));
+    let col = b.ld(Space::Global, ca, 0, Width::W32);
+    let va = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(joff));
+    let val = b.ld(Space::Global, va, 0, Width::W32);
+    let xoff = b.alu2(Op::Shl, Operand::Reg(col), Operand::Imm(2));
+    let xa = b.alu2(Op::Add, Operand::Param(3), Operand::Reg(xoff));
+    let x = b.ld(Space::Global, xa, 0, Width::W32);
+    b.alu_into(acc, Op::FMad, &[Operand::Reg(val), Operand::Reg(x), Operand::Reg(acc)]);
+    b.alu_into(j, Op::Add, &[Operand::Reg(j), Operand::Imm(1)]);
+    b.bra("nz");
+    b.label("done");
+    let out = b.alu2(Op::Add, Operand::Param(4), Operand::Reg(roff));
+    b.st(Space::Global, out, 0, Operand::Reg(acc), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    // Row pointers: uniform nnz per row.
+    let rp_data: Vec<u32> = (0..=rows as u32).map(|r| r * nnz_per_row as u32).collect();
+    memory.write_u32_slice(ARR_A, &rp_data);
+    init_u32(&mut memory, ARR_B, rows * nnz_per_row, 209, rows as u32);
+    init_f32(&mut memory, ARR_C, rows * nnz_per_row, 210, -1.0, 1.0);
+    init_f32(&mut memory, ARR_D, rows, 211, -1.0, 1.0);
+    wl(
+        "SPMV",
+        "SPV",
+        Suite::Rodinia,
+        b,
+        LaunchConfig::linear(
+            ctas,
+            block,
+            vec![ARR_A, ARR_B, ARR_C, ARR_D, ARR_D + 0x40_0000],
+        ),
+        memory,
+        (ARR_D + 0x40_0000, rows),
+    )
+}
+
+/// BT — b+tree: pointer-chasing traversal; indirect loads dominate and
+/// DAC finds almost nothing to decouple (the paper's low-gain case).
+pub fn bt(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let nodes = 4096u32;
+    let mut b = KernelBuilder::new("bt", 3);
+    let (_tid, kaddr) = tid_elem_addr(&mut b, 0, 2);
+    let key = b.ld(Space::Global, kaddr, 0, Width::W32);
+    let node = b.mov(Operand::Imm(0));
+    let lvl = b.mov(Operand::Imm(0));
+    b.label("walk");
+    // child = tree[node*8 + (key >> level) & 7]
+    let kshift = b.alu2(Op::Shr, Operand::Reg(key), Operand::Reg(lvl));
+    let slot = b.alu2(Op::And, Operand::Reg(kshift), Operand::Imm(7));
+    let nidx = b.alu3(Op::Mad, Operand::Reg(node), Operand::Imm(8), Operand::Reg(slot));
+    let noff = b.alu2(Op::Shl, Operand::Reg(nidx), Operand::Imm(2));
+    let naddr = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(noff));
+    let child = b.ld(Space::Global, naddr, 0, Width::W32);
+    b.alu_into(node, Op::Mov, &[Operand::Reg(child)]);
+    b.alu_into(lvl, Op::Add, &[Operand::Reg(lvl), Operand::Imm(3)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(lvl), Operand::Imm(12));
+    b.bra_if(p, "walk");
+    let tid2 = b.tid_linear_x();
+    let ooff = b.alu2(Op::Shl, Operand::Reg(tid2), Operand::Imm(2));
+    let out = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(ooff));
+    b.st(Space::Global, out, 0, Operand::Reg(node), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_u32(&mut memory, ARR_A, n, 212, u32::MAX);
+    init_u32(&mut memory, ARR_B, nodes as usize * 8, 213, nodes / 2);
+    wl(
+        "b+tree",
+        "BT",
+        Suite::CudaSdk,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C]),
+        memory,
+        (ARR_C, n),
+    )
+}
+
+/// LUD — LU decomposition row update: strided 2-D affine accesses.
+pub fn lud(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let steps = 12u64;
+    let mut b = KernelBuilder::new("lud", 4);
+    let (_tid, own) = tid_elem_addr(&mut b, 0, 2);
+    let v = b.ld(Space::Global, own, 0, Width::W32);
+    let cur = b.mov(Operand::Reg(v));
+    let k = b.mov(Operand::Imm(0));
+    let pivot_a = b.mov(Operand::Param(2));
+    let rowstride = b.alu2(Op::Shl, Operand::Param(3), Operand::Imm(2));
+    b.label("elim");
+    // Pivot element for this step (scalar load).
+    let piv = b.ld(Space::Global, pivot_a, 0, Width::W32);
+    let scaled = b.alu2(Op::FMul, Operand::Reg(piv), f32imm(0.25));
+    b.alu_into(cur, Op::FSub, &[Operand::Reg(cur), Operand::Reg(scaled)]);
+    b.alu_into(pivot_a, Op::Add, &[Operand::Reg(pivot_a), Operand::Reg(rowstride)]);
+    b.alu_into(k, Op::Add, &[Operand::Reg(k), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(k), Operand::Imm(steps as i64));
+    b.bra_if(p, "elim");
+    let tid2 = b.tid_linear_x();
+    let ooff = b.alu2(Op::Shl, Operand::Reg(tid2), Operand::Imm(2));
+    let out = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(ooff));
+    b.st(Space::Global, out, 0, Operand::Reg(cur), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, n, 214, -2.0, 2.0);
+    init_f32(&mut memory, ARR_C, n, 215, -2.0, 2.0);
+    wl(
+        "LUD",
+        "LUD",
+        Suite::CudaSdk,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, 64]),
+        memory,
+        (ARR_B, n),
+    )
+}
+
+/// SR2 — srad v2: interior 3-point stencil, streaming with light compute.
+pub fn sr2(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let rows = 14u64;
+    let mut b = KernelBuilder::new("sr2", 3);
+    let (_tid, c) = tid_elem_addr(&mut b, 0, 2);
+    let tid2 = b.tid_linear_x();
+    let off = b.alu2(Op::Shl, Operand::Reg(tid2), Operand::Imm(2));
+    let out = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+    let stride = b.alu2(Op::Shl, Operand::Param(2), Operand::Imm(2));
+    let row = b.mov(Operand::Imm(0));
+    b.label("rows");
+    let mid = b.ld(Space::Global, c, 4, Width::W32);
+    let l = b.ld(Space::Global, c, 0, Width::W32);
+    let r = b.ld(Space::Global, c, 8, Width::W32);
+    let s = b.alu2(Op::FAdd, Operand::Reg(l), Operand::Reg(r));
+    let upd = b.alu3(Op::FMad, Operand::Reg(mid), f32imm(-1.9), Operand::Reg(s));
+    b.st(Space::Global, out, 0, Operand::Reg(upd), Width::W32);
+    b.alu_into(c, Op::Add, &[Operand::Reg(c), Operand::Reg(stride)]);
+    b.alu_into(out, Op::Add, &[Operand::Reg(out), Operand::Reg(stride)]);
+    b.alu_into(row, Op::Add, &[Operand::Reg(row), Operand::Imm(1)]);
+    let pr = b.setp(CmpOp::Lt, Operand::Reg(row), Operand::Imm(rows as i64));
+    b.bra_if(pr, "rows");
+    b.exit();
+    let total = n * rows as usize;
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, total + 2, 216, 0.0, 1.0);
+    wl(
+        "sradv2",
+        "SR2",
+        Suite::CudaSdk,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, (ctas * block) as u64]),
+        memory,
+        (ARR_B, total),
+    )
+}
+
+/// SC — streamcluster: distance evaluation of each point against a scalar
+/// loop of centers, re-loading point coordinates each round.
+pub fn sc(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let dims = 4u64;
+    let centers = 6u64;
+    let mut b = KernelBuilder::new("sc", 4);
+    let tid = b.tid_linear_x();
+    let best = b.mov(f32imm(1e30));
+    let cidx = b.mov(Operand::Imm(0));
+    let ca = b.mov(Operand::Param(1));
+    b.label("centers");
+    // Distance over dims: reload the point's coordinates (strided affine).
+    let dist = b.mov(f32imm(0.0));
+    let d = b.mov(Operand::Imm(0));
+    let pidx = b.alu3(Op::Mad, Operand::Reg(tid), Operand::Imm(dims as i64), Operand::Imm(0));
+    let poff = b.alu2(Op::Shl, Operand::Reg(pidx), Operand::Imm(2));
+    let pa = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(poff));
+    b.label("dims");
+    let pv = b.ld(Space::Global, pa, 0, Width::W32);
+    let cv = b.ld(Space::Global, ca, 0, Width::W32);
+    let diff = b.alu2(Op::FSub, Operand::Reg(pv), Operand::Reg(cv));
+    b.alu_into(dist, Op::FMad, &[Operand::Reg(diff), Operand::Reg(diff), Operand::Reg(dist)]);
+    b.alu_into(pa, Op::Add, &[Operand::Reg(pa), Operand::Imm(4)]);
+    b.alu_into(ca, Op::Add, &[Operand::Reg(ca), Operand::Imm(4)]);
+    b.alu_into(d, Op::Add, &[Operand::Reg(d), Operand::Imm(1)]);
+    let pd = b.setp(CmpOp::Lt, Operand::Reg(d), Operand::Imm(dims as i64));
+    b.bra_if(pd, "dims");
+    b.alu_into(best, Op::FMin, &[Operand::Reg(best), Operand::Reg(dist)]);
+    b.alu_into(cidx, Op::Add, &[Operand::Reg(cidx), Operand::Imm(1)]);
+    let pc = b.setp(CmpOp::Lt, Operand::Reg(cidx), Operand::Imm(centers as i64));
+    b.bra_if(pc, "centers");
+    let ooff = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let out = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(ooff));
+    b.st(Space::Global, out, 0, Operand::Reg(best), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, n * dims as usize, 217, -1.0, 1.0);
+    init_f32(&mut memory, ARR_B, (centers * dims) as usize, 218, -1.0, 1.0);
+    wl(
+        "stream cluster",
+        "SC",
+        Suite::CudaSdk,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, 0]),
+        memory,
+        (ARR_C, n),
+    )
+}
+
+/// KM — kmeans membership assignment: like SC plus an argmin index store.
+pub fn km(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let clusters = 5u64;
+    let mut b = KernelBuilder::new("km", 4);
+    let tid = b.tid_linear_x();
+    let poff = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let pa = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(poff));
+    let best = b.mov(f32imm(1e30));
+    let bestc = b.mov(Operand::Imm(0));
+    let c = b.mov(Operand::Imm(0));
+    let ca = b.mov(Operand::Param(1));
+    let feat = b.alu2(Op::Shl, Operand::Param(3), Operand::Imm(2));
+    b.label("cl");
+    // The real kernel re-reads the (multi-dimensional) feature vector per
+    // cluster; model that with a strided reload.
+    let point = b.ld(Space::Global, pa, 0, Width::W32);
+    b.alu_into(pa, Op::Add, &[Operand::Reg(pa), Operand::Reg(feat)]);
+    let cv = b.ld(Space::Global, ca, 0, Width::W32);
+    let diff = b.alu2(Op::FSub, Operand::Reg(point), Operand::Reg(cv));
+    let d2 = b.alu2(Op::FMul, Operand::Reg(diff), Operand::Reg(diff));
+    let better = b.setp_f(CmpOp::Lt, Operand::Reg(d2), Operand::Reg(best));
+    let nb = b.sel(better, Operand::Reg(d2), Operand::Reg(best));
+    b.alu_into(best, Op::Mov, &[Operand::Reg(nb)]);
+    let nc = b.sel(better, Operand::Reg(c), Operand::Reg(bestc));
+    b.alu_into(bestc, Op::Mov, &[Operand::Reg(nc)]);
+    b.alu_into(ca, Op::Add, &[Operand::Reg(ca), Operand::Imm(4)]);
+    b.alu_into(c, Op::Add, &[Operand::Reg(c), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(c), Operand::Imm(clusters as i64));
+    b.bra_if(p, "cl");
+    let out = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(poff));
+    b.st(Space::Global, out, 0, Operand::Reg(bestc), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, n * (clusters as usize + 1), 219, -4.0, 4.0);
+    init_f32(&mut memory, ARR_B, clusters as usize, 220, -4.0, 4.0);
+    wl(
+        "KMEANS",
+        "KM",
+        Suite::CudaSdk,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64]),
+        memory,
+        (ARR_C, n),
+    )
+}
+
+/// BFS — frontier expansion with data-dependent control flow and indirect
+/// neighbour loads (nothing for DAC here — the paper's worst case).
+pub fn bfs(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let deg = 4usize;
+    let mut b = KernelBuilder::new("bfs", 5);
+    let tid = b.tid_linear_x();
+    let foff = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let fa = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(foff));
+    let active = b.ld(Space::Global, fa, 0, Width::W32);
+    let pskip = b.setp(CmpOp::Eq, Operand::Reg(active), Operand::Imm(0));
+    b.bra_if(pskip, "skip");
+    // Visit neighbours: indices from the edge list (indirect).
+    let e = b.mov(Operand::Imm(0));
+    let eidx = b.alu3(Op::Mad, Operand::Reg(tid), Operand::Imm(deg as i64), Operand::Imm(0));
+    let eoff = b.alu2(Op::Shl, Operand::Reg(eidx), Operand::Imm(2));
+    let ea = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(eoff));
+    b.label("edges");
+    let nbr = b.ld(Space::Global, ea, 0, Width::W32);
+    let noff = b.alu2(Op::Shl, Operand::Reg(nbr), Operand::Imm(2));
+    let costa = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(noff));
+    let cost = b.ld(Space::Global, costa, 0, Width::W32);
+    let newc = b.alu2(Op::Add, Operand::Reg(cost), Operand::Imm(1));
+    let outa = b.alu2(Op::Add, Operand::Param(3), Operand::Reg(noff));
+    b.st(Space::Global, outa, 0, Operand::Reg(newc), Width::W32);
+    b.alu_into(ea, Op::Add, &[Operand::Reg(ea), Operand::Imm(4)]);
+    b.alu_into(e, Op::Add, &[Operand::Reg(e), Operand::Imm(1)]);
+    let pe = b.setp(CmpOp::Lt, Operand::Reg(e), Operand::Imm(deg as i64));
+    b.bra_if(pe, "edges");
+    b.label("skip");
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_u32(&mut memory, ARR_A, n, 221, 2); // ~half the frontier active
+    init_u32(&mut memory, ARR_B, n * deg, 222, n as u32);
+    init_u32(&mut memory, ARR_C, n, 223, 30);
+    wl(
+        "BFS",
+        "BFS",
+        Suite::CudaSdk,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, ARR_D, 0]),
+        memory,
+        (ARR_D, n),
+    )
+}
+
+/// CFD — unstructured-mesh flux: affine neighbour-index loads followed by
+/// indirect value gathers (partially decoupleable).
+pub fn cfd(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("cfd", 4);
+    let (_tid, nbra) = tid_elem_addr(&mut b, 0, 4); // 4 neighbour ids/cell
+    let tid = b.tid_linear_x();
+    let coff = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let va = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(coff));
+    let own = b.ld(Space::Global, va, 0, Width::W32);
+    let flux = b.mov(f32imm(0.0));
+    for k in 0..4i64 {
+        let nid = b.ld(Space::Global, nbra, 4 * k, Width::W32);
+        let noff = b.alu2(Op::Shl, Operand::Reg(nid), Operand::Imm(2));
+        let na = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(noff));
+        let nv = b.ld(Space::Global, na, 0, Width::W32);
+        let d = b.alu2(Op::FSub, Operand::Reg(nv), Operand::Reg(own));
+        b.alu_into(flux, Op::FMad, &[Operand::Reg(d), f32imm(0.25), Operand::Reg(flux)]);
+    }
+    let out = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(coff));
+    b.st(Space::Global, out, 0, Operand::Reg(flux), Width::W32);
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_u32(&mut memory, ARR_A, n * 4, 224, n as u32);
+    init_f32(&mut memory, ARR_B, n, 225, -1.0, 1.0);
+    wl(
+        "CFD",
+        "CFD",
+        Suite::CudaSdk,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, 0]),
+        memory,
+        (ARR_C, n),
+    )
+}
+
+/// MC — monte carlo: per-thread RNG walk storing every path sample.
+pub fn mc(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let steps = 12u64;
+    let mut b = KernelBuilder::new("mc", 4);
+    let (_tid, sa) = tid_elem_addr(&mut b, 0, 2);
+    let seed = b.ld(Space::Global, sa, 0, Width::W32);
+    let state = b.mov(Operand::Reg(seed));
+    let i = b.mov(Operand::Imm(0));
+    let tid2 = b.tid_linear_x();
+    let poff = b.alu2(Op::Shl, Operand::Reg(tid2), Operand::Imm(2));
+    let path = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(poff));
+    let stride = b.alu2(Op::Shl, Operand::Param(3), Operand::Imm(2));
+    b.label("walk");
+    // LCG step on data.
+    let m1 = b.alu3(Op::Mad, Operand::Reg(state), Operand::Imm(1664525), Operand::Imm(1013904223));
+    let m2 = b.alu2(Op::And, Operand::Reg(m1), Operand::Imm(0xFFFF_FFFF));
+    b.alu_into(state, Op::Mov, &[Operand::Reg(m2)]);
+    b.st(Space::Global, path, 0, Operand::Reg(state), Width::W32);
+    b.alu_into(path, Op::Add, &[Operand::Reg(path), Operand::Reg(stride)]);
+    b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+    let p = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Param(2));
+    b.bra_if(p, "walk");
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_u32(&mut memory, ARR_A, n, 226, u32::MAX);
+    wl(
+        "monte carlo",
+        "MC",
+        Suite::Parboil,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, steps, (ctas * block) as u64]),
+        memory,
+        (ARR_B, n * steps as usize),
+    )
+}
+
+/// MT — mersenne twister: state mixing with a modulo-mapped partner index
+/// (affine-mod loads) and streaming output.
+pub fn mt(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let period = 397i64;
+    let segs = 14u64;
+    let mut b = KernelBuilder::new("mt", 3);
+    let tid = b.tid_linear_x();
+    // partner = (tid + 397) mod n  — mod-type affine tuple.
+    let shifted = b.alu2(Op::Add, Operand::Reg(tid), Operand::Imm(period));
+    let partner = b.alu2(Op::Rem, Operand::Reg(shifted), Operand::Imm(n as i64));
+    let so = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let po = b.alu2(Op::Shl, Operand::Reg(partner), Operand::Imm(2));
+    let sa = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(so));
+    let pa = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(po));
+    let out = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(so));
+    let stride = b.alu2(Op::Shl, Operand::Param(2), Operand::Imm(2));
+    let seg = b.mov(Operand::Imm(0));
+    b.label("segs");
+    let s = b.ld(Space::Global, sa, 0, Width::W32);
+    let q = b.ld(Space::Global, pa, 0, Width::W32);
+    // Tempering (data ops).
+    let x = b.alu2(Op::Xor, Operand::Reg(s), Operand::Reg(q));
+    let sh = b.alu2(Op::Shr, Operand::Reg(x), Operand::Imm(11));
+    let y = b.alu2(Op::Xor, Operand::Reg(x), Operand::Reg(sh));
+    let sl = b.alu2(Op::Shl, Operand::Reg(y), Operand::Imm(7));
+    let z = b.alu2(Op::Xor, Operand::Reg(y), Operand::Reg(sl));
+    b.st(Space::Global, out, 0, Operand::Reg(z), Width::W32);
+    b.alu_into(sa, Op::Add, &[Operand::Reg(sa), Operand::Reg(stride)]);
+    b.alu_into(pa, Op::Add, &[Operand::Reg(pa), Operand::Reg(stride)]);
+    b.alu_into(out, Op::Add, &[Operand::Reg(out), Operand::Reg(stride)]);
+    b.alu_into(seg, Op::Add, &[Operand::Reg(seg), Operand::Imm(1)]);
+    let ps = b.setp(CmpOp::Lt, Operand::Reg(seg), Operand::Imm(segs as i64));
+    b.bra_if(ps, "segs");
+    b.exit();
+    let total = n * segs as usize;
+    let mut memory = SparseMemory::new();
+    init_u32(&mut memory, ARR_A, total, 227, u32::MAX);
+    wl(
+        "mersenne twister",
+        "MT",
+        Suite::Parboil,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, n as u64]),
+        memory,
+        (ARR_B, total),
+    )
+}
+
+/// SP — scalar product: streaming multiply + shared-memory tree reduction
+/// with affine `tid < s` predicates, finished by one atomic per CTA.
+pub fn sp(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let mut b = KernelBuilder::new("sp", 4);
+    b.shared(block * 4);
+    let (_tid, aa) = tid_elem_addr(&mut b, 0, 2);
+    let tid = b.tid_linear_x();
+    let off = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
+    let ba = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+    // Stream four strided element pairs per thread (grid-stride loop).
+    let stride = b.alu2(Op::Shl, Operand::Param(3), Operand::Imm(2));
+    let prod = b.mov(f32imm(0.0));
+    let seg = b.mov(Operand::Imm(0));
+    b.label("stream");
+    let x = b.ld(Space::Global, aa, 0, Width::W32);
+    let y = b.ld(Space::Global, ba, 0, Width::W32);
+    b.alu_into(prod, Op::FMad, &[Operand::Reg(x), Operand::Reg(y), Operand::Reg(prod)]);
+    b.alu_into(aa, Op::Add, &[Operand::Reg(aa), Operand::Reg(stride)]);
+    b.alu_into(ba, Op::Add, &[Operand::Reg(ba), Operand::Reg(stride)]);
+    b.alu_into(seg, Op::Add, &[Operand::Reg(seg), Operand::Imm(1)]);
+    let pseg = b.setp(CmpOp::Lt, Operand::Reg(seg), Operand::Imm(4));
+    b.bra_if(pseg, "stream");
+    let tx = b.mov(Operand::Special(SpecialReg::TidX));
+    let soff = b.alu2(Op::Shl, Operand::Reg(tx), Operand::Imm(2));
+    b.st(Space::Shared, soff, 0, Operand::Reg(prod), Width::W32);
+    // Tree reduction: s = 64, 32, ..., 1.
+    let s = b.mov(Operand::Imm(block as i64 / 2));
+    b.label("reduce");
+    b.bar();
+    let pin = b.setp(CmpOp::Ge, Operand::Reg(tx), Operand::Reg(s));
+    b.bra_if(pin, "skip_add");
+    let mine = b.ld(Space::Shared, soff, 0, Width::W32);
+    let partner_off = b.alu3(Op::Mad, Operand::Reg(s), Operand::Imm(4), Operand::Reg(soff));
+    let theirs = b.ld(Space::Shared, partner_off, 0, Width::W32);
+    let sum = b.alu2(Op::FAdd, Operand::Reg(mine), Operand::Reg(theirs));
+    b.st(Space::Shared, soff, 0, Operand::Reg(sum), Width::W32);
+    b.label("skip_add");
+    b.alu_into(s, Op::Shr, &[Operand::Reg(s), Operand::Imm(1)]);
+    let pmore = b.setp(CmpOp::Gt, Operand::Reg(s), Operand::Imm(0));
+    b.bra_if(pmore, "reduce");
+    b.bar();
+    // Thread 0 publishes the CTA's partial sum.
+    let p0 = b.setp(CmpOp::Ne, Operand::Reg(tx), Operand::Imm(0));
+    b.bra_if(p0, "done");
+    let total = b.ld(Space::Shared, soff, 0, Width::W32);
+    let coff = b.alu2(
+        Op::Shl,
+        Operand::Special(SpecialReg::CtaIdX),
+        Operand::Imm(2),
+    );
+    let outa = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(coff));
+    b.st(Space::Global, outa, 0, Operand::Reg(total), Width::W32);
+    b.label("done");
+    b.exit();
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, n * 4, 228, -1.0, 1.0);
+    init_f32(&mut memory, ARR_B, n * 4, 229, -1.0, 1.0);
+    wl(
+        "Scalar Product",
+        "SP",
+        Suite::Parboil,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64]),
+        memory,
+        (ARR_C, ctas as usize),
+    )
+}
+
+/// CS — separable convolution: nine displaced affine loads per output.
+pub fn cs(scale: u32) -> Workload {
+    let ctas = 30 * scale;
+    let block = 128u32;
+    let n = (ctas * block) as usize;
+    let radius = 4i64;
+    let segs = 12u64;
+    let mut b = KernelBuilder::new("cs", 3);
+    let (_tid, center) = tid_elem_addr(&mut b, 0, 2);
+    let tid2 = b.tid_linear_x();
+    let off = b.alu2(Op::Shl, Operand::Reg(tid2), Operand::Imm(2));
+    let out = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
+    let stride = b.alu2(Op::Shl, Operand::Param(2), Operand::Imm(2));
+    let seg = b.mov(Operand::Imm(0));
+    b.label("segs");
+    let acc = b.mov(f32imm(0.0));
+    for k in -radius..=radius {
+        let v = b.ld(Space::Global, center, (radius + k) * 4, Width::W32);
+        let w = 1.0f32 / (1.0 + k.unsigned_abs() as f32);
+        b.alu_into(acc, Op::FMad, &[Operand::Reg(v), f32imm(w), Operand::Reg(acc)]);
+    }
+    b.st(Space::Global, out, 0, Operand::Reg(acc), Width::W32);
+    b.alu_into(center, Op::Add, &[Operand::Reg(center), Operand::Reg(stride)]);
+    b.alu_into(out, Op::Add, &[Operand::Reg(out), Operand::Reg(stride)]);
+    b.alu_into(seg, Op::Add, &[Operand::Reg(seg), Operand::Imm(1)]);
+    let ps = b.setp(CmpOp::Lt, Operand::Reg(seg), Operand::Imm(segs as i64));
+    b.bra_if(ps, "segs");
+    b.exit();
+    let total = n * segs as usize;
+    let mut memory = SparseMemory::new();
+    init_f32(&mut memory, ARR_A, total + 2 * radius as usize + 1, 230, -1.0, 1.0);
+    wl(
+        "Convolution Sep.",
+        "CS",
+        Suite::Parboil,
+        b,
+        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, (ctas * block) as u64]),
+        memory,
+        (ARR_B, total),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_memory_kernels_build_and_validate() {
+        for w in [
+            lib(1),
+            sg(1),
+            st(1),
+            img(1),
+            hi(1),
+            lbm(1),
+            spv(1),
+            bt(1),
+            lud(1),
+            sr2(1),
+            sc(1),
+            km(1),
+            bfs(1),
+            cfd(1),
+            mc(1),
+            mt(1),
+            sp(1),
+            cs(1),
+        ] {
+            w.kernel
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
+            let _ = w.program();
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The 29 benchmark kernels, plus shared construction helpers.
+
+pub mod compute;
+pub mod memory;
+
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simt_ir::{KernelBuilder, Op, Operand, RegId};
+use simt_mem::SparseMemory;
+
+/// Standard array base addresses, 16 MiB apart.
+pub const ARR_A: u64 = 0x0100_0000;
+/// Second array.
+pub const ARR_B: u64 = 0x0200_0000;
+/// Third array.
+pub const ARR_C: u64 = 0x0300_0000;
+/// Fourth array.
+pub const ARR_D: u64 = 0x0400_0000;
+
+/// Build every benchmark at `scale`.
+pub fn all(scale: u32) -> Vec<Workload> {
+    vec![
+        compute::cp(scale),
+        compute::sto(scale),
+        compute::aes(scale),
+        compute::mq(scale),
+        compute::tp(scale),
+        compute::fft(scale),
+        compute::bp(scale),
+        compute::sr1(scale),
+        compute::hs(scale),
+        compute::pf(scale),
+        compute::bs(scale),
+        memory::lib(scale),
+        memory::sg(scale),
+        memory::st(scale),
+        memory::img(scale),
+        memory::hi(scale),
+        memory::lbm(scale),
+        memory::spv(scale),
+        memory::bt(scale),
+        memory::lud(scale),
+        memory::sr2(scale),
+        memory::sc(scale),
+        memory::km(scale),
+        memory::bfs(scale),
+        memory::cfd(scale),
+        memory::mc(scale),
+        memory::mt(scale),
+        memory::sp(scale),
+        memory::cs(scale),
+    ]
+}
+
+/// Emit `tid = ctaid.x * ntid.x + tid.x` plus the guarded byte address
+/// `base_param + (tid << shift)`.
+pub(crate) fn tid_elem_addr(b: &mut KernelBuilder, param: u16, shift: i64) -> (RegId, RegId) {
+    let tid = b.tid_linear_x();
+    let off = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(shift));
+    let addr = b.alu2(Op::Add, Operand::Param(param), Operand::Reg(off));
+    (tid, addr)
+}
+
+/// Deterministic pseudo-random `f32` inputs in (lo, hi).
+pub(crate) fn init_f32(mem: &mut SparseMemory, base: u64, n: usize, seed: u64, lo: f32, hi: f32) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    mem.write_f32_slice(base, &data);
+}
+
+/// Deterministic pseudo-random `u32` inputs in `[0, modulo)`.
+pub(crate) fn init_u32(mem: &mut SparseMemory, base: u64, n: usize, seed: u64, modulo: u32) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<u32> = (0..n).map(|_| rng.gen_range(0..modulo)).collect();
+    mem.write_u32_slice(base, &data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_helpers_are_deterministic() {
+        let mut m1 = SparseMemory::new();
+        let mut m2 = SparseMemory::new();
+        init_f32(&mut m1, 0x1000, 64, 42, -1.0, 1.0);
+        init_f32(&mut m2, 0x1000, 64, 42, -1.0, 1.0);
+        assert_eq!(m1.read_u32_vec(0x1000, 64), m2.read_u32_vec(0x1000, 64));
+        init_u32(&mut m1, 0x9000, 16, 7, 100);
+        for v in m1.read_u32_vec(0x9000, 16) {
+            assert!(v < 100);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Run benchmarks under each design (baseline / CAE / MTA / DAC) and
+//! classify them as compute- or memory-intensive (paper §5.1.2).
+
+use crate::Workload;
+use affine::{decouple, AffineAnalysis, DecoupledKernel};
+use dac_core::{Dac, DacConfig};
+use gpu_baselines::{Cae, CaeConfig, Mta, MtaConfig};
+use simt_mem::{MemConfig, SparseMemory};
+use simt_sim::{GpuConfig, GpuSim, SimReport};
+
+/// The four hardware designs of Figure 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// Unmodified GTX 480.
+    Baseline,
+    /// Compact Affine Execution (2 affine units / SM).
+    Cae,
+    /// Many-Thread Aware prefetching (+16 KB buffer / SM).
+    Mta,
+    /// Decoupled Affine Computation.
+    Dac,
+}
+
+impl Design {
+    /// All designs in report order.
+    pub const ALL: [Design; 4] = [Design::Baseline, Design::Cae, Design::Mta, Design::Dac];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Design::Baseline => "baseline",
+            Design::Cae => "cae",
+            Design::Mta => "mta",
+            Design::Dac => "dac",
+        }
+    }
+}
+
+/// The GPU configuration a design runs on: identical except MTA's extra
+/// prefetch buffer (the paper's generous provisioning).
+pub fn gpu_for(design: Design) -> GpuConfig {
+    match design {
+        Design::Mta => GpuConfig {
+            mem: MemConfig::gtx480_with_prefetch_buffer(),
+            ..GpuConfig::gtx480()
+        },
+        _ => GpuConfig::gtx480(),
+    }
+}
+
+/// One benchmark run: report plus the memory image it produced.
+pub struct BenchRun {
+    /// The simulator report.
+    pub report: SimReport,
+    /// Final memory (for cross-design output checks).
+    pub memory: SparseMemory,
+    /// The decoupling result, for DAC runs.
+    pub decoupled: Option<DecoupledKernel>,
+}
+
+/// Run `w` under `design` on `gpu` (pass [`gpu_for`]'s result, or a custom
+/// configuration for ablations).
+pub fn run_design(w: &Workload, design: Design, gpu: &GpuSim) -> BenchRun {
+    let mut memory = w.fresh_memory();
+    match design {
+        Design::Baseline => {
+            let report = gpu.run(&w.program(), &mut memory);
+            BenchRun {
+                report,
+                memory,
+                decoupled: None,
+            }
+        }
+        Design::Cae => {
+            let mut cae = Cae::new(CaeConfig::default());
+            let report = gpu.run_with(&w.program(), &mut memory, &mut cae);
+            BenchRun {
+                report,
+                memory,
+                decoupled: None,
+            }
+        }
+        Design::Mta => {
+            let mut mta = Mta::new(MtaConfig::default());
+            let report = gpu.run_with(&w.program(), &mut memory, &mut mta);
+            BenchRun {
+                report,
+                memory,
+                decoupled: None,
+            }
+        }
+        Design::Dac => run_dac(w, gpu, DacConfig::paper()),
+    }
+}
+
+/// Run DAC with an explicit configuration (ablation entry point).
+pub fn run_dac(w: &Workload, gpu: &GpuSim, cfg: DacConfig) -> BenchRun {
+    let analysis = AffineAnalysis::run(&w.kernel);
+    let dk = decouple(&w.kernel, &analysis);
+    let mut memory = w.fresh_memory();
+    let program = simt_ir::Program::new(dk.non_affine.clone(), w.launch.clone())
+        .expect("decoupled kernel invalid");
+    let mut dac = Dac::new(cfg, dk);
+    let report = gpu.run_with(&program, &mut memory, &mut dac);
+    BenchRun {
+        report,
+        memory,
+        decoupled: Some(dac.decoupled().clone()),
+    }
+}
+
+/// Classify a benchmark: memory-intensive iff perfect memory yields ≥ 1.5×
+/// (paper §5.1.2). Returns `(is_memory_intensive, perfect_speedup)`.
+pub fn classify(w: &Workload) -> (bool, f64) {
+    let gpu = GpuSim::new(GpuConfig::gtx480());
+    let mut m1 = w.fresh_memory();
+    let base = gpu.run(&w.program(), &mut m1);
+    let perfect_gpu = GpuSim::new(GpuConfig::gtx480_perfect_mem());
+    let mut m2 = w.fresh_memory();
+    let perf = perfect_gpu.run(&w.program(), &mut m2);
+    let speedup = base.cycles as f64 / perf.cycles as f64;
+    (speedup >= 1.5, speedup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn designs_have_names() {
+        for d in Design::ALL {
+            assert!(!d.name().is_empty());
+        }
+        assert!(gpu_for(Design::Mta).mem.prefetch_buffer_size > 0);
+        assert_eq!(gpu_for(Design::Dac).mem.prefetch_buffer_size, 0);
+    }
+
+    /// Every design must produce bit-identical outputs on a workload with
+    /// atomics, shared memory, and divergence.
+    #[test]
+    fn designs_agree_on_outputs() {
+        let w = crate::benchmark("HI", 1).unwrap();
+        let base = run_design(&w, Design::Baseline, &GpuSim::new(simt_sim::GpuConfig::test_small()));
+        let golden = base.memory.read_u32_vec(w.output.0, w.output.1);
+        for d in [Design::Cae, Design::Mta, Design::Dac] {
+            let gpu = GpuSim::new(simt_sim::GpuConfig {
+                mem: gpu_for(d).mem,
+                ..simt_sim::GpuConfig::test_small()
+            });
+            let run = run_design(&w, d, &gpu);
+            assert_eq!(
+                run.memory.read_u32_vec(w.output.0, w.output.1),
+                golden,
+                "design {:?} diverged on {}",
+                d,
+                w.abbr
+            );
+        }
+    }
+}

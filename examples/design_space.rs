@@ -1,0 +1,80 @@
+//! Design-space exploration beyond the paper: sweep DAC's hardware budget
+//! (queue sizes, line locking, expansion behaviour) on a streaming workload
+//! and print speedup per configuration.
+//!
+//! ```sh
+//! cargo run --release --example design_space [ABBR]
+//! ```
+
+use dac_gpu::dac::DacConfig;
+use dac_gpu::sim::GpuSim;
+use dac_gpu::workloads::{benchmark, gpu_for, run_dac, run_design, Design};
+
+fn main() {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "SR2".to_string());
+    let w = benchmark(&abbr, 1).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {abbr}");
+        std::process::exit(1);
+    });
+    let gpu = GpuSim::new(gpu_for(Design::Dac));
+    let base = run_design(&w, Design::Baseline, &GpuSim::new(gpu_for(Design::Baseline)));
+    println!("{}: baseline {} cycles\n", w.abbr, base.report.cycles);
+    println!("{:<34} {:>9} {:>9}", "configuration", "cycles", "speedup");
+
+    let sweep: Vec<(String, DacConfig)> = vec![
+        ("paper (ATQ 24, PWQ 192, lock)".into(), DacConfig::paper()),
+        (
+            "ATQ 4".into(),
+            DacConfig {
+                atq_entries: 4,
+                ..DacConfig::paper()
+            },
+        ),
+        (
+            "ATQ 96".into(),
+            DacConfig {
+                atq_entries: 96,
+                ..DacConfig::paper()
+            },
+        ),
+        (
+            "PWQ 48 (shallow run-ahead)".into(),
+            DacConfig {
+                pwaq_total: 48,
+                pwpq_total: 48,
+                ..DacConfig::paper()
+            },
+        ),
+        (
+            "PWQ 768 (deep run-ahead)".into(),
+            DacConfig {
+                pwaq_total: 768,
+                pwpq_total: 768,
+                ..DacConfig::paper()
+            },
+        ),
+        (
+            "no L1 line locking".into(),
+            DacConfig {
+                lock_lines: false,
+                ..DacConfig::paper()
+            },
+        ),
+    ];
+
+    for (label, cfg) in sweep {
+        let run = run_dac(&w, &gpu, cfg);
+        // Outputs must match the baseline regardless of configuration.
+        assert_eq!(
+            run.memory.read_u32_vec(w.output.0, w.output.1),
+            base.memory.read_u32_vec(w.output.0, w.output.1),
+            "{label}: outputs diverged"
+        );
+        println!(
+            "{:<34} {:>9} {:>8.2}x",
+            label,
+            run.report.cycles,
+            base.report.cycles as f64 / run.report.cycles as f64
+        );
+    }
+}
