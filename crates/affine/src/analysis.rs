@@ -137,7 +137,9 @@ impl AffineAnalysis {
             changed = false;
             for (pc, i) in kernel.instrs.iter().enumerate() {
                 let (new_class, new_div, new_dec) = match i {
-                    Instr::Alu { op, srcs, guard, .. } => {
+                    Instr::Alu {
+                        op, srcs, guard, ..
+                    } => {
                         let cls: Vec<AffClass> = srcs[..op.arity()]
                             .iter()
                             .map(|&s| self.src_class(pc, s))
@@ -161,15 +163,19 @@ impl AffineAnalysis {
                         let ca = self.src_class(pc, *a);
                         let cb = self.src_class(pc, *b);
                         let cls = ca.join(cb);
-                        if cls <= AffClass::Affine
-                            && self.pred_use_decoupleable(pc, pred.pred)
-                        {
+                        if cls <= AffClass::Affine && self.pred_use_decoupleable(pc, pred.pred) {
                             (AffClass::Affine, true, false)
                         } else {
                             (AffClass::NonAffine, false, false)
                         }
                     }
-                    Instr::SetP { cmp: _, a, b, float, .. } => {
+                    Instr::SetP {
+                        cmp: _,
+                        a,
+                        b,
+                        float,
+                        ..
+                    } => {
                         let ca = self.src_class(pc, *a);
                         let cb = self.src_class(pc, *b);
                         (
@@ -205,7 +211,9 @@ impl AffineAnalysis {
     /// stream omits them wholesale (see DESIGN.md).
     fn taint(&mut self, kernel: &Kernel) {
         for (pc, i) in kernel.instrs.iter().enumerate() {
-            let Instr::Bra { target, pred } = i else { continue };
+            let Instr::Bra { target, pred } = i else {
+                continue;
+            };
             let decoupleable = match pred {
                 None => true,
                 Some(PredSrc::Reg(g)) => self.pred_use_decoupleable(pc, g.pred),
@@ -316,8 +324,18 @@ impl AffineAnalysis {
                 continue;
             }
             match i {
-                Instr::Ld { space: Space::Global | Space::Local, addr: AddrMode::Reg(r, _), guard, .. }
-                | Instr::St { space: Space::Global | Space::Local, addr: AddrMode::Reg(r, _), guard, .. } => {
+                Instr::Ld {
+                    space: Space::Global | Space::Local,
+                    addr: AddrMode::Reg(r, _),
+                    guard,
+                    ..
+                }
+                | Instr::St {
+                    space: Space::Global | Space::Local,
+                    addr: AddrMode::Reg(r, _),
+                    guard,
+                    ..
+                } => {
                     if !self.use_class(pc, *r).is_affine() {
                         continue;
                     }
@@ -331,8 +349,7 @@ impl AffineAnalysis {
                         let _ = g;
                     }
                     // Guard slice comes along via src_preds below.
-                    let Some((mut slice, mut div)) = self.walk_slice(kernel, pc, &roots)
-                    else {
+                    let Some((mut slice, mut div)) = self.walk_slice(kernel, pc, &roots) else {
                         continue;
                     };
                     if let Some(g) = guard {
@@ -447,10 +464,14 @@ impl AffineAnalysis {
                 }
                 InstrClass::Memory => {
                     let affine = match i {
-                        Instr::Ld { addr: AddrMode::Reg(r, _), .. }
-                        | Instr::St { addr: AddrMode::Reg(r, _), .. } => {
-                            self.use_class(pc, *r).is_affine()
+                        Instr::Ld {
+                            addr: AddrMode::Reg(r, _),
+                            ..
                         }
+                        | Instr::St {
+                            addr: AddrMode::Reg(r, _),
+                            ..
+                        } => self.use_class(pc, *r).is_affine(),
                         _ => false,
                     };
                     if affine {
@@ -567,7 +588,11 @@ LOOP:
         let k = figure4_kernel();
         let a = AffineAnalysis::run(&k);
         let kinds: Vec<CandidateKind> = a.candidates.iter().map(|c| c.kind).collect();
-        assert!(kinds.contains(&CandidateKind::LoadData), "{:?}", a.candidates);
+        assert!(
+            kinds.contains(&CandidateKind::LoadData),
+            "{:?}",
+            a.candidates
+        );
         assert!(kinds.contains(&CandidateKind::StoreAddr));
         assert!(kinds.contains(&CandidateKind::Pred));
         // The loop-carried addrA update is NOT a divergent condition.

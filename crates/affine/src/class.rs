@@ -177,7 +177,10 @@ mod tests {
         assert_eq!(transfer(Op::Mul, &[Affine, Scalar]).class, Affine);
         assert_eq!(transfer(Op::Mul, &[Affine, Affine]).class, NonAffine);
         assert_eq!(transfer(Op::Mad, &[Affine, Scalar, Scalar]).class, Affine);
-        assert_eq!(transfer(Op::Mad, &[Affine, Affine, Scalar]).class, NonAffine);
+        assert_eq!(
+            transfer(Op::Mad, &[Affine, Affine, Scalar]).class,
+            NonAffine
+        );
     }
 
     #[test]

@@ -104,7 +104,10 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
 
     let n = kernel.instrs.len();
     let cand_at: HashMap<usize, &Candidate> = candidates.iter().map(|c| (c.pc, *c)).collect();
-    let slice_union: HashSet<usize> = candidates.iter().flat_map(|c| c.slice.iter().copied()).collect();
+    let slice_union: HashSet<usize> = candidates
+        .iter()
+        .flat_map(|c| c.slice.iter().copied())
+        .collect();
 
     // Branches whose predicate was decoupled: remember the enq'ing setp.
     let mut branch_uses_deq: HashSet<usize> = HashSet::new();
@@ -125,6 +128,7 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
     // Control skeleton (untainted branches, barriers, exits), slices,
     // candidates; plus setp slices for replicated branches.
     let mut in_affine = vec![false; n];
+    #[allow(clippy::needless_range_loop)] // pc is a kernel address, not just an index
     for pc in 0..n {
         if analysis.tainted[pc] {
             continue;
@@ -145,7 +149,10 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
         let mut need_regs: Vec<u16> = Vec::new();
         if in_affine[pc] {
             match i {
-                Instr::Bra { pred: Some(PredSrc::Reg(g)), .. } => {
+                Instr::Bra {
+                    pred: Some(PredSrc::Reg(g)),
+                    ..
+                } => {
                     for pd in analysis.rd.pred_defs_at(pc, g.pred) {
                         if analysis.tainted[pd] || !analysis.pred_decoupleable[pd] {
                             return trivial(); // cannot replicate control
@@ -161,15 +168,17 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
                     // register (and guard) is read in the affine stream —
                     // never the stored value or the load destination.
                     match cand_at.get(&pc).map(|c| c.kind) {
-                        Some(CandidateKind::LoadData) | Some(CandidateKind::StoreAddr) => {
-                            match i {
-                                Instr::Ld { addr: AddrMode::Reg(r, _), .. }
-                                | Instr::St { addr: AddrMode::Reg(r, _), .. } => {
-                                    need_regs.push(*r)
-                                }
-                                _ => unreachable!(),
+                        Some(CandidateKind::LoadData) | Some(CandidateKind::StoreAddr) => match i {
+                            Instr::Ld {
+                                addr: AddrMode::Reg(r, _),
+                                ..
                             }
-                        }
+                            | Instr::St {
+                                addr: AddrMode::Reg(r, _),
+                                ..
+                            } => need_regs.push(*r),
+                            _ => unreachable!(),
+                        },
                         _ => need_regs.extend(i.src_regs()),
                     }
                     for p in i.src_preds() {
@@ -204,6 +213,7 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
     let mut aff_map: HashMap<usize, usize> = HashMap::new(); // old pc → new pc of its first emitted instr
     let mut extra_reg = kernel.num_regs;
     let mut branch_fixups: Vec<(usize, usize)> = Vec::new(); // (aff idx, old target)
+    #[allow(clippy::needless_range_loop)] // pc is a kernel address, not just an index
     for pc in 0..n {
         if !in_affine[pc] {
             continue;
@@ -213,15 +223,25 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
         match cand_at.get(&pc).map(|c| c.kind) {
             Some(CandidateKind::LoadData) | Some(CandidateKind::StoreAddr) => {
                 let (addr, width, guard, kind, space) = match i {
-                    Instr::Ld { addr, width, guard, space, .. } => {
-                        (*addr, *width, *guard, QueueKind::Data, *space)
-                    }
-                    Instr::St { addr, width, guard, space, .. } => {
-                        (*addr, *width, *guard, QueueKind::Addr, *space)
-                    }
+                    Instr::Ld {
+                        addr,
+                        width,
+                        guard,
+                        space,
+                        ..
+                    } => (*addr, *width, *guard, QueueKind::Data, *space),
+                    Instr::St {
+                        addr,
+                        width,
+                        guard,
+                        space,
+                        ..
+                    } => (*addr, *width, *guard, QueueKind::Addr, *space),
                     _ => unreachable!(),
                 };
-                let AddrMode::Reg(r, disp) = addr else { unreachable!() };
+                let AddrMode::Reg(r, disp) = addr else {
+                    unreachable!()
+                };
                 let src = if disp != 0 {
                     let t = extra_reg;
                     extra_reg += 1;
@@ -271,7 +291,9 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
     // Remap affine branch targets: old target → first affine pc at or after
     // it.
     let map_target = |map: &HashMap<usize, usize>, len: usize, old: usize| -> usize {
-        (old..n).find_map(|p| map.get(&p).copied()).unwrap_or(len.saturating_sub(1))
+        (old..n)
+            .find_map(|p| map.get(&p).copied())
+            .unwrap_or(len.saturating_sub(1))
     };
     for (idx, old) in branch_fixups {
         let t = map_target(&aff_map, aff_instrs.len(), old);
@@ -322,10 +344,10 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
             let reads_preds: Vec<u16> = match cand_at.get(&pc).map(|c| c.kind) {
                 Some(CandidateKind::Pred) => Vec::new(),
                 _ => {
-                    if branch_uses_deq.contains(&pc) {
+                    // Decoupled branches and rewritten ld/st drop their
+                    // guards; everything else keeps its setps.
+                    if branch_uses_deq.contains(&pc) || cand_at.contains_key(&pc) {
                         Vec::new()
-                    } else if matches!(cand_at.get(&pc).map(|c| c.kind), Some(_)) {
-                        Vec::new() // rewritten ld/st drop their guards
                     } else {
                         i.src_preds()
                     }
@@ -360,7 +382,12 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
         match cand_at.get(&pc).map(|c| c.kind) {
             Some(CandidateKind::LoadData) => {
                 stats.loads += 1;
-                let Instr::Ld { dst, space, width, .. } = i else { unreachable!() };
+                let Instr::Ld {
+                    dst, space, width, ..
+                } = i
+                else {
+                    unreachable!()
+                };
                 na_instrs.push(Instr::Ld {
                     dst: *dst,
                     space: *space,
@@ -371,7 +398,12 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
             }
             Some(CandidateKind::StoreAddr) => {
                 stats.stores += 1;
-                let Instr::St { space, src, width, .. } = i else { unreachable!() };
+                let Instr::St {
+                    space, src, width, ..
+                } = i
+                else {
+                    unreachable!()
+                };
                 na_instrs.push(Instr::St {
                     space: *space,
                     addr: AddrMode::DeqAddr,
@@ -500,21 +532,27 @@ LOOP:
         assert!(kinds.contains(&QueueKind::Pred));
         // Non-affine stream: deq forms, and it got much shorter — the
         // paper's Figure 7b has 5 instructions from 16.
-        assert!(d
-            .non_affine
-            .instrs
-            .iter()
-            .any(|i| matches!(i, Instr::Ld { addr: AddrMode::DeqData, .. })));
-        assert!(d
-            .non_affine
-            .instrs
-            .iter()
-            .any(|i| matches!(i, Instr::St { addr: AddrMode::DeqAddr, .. })));
-        assert!(d
-            .non_affine
-            .instrs
-            .iter()
-            .any(|i| matches!(i, Instr::Bra { pred: Some(PredSrc::Deq { .. }), .. })));
+        assert!(d.non_affine.instrs.iter().any(|i| matches!(
+            i,
+            Instr::Ld {
+                addr: AddrMode::DeqData,
+                ..
+            }
+        )));
+        assert!(d.non_affine.instrs.iter().any(|i| matches!(
+            i,
+            Instr::St {
+                addr: AddrMode::DeqAddr,
+                ..
+            }
+        )));
+        assert!(d.non_affine.instrs.iter().any(|i| matches!(
+            i,
+            Instr::Bra {
+                pred: Some(PredSrc::Deq { .. }),
+                ..
+            }
+        )));
         assert!(
             d.non_affine.instrs.len() <= 6,
             "non-affine stream too long:\n{}",
@@ -553,15 +591,24 @@ LOOP:
         // The loop-carried address updates (add r3, r8, r3) live in the
         // affine stream.
         let has_addr_update = d.affine.instrs.iter().any(|i| {
-            matches!(i, Instr::Alu { op: Op::Add, dst: 3, .. })
+            matches!(
+                i,
+                Instr::Alu {
+                    op: Op::Add,
+                    dst: 3,
+                    ..
+                }
+            )
         });
         assert!(has_addr_update, "{}", d.affine.disassemble());
         // And the affine loop branch exists.
-        assert!(d
-            .affine
-            .instrs
-            .iter()
-            .any(|i| matches!(i, Instr::Bra { pred: Some(PredSrc::Reg(_)), .. })));
+        assert!(d.affine.instrs.iter().any(|i| matches!(
+            i,
+            Instr::Bra {
+                pred: Some(PredSrc::Reg(_)),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -602,7 +649,9 @@ LOOP:
             .position(|i| matches!(i, Instr::Enq { .. }))
             .unwrap();
         match &d.affine.instrs[enq_idx - 1] {
-            Instr::Alu { op: Op::Add, srcs, .. } => {
+            Instr::Alu {
+                op: Op::Add, srcs, ..
+            } => {
                 assert_eq!(srcs[1], Operand::Imm(8));
             }
             i => panic!("expected displacement add, got {i}"),
@@ -628,11 +677,11 @@ LOOP:
         let d = decouple(&k, &a);
         assert!(d.any_decoupled);
         // r0's def must survive in the non-affine stream (store reads it).
-        assert!(d
-            .non_affine
-            .instrs
-            .iter()
-            .any(|i| matches!(i, Instr::Alu { dst: 0, .. })),
+        assert!(
+            d.non_affine
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::Alu { dst: 0, .. })),
             "{}",
             d.non_affine.disassemble()
         );
@@ -654,9 +703,16 @@ LOOP:
             .filter(|i| {
                 matches!(
                     i,
-                    Instr::Ld { addr: AddrMode::DeqData, .. }
-                        | Instr::St { addr: AddrMode::DeqAddr, .. }
-                        | Instr::Bra { pred: Some(PredSrc::Deq { .. }), .. }
+                    Instr::Ld {
+                        addr: AddrMode::DeqData,
+                        ..
+                    } | Instr::St {
+                        addr: AddrMode::DeqAddr,
+                        ..
+                    } | Instr::Bra {
+                        pred: Some(PredSrc::Deq { .. }),
+                        ..
+                    }
                 )
             })
             .count();

@@ -64,7 +64,8 @@ impl AffineTuple {
 
     /// Evaluate the tuple for thread `(tx, ty, tz)`.
     pub fn eval(&self, t: (u32, u32, u32)) -> Value {
-        let lin = (t.0 as i64).wrapping_mul(self.off[0])
+        let lin = (t.0 as i64)
+            .wrapping_mul(self.off[0])
             .wrapping_add((t.1 as i64).wrapping_mul(self.off[1]))
             .wrapping_add((t.2 as i64).wrapping_mul(self.off[2]));
         let v = match self.mod_ext {
@@ -200,7 +201,9 @@ impl AffineTuple {
         for (i, t) in srcs.iter().enumerate() {
             vals[i] = t.as_scalar()?;
         }
-        Some(AffineTuple::scalar(eval::eval(op, vals[0], vals[1], vals[2])))
+        Some(AffineTuple::scalar(eval::eval(
+            op, vals[0], vals[1], vals[2],
+        )))
     }
 }
 
@@ -294,7 +297,11 @@ mod tests {
         // v = (tid * 4 + 6) % 8.
         let a = tuple_op(
             Op::Mad,
-            &[AffineTuple::tid(0), AffineTuple::scalar(4), AffineTuple::scalar(6)],
+            &[
+                AffineTuple::tid(0),
+                AffineTuple::scalar(4),
+                AffineTuple::scalar(6),
+            ],
         )
         .unwrap();
         let m = tuple_op(Op::Rem, &[a, AffineTuple::scalar(8)]).unwrap();

@@ -104,10 +104,8 @@ impl AffineVal {
             }
         }
         // Collapse back to a single tuple if only one remains referenced.
-        let referenced: std::collections::HashSet<u8> = select
-            .iter()
-            .flat_map(|s| s.iter().copied())
-            .collect();
+        let referenced: std::collections::HashSet<u8> =
+            select.iter().flat_map(|s| s.iter().copied()).collect();
         if referenced.len() == 1 {
             let only = *referenced.iter().next().unwrap() as usize;
             return Some(AffineVal::Tuple(tuples[only]));
@@ -140,9 +138,7 @@ impl PredVal {
     pub fn is_uniform(&self) -> bool {
         match self {
             PredVal::Uniform(_) => true,
-            PredVal::PerWarp(v) => {
-                v.iter().all(|&m| m == 0) || v.iter().all(|&m| m == u32::MAX)
-            }
+            PredVal::PerWarp(v) => v.iter().all(|&m| m == 0) || v.iter().all(|&m| m == u32::MAX),
         }
     }
 }

@@ -1,8 +1,31 @@
-//! Property-based tests on divergent affine values (§4.6).
+//! Randomized tests (deterministic, std-only) on divergent affine values
+//! (§4.6). A seeded SplitMix64 stream replaces proptest so the suite runs
+//! in the offline build environment with reproducible cases.
 
 use affine::value::DivergentVal;
 use affine::{AffineTuple, AffineVal};
-use proptest::prelude::*;
+
+/// Deterministic SplitMix64 generator (duplicated locally to keep this
+/// crate's dev-dependency graph empty).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+}
 
 fn tup(base: i64, off: i64) -> AffineTuple {
     AffineTuple {
@@ -12,14 +35,21 @@ fn tup(base: i64, off: i64) -> AffineTuple {
     }
 }
 
-proptest! {
-    /// Merging a sequence of masked writes gives each lane the value of the
-    /// last write whose mask covered it (register semantics under
-    /// divergence).
-    #[test]
-    fn merge_masked_is_last_writer_wins(
-        writes in prop::collection::vec((any::<u32>(), -100i64..100, -8i64..8), 1..4),
-    ) {
+/// Merging a sequence of masked writes gives each lane the value of the
+/// last write whose mask covered it (register semantics under divergence).
+#[test]
+fn merge_masked_is_last_writer_wins() {
+    let mut rng = Rng(0xD1_0E56);
+    for _ in 0..512 {
+        let writes: Vec<(u32, i64, i64)> = (0..1 + rng.next_u64() % 3)
+            .map(|_| {
+                (
+                    rng.next_u32(),
+                    rng.range_i64(-100, 100),
+                    rng.range_i64(-8, 8),
+                )
+            })
+            .collect();
         let nw = 2usize;
         let mut val: Option<AffineVal> = None;
         // Reference: per-lane last writer.
@@ -46,42 +76,45 @@ proptest! {
                 }
             }
         }
-        if ok {
-            if let Some(v) = val {
-                for w in 0..nw {
-                    for lane in 0..32 {
-                        if let Some((base, off)) = last[w * 32 + lane] {
-                            let tid = (w * 32 + lane) as u32;
-                            let got = v.eval(w, lane, (tid, 0, 0));
-                            let expect = tup(base, off).eval((tid, 0, 0));
-                            prop_assert_eq!(got, expect, "warp {} lane {}", w, lane);
-                        }
+        if !ok {
+            continue;
+        }
+        if let Some(v) = val {
+            for w in 0..nw {
+                for lane in 0..32 {
+                    if let Some((base, off)) = last[w * 32 + lane] {
+                        let tid = (w * 32 + lane) as u32;
+                        let got = v.eval(w, lane, (tid, 0, 0));
+                        let expect = tup(base, off).eval((tid, 0, 0));
+                        assert_eq!(got, expect, "warp {w} lane {lane}");
                     }
                 }
             }
         }
     }
+}
 
-    /// A divergent value never carries more than four tuples, and every
-    /// selector points inside the tuple vector.
-    #[test]
-    fn divergent_invariants(
-        writes in prop::collection::vec((any::<u32>(), -4i64..4, -2i64..2), 1..6),
-    ) {
+/// A divergent value never carries more than four tuples, and every
+/// selector points inside the tuple vector.
+#[test]
+fn divergent_invariants() {
+    let mut rng = Rng(0xD1_BAD6E);
+    for _ in 0..512 {
+        let writes: Vec<(u32, i64, i64)> = (0..1 + rng.next_u64() % 5)
+            .map(|_| (rng.next_u32(), rng.range_i64(-4, 4), rng.range_i64(-2, 2)))
+            .collect();
         let mut val: Option<AffineVal> = None;
         for (mask, base, off) in &writes {
-            if let Some(v) =
-                AffineVal::merge_masked(val.as_ref(), tup(*base, *off), &[*mask], 1)
-            {
+            if let Some(v) = AffineVal::merge_masked(val.as_ref(), tup(*base, *off), &[*mask], 1) {
                 val = Some(v);
             }
         }
         if let Some(AffineVal::Divergent(DivergentVal { tuples, select })) = val {
-            prop_assert!(tuples.len() <= affine::value::MAX_DIVERGENT_TUPLES);
-            prop_assert!(tuples.len() >= 2, "single-tuple value must collapse");
+            assert!(tuples.len() <= affine::value::MAX_DIVERGENT_TUPLES);
+            assert!(tuples.len() >= 2, "single-tuple value must collapse");
             for row in &select {
                 for &s in row.iter() {
-                    prop_assert!((s as usize) < tuples.len());
+                    assert!((s as usize) < tuples.len());
                 }
             }
         }

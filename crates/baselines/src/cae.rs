@@ -129,7 +129,7 @@ impl CoProcessor for Cae {
         self.tags.clear();
         self.num_regs = program.kernel.num_regs as usize;
         let bx = program.launch.block.x;
-        self.tidx_affine = bx >= 32 && bx % 32 == 0;
+        self.tidx_affine = bx >= 32 && bx.is_multiple_of(32);
     }
 
     fn issue_cost(
@@ -148,16 +148,20 @@ impl CoProcessor for Cae {
             .or_insert_with(|| vec![Tag::Vector; num_regs]);
         let diverged = active != u32::MAX;
         match instr {
-            Instr::Alu { op, dst, srcs, guard } => {
+            Instr::Alu {
+                op,
+                dst,
+                srcs,
+                guard,
+            } => {
                 let a = self_src(tags, srcs[0], tidx_affine);
                 let b = self_src(tags, srcs[1], tidx_affine);
                 let c = self_src(tags, srcs[2], tidx_affine);
                 let mut t = Self::alu_tag(*op, a, b, c);
-                // Divergence or a guard poisons affine tracking (§5.4).
-                if diverged || guard.is_some() {
-                    if t != Tag::Scalar || diverged {
-                        t = Tag::Vector;
-                    }
+                // Divergence or a guard poisons affine tracking (§5.4);
+                // a guarded scalar result stays scalar.
+                if diverged || (guard.is_some() && t != Tag::Scalar) {
+                    t = Tag::Vector;
                 }
                 let eligible = !diverged && guard.is_none() && t != Tag::Vector;
                 if let Some(slot) = tags.get_mut(*dst as usize) {
@@ -305,7 +309,10 @@ mod tests {
             ],
             guard: None,
         };
-        assert_eq!(cae.issue_cost(0, 0, &i, u32::MAX, &mut stats), IssueCost::Normal);
+        assert_eq!(
+            cae.issue_cost(0, 0, &i, u32::MAX, &mut stats),
+            IssueCost::Normal
+        );
         assert_eq!(stats.cae_affine_instructions, 0);
     }
 
@@ -315,11 +322,7 @@ mod tests {
         let mut b = KernelBuilder::new("k", 0);
         let _ = b.tid_linear_x();
         b.exit();
-        let prog = Program::new(
-            b.build(),
-            LaunchConfig::linear(1, 64, vec![]),
-        )
-        .unwrap();
+        let prog = Program::new(b.build(), LaunchConfig::linear(1, 64, vec![])).unwrap();
         cae.on_kernel_launch(&prog, 1);
         let mut stats = SimStats::default();
         let i = Instr::Alu {
@@ -333,9 +336,15 @@ mod tests {
             guard: None,
         };
         // Full mask: affine, fast.
-        assert_eq!(cae.issue_cost(0, 0, &i, u32::MAX, &mut stats), IssueCost::Fast);
+        assert_eq!(
+            cae.issue_cost(0, 0, &i, u32::MAX, &mut stats),
+            IssueCost::Fast
+        );
         // Diverged warp: SIMT lanes.
-        assert_eq!(cae.issue_cost(0, 1, &i, 0xFFFF, &mut stats), IssueCost::Normal);
+        assert_eq!(
+            cae.issue_cost(0, 1, &i, 0xFFFF, &mut stats),
+            IssueCost::Normal
+        );
         // And the destination is poisoned for later uses on that warp.
         let j = Instr::Alu {
             op: Op::Add,
@@ -343,7 +352,10 @@ mod tests {
             srcs: [Operand::Reg(0), Operand::Imm(1), Operand::Imm(0)],
             guard: None,
         };
-        assert_eq!(cae.issue_cost(0, 1, &j, u32::MAX, &mut stats), IssueCost::Normal);
+        assert_eq!(
+            cae.issue_cost(0, 1, &j, u32::MAX, &mut stats),
+            IssueCost::Normal
+        );
     }
 
     #[test]

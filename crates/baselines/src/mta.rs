@@ -118,7 +118,13 @@ impl CoProcessor for Mta {
             .collect();
     }
 
-    fn can_issue(&mut self, _sm: usize, _warp: usize, _instr: &Instr, _stats: &mut SimStats) -> bool {
+    fn can_issue(
+        &mut self,
+        _sm: usize,
+        _warp: usize,
+        _instr: &Instr,
+        _stats: &mut SimStats,
+    ) -> bool {
         true
     }
 

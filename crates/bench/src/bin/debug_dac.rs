@@ -5,20 +5,61 @@ use simt_sim::GpuSim;
 fn main() {
     for abbr in std::env::args().skip(1) {
         let w = benchmark(&abbr, 1).unwrap();
-        let base = run_design(&w, Design::Baseline, &GpuSim::new(gpu_for(Design::Baseline)));
+        let base = run_design(
+            &w,
+            Design::Baseline,
+            &GpuSim::new(gpu_for(Design::Baseline)),
+        );
         let dac = run_design(&w, Design::Dac, &GpuSim::new(gpu_for(Design::Dac)));
         let b = &base.report;
         let d = &dac.report;
         println!("== {abbr} ==");
-        println!("cycles: base {} dac {} speedup {:.3}", b.cycles, d.cycles, b.cycles as f64 / d.cycles as f64);
-        println!("warp instrs: base {} dac {} (+affine {})", b.stats.warp_instructions, d.stats.warp_instructions, d.stats.affine_instructions);
-        println!("loads: {} decoupled {} ({:.1}%)", d.stats.global_loads, d.stats.decoupled_loads, 100.0*d.stats.decoupled_load_fraction());
-        println!("aeu_records {} peu_records {} enq_full {} deq_empty {} deq_data {}",
-            d.stats.aeu_records, d.stats.peu_records, d.stats.enq_full_stalls, d.stats.deq_empty_stalls, d.stats.deq_data_stalls);
-        println!("idle sched: base {} dac {}; affine slots {}", b.stats.idle_scheduler_cycles, d.stats.idle_scheduler_cycles, d.stats.affine_issue_slots);
-        println!("mem base: L1 {:.2} L2 {:.2} dram {} | mem dac: L1 {:.2} L2 {:.2} dram {} lockstall {}",
-            b.mem.l1_hit_rate(), b.mem.l2_hit_rate(), b.mem.dram_serviced,
-            d.mem.l1_hit_rate(), d.mem.l2_hit_rate(), d.mem.dram_serviced, d.mem.lock_budget_stalls);
-        println!("mshr stalls: base {} dac {}; queue full: base {} dac {}", b.mem.mshr_full_stalls, d.mem.mshr_full_stalls, b.mem.queue_full_stalls, d.mem.queue_full_stalls);
+        println!(
+            "cycles: base {} dac {} speedup {:.3}",
+            b.cycles,
+            d.cycles,
+            b.cycles as f64 / d.cycles as f64
+        );
+        println!(
+            "warp instrs: base {} dac {} (+affine {})",
+            b.stats.warp_instructions, d.stats.warp_instructions, d.stats.affine_instructions
+        );
+        println!(
+            "loads: {} decoupled {} ({:.1}%)",
+            d.stats.global_loads,
+            d.stats.decoupled_loads,
+            100.0 * d.stats.decoupled_load_fraction()
+        );
+        println!(
+            "aeu_records {} peu_records {} enq_full {} deq_empty {} deq_data {}",
+            d.stats.aeu_records,
+            d.stats.peu_records,
+            d.stats.enq_full_stalls,
+            d.stats.deq_empty_stalls,
+            d.stats.deq_data_stalls
+        );
+        println!(
+            "idle sched: base {} dac {}; affine slots {}",
+            b.stats.idle_scheduler_cycles,
+            d.stats.idle_scheduler_cycles,
+            d.stats.affine_issue_slots
+        );
+        println!(
+            "mem base: L1 {:.2} L2 {:.2} dram {} | mem dac: L1 {:.2} L2 {:.2} dram {} lockstall {}",
+            b.mem.l1_hit_rate(),
+            b.mem.l2_hit_rate(),
+            b.mem.dram_serviced,
+            d.mem.l1_hit_rate(),
+            d.mem.l2_hit_rate(),
+            d.mem.dram_serviced,
+            d.mem.lock_budget_stalls
+        );
+        println!(
+            "mshr stalls: base {} dac {}; queue full: base {} dac {}",
+            b.mem.mshr_full_stalls,
+            d.mem.mshr_full_stalls,
+            b.mem.queue_full_stalls,
+            d.mem.queue_full_stalls
+        );
     }
 }

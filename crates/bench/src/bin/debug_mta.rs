@@ -5,12 +5,27 @@ use simt_sim::GpuSim;
 fn main() {
     for abbr in std::env::args().skip(1) {
         let w = benchmark(&abbr, 1).unwrap();
-        let base = run_design(&w, Design::Baseline, &GpuSim::new(gpu_for(Design::Baseline)));
+        let base = run_design(
+            &w,
+            Design::Baseline,
+            &GpuSim::new(gpu_for(Design::Baseline)),
+        );
         let mta = run_design(&w, Design::Mta, &GpuSim::new(gpu_for(Design::Mta)));
         let (b, m) = (&base.report, &mta.report);
-        println!("== {abbr} == base {} mta {} speedup {:.3}", b.cycles, m.cycles, b.cycles as f64 / m.cycles as f64);
-        println!("  prefetches issued {} pbuf_hits {} pbuf_fills {} unused_evic {} redundant {}",
-            m.stats.prefetches_issued, m.mem.pbuf_hits, m.mem.pbuf_fills, m.mem.pbuf_unused_evictions, m.mem.redundant_prefetches);
+        println!(
+            "== {abbr} == base {} mta {} speedup {:.3}",
+            b.cycles,
+            m.cycles,
+            b.cycles as f64 / m.cycles as f64
+        );
+        println!(
+            "  prefetches issued {} pbuf_hits {} pbuf_fills {} unused_evic {} redundant {}",
+            m.stats.prefetches_issued,
+            m.mem.pbuf_hits,
+            m.mem.pbuf_fills,
+            m.mem.pbuf_unused_evictions,
+            m.mem.redundant_prefetches
+        );
         println!("  dram: base {} mta {}; l1miss base {} mta {}; qfull base {} mta {}; mshr base {} mta {}",
             b.mem.dram_serviced, m.mem.dram_serviced, b.mem.l1_misses, m.mem.l1_misses,
             b.mem.queue_full_stalls, m.mem.queue_full_stalls, b.mem.mshr_full_stalls, m.mem.mshr_full_stalls);

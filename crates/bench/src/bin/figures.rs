@@ -1,86 +1,84 @@
 //! Regenerate every table and figure of the paper.
-//!
-//! ```text
-//! figures <experiment> [--scale N] [--bench ABBR[,ABBR...]]
-//!
-//! experiments:
-//!   table1   simulator configuration
-//!   table2   benchmark list + measured compute/memory classification
-//!   fig6     % static instructions that are potentially affine
-//!   fig16    speedups of CAE / MTA / DAC over baseline
-//!   fig17    DAC warp-instruction count normalized to baseline
-//!   fig18    affine coverage, DAC vs CAE (compute-intensive set)
-//!   fig19    % of loads issued by the affine warp (memory-intensive set)
-//!   fig20    MTA prefetcher coverage (memory-intensive set)
-//!   fig21    energy normalized to baseline
-//!   area     DAC area overhead (§4.8)
-//!   ablate   queue-size / locking / divergence ablations (beyond paper)
-//!   all      everything above
-//! ```
 
-use dac_bench::{evaluate, geomean, FullRow};
+use dac_bench::cli::{CommonArgs, COMMON_USAGE};
+use dac_bench::{evaluate_all, geomean, FullRow};
 use dac_core::DacConfig;
 use gpu_energy::EnergyModel;
-use gpu_workloads::{all_benchmarks, gpu_for, run_dac, run_design, Design, Workload};
-use simt_sim::{GpuConfig, GpuSim};
+use gpu_workloads::{gpu_for, Design, Workload};
+use simt_harness::{DesignPoint, Harness, Job};
+use simt_sim::GpuConfig;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: figures <experiment> [options]
+
+experiments:
+  table1   simulator configuration
+  table2   benchmark list + measured compute/memory classification
+  fig6     % static instructions that are potentially affine
+  fig16    speedups of CAE / MTA / DAC over baseline
+  fig17    DAC warp-instruction count normalized to baseline
+  fig18    affine coverage, DAC vs CAE (compute-intensive set)
+  fig19    % of loads issued by the affine warp (memory-intensive set)
+  fig20    MTA prefetcher coverage (memory-intensive set)
+  fig21    energy normalized to baseline
+  area     DAC area overhead (§4.8)
+  ablate   queue-size / locking / divergence ablations (beyond paper)
+  all      everything above";
+
+fn usage_exit(error: &str) -> ! {
+    if error == "help" {
+        println!("{USAGE}\n\n{COMMON_USAGE}");
+        std::process::exit(0);
+    }
+    eprintln!("figures: {error}\n\n{USAGE}\n\n{COMMON_USAGE}");
+    std::process::exit(2);
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cmd = String::from("all");
-    let mut scale = 1u32;
-    let mut filter: Option<Vec<String>> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                scale = args[i + 1].parse().expect("bad --scale");
-                i += 1;
-            }
-            "--bench" => {
-                filter = Some(
-                    args[i + 1]
-                        .split(',')
-                        .map(|s| s.to_uppercase())
-                        .collect(),
-                );
-                i += 1;
-            }
-            c => cmd = c.to_string(),
-        }
-        i += 1;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = CommonArgs::parse(&raw).unwrap_or_else(|e| usage_exit(&e));
+    if args.positional.len() > 1 {
+        usage_exit(&format!(
+            "expected one experiment, got {:?}",
+            args.positional
+        ));
     }
-
-    let mut benches = all_benchmarks(scale);
-    if let Some(f) = &filter {
-        benches.retain(|w| f.contains(&w.abbr.to_uppercase()));
-    }
+    let cmd = args
+        .positional
+        .first()
+        .map_or("all".to_string(), Clone::clone);
 
     match cmd.as_str() {
         "table1" => table1(),
         "area" => area(),
         _ => {
-            eprintln!("running {} benchmarks at scale {scale}...", benches.len());
-            let rows: Vec<FullRow> = benches
-                .iter()
-                .map(|w| {
-                    eprint!("  {:4} ", w.abbr);
-                    let t = std::time::Instant::now();
-                    let r = evaluate(w);
-                    eprintln!("ok ({:.1?})", t.elapsed());
-                    r
-                })
-                .collect();
+            let benches = args.benchmarks().unwrap_or_else(|e| usage_exit(&e));
+            // Figures cache by default (results/cache) so re-running an
+            // experiment only simulates what changed; artifacts are
+            // opt-in via --out.
+            let harness = args.harness(None);
+            let run_rows = |benches: Vec<Workload>| -> Vec<FullRow> {
+                eprintln!(
+                    "running {} benchmarks at scale {} on {} workers...",
+                    benches.len(),
+                    args.scale,
+                    harness.workers()
+                );
+                evaluate_all(&harness, benches, args.scale, &args.overrides)
+            };
             match cmd.as_str() {
-                "table2" => table2(&rows),
-                "fig6" => fig6(&rows),
-                "fig16" => fig16(&rows),
-                "fig17" => fig17(&rows),
-                "fig18" => fig18(&rows),
-                "fig19" => fig19(&rows),
-                "fig20" => fig20(&rows),
-                "fig21" => fig21(&rows),
-                "ablate" => ablate(&benches),
+                "table2" => table2(&run_rows(benches)),
+                "fig6" => fig6(&run_rows(benches)),
+                "fig16" => fig16(&run_rows(benches)),
+                "fig17" => fig17(&run_rows(benches)),
+                "fig18" => fig18(&run_rows(benches)),
+                "fig19" => fig19(&run_rows(benches)),
+                "fig20" => fig20(&run_rows(benches)),
+                "fig21" => fig21(&run_rows(benches)),
+                "ablate" => ablate(&harness, &args, benches),
                 "all" => {
+                    let rows = run_rows(benches.clone());
                     table1();
                     table2(&rows);
                     fig6(&rows);
@@ -91,12 +89,9 @@ fn main() {
                     fig20(&rows);
                     fig21(&rows);
                     area();
-                    ablate(&benches);
+                    ablate(&harness, &args, benches);
                 }
-                other => {
-                    eprintln!("unknown experiment {other}");
-                    std::process::exit(1);
-                }
+                other => usage_exit(&format!("unknown experiment {other:?}")),
             }
         }
     }
@@ -114,7 +109,10 @@ fn table1() {
         "  GPU        Fermi (GTX480), {} SMs, {} warps/SM",
         g.num_sms, g.max_warps_per_sm
     );
-    println!("  SM         {} SIMT lanes, {} schedulers (two-level active)", g.lanes, g.schedulers);
+    println!(
+        "  SM         {} SIMT lanes, {} schedulers (two-level active)",
+        g.lanes, g.schedulers
+    );
     println!(
         "  L1         {} KB/SM, {} ways, {} MSHRs",
         g.mem.l1_size / 1024,
@@ -151,7 +149,10 @@ fn table1() {
 
 fn table2(rows: &[FullRow]) {
     hdr("Table 2: Benchmarks and measured classification (perfect-mem speedup ≥ 1.5 ⇒ memory-intensive)");
-    println!("{:<6} {:<18} {:<6} {:>9} {:<10}", "Abbr", "Name", "Suite", "PerfSpd", "Class");
+    println!(
+        "{:<6} {:<18} {:<6} {:>9} {:<10}",
+        "Abbr", "Name", "Suite", "PerfSpd", "Class"
+    );
     for r in rows {
         println!(
             "{:<6} {:<18} {:<6} {:>8.2}x {:<10}",
@@ -159,11 +160,19 @@ fn table2(rows: &[FullRow]) {
             r.name,
             r.suite,
             r.perfect_speedup,
-            if r.memory_intensive { "memory" } else { "compute" }
+            if r.memory_intensive {
+                "memory"
+            } else {
+                "compute"
+            }
         );
     }
     let mem = rows.iter().filter(|r| r.memory_intensive).count();
-    println!("-> {} memory-intensive, {} compute-intensive (paper: 18 / 11)", mem, rows.len() - mem);
+    println!(
+        "-> {} memory-intensive, {} compute-intensive (paper: 18 / 11)",
+        mem,
+        rows.len() - mem
+    );
 }
 
 fn fig6(rows: &[FullRow]) {
@@ -186,7 +195,10 @@ fn fig6(rows: &[FullRow]) {
         fracs.push(r.mix.potential_affine_fraction());
     }
     let mean = fracs.iter().sum::<f64>() / fracs.len().max(1) as f64;
-    println!("MEAN   potential affine = {:.1}% (paper: ~50%)", 100.0 * mean);
+    println!(
+        "MEAN   potential affine = {:.1}% (paper: ~50%)",
+        100.0 * mean
+    );
 }
 
 fn fig16(rows: &[FullRow]) {
@@ -200,7 +212,11 @@ fn fig16(rows: &[FullRow]) {
         println!(
             "{:<6} {:<8} {:>6.2}x {:>6.2}x {:>6.2}x",
             r.abbr,
-            if r.memory_intensive { "memory" } else { "compute" },
+            if r.memory_intensive {
+                "memory"
+            } else {
+                "compute"
+            },
             r.speedup(Design::Cae),
             r.speedup(Design::Mta),
             r.speedup(Design::Dac)
@@ -233,19 +249,25 @@ fn fig16(rows: &[FullRow]) {
 
 fn fig17(rows: &[FullRow]) {
     hdr("Figure 17: DAC warp instructions normalized to baseline (non-affine + affine streams)");
-    println!("{:<6} {:>10} {:>9} {:>8}", "Bench", "NonAffine", "Affine", "Total");
+    println!(
+        "{:<6} {:>10} {:>9} {:>8}",
+        "Bench", "NonAffine", "Affine", "Total"
+    );
     let mut totals = Vec::new();
     let mut aff_fracs = Vec::new();
     for r in rows {
         let (na, aff) = r.instr_ratio();
         println!("{:<6} {:>9.3} {:>9.3} {:>8.3}", r.abbr, na, aff, na + aff);
         totals.push(na + aff);
-        let s = &r.runs[3].report.stats;
+        let s = &r.report(Design::Dac).stats;
         aff_fracs.push(s.affine_instruction_fraction());
     }
     let mean = totals.iter().sum::<f64>() / totals.len().max(1) as f64;
     let afrac = aff_fracs.iter().sum::<f64>() / aff_fracs.len().max(1) as f64;
-    println!("MEAN   total ratio = {mean:.3} (paper: 0.74), affine share = {:.1}% (paper: 4.6%)", 100.0 * afrac);
+    println!(
+        "MEAN   total ratio = {mean:.3} (paper: 0.74), affine share = {:.1}% (paper: 4.6%)",
+        100.0 * afrac
+    );
 }
 
 fn fig18(rows: &[FullRow]) {
@@ -275,7 +297,11 @@ fn fig19(rows: &[FullRow]) {
     let set: Vec<&FullRow> = rows.iter().filter(|r| r.memory_intensive).collect();
     let mut fr = Vec::new();
     for r in &set {
-        println!("{:<6} {:>7.1}%", r.abbr, 100.0 * r.decoupled_load_fraction());
+        println!(
+            "{:<6} {:>7.1}%",
+            r.abbr,
+            100.0 * r.decoupled_load_fraction()
+        );
         fr.push(r.decoupled_load_fraction());
     }
     let mean = fr.iter().sum::<f64>() / fr.len().max(1) as f64;
@@ -343,66 +369,75 @@ fn area() {
 }
 
 /// Design-space ablations beyond the paper: queue depth, line locking,
-/// divergent-tuple support.
-fn ablate(benches: &[Workload]) {
+/// divergent-tuple support. Every configuration is an [`Overrides`] delta,
+/// so the whole sweep is one harness batch and the baseline runs (which no
+/// DAC knob affects) are shared through the cache.
+fn ablate(harness: &Harness, args: &CommonArgs, benches: Vec<Workload>) {
     hdr("Ablations (beyond the paper): DAC speedup vs design knobs");
     // A representative memory-bound subset keeps this affordable.
-    let subset: Vec<&Workload> = benches
-        .iter()
+    let subset: Vec<Arc<Workload>> = benches
+        .into_iter()
         .filter(|w| ["LIB", "ST", "CS", "SR2", "LBM"].contains(&w.abbr))
+        .map(Arc::new)
         .collect();
     if subset.is_empty() {
         println!("(no matching benchmarks in filter)");
         return;
     }
-    let gpu = GpuSim::new(gpu_for(Design::Dac));
-    println!("{:<28} {}", "config", "geomean speedup over baseline");
-    let base_cycles: Vec<(f64, &Workload)> = subset
+    let cfg = |label: &'static str, set: &[(&str, &str)]| {
+        let mut o = args.overrides.clone();
+        for (k, v) in set {
+            o.set(k, v).expect("ablation knobs are well-formed");
+        }
+        (label, o)
+    };
+    let configs = [
+        cfg("paper (ATQ24, PWQ192, lock)", &[]),
+        cfg(
+            "shallow queues (PWQ48)",
+            &[("pwaq_total", "48"), ("pwpq_total", "48")],
+        ),
+        cfg(
+            "deep queues (PWQ768)",
+            &[("pwaq_total", "768"), ("pwpq_total", "768")],
+        ),
+        cfg("no line locking", &[("lock_lines", "off")]),
+        cfg("tiny ATQ (4)", &[("atq_entries", "4")]),
+    ];
+
+    // One batch: a baseline job per benchmark, then each DAC variant.
+    let mut jobs: Vec<Job> = subset
         .iter()
-        .map(|w| {
-            let b = run_design(w, Design::Baseline, &GpuSim::new(gpu_for(Design::Baseline)));
-            (b.report.cycles as f64, *w)
+        .map(|w| Job {
+            workload: w.clone(),
+            scale: args.scale,
+            point: DesignPoint::Hw(Design::Baseline),
+            overrides: args.overrides.clone(),
         })
         .collect();
-    let run_cfg = |label: &str, cfg: DacConfig| {
-        let speedups: Vec<f64> = base_cycles
+    for (_, overrides) in &configs {
+        for w in &subset {
+            jobs.push(Job {
+                workload: w.clone(),
+                scale: args.scale,
+                point: DesignPoint::Hw(Design::Dac),
+                overrides: overrides.clone(),
+            });
+        }
+    }
+    let out = harness.run(&jobs);
+
+    let base_cycles: Vec<f64> = out.results[..subset.len()]
+        .iter()
+        .map(|r| r.report.cycles as f64)
+        .collect();
+    println!("{:<28} geomean speedup over baseline", "config");
+    for (c, (label, _)) in configs.iter().enumerate() {
+        let start = subset.len() * (c + 1);
+        let speedups = out.results[start..start + subset.len()]
             .iter()
-            .map(|(bc, w)| {
-                let r = run_dac(w, &gpu, cfg.clone());
-                bc / r.report.cycles as f64
-            })
-            .collect();
+            .zip(&base_cycles)
+            .map(|(r, bc)| bc / r.report.cycles as f64);
         println!("{:<28} {:.3}x", label, geomean(speedups));
-    };
-    run_cfg("paper (ATQ24, PWQ192, lock)", DacConfig::paper());
-    run_cfg(
-        "shallow queues (PWQ48)",
-        DacConfig {
-            pwaq_total: 48,
-            pwpq_total: 48,
-            ..DacConfig::paper()
-        },
-    );
-    run_cfg(
-        "deep queues (PWQ768)",
-        DacConfig {
-            pwaq_total: 768,
-            pwpq_total: 768,
-            ..DacConfig::paper()
-        },
-    );
-    run_cfg(
-        "no line locking",
-        DacConfig {
-            lock_lines: false,
-            ..DacConfig::paper()
-        },
-    );
-    run_cfg(
-        "tiny ATQ (4)",
-        DacConfig {
-            atq_entries: 4,
-            ..DacConfig::paper()
-        },
-    );
+    }
 }

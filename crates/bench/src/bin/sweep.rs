@@ -1,0 +1,98 @@
+//! Run the benchmark × design matrix and emit machine-readable artifacts.
+//!
+//! The workhorse for bulk experiments: every (workload, design) pair
+//! becomes one harness job, results stream into `results/cache/` (so a
+//! second identical invocation simulates nothing) and one JSONL record per
+//! job lands under `results/runs/`. The printed table and the artifact are
+//! byte-identical for any `--jobs N` — results are aggregated by job
+//! index, not completion order.
+
+use dac_bench::cli::{CommonArgs, COMMON_USAGE};
+use dac_bench::geomean;
+use gpu_workloads::Design;
+use simt_harness::{suite_jobs, DesignPoint};
+
+const USAGE: &str = "\
+usage: sweep [options]
+
+Runs every selected benchmark under every selected design (default:
+baseline, cae, mta, dac) and writes one JSONL record per simulation to
+--out (default results/runs). Fully cached: rerunning an identical sweep
+hits results/cache and simulates nothing.";
+
+fn usage_exit(error: &str) -> ! {
+    if error == "help" {
+        println!("{USAGE}\n\n{COMMON_USAGE}");
+        std::process::exit(0);
+    }
+    eprintln!("sweep: {error}\n\n{USAGE}\n\n{COMMON_USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = CommonArgs::parse(&raw).unwrap_or_else(|e| usage_exit(&e));
+    if let Some(stray) = args.positional.first() {
+        usage_exit(&format!("unexpected argument {stray:?}"));
+    }
+    let benches = args.benchmarks().unwrap_or_else(|e| usage_exit(&e));
+    let points = args
+        .designs
+        .clone()
+        .unwrap_or_else(|| DesignPoint::HW_ALL.to_vec());
+
+    let harness = args.harness(Some("results/runs"));
+    let jobs = suite_jobs(benches, args.scale, &points, &args.overrides);
+    eprintln!(
+        "sweep: {} jobs ({} benchmarks x {} designs) on {} workers",
+        jobs.len(),
+        jobs.len() / points.len(),
+        points.len(),
+        harness.workers()
+    );
+    let t0 = std::time::Instant::now();
+    let out = harness.run(&jobs);
+    let wall = t0.elapsed();
+
+    // One row per benchmark, one column per design; speedups are relative
+    // to the baseline column when it is part of the sweep.
+    let base_col = points
+        .iter()
+        .position(|&p| p == DesignPoint::Hw(Design::Baseline));
+    print!("{:<6} {:>12}", "bench", "design:cycles");
+    println!();
+    let mut dac_speedups = Vec::new();
+    for (row, chunk) in out.results.chunks(points.len()).enumerate() {
+        let bench = &jobs[row * points.len()].workload;
+        let mut line = format!("{:<6}", bench.abbr);
+        for (col, r) in chunk.iter().enumerate() {
+            let mut cell = format!("{}={}", points[col].name(), r.report.cycles);
+            if let Some(b) = base_col {
+                if col != b {
+                    let speedup = chunk[b].report.cycles as f64 / r.report.cycles as f64;
+                    cell.push_str(&format!(" ({speedup:.2}x)"));
+                    if points[col] == DesignPoint::Hw(Design::Dac) {
+                        dac_speedups.push(speedup);
+                    }
+                }
+            }
+            line.push_str(&format!(" {cell:>24}"));
+        }
+        println!("{line}");
+    }
+    if !dac_speedups.is_empty() {
+        println!(
+            "GEOMEAN dac speedup over baseline: {:.3}x",
+            geomean(dac_speedups)
+        );
+    }
+    eprintln!(
+        "sweep: {} simulated, {} from cache in {:.1}s",
+        out.executed,
+        out.cache_hits,
+        wall.as_secs_f64()
+    );
+    if let Some(path) = &out.artifact_path {
+        eprintln!("sweep: artifacts -> {}", path.display());
+    }
+}

@@ -21,12 +21,20 @@ fn main() {
     b.bra_if(p, "loop");
     b.exit();
     let kernel = b.build();
-    for (ctas, num_sms, iters) in [(15u32, 15usize, 6u64), (30, 15, 6), (60, 15, 6), (120, 15, 6)] {
+    for (ctas, num_sms, iters) in [
+        (15u32, 15usize, 6u64),
+        (30, 15, 6),
+        (60, 15, 6),
+        (120, 15, 6),
+    ] {
         let warps = 4u32;
         let launch = LaunchConfig::linear(ctas, warps * 32, vec![0x100_0000, 0x200_0000, iters]);
         let prog = Program::new(kernel.clone(), launch.clone()).unwrap();
         let mut mem = SparseMemory::new();
-        let gpu = GpuSim::new(GpuConfig { num_sms, ..GpuConfig::gtx480() });
+        let gpu = GpuSim::new(GpuConfig {
+            num_sms,
+            ..GpuConfig::gtx480()
+        });
         let rep = gpu.run(&prog, &mut mem);
         println!("BASE ctas {ctas:3} sms {num_sms:2}: cycles {}", rep.cycles);
 

@@ -1,0 +1,265 @@
+//! Shared command-line parsing for the `figures` and `sweep` binaries.
+//!
+//! Parsing never panics: errors come back as `Err(message)` so binaries can
+//! print the message plus their usage text and exit non-zero, instead of
+//! dumping a backtrace at the user.
+
+use simt_harness::{DesignPoint, Harness, Overrides, ResultCache};
+use std::path::PathBuf;
+
+/// Options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// `--scale N` — workload scale factor (default 1).
+    pub scale: u32,
+    /// `--bench A,B,...` — restrict to these abbreviations (default: all).
+    pub bench_filter: Option<Vec<String>>,
+    /// `--jobs N` — worker threads (default: available parallelism).
+    pub jobs: usize,
+    /// `--no-cache` clears this; `--cache-dir DIR` moves the cache root.
+    pub cache: bool,
+    /// Cache directory (default `results/cache`).
+    pub cache_dir: PathBuf,
+    /// `--out DIR` — write JSONL run artifacts here (sweep defaults to
+    /// `results/runs`; figures defaults to off).
+    pub out: Option<PathBuf>,
+    /// `--designs a,b,...` — design points to run (default: sweep runs
+    /// baseline/cae/mta/dac).
+    pub designs: Option<Vec<DesignPoint>>,
+    /// `--set key=value` (repeatable) — configuration overrides.
+    pub overrides: Overrides,
+    /// `--quiet` — suppress per-job progress lines.
+    pub quiet: bool,
+    /// Positional arguments (the experiment name for `figures`).
+    pub positional: Vec<String>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            scale: 1,
+            bench_filter: None,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache: true,
+            cache_dir: ResultCache::default_dir(),
+            out: None,
+            designs: None,
+            overrides: Overrides::default(),
+            quiet: false,
+            positional: Vec::new(),
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parse an argument list (without the program name). `Err` is a
+    /// one-line message suitable for printing above the usage text; the
+    /// special message `"help"` means `-h`/`--help` was given.
+    pub fn parse(args: &[String]) -> Result<CommonArgs, String> {
+        let mut out = CommonArgs::default();
+        let mut it = args.iter();
+        let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "-h" | "--help" => return Err("help".into()),
+                "--scale" => {
+                    let v = value("--scale", &mut it)?;
+                    out.scale = v
+                        .parse()
+                        .map_err(|_| format!("--scale: expected a positive number, got {v:?}"))?;
+                    if out.scale == 0 {
+                        return Err("--scale must be at least 1".into());
+                    }
+                }
+                "--bench" => {
+                    out.bench_filter = Some(
+                        value("--bench", &mut it)?
+                            .split(',')
+                            .map(|s| s.trim().to_uppercase())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                    );
+                }
+                "--jobs" | "-j" => {
+                    let v = value("--jobs", &mut it)?;
+                    out.jobs = v
+                        .parse()
+                        .map_err(|_| format!("--jobs: expected a positive number, got {v:?}"))?;
+                    if out.jobs == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                }
+                "--no-cache" => out.cache = false,
+                "--cache-dir" => out.cache_dir = PathBuf::from(value("--cache-dir", &mut it)?),
+                "--out" => out.out = Some(PathBuf::from(value("--out", &mut it)?)),
+                "--designs" => {
+                    let v = value("--designs", &mut it)?;
+                    let mut points = Vec::new();
+                    for name in v.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        points.push(DesignPoint::parse(name).ok_or_else(|| {
+                            format!(
+                                "--designs: unknown design {name:?} \
+                                 (expected baseline, cae, mta, dac, or perfect)"
+                            )
+                        })?);
+                    }
+                    if points.is_empty() {
+                        return Err("--designs requires at least one design".into());
+                    }
+                    out.designs = Some(points);
+                }
+                "--set" => {
+                    let v = value("--set", &mut it)?;
+                    let (key, val) = v
+                        .split_once('=')
+                        .ok_or_else(|| format!("--set: expected key=value, got {v:?}"))?;
+                    out.overrides.set(key.trim(), val.trim())?;
+                }
+                "--quiet" | "-q" => out.quiet = true,
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag {flag:?}"));
+                }
+                _ => out.positional.push(arg.clone()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Build the harness these arguments describe. `artifacts_default`
+    /// supplies the binary's default artifact directory when `--out` was
+    /// not given (`None` = artifacts off unless requested).
+    pub fn harness(&self, artifacts_default: Option<&str>) -> Harness {
+        let mut h = Harness::new(self.jobs).verbose(!self.quiet);
+        if self.cache {
+            h = h.with_cache(ResultCache::new(&self.cache_dir));
+        }
+        let artifacts = self
+            .out
+            .clone()
+            .or_else(|| artifacts_default.map(PathBuf::from));
+        if let Some(dir) = artifacts {
+            h = h.with_artifacts(dir);
+        }
+        h
+    }
+
+    /// The benchmark list after `--scale` and `--bench`. `Err` when the
+    /// filter names an unknown benchmark (catching typos up front, instead
+    /// of silently running an empty suite).
+    pub fn benchmarks(&self) -> Result<Vec<gpu_workloads::Workload>, String> {
+        let mut benches = gpu_workloads::all_benchmarks(self.scale);
+        if let Some(filter) = &self.bench_filter {
+            for abbr in filter {
+                if !benches.iter().any(|w| w.abbr.eq_ignore_ascii_case(abbr)) {
+                    return Err(format!(
+                        "--bench: unknown benchmark {abbr:?} (see Table 2 for abbreviations)"
+                    ));
+                }
+            }
+            benches.retain(|w| filter.iter().any(|f| w.abbr.eq_ignore_ascii_case(f)));
+        }
+        Ok(benches)
+    }
+}
+
+/// The flag reference shared by both binaries' usage text.
+pub const COMMON_USAGE: &str = "\
+common options:
+  --scale N          workload scale factor (default 1)
+  --bench A,B,...    only these benchmarks (Table 2 abbreviations)
+  --jobs N, -j N     worker threads (default: all cores)
+  --no-cache         ignore and do not update results/cache
+  --cache-dir DIR    result cache location (default results/cache)
+  --out DIR          write JSONL run artifacts to DIR
+  --designs a,b,...  design points: baseline, cae, mta, dac, perfect
+  --set KEY=VALUE    config override (repeatable); knobs: atq_entries,
+                     pwaq_total, pwpq_total, lock_lines, divergent_tuples,
+                     num_sms, max_warps_per_sm
+  --quiet, -q        no per-job progress on stderr
+  --help, -h         this text";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_workloads::Design;
+
+    fn parse(args: &[&str]) -> Result<CommonArgs, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        CommonArgs::parse(&owned)
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, 1);
+        assert!(a.cache);
+        assert!(a.jobs >= 1);
+        assert!(a.positional.is_empty());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let a = parse(&[
+            "fig16",
+            "--scale",
+            "2",
+            "--bench",
+            "lib,mq",
+            "--jobs",
+            "4",
+            "--no-cache",
+            "--out",
+            "/tmp/runs",
+            "--designs",
+            "baseline,dac",
+            "--set",
+            "atq_entries=12",
+            "-q",
+        ])
+        .unwrap();
+        assert_eq!(a.positional, vec!["fig16"]);
+        assert_eq!(a.scale, 2);
+        assert_eq!(a.bench_filter, Some(vec!["LIB".into(), "MQ".into()]));
+        assert_eq!(a.jobs, 4);
+        assert!(!a.cache);
+        assert_eq!(a.out.as_deref(), Some(std::path::Path::new("/tmp/runs")));
+        assert_eq!(
+            a.designs,
+            Some(vec![
+                DesignPoint::Hw(Design::Baseline),
+                DesignPoint::Hw(Design::Dac)
+            ])
+        );
+        assert_eq!(a.overrides.atq_entries, Some(12));
+        assert!(a.quiet);
+    }
+
+    #[test]
+    fn errors_do_not_panic() {
+        for bad in [
+            vec!["--scale"],
+            vec!["--scale", "zero"],
+            vec!["--scale", "0"],
+            vec!["--jobs", "-3"],
+            vec!["--designs", "warp9"],
+            vec!["--set", "atq_entries"],
+            vec!["--set", "warp_speed=9"],
+            vec!["--frobnicate"],
+        ] {
+            assert!(parse(&bad).is_err(), "{bad:?} should be rejected");
+        }
+        assert_eq!(parse(&["--help"]).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn unknown_bench_is_caught() {
+        let a = parse(&["--bench", "LIB,NOPE"]).unwrap();
+        assert!(a.benchmarks().is_err());
+        let ok = parse(&["--bench", "lib"]).unwrap();
+        assert_eq!(ok.benchmarks().unwrap().len(), 1);
+    }
+}

@@ -20,10 +20,7 @@ pub struct AffineStackEntry {
 
 impl AffineStackEntry {
     fn live(&self, exited: &[u32]) -> bool {
-        self.masks
-            .iter()
-            .zip(exited)
-            .any(|(m, e)| m & !e != 0)
+        self.masks.iter().zip(exited).any(|(m, e)| m & !e != 0)
     }
 }
 
@@ -100,7 +97,9 @@ impl AffineStack {
 
     fn settle(&mut self) {
         loop {
-            let Some(top) = self.entries.last() else { return };
+            let Some(top) = self.entries.last() else {
+                return;
+            };
             if !top.live(&self.exited) {
                 self.entries.pop();
                 continue;
@@ -132,16 +131,8 @@ impl AffineStack {
     /// that ordering is what keeps enq/deq FIFOs aligned.
     pub fn branch(&mut self, taken: &[u32], target: usize, rpc: usize) -> bool {
         let active = self.active_masks();
-        let taken: Vec<u32> = taken
-            .iter()
-            .zip(&active)
-            .map(|(t, a)| t & a)
-            .collect();
-        let not_taken: Vec<u32> = active
-            .iter()
-            .zip(&taken)
-            .map(|(a, t)| a & !t)
-            .collect();
+        let taken: Vec<u32> = taken.iter().zip(&active).map(|(t, a)| t & a).collect();
+        let not_taken: Vec<u32> = active.iter().zip(&taken).map(|(a, t)| a & !t).collect();
         let fallthrough = self.pc() + 1;
         let any_taken = taken.iter().any(|&m| m != 0);
         let any_nt = not_taken.iter().any(|&m| m != 0);
@@ -178,11 +169,7 @@ impl AffineStack {
             *e |= a;
         }
         self.settle();
-        if self
-            .entries
-            .iter()
-            .all(|en| !en.live(&self.exited))
-        {
+        if self.entries.iter().all(|en| !en.live(&self.exited)) {
             self.entries.clear();
         }
     }

@@ -60,7 +60,7 @@ mod tests {
     }
 
     #[test]
-    fn partition_adapts_to_occupancy()  {
+    fn partition_adapts_to_occupancy() {
         assert_eq!(DacConfig::per_warp_cap(192, 16), 12);
         assert_eq!(DacConfig::per_warp_cap(192, 0), 192);
         assert_eq!(DacConfig::per_warp_cap(2, 48), 1);

@@ -130,7 +130,11 @@ impl Dac {
         }
         let prefetch = kind == QueueKind::Data;
         let record = AddrRecord {
-            kind: if prefetch { RecordKind::Data } else { RecordKind::Addr },
+            kind: if prefetch {
+                RecordKind::Data
+            } else {
+                RecordKind::Addr
+            },
             thread_addrs: w.addrs,
             lines: lines.clone(),
             space,
@@ -232,7 +236,9 @@ impl Dac {
         }
         for k in 0..nslots {
             let slot = (s.rr + k) % nslots;
-            let Some(actx) = s.slots[slot].as_mut() else { continue };
+            let Some(actx) = s.slots[slot].as_mut() else {
+                continue;
+            };
             if actx.done() {
                 continue;
             }
@@ -359,23 +365,30 @@ impl CoProcessor for Dac {
         }
         let q = &self.sms[sm].queues;
         match instr {
-            Instr::Ld { addr: AddrMode::DeqData, .. } => {
-                match q.pwaq_front_kind(warp) {
-                    None => {
-                        stats.deq_empty_stalls += 1;
-                        false
-                    }
-                    Some((kind, ready)) => {
-                        debug_assert_eq!(kind, RecordKind::Data, "stream misalignment");
-                        if !ready {
-                            stats.deq_data_stalls += 1;
-                        }
-                        ready
-                    }
+            Instr::Ld {
+                addr: AddrMode::DeqData,
+                ..
+            } => match q.pwaq_front_kind(warp) {
+                None => {
+                    stats.deq_empty_stalls += 1;
+                    false
                 }
+                Some((kind, ready)) => {
+                    debug_assert_eq!(kind, RecordKind::Data, "stream misalignment");
+                    if !ready {
+                        stats.deq_data_stalls += 1;
+                    }
+                    ready
+                }
+            },
+            Instr::Ld {
+                addr: AddrMode::DeqAddr,
+                ..
             }
-            Instr::Ld { addr: AddrMode::DeqAddr, .. }
-            | Instr::St { addr: AddrMode::DeqAddr, .. } => match q.pwaq_front_kind(warp) {
+            | Instr::St {
+                addr: AddrMode::DeqAddr,
+                ..
+            } => match q.pwaq_front_kind(warp) {
                 None => {
                     stats.deq_empty_stalls += 1;
                     false
@@ -385,7 +398,10 @@ impl CoProcessor for Dac {
                     true
                 }
             },
-            Instr::Bra { pred: Some(PredSrc::Deq { .. }), .. } => {
+            Instr::Bra {
+                pred: Some(PredSrc::Deq { .. }),
+                ..
+            } => {
                 let ok = q.pred_available(warp);
                 if !ok {
                     stats.deq_empty_stalls += 1;
@@ -435,9 +451,7 @@ impl CoProcessor for Dac {
 
     fn quiescent(&self) -> bool {
         self.sms.iter().all(|s| {
-            s.slots.iter().all(|c| c.is_none())
-                && s.queues.empty()
-                && s.pending_lines.is_empty()
+            s.slots.iter().all(|c| c.is_none()) && s.queues.empty() && s.pending_lines.is_empty()
         })
     }
 }
@@ -610,7 +624,10 @@ DONE:
         mem_d.write_u32_slice(0x4000, &input);
         let rep = gpu.run_with(&prog, &mut mem_d, &mut dac);
 
-        assert_eq!(mem_b.read_u32_vec(0x9000, 128), mem_d.read_u32_vec(0x9000, 128));
+        assert_eq!(
+            mem_b.read_u32_vec(0x9000, 128),
+            mem_d.read_u32_vec(0x9000, 128)
+        );
         // Elements ≥ n untouched.
         assert_eq!(mem_d.read_u32(0x9000 + 4 * n), 0);
         assert_eq!(mem_d.read_u32(0x9000), 11);

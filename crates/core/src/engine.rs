@@ -12,9 +12,7 @@ use crate::astack::AffineStack;
 use crate::queues::{AtqEntry, DacQueues, WarpExpansion};
 use affine::value::DivergentVal;
 use affine::{tuple::tuple_op, AffineTuple, AffineVal, PredVal};
-use simt_ir::{
-    Instr, Kernel, LaunchConfig, Op, Operand, PredSrc, QueueKind, Space, SpecialReg,
-};
+use simt_ir::{Instr, Kernel, LaunchConfig, Op, Operand, PredSrc, QueueKind, Space, SpecialReg};
 use simt_sim::sm::{LOCAL_BASE, LOCAL_STRIDE};
 
 /// How the PEU would have produced a predicate (drives Figure-level stats:
@@ -159,8 +157,7 @@ impl AffineCtx {
     fn eval_alu(&self, op: Op, vals: &[AffineVal], launch: &LaunchConfig) -> AffineVal {
         let all_single = vals.iter().all(|v| matches!(v, AffineVal::Tuple(_)));
         if all_single {
-            let tuples: Vec<AffineTuple> =
-                vals.iter().map(|v| *v.as_tuple().unwrap()).collect();
+            let tuples: Vec<AffineTuple> = vals.iter().map(|v| *v.as_tuple().unwrap()).collect();
             if let Some(t) = tuple_op(op, &tuples) {
                 return AffineVal::Tuple(t);
             }
@@ -178,10 +175,8 @@ impl AffineCtx {
         let mut select = vec![[0u8; 32]; nw];
         for (w, sel) in select.iter_mut().enumerate() {
             for (lane, s) in sel.iter_mut().enumerate() {
-                let srcs: Vec<AffineTuple> = vals
-                    .iter()
-                    .map(|v| *self.lane_tuple(v, w, lane))
-                    .collect();
+                let srcs: Vec<AffineTuple> =
+                    vals.iter().map(|v| *self.lane_tuple(v, w, lane)).collect();
                 let t = tuple_op(op, &srcs)
                     .unwrap_or_else(|| panic!("affine engine: divergent {op} unrepresentable"));
                 let idx = match tuples.iter().position(|x| *x == t) {
@@ -258,13 +253,10 @@ impl AffineCtx {
     fn write_reg(&mut self, r: u16, v: AffineVal, write_masks: &[u32]) {
         let nw = self.num_warps();
         let merged = match &v {
-            AffineVal::Tuple(t) => AffineVal::merge_masked(
-                self.regs[r as usize].as_ref(),
-                *t,
-                write_masks,
-                nw,
-            )
-            .expect("divergent tuple limit exceeded (compiler bug)"),
+            AffineVal::Tuple(t) => {
+                AffineVal::merge_masked(self.regs[r as usize].as_ref(), *t, write_masks, nw)
+                    .expect("divergent tuple limit exceeded (compiler bug)")
+            }
             // Divergent results under partial masks: merge tuple by tuple.
             AffineVal::Divergent(d) => {
                 let mut cur = self.regs[r as usize].clone();
@@ -306,9 +298,7 @@ impl AffineCtx {
         launch: &LaunchConfig,
     ) -> (PredVal, PeuClass) {
         let scalar_ab = match (a, b) {
-            (AffineVal::Tuple(ta), AffineVal::Tuple(tb)) => {
-                ta.as_scalar().zip(tb.as_scalar())
-            }
+            (AffineVal::Tuple(ta), AffineVal::Tuple(tb)) => ta.as_scalar().zip(tb.as_scalar()),
             _ => None,
         };
         if let Some((va, vb)) = scalar_ab {
@@ -374,7 +364,12 @@ impl AffineCtx {
         }
 
         match instr {
-            Instr::Alu { op, dst, srcs, guard } => {
+            Instr::Alu {
+                op,
+                dst,
+                srcs,
+                guard,
+            } => {
                 let vals: Vec<AffineVal> = srcs[..op.arity()]
                     .iter()
                     .map(|&s| self.operand_val(s, launch))
@@ -420,7 +415,14 @@ impl AffineCtx {
                 self.write_reg(*dst, v, &masks);
                 self.stack.advance();
             }
-            Instr::SetP { dst, cmp, a, b, float, .. } => {
+            Instr::SetP {
+                dst,
+                cmp,
+                a,
+                b,
+                float,
+                ..
+            } => {
                 let va = self.operand_val(*a, launch);
                 let vb = self.operand_val(*b, launch);
                 let (p, class) = self.eval_setp(*cmp, &va, &vb, *float, launch);
@@ -428,7 +430,14 @@ impl AffineCtx {
                 self.preds[*dst as usize] = Some(p);
                 self.stack.advance();
             }
-            Instr::Enq { kind, src, pred, width, space, guard } => {
+            Instr::Enq {
+                kind,
+                src,
+                pred,
+                width,
+                space,
+                guard,
+            } => {
                 let entry =
                     self.build_enq(*kind, *src, *pred, *width, *space, *guard, launch, kernel);
                 queues.push_atq(entry);
@@ -618,8 +627,16 @@ LOOP:
             .iter()
             .filter(|e| e.kind == QueueKind::Data)
             .collect();
-        let addr = queues.atq.iter().filter(|e| e.kind == QueueKind::Addr).count();
-        let pred = queues.atq.iter().filter(|e| e.kind == QueueKind::Pred).count();
+        let addr = queues
+            .atq
+            .iter()
+            .filter(|e| e.kind == QueueKind::Addr)
+            .count();
+        let pred = queues
+            .atq
+            .iter()
+            .filter(|e| e.kind == QueueKind::Pred)
+            .count();
         assert_eq!(data.len(), 3);
         assert_eq!(addr, 3);
         assert_eq!(pred, 3);

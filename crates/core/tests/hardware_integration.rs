@@ -65,17 +65,12 @@ fn barrier_epoch_gates_early_requests() {
     exit;
 "#;
     let launch = LaunchConfig::linear(4, 128, vec![0x10_0000, 0x80_0000]);
-    let (base, dacv, stats, dac) = run_both(
-        text,
-        launch,
-        |_| {},
-        (0x80_0000, 512),
-        DacConfig::paper(),
-    );
+    let (base, dacv, stats, dac) =
+        run_both(text, launch, |_| {}, (0x80_0000, 512), DacConfig::paper());
     assert_eq!(base, dacv, "barrier ordering violated");
     // The neighbour load value is thread-dependent: out[t] = 3*(neighbour).
     assert_eq!(dacv[0], 3);
-    assert_eq!(dacv[127], 0 * 3); // wraps to tid 0 of the CTA
+    assert_eq!(dacv[127], 0, "wraps to tid 0 of the CTA, so 3*0");
     assert!(stats.decoupled_loads > 0, "post-barrier load must decouple");
     assert_eq!(dac.dropped_at_retire, 0);
 }
@@ -114,7 +109,10 @@ JOIN:
     assert_eq!(base, dacv);
     assert_eq!(dacv[10], 1000, "below-bound thread reads element 0");
     assert_eq!(dacv[77], 1077, "above-bound thread reads its own element");
-    assert!(stats.decoupled_loads > 0, "divergent-tuple load must decouple");
+    assert!(
+        stats.decoupled_loads > 0,
+        "divergent-tuple load must decouple"
+    );
 }
 
 /// Adversarial queue sizing: 1-entry everything still completes correctly

@@ -223,6 +223,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the SRAM budget
     fn area_overhead_matches_paper() {
         let f = area::dac_area_overhead(15);
         assert!((f - 0.0106).abs() < 0.0005, "area fraction {f}");

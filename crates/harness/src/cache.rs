@@ -1,0 +1,157 @@
+//! Content-addressed result cache.
+//!
+//! Every simulation is deterministic, so a result is fully determined by
+//! its job's canonical key (workload, scale, design, relevant overrides,
+//! cache version — see [`Job::cache_key`]). Entries live one-per-file under
+//! the cache directory, named by the FNV-1a hash of the key; the full key
+//! is stored inside the entry and verified on load, so a hash collision
+//! degrades to a cache miss instead of returning a wrong result.
+
+use crate::artifact;
+use crate::job::{Job, JobResult};
+use crate::json;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// 64-bit FNV-1a. Stable across platforms and releases — cache file names
+/// and output digests must not change under us (unlike `DefaultHasher`).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An on-disk result cache rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The default location, `results/cache/`, relative to the repo root
+    /// (or whatever the current directory is).
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results").join("cache")
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.json", fnv1a64(key.as_bytes())))
+    }
+
+    /// Look up a job. Any failure — missing file, unreadable JSON, schema
+    /// or key mismatch — is a miss; the cache never fails a run.
+    pub fn load(&self, job: &Job) -> Option<JobResult> {
+        let key = job.cache_key();
+        let text = fs::read_to_string(self.entry_path(&key)).ok()?;
+        let value = json::parse(&text).ok()?;
+        let (stored_key, result) = artifact::from_json(&value).ok()?;
+        (stored_key == key).then_some(result)
+    }
+
+    /// Store a fresh result. Write failures are reported but non-fatal
+    /// (a read-only checkout still runs, just without caching); writes go
+    /// through a temp file + rename so concurrent invocations never observe
+    /// a torn entry.
+    pub fn store(&self, job: &Job, result: &JobResult) {
+        let key = job.cache_key();
+        let path = self.entry_path(&key);
+        let record = artifact::to_json(job, result, None, Some(&key)).to_json();
+        let write = || -> std::io::Result<()> {
+            fs::create_dir_all(&self.dir)?;
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            fs::write(&tmp, record.as_bytes())?;
+            fs::rename(&tmp, &path)
+        };
+        if let Err(e) = write() {
+            eprintln!("warning: cache write {} failed: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::DesignPoint;
+    use gpu_workloads::{benchmark, Design};
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dac-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_job() -> Job {
+        let mut job = Job::new(
+            Arc::new(benchmark("LIB", 1).unwrap()),
+            1,
+            DesignPoint::Hw(Design::Baseline),
+        );
+        job.overrides.num_sms = Some(2);
+        job.overrides.max_warps_per_sm = Some(16);
+        job
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::new(&dir);
+        let job = small_job();
+        assert!(cache.load(&job).is_none(), "cold cache must miss");
+        let result = job.execute();
+        cache.store(&job, &result);
+        let hit = cache.load(&job).expect("warm cache must hit");
+        assert!(hit.cached);
+        assert_eq!(hit.report.cycles, result.report.cycles);
+        assert_eq!(hit.report.stats, result.report.stats);
+        assert_eq!(hit.report.mem, result.report.mem);
+        assert_eq!(hit.output_digest, result.output_digest);
+        // A different design misses even with the store populated.
+        let other = Job {
+            point: DesignPoint::PerfectMem,
+            ..job.clone()
+        };
+        assert!(cache.load(&other).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_miss() {
+        let dir = tmp_dir("corrupt");
+        let cache = ResultCache::new(&dir);
+        let job = small_job();
+        let result = job.execute();
+        cache.store(&job, &result);
+        let path = cache.entry_path(&job.cache_key());
+        fs::write(&path, b"{ not json").unwrap();
+        assert!(cache.load(&job).is_none());
+        // Key mismatch (simulated collision) is also a miss.
+        let record =
+            artifact::to_json(&job, &result, None, Some("dac-cache-v0|bench=???")).to_json();
+        fs::write(&path, record).unwrap();
+        assert!(cache.load(&job).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

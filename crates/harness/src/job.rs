@@ -1,0 +1,363 @@
+//! The job abstraction: one cycle-level simulation of `workload × design ×
+//! configuration overrides`, plus everything needed to key it in the result
+//! cache and serialize it into artifacts.
+
+use crate::cache::fnv1a64;
+use dac_core::DacConfig;
+use gpu_workloads::{gpu_for, run_dac, run_design, Design, Workload};
+use simt_sim::{GpuConfig, GpuSim, SimReport};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Version tag folded into every cache key. Bump whenever simulator
+/// behaviour changes in a way that invalidates cached results (the
+/// golden-stats test catches unintended shifts).
+pub const CACHE_VERSION: &str = "dac-cache-v1";
+
+/// A point in the design space: one of the paper's four hardware designs,
+/// or the perfect-memory machine used for the §5.1.2 compute/memory
+/// classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignPoint {
+    /// Baseline / CAE / MTA / DAC.
+    Hw(Design),
+    /// Baseline cores with a zero-latency, infinite-bandwidth memory.
+    PerfectMem,
+}
+
+impl DesignPoint {
+    /// The four hardware designs, in [`Design::ALL`] order.
+    pub const HW_ALL: [DesignPoint; 4] = [
+        DesignPoint::Hw(Design::Baseline),
+        DesignPoint::Hw(Design::Cae),
+        DesignPoint::Hw(Design::Mta),
+        DesignPoint::Hw(Design::Dac),
+    ];
+
+    /// Stable name used in cache keys, artifacts, and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignPoint::Hw(d) => d.name(),
+            DesignPoint::PerfectMem => "perfect",
+        }
+    }
+
+    /// Inverse of [`DesignPoint::name`] (case-insensitive).
+    pub fn parse(s: &str) -> Option<DesignPoint> {
+        let s = s.to_ascii_lowercase();
+        for p in Self::HW_ALL {
+            if p.name() == s {
+                return Some(p);
+            }
+        }
+        (s == "perfect").then_some(DesignPoint::PerfectMem)
+    }
+}
+
+/// Configuration overrides applied on top of the paper's defaults. `None`
+/// means "leave the paper value"; only the knobs relevant to a job's design
+/// enter its cache key, so e.g. a DAC queue-size sweep does not re-run the
+/// baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Overrides {
+    /// Affine Tuple Queue entries per SM (DAC only; paper: 24).
+    pub atq_entries: Option<usize>,
+    /// Per-Warp Address Queue entries per SM (DAC only; paper: 192).
+    pub pwaq_total: Option<usize>,
+    /// Per-Warp Predicate Queue entries per SM (DAC only; paper: 192).
+    pub pwpq_total: Option<usize>,
+    /// L1 line locking (DAC only; paper: on).
+    pub lock_lines: Option<bool>,
+    /// Divergent affine tuples, §4.6 (DAC only; paper: on).
+    pub divergent_tuples: Option<bool>,
+    /// Number of SMs (all designs; paper: 15).
+    pub num_sms: Option<usize>,
+    /// Resident warps per SM (all designs; paper: 48).
+    pub max_warps_per_sm: Option<usize>,
+}
+
+impl Overrides {
+    /// True when every knob is at its paper default.
+    pub fn is_default(&self) -> bool {
+        *self == Overrides::default()
+    }
+
+    /// Apply the GPU-wide knobs to a core configuration.
+    pub fn apply_gpu(&self, mut cfg: GpuConfig) -> GpuConfig {
+        if let Some(n) = self.num_sms {
+            cfg.num_sms = n;
+        }
+        if let Some(n) = self.max_warps_per_sm {
+            cfg.max_warps_per_sm = n;
+        }
+        cfg
+    }
+
+    /// Apply the DAC knobs to a DAC hardware configuration.
+    pub fn apply_dac(&self, mut cfg: DacConfig) -> DacConfig {
+        if let Some(n) = self.atq_entries {
+            cfg.atq_entries = n;
+        }
+        if let Some(n) = self.pwaq_total {
+            cfg.pwaq_total = n;
+        }
+        if let Some(n) = self.pwpq_total {
+            cfg.pwpq_total = n;
+        }
+        if let Some(b) = self.lock_lines {
+            cfg.lock_lines = b;
+        }
+        if let Some(b) = self.divergent_tuples {
+            cfg.divergent_tuples = b;
+        }
+        cfg
+    }
+
+    /// Set a knob from a CLI-style `key=value` pair.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn num(key: &str, value: &str) -> Result<usize, String> {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("--set {key}: expected a number, got {value:?}"))
+        }
+        fn flag(key: &str, value: &str) -> Result<bool, String> {
+            match value {
+                "true" | "on" | "1" => Ok(true),
+                "false" | "off" | "0" => Ok(false),
+                _ => Err(format!("--set {key}: expected true/false, got {value:?}")),
+            }
+        }
+        match key {
+            "atq_entries" => self.atq_entries = Some(num(key, value)?),
+            "pwaq_total" => self.pwaq_total = Some(num(key, value)?),
+            "pwpq_total" => self.pwpq_total = Some(num(key, value)?),
+            "lock_lines" => self.lock_lines = Some(flag(key, value)?),
+            "divergent_tuples" => self.divergent_tuples = Some(flag(key, value)?),
+            "num_sms" => self.num_sms = Some(num(key, value)?),
+            "max_warps_per_sm" => self.max_warps_per_sm = Some(num(key, value)?),
+            _ => {
+                return Err(format!(
+                    "unknown config knob {key:?} (expected one of: atq_entries, pwaq_total, \
+                     pwpq_total, lock_lines, divergent_tuples, num_sms, max_warps_per_sm)"
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// The knobs that affect a run at `point`, as stable `key=value` pairs
+    /// for cache keys and artifacts. DAC-only knobs are dropped for other
+    /// designs so they share cache entries across a DAC ablation sweep.
+    pub fn relevant(&self, point: DesignPoint) -> Vec<(&'static str, String)> {
+        let mut out = Vec::new();
+        if point == DesignPoint::Hw(Design::Dac) {
+            if let Some(n) = self.atq_entries {
+                out.push(("atq_entries", n.to_string()));
+            }
+            if let Some(n) = self.pwaq_total {
+                out.push(("pwaq_total", n.to_string()));
+            }
+            if let Some(n) = self.pwpq_total {
+                out.push(("pwpq_total", n.to_string()));
+            }
+            if let Some(b) = self.lock_lines {
+                out.push(("lock_lines", b.to_string()));
+            }
+            if let Some(b) = self.divergent_tuples {
+                out.push(("divergent_tuples", b.to_string()));
+            }
+        }
+        if let Some(n) = self.num_sms {
+            out.push(("num_sms", n.to_string()));
+        }
+        if let Some(n) = self.max_warps_per_sm {
+            out.push(("max_warps_per_sm", n.to_string()));
+        }
+        out
+    }
+}
+
+/// One schedulable simulation.
+#[derive(Clone)]
+pub struct Job {
+    /// The workload (shared across jobs; each run clones the memory image).
+    pub workload: Arc<Workload>,
+    /// The scale the workload was built at — part of the cache key, since
+    /// the workload registry parameterizes inputs by scale.
+    pub scale: u32,
+    /// Which design to run.
+    pub point: DesignPoint,
+    /// Configuration overrides.
+    pub overrides: Overrides,
+}
+
+impl Job {
+    /// A job at paper-default configuration.
+    pub fn new(workload: Arc<Workload>, scale: u32, point: DesignPoint) -> Self {
+        Job {
+            workload,
+            scale,
+            point,
+            overrides: Overrides::default(),
+        }
+    }
+
+    /// The canonical cache key: every input that determines the result.
+    /// Hash this (the cache does) rather than parsing it.
+    pub fn cache_key(&self) -> String {
+        let mut key = format!(
+            "{CACHE_VERSION}|bench={}|scale={}|design={}",
+            self.workload.abbr,
+            self.scale,
+            self.point.name()
+        );
+        for (k, v) in self.overrides.relevant(self.point) {
+            key.push_str(&format!("|{k}={v}"));
+        }
+        key
+    }
+
+    /// Short human label for progress lines.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.workload.abbr, self.point.name())
+    }
+
+    /// Run the simulation. Deterministic: equal jobs produce equal results
+    /// on every invocation, which is what makes the cache sound.
+    pub fn execute(&self) -> JobResult {
+        let w = &*self.workload;
+        let t0 = Instant::now();
+        let (report, memory) = match self.point {
+            DesignPoint::PerfectMem => {
+                let gpu = GpuSim::new(self.overrides.apply_gpu(GpuConfig::gtx480_perfect_mem()));
+                let mut memory = w.fresh_memory();
+                let report = gpu.run(&w.program(), &mut memory);
+                (report, memory)
+            }
+            DesignPoint::Hw(Design::Dac) => {
+                let gpu = GpuSim::new(self.overrides.apply_gpu(gpu_for(Design::Dac)));
+                let run = run_dac(w, &gpu, self.overrides.apply_dac(DacConfig::paper()));
+                (run.report, run.memory)
+            }
+            DesignPoint::Hw(design) => {
+                let gpu = GpuSim::new(self.overrides.apply_gpu(gpu_for(design)));
+                let run = run_design(w, design, &gpu);
+                (run.report, run.memory)
+            }
+        };
+        let words = memory.read_u32_vec(w.output.0, w.output.1);
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for word in &words {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        JobResult {
+            report,
+            output_digest: fnv1a64(&bytes),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            cached: false,
+        }
+    }
+}
+
+/// What a job produced. Everything here round-trips through the cache and
+/// the JSONL artifacts except `wall_ms`/`cached`, which describe *this*
+/// invocation rather than the simulation.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The simulator report (cycles + core stats + memory stats).
+    pub report: SimReport,
+    /// FNV-1a digest of the output memory region, for cross-design
+    /// correctness checks without holding the memory image.
+    pub output_digest: u64,
+    /// Wall-clock milliseconds spent simulating (0 for cache hits).
+    pub wall_ms: f64,
+    /// Whether this result came from the cache.
+    pub cached: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_workloads::benchmark;
+
+    fn small() -> Overrides {
+        Overrides {
+            num_sms: Some(2),
+            max_warps_per_sm: Some(16),
+            ..Overrides::default()
+        }
+    }
+
+    #[test]
+    fn cache_key_canonicalizes_dac_knobs() {
+        let w = Arc::new(benchmark("LIB", 1).unwrap());
+        let mut base = Job::new(w.clone(), 1, DesignPoint::Hw(Design::Baseline));
+        base.overrides.atq_entries = Some(4);
+        // ATQ size is a DAC knob: the baseline key must not change.
+        assert_eq!(
+            base.cache_key(),
+            Job::new(w.clone(), 1, DesignPoint::Hw(Design::Baseline)).cache_key()
+        );
+        let mut dac = Job::new(w.clone(), 1, DesignPoint::Hw(Design::Dac));
+        dac.overrides.atq_entries = Some(4);
+        assert_ne!(
+            dac.cache_key(),
+            Job::new(w, 1, DesignPoint::Hw(Design::Dac)).cache_key()
+        );
+    }
+
+    #[test]
+    fn scale_and_design_separate_keys() {
+        let w = Arc::new(benchmark("LIB", 1).unwrap());
+        let keys: Vec<String> = DesignPoint::HW_ALL
+            .iter()
+            .map(|&p| Job::new(w.clone(), 1, p).cache_key())
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_ne!(
+            Job::new(w.clone(), 1, DesignPoint::PerfectMem).cache_key(),
+            Job::new(w, 2, DesignPoint::PerfectMem).cache_key()
+        );
+    }
+
+    #[test]
+    fn execute_is_deterministic() {
+        let w = Arc::new(benchmark("LIB", 1).unwrap());
+        let mut job = Job::new(w, 1, DesignPoint::Hw(Design::Dac));
+        job.overrides = small();
+        let a = job.execute();
+        let b = job.execute();
+        assert_eq!(a.report.cycles, b.report.cycles);
+        assert_eq!(a.report.stats, b.report.stats);
+        assert_eq!(a.report.mem, b.report.mem);
+        assert_eq!(a.output_digest, b.output_digest);
+    }
+
+    #[test]
+    fn overrides_set_rejects_garbage() {
+        let mut o = Overrides::default();
+        assert!(o.set("atq_entries", "12").is_ok());
+        assert!(o.set("lock_lines", "off").is_ok());
+        assert!(o.set("atq_entries", "many").is_err());
+        assert!(o.set("lock_lines", "2").is_err());
+        assert!(o.set("warp_speed", "9").is_err());
+        assert_eq!(o.atq_entries, Some(12));
+        assert_eq!(o.lock_lines, Some(false));
+    }
+
+    #[test]
+    fn design_point_parse_roundtrip() {
+        for p in DesignPoint::HW_ALL
+            .into_iter()
+            .chain([DesignPoint::PerfectMem])
+        {
+            assert_eq!(DesignPoint::parse(p.name()), Some(p));
+            assert_eq!(DesignPoint::parse(&p.name().to_uppercase()), Some(p));
+        }
+        assert_eq!(DesignPoint::parse("warp9"), None);
+    }
+}

@@ -1,0 +1,303 @@
+//! `simt-harness` — parallel experiment orchestration for the DAC
+//! reproduction.
+//!
+//! The paper's evaluation is 29 workloads × 4 designs (plus a
+//! perfect-memory run per workload for the §5.1.2 classification) — over a
+//! hundred independent cycle-level simulations. This crate owns running
+//! them at scale:
+//!
+//! * [`Job`] — one simulation: `workload × design × config overrides`;
+//! * [`pool`] — a channel-based thread pool over `std::thread` with
+//!   deterministic, index-ordered result aggregation (`--jobs N` output is
+//!   bit-identical to a serial run);
+//! * [`ResultCache`] — a content-addressed on-disk cache keyed by a stable
+//!   hash of the job, so repeated invocations skip unchanged simulations;
+//! * [`artifact`] — machine-readable JSONL records (hand-rolled
+//!   serializer; the build environment is offline, so no serde) written
+//!   under `results/runs/`.
+//!
+//! ```no_run
+//! use simt_harness::{DesignPoint, Harness, Overrides, ResultCache};
+//!
+//! let benches = gpu_workloads::all_benchmarks(1);
+//! let jobs = simt_harness::suite_jobs(
+//!     benches, 1, &DesignPoint::HW_ALL, &Overrides::default());
+//! let harness = Harness::new(4)
+//!     .with_cache(ResultCache::new("results/cache"))
+//!     .with_artifacts("results/runs");
+//! let out = harness.run(&jobs);
+//! for (job, result) in jobs.iter().zip(&out.results) {
+//!     println!("{} {} cycles", job.label(), result.report.cycles);
+//! }
+//! ```
+
+pub mod artifact;
+pub mod cache;
+pub mod job;
+pub mod json;
+pub mod pool;
+
+pub use cache::{fnv1a64, ResultCache};
+pub use gpu_workloads::Design;
+pub use job::{DesignPoint, Job, JobResult, Overrides, CACHE_VERSION};
+
+use gpu_workloads::Workload;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The cross product `workloads × points`, all at the same overrides —
+/// the shape of every figure and sweep in the paper.
+pub fn suite_jobs(
+    workloads: Vec<Workload>,
+    scale: u32,
+    points: &[DesignPoint],
+    overrides: &Overrides,
+) -> Vec<Job> {
+    workloads
+        .into_iter()
+        .flat_map(|w| {
+            let w = Arc::new(w);
+            points
+                .iter()
+                .map(|&point| Job {
+                    workload: w.clone(),
+                    scale,
+                    point,
+                    overrides: overrides.clone(),
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// What one [`Harness::run`] invocation did.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// One result per job, in job order — independent of worker count.
+    pub results: Vec<JobResult>,
+    /// The JSONL artifact written for this run, when artifacts are on.
+    pub artifact_path: Option<PathBuf>,
+    /// Jobs served from the cache.
+    pub cache_hits: usize,
+    /// Jobs actually simulated.
+    pub executed: usize,
+}
+
+/// The experiment orchestrator: a worker count plus optional cache and
+/// artifact sinks.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    workers: usize,
+    cache: Option<ResultCache>,
+    artifact_dir: Option<PathBuf>,
+    verbose: bool,
+}
+
+impl Harness {
+    /// A harness running `workers` simulations concurrently, with caching
+    /// and artifacts off (CLIs opt in; library callers stay side-effect
+    /// free by default).
+    pub fn new(workers: usize) -> Self {
+        Harness {
+            workers: workers.max(1),
+            cache: None,
+            artifact_dir: None,
+            verbose: false,
+        }
+    }
+
+    /// A single-threaded harness — the reference ordering.
+    pub fn serial() -> Self {
+        Harness::new(1)
+    }
+
+    /// Attach a result cache.
+    pub fn with_cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Write a JSONL artifact per `run` call into `dir`.
+    pub fn with_artifacts(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Print per-job progress to stderr.
+    pub fn verbose(mut self, on: bool) -> Self {
+        self.verbose = on;
+        self
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run every job: serve cache hits, simulate misses on the pool, store
+    /// fresh results, and append one artifact line per job (in job order).
+    ///
+    /// # Panics
+    ///
+    /// Propagates simulator panics (correctness violations, deadlock
+    /// guard) from worker threads.
+    pub fn run(&self, jobs: &[Job]) -> RunOutput {
+        let mut results: Vec<Option<JobResult>> = vec![None; jobs.len()];
+        let mut misses: Vec<(usize, Job)> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            match self.cache.as_ref().and_then(|c| c.load(job)) {
+                Some(hit) => {
+                    if self.verbose {
+                        eprintln!("  {:<20} cached", job.label());
+                    }
+                    results[i] = Some(hit);
+                }
+                None => misses.push((i, job.clone())),
+            }
+        }
+        let cache_hits = jobs.len() - misses.len();
+        let executed = misses.len();
+
+        let verbose = self.verbose;
+        let fresh = pool::run_indexed(self.workers, misses, move |_, (i, job)| {
+            let result = job.execute();
+            if verbose {
+                eprintln!("  {:<20} ok ({:.1}s)", job.label(), result.wall_ms / 1e3);
+            }
+            (i, job, result)
+        });
+        for (i, job, result) in fresh {
+            if let Some(cache) = &self.cache {
+                cache.store(&job, &result);
+            }
+            results[i] = Some(result);
+        }
+        let results: Vec<JobResult> = results
+            .into_iter()
+            .map(|r| r.expect("job neither cached nor executed"))
+            .collect();
+
+        let artifact_path = self
+            .artifact_dir
+            .as_ref()
+            .map(|dir| write_artifact(dir, jobs, &results))
+            .transpose()
+            .unwrap_or_else(|e| {
+                eprintln!("warning: artifact write failed: {e}");
+                None
+            });
+
+        RunOutput {
+            results,
+            artifact_path,
+            cache_hits,
+            executed,
+        }
+    }
+}
+
+/// Write one JSONL line per job into a fresh file under `dir`.
+fn write_artifact(dir: &PathBuf, jobs: &[Job], results: &[JobResult]) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let path = dir.join(format!(
+        "run-{}-{:03}-{}.jsonl",
+        now.as_secs(),
+        now.subsec_millis(),
+        std::process::id()
+    ));
+    let mut file = fs::File::create(&path)?;
+    for (i, (job, result)) in jobs.iter().zip(results).enumerate() {
+        let line = artifact::to_json(job, result, Some(i), None).to_json();
+        writeln!(file, "{line}")?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_workloads::benchmark;
+
+    fn small_overrides() -> Overrides {
+        Overrides {
+            num_sms: Some(2),
+            max_warps_per_sm: Some(16),
+            ..Overrides::default()
+        }
+    }
+
+    fn small_suite() -> Vec<Job> {
+        let benches = vec![benchmark("LIB", 1).unwrap(), benchmark("MQ", 1).unwrap()];
+        suite_jobs(benches, 1, &DesignPoint::HW_ALL, &small_overrides())
+    }
+
+    #[test]
+    fn run_without_sinks_is_pure() {
+        let jobs = small_suite();
+        let out = Harness::new(2).run(&jobs);
+        assert_eq!(out.results.len(), 8);
+        assert_eq!(out.cache_hits, 0);
+        assert_eq!(out.executed, 8);
+        assert!(out.artifact_path.is_none());
+        for r in &out.results {
+            assert!(r.report.cycles > 0);
+            assert!(!r.cached);
+        }
+    }
+
+    #[test]
+    fn cache_serves_second_invocation() {
+        let dir = std::env::temp_dir().join(format!("dac-harness-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let jobs = small_suite();
+        let h = Harness::new(4).with_cache(ResultCache::new(dir.join("cache")));
+        let first = h.run(&jobs);
+        assert_eq!(first.executed, jobs.len());
+        let second = h.run(&jobs);
+        assert_eq!(second.cache_hits, jobs.len());
+        assert_eq!(second.executed, 0);
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a.report.cycles, b.report.cycles);
+            assert_eq!(a.report.stats, b.report.stats);
+            assert_eq!(a.report.mem, b.report.mem);
+            assert_eq!(a.output_digest, b.output_digest);
+            assert!(b.cached);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifacts_have_one_line_per_job() {
+        let dir = std::env::temp_dir().join(format!("dac-artifacts-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let jobs = small_suite();
+        let out = Harness::new(2).with_artifacts(dir.join("runs")).run(&jobs);
+        let path = out.artifact_path.expect("artifact written");
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), jobs.len());
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).expect("line parses");
+            let (_, loaded) = artifact::from_json(&v).expect("line loads");
+            assert_eq!(v.get("job").and_then(json::Value::as_u64), Some(i as u64));
+            assert_eq!(loaded.report.cycles, out.results[i].report.cycles);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn suite_jobs_is_the_cross_product() {
+        let jobs = small_suite();
+        assert_eq!(jobs.len(), 8);
+        assert_eq!(jobs[0].workload.abbr, "LIB");
+        assert_eq!(jobs[0].point, DesignPoint::Hw(Design::Baseline));
+        assert_eq!(jobs[3].point, DesignPoint::Hw(Design::Dac));
+        assert_eq!(jobs[4].workload.abbr, "MQ");
+    }
+}

@@ -1,0 +1,135 @@
+//! A channel-based thread pool over `std::thread` (the build environment is
+//! offline — no rayon). Work distribution is dynamic (workers pull from a
+//! shared deque, so a slow job does not stall the others), but results are
+//! collected *by job index*, which makes aggregated output independent of
+//! worker count and scheduling order.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Run `f` over `items` on `workers` threads and return results in item
+/// order. `workers == 1` degenerates to a plain serial loop on the calling
+/// thread (no pool, no channels), which is the reference ordering the
+/// determinism test compares against.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic with its original payload (the
+/// simulator uses panics for correctness violations — they must not be
+/// swallowed by the pool, and the message must survive the thread hop).
+/// Remaining queued items are abandoned once a worker panics.
+pub fn run_indexed<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    type Caught<R> = Result<R, Box<dyn std::any::Any + Send>>;
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, Caught<R>)>();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Pop under the lock, execute outside it.
+                let job = queue.lock().unwrap().pop_front();
+                let Some((i, t)) = job else { break };
+                let r = catch_unwind(AssertUnwindSafe(|| f(i, t)));
+                if r.is_err() {
+                    // Abandon remaining work; the run is doomed anyway.
+                    queue.lock().unwrap().clear();
+                }
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx); // the loop below ends once every worker is done
+        for (i, r) in rx {
+            match r {
+                Ok(v) => out[i] = Some(v),
+                Err(p) => {
+                    panic_payload.get_or_insert(p);
+                }
+            }
+        }
+    });
+
+    if let Some(p) = panic_payload {
+        resume_unwind(p);
+    }
+    out.into_iter()
+        .map(|r| r.expect("pool lost a job result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = run_indexed(1, items.clone(), |i, x| (i as u64) * 1000 + x * x);
+        let parallel = run_indexed(7, items, |i, x| (i as u64) * 1000 + x * x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = run_indexed(4, vec![(); 250], |i, ()| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 250);
+        assert_eq!(out, (0..250).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(run_indexed::<u32, u32, _>(8, vec![], |_, x| x), vec![]);
+        assert_eq!(run_indexed(8, vec![9], |_, x: u32| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn uses_multiple_threads() {
+        // With 4 workers and 4 items that each wait for the others, all
+        // four must run concurrently or the test times out via the barrier.
+        let barrier = std::sync::Barrier::new(4);
+        let out = run_indexed(4, vec![0u32; 4], |i, _| {
+            barrier.wait();
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _ = run_indexed(3, vec![0, 1, 2, 3], |_, x: u32| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

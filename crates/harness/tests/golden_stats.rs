@@ -1,0 +1,53 @@
+//! Golden-stats regression test: pins headline counters for three small
+//! workloads under each design, on a reduced 2-SM machine. Any change to
+//! these numbers means simulator behaviour shifted — if the shift is
+//! intentional, update the table AND bump `CACHE_VERSION` in
+//! `simt_harness::job` so stale cache entries are not read as current.
+
+use gpu_workloads::benchmark;
+use simt_harness::{suite_jobs, DesignPoint, Harness, Overrides};
+
+/// (bench, design, cycles, warp_instructions, decoupled_loads) at scale 1
+/// with num_sms=2, max_warps_per_sm=16.
+const GOLDEN: &[(&str, &str, u64, u64, u64)] = &[
+    ("MQ", "baseline", 66063, 131040, 0),
+    ("MQ", "cae", 58075, 131040, 0),
+    ("MQ", "mta", 66063, 131040, 0),
+    ("MQ", "dac", 60182, 94560, 23040),
+    ("LIB", "baseline", 21294, 18000, 0),
+    ("LIB", "cae", 21008, 18000, 0),
+    ("LIB", "mta", 21898, 18000, 0),
+    ("LIB", "dac", 18185, 8520, 3360),
+    ("BFS", "baseline", 12634, 6600, 0),
+    ("BFS", "cae", 12490, 6600, 0),
+    ("BFS", "mta", 12696, 6600, 0),
+    ("BFS", "dac", 12233, 6360, 120),
+];
+
+#[test]
+fn headline_counters_match_golden_values() {
+    let overrides = Overrides {
+        num_sms: Some(2),
+        max_warps_per_sm: Some(16),
+        ..Overrides::default()
+    };
+    let benches = ["MQ", "LIB", "BFS"]
+        .iter()
+        .map(|a| benchmark(a, 1).expect("known benchmark"))
+        .collect();
+    let jobs = suite_jobs(benches, 1, &DesignPoint::HW_ALL, &overrides);
+    let out = Harness::serial().run(&jobs);
+    assert_eq!(jobs.len(), GOLDEN.len());
+    for ((job, result), &(bench, design, cycles, warp_instructions, decoupled_loads)) in
+        jobs.iter().zip(&out.results).zip(GOLDEN)
+    {
+        assert_eq!(job.workload.abbr, bench);
+        assert_eq!(job.point.name(), design);
+        let s = &result.report.stats;
+        assert_eq!(
+            (result.report.cycles, s.warp_instructions, s.decoupled_loads),
+            (cycles, warp_instructions, decoupled_loads),
+            "{bench}/{design}: counters drifted from golden values"
+        );
+    }
+}

@@ -319,9 +319,8 @@ fn parse_instr(
             }
         }
         _ => {
-            let op = parse_alu_op(mnemonic).ok_or_else(|| {
-                err(line, &format!("unknown instruction {mnemonic}"))
-            })?;
+            let op = parse_alu_op(mnemonic)
+                .ok_or_else(|| err(line, &format!("unknown instruction {mnemonic}")))?;
             let dst = parse_reg_name(get(0)?, line)?;
             let mut srcs = [Operand::Imm(0); 3];
             for (i, slot) in srcs.iter_mut().enumerate().take(op.arity()) {
@@ -441,12 +440,24 @@ fn parse_addr(s: &str, line: usize) -> Result<AddrMode, ParseAsmError> {
         .and_then(|x| x.strip_suffix(']'))
         .ok_or_else(|| err(line, &format!("expected [addr], got {s}")))?;
     let (reg_s, disp) = if let Some(i) = inner.find('+') {
-        (&inner[..i], inner[i + 1..].trim().parse::<i64>().map_err(|_| err(line, "bad displacement"))?)
+        (
+            &inner[..i],
+            inner[i + 1..]
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| err(line, "bad displacement"))?,
+        )
     } else if let Some(i) = inner.rfind('-') {
         if i == 0 {
             return Err(err(line, "bad address"));
         }
-        (&inner[..i], -inner[i + 1..].trim().parse::<i64>().map_err(|_| err(line, "bad displacement"))?)
+        (
+            &inner[..i],
+            -inner[i + 1..]
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| err(line, "bad displacement"))?,
+        )
     } else {
         (inner, 0)
     };
@@ -561,7 +572,10 @@ LOOP:
         k.validate().unwrap();
         // The loop branch targets the ld at pc 6.
         match k.instrs[14] {
-            Instr::Bra { target, pred: Some(PredSrc::Reg(g)) } => {
+            Instr::Bra {
+                target,
+                pred: Some(PredSrc::Reg(g)),
+            } => {
                 assert_eq!(target, 6);
                 assert!(!g.negate);
             }
@@ -571,12 +585,13 @@ LOOP:
 
     #[test]
     fn parses_widths_and_spaces() {
-        let k = parse_kernel(
-            ".kernel w\n ld.shared.b8 r0, [r1+4];\n st.local.b16 [r2-2], r0;\n exit;",
-        )
-        .unwrap();
+        let k =
+            parse_kernel(".kernel w\n ld.shared.b8 r0, [r1+4];\n st.local.b16 [r2-2], r0;\n exit;")
+                .unwrap();
         match &k.instrs[0] {
-            Instr::Ld { space, addr, width, .. } => {
+            Instr::Ld {
+                space, addr, width, ..
+            } => {
                 assert_eq!(*space, Space::Shared);
                 assert_eq!(*addr, AddrMode::Reg(1, 4));
                 assert_eq!(*width, Width::W8);
@@ -584,7 +599,9 @@ LOOP:
             i => panic!("unexpected {i}"),
         }
         match &k.instrs[1] {
-            Instr::St { space, addr, width, .. } => {
+            Instr::St {
+                space, addr, width, ..
+            } => {
                 assert_eq!(*space, Space::Local);
                 assert_eq!(*addr, AddrMode::Reg(2, -2));
                 assert_eq!(*width, Width::W16);
@@ -601,29 +618,46 @@ LOOP:
         .unwrap();
         assert!(matches!(
             k.instrs[0],
-            Instr::Ld { addr: AddrMode::DeqData, .. }
+            Instr::Ld {
+                addr: AddrMode::DeqData,
+                ..
+            }
         ));
         assert!(matches!(
             k.instrs[2],
-            Instr::St { addr: AddrMode::DeqAddr, .. }
+            Instr::St {
+                addr: AddrMode::DeqAddr,
+                ..
+            }
         ));
         assert!(matches!(
             k.instrs[3],
-            Instr::Bra { pred: Some(PredSrc::Deq { negate: false }), .. }
+            Instr::Bra {
+                pred: Some(PredSrc::Deq { negate: false }),
+                ..
+            }
         ));
     }
 
     #[test]
     fn parses_enq_forms() {
-        let k = parse_kernel(".kernel a\n enq.data r3;\n enq.addr r4;\n enq.pred p0;\n exit;")
-            .unwrap();
+        let k =
+            parse_kernel(".kernel a\n enq.data r3;\n enq.addr r4;\n enq.pred p0;\n exit;").unwrap();
         assert!(matches!(
             k.instrs[0],
-            Instr::Enq { kind: QueueKind::Data, src: Some(3), .. }
+            Instr::Enq {
+                kind: QueueKind::Data,
+                src: Some(3),
+                ..
+            }
         ));
         assert!(matches!(
             k.instrs[2],
-            Instr::Enq { kind: QueueKind::Pred, pred: Some(0), .. }
+            Instr::Enq {
+                kind: QueueKind::Pred,
+                pred: Some(0),
+                ..
+            }
         ));
     }
 

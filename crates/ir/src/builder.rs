@@ -203,7 +203,14 @@ impl KernelBuilder {
     }
 
     /// Store `src` to `[addr + disp]`.
-    pub fn st(&mut self, space: Space, addr: RegId, disp: i64, src: Operand, width: Width) -> &mut Self {
+    pub fn st(
+        &mut self,
+        space: Space,
+        addr: RegId,
+        disp: i64,
+        src: Operand,
+        width: Width,
+    ) -> &mut Self {
         self.push(Instr::St {
             space,
             addr: AddrMode::Reg(addr, disp),
@@ -270,7 +277,10 @@ impl KernelBuilder {
     fn bra_raw(&mut self, label: &str, pred: Option<PredSrc>) {
         let pc = self.instrs.len();
         self.fixups.push((pc, label.to_string()));
-        self.instrs.push(Instr::Bra { target: usize::MAX, pred });
+        self.instrs.push(Instr::Bra {
+            target: usize::MAX,
+            pred,
+        });
     }
 
     /// Unconditional branch to `label`.

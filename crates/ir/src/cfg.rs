@@ -58,10 +58,8 @@ impl Cfg {
                         leader[pc + 1] = true;
                     }
                 }
-                Instr::Exit => {
-                    if pc + 1 < n {
-                        leader[pc + 1] = true;
-                    }
+                Instr::Exit if pc + 1 < n => {
+                    leader[pc + 1] = true;
                 }
                 _ => {}
             }
@@ -70,6 +68,7 @@ impl Cfg {
         let mut blocks = Vec::new();
         let mut block_of = vec![0usize; n];
         let mut start = 0usize;
+        #[allow(clippy::needless_range_loop)] // pc/b index several arrays in lockstep
         for pc in 1..=n {
             if pc == n || leader[pc] {
                 let id = blocks.len();
@@ -88,16 +87,15 @@ impl Cfg {
 
         // Edges.
         let nb = blocks.len();
+        #[allow(clippy::needless_range_loop)] // b also names successor blocks
         for b in 0..nb {
             let last = blocks[b].end - 1;
             match &kernel.instrs[last] {
                 Instr::Bra { target, pred } => {
                     let t = block_of[*target];
                     let mut succs = vec![t];
-                    if pred.is_some() && b + 1 < nb {
-                        if !succs.contains(&(b + 1)) {
-                            succs.push(b + 1);
-                        }
+                    if pred.is_some() && b + 1 < nb && !succs.contains(&(b + 1)) {
+                        succs.push(b + 1);
                     }
                     blocks[b].succs = succs;
                 }
@@ -228,7 +226,7 @@ fn compute_ipostdom(blocks: &[Block]) -> Vec<Option<usize>> {
         for p in 0..n {
             if p != b && contains(&pdom[b], p) {
                 let size: u32 = pdom[p].iter().map(|w| w.count_ones()).sum();
-                if best.map_or(true, |(_, s)| size > s) {
+                if best.is_none_or(|(_, s)| size > s) {
                     best = Some((p, size));
                 }
             }
@@ -324,6 +322,7 @@ impl ReachingDefs {
         let mut ins = vec![Vec::new(); kernel.instrs.len()];
         for (b, blk) in cfg.blocks.iter().enumerate() {
             let mut cur = bin[b].clone();
+            #[allow(clippy::needless_range_loop)] // pc is a kernel address, not just an index
             for pc in blk.start..blk.end {
                 let mut v = Vec::new();
                 for (s, _) in sites.iter().enumerate() {

@@ -42,18 +42,31 @@ pub fn to_asm(kernel: &Kernel) -> String {
 fn render(i: &Instr, labels: &BTreeMap<usize, String>) -> String {
     match i {
         Instr::Bra { target, pred } => {
-            let label = labels.get(target).cloned().unwrap_or_else(|| target.to_string());
+            let label = labels
+                .get(target)
+                .cloned()
+                .unwrap_or_else(|| target.to_string());
             match pred {
                 None => format!("bra {label};"),
                 Some(PredSrc::Reg(g)) => {
-                    format!("@{}p{} bra {label};", if g.negate { "!" } else { "" }, g.pred)
+                    format!(
+                        "@{}p{} bra {label};",
+                        if g.negate { "!" } else { "" },
+                        g.pred
+                    )
                 }
                 Some(PredSrc::Deq { negate }) => {
                     format!("@{}deq.pred bra {label};", if *negate { "!" } else { "" })
                 }
             }
         }
-        Instr::Ld { dst, space, addr, width, guard } => {
+        Instr::Ld {
+            dst,
+            space,
+            addr,
+            width,
+            guard,
+        } => {
             let g = guard.map(|g| format!("{g} ")).unwrap_or_default();
             match addr {
                 AddrMode::Reg(r, 0) => format!("{g}ld.{space}.{width} r{dst}, [r{r}];"),
@@ -65,7 +78,13 @@ fn render(i: &Instr, labels: &BTreeMap<usize, String>) -> String {
                 AddrMode::DeqAddr => format!("{g}ld.{space}.{width} r{dst}, deq.addr;"),
             }
         }
-        Instr::St { space, addr, src, width, guard } => {
+        Instr::St {
+            space,
+            addr,
+            src,
+            width,
+            guard,
+        } => {
             let g = guard.map(|g| format!("{g} ")).unwrap_or_default();
             match addr {
                 AddrMode::Reg(r, 0) => format!("{g}st.{space}.{width} [r{r}], {src};"),

@@ -34,9 +34,7 @@ pub fn eval(op: Op, a: Value, b: Value, c: Value) -> Value {
         // kernels use `rem` for address wrapping, where operands are
         // non-negative and Euclidean == truncated anyway.
         Op::Rem => {
-            if bi == 0 {
-                0
-            } else if ai == i64::MIN && bi == -1 {
+            if bi == 0 || (ai == i64::MIN && bi == -1) {
                 0
             } else {
                 ai.rem_euclid(bi) as Value
@@ -82,7 +80,7 @@ mod tests {
     fn integer_basics() {
         assert_eq!(eval(Op::Add, 3, 4, 0), 7);
         assert_eq!(eval(Op::Sub, 3, 4, 0), (-1i64) as u64);
-        assert_eq!(eval(Op::Mad, 2, 3, 4, ), 10);
+        assert_eq!(eval(Op::Mad, 2, 3, 4,), 10);
         assert_eq!(eval(Op::Min, (-5i64) as u64, 2, 0), (-5i64) as u64);
         assert_eq!(eval(Op::Max, (-5i64) as u64, 2, 0), 2);
         assert_eq!(eval(Op::Abs, (-5i64) as u64, 0, 0), 5);

@@ -71,8 +71,20 @@ impl Op {
     pub fn arity(self) -> usize {
         match self {
             Op::Mad | Op::FMad => 3,
-            Op::Abs | Op::Neg | Op::Not | Op::Mov | Op::FAbs | Op::FNeg | Op::FSqrt
-            | Op::FRcp | Op::FExp2 | Op::FLog2 | Op::FSin | Op::FCos | Op::I2F | Op::F2I => 1,
+            Op::Abs
+            | Op::Neg
+            | Op::Not
+            | Op::Mov
+            | Op::FAbs
+            | Op::FNeg
+            | Op::FSqrt
+            | Op::FRcp
+            | Op::FExp2
+            | Op::FLog2
+            | Op::FSin
+            | Op::FCos
+            | Op::I2F
+            | Op::F2I => 1,
             _ => 2,
         }
     }
@@ -251,7 +263,10 @@ pub struct Guard {
 impl Guard {
     /// A positive guard `@p`.
     pub fn pos(pred: PredId) -> Self {
-        Guard { pred, negate: false }
+        Guard {
+            pred,
+            negate: false,
+        }
     }
 
     /// A negated guard `@!p`.
@@ -382,7 +397,10 @@ pub enum Instr {
         guard: Option<Guard>,
     },
     /// Conditional or unconditional branch to instruction index `target`.
-    Bra { target: usize, pred: Option<PredSrc> },
+    Bra {
+        target: usize,
+        pred: Option<PredSrc>,
+    },
     /// CTA-wide barrier (`bar.sync`).
     Bar,
     /// Thread exit.
@@ -516,7 +534,10 @@ impl Instr {
 
     /// True if this is a memory access through the LSU (ld/st/atom).
     pub fn is_mem(&self) -> bool {
-        matches!(self, Instr::Ld { .. } | Instr::St { .. } | Instr::Atom { .. })
+        matches!(
+            self,
+            Instr::Ld { .. } | Instr::St { .. } | Instr::Atom { .. }
+        )
     }
 }
 
@@ -526,9 +547,13 @@ impl fmt::Display for Instr {
             guard.map(|g| format!("{g} ")).unwrap_or_default()
         }
         match self {
-            Instr::Alu { op, dst, srcs, guard } => {
-                let args: Vec<String> =
-                    srcs[..op.arity()].iter().map(|s| s.to_string()).collect();
+            Instr::Alu {
+                op,
+                dst,
+                srcs,
+                guard,
+            } => {
+                let args: Vec<String> = srcs[..op.arity()].iter().map(|s| s.to_string()).collect();
                 write!(f, "{}{} r{}, {};", g(guard), op, dst, args.join(", "))
             }
             Instr::SetP {
@@ -540,7 +565,16 @@ impl fmt::Display for Instr {
                 guard,
             } => {
                 let suffix = if *float { ".f32" } else { "" };
-                write!(f, "{}setp.{}{} p{}, {}, {};", g(guard), cmp, suffix, dst, a, b)
+                write!(
+                    f,
+                    "{}setp.{}{} p{}, {}, {};",
+                    g(guard),
+                    cmp,
+                    suffix,
+                    dst,
+                    a,
+                    b
+                )
             }
             Instr::Sel { dst, pred, a, b } => {
                 write!(f, "sel r{}, {}, {}, p{};", dst, a, b, pred.pred)
@@ -553,10 +587,23 @@ impl fmt::Display for Instr {
                 guard,
             } => match addr {
                 AddrMode::Reg(r, d) => {
-                    write!(f, "{}ld.{}.{} r{}, [r{}+{}];", g(guard), space, width, dst, r, d)
+                    write!(
+                        f,
+                        "{}ld.{}.{} r{}, [r{}+{}];",
+                        g(guard),
+                        space,
+                        width,
+                        dst,
+                        r,
+                        d
+                    )
                 }
-                AddrMode::DeqData => write!(f, "{}ld.{}.{} r{}, deq.data;", g(guard), space, width, dst),
-                AddrMode::DeqAddr => write!(f, "{}ld.{}.{} r{}, deq.addr;", g(guard), space, width, dst),
+                AddrMode::DeqData => {
+                    write!(f, "{}ld.{}.{} r{}, deq.data;", g(guard), space, width, dst)
+                }
+                AddrMode::DeqAddr => {
+                    write!(f, "{}ld.{}.{} r{}, deq.addr;", g(guard), space, width, dst)
+                }
             },
             Instr::St {
                 space,
@@ -566,20 +613,48 @@ impl fmt::Display for Instr {
                 guard,
             } => match addr {
                 AddrMode::Reg(r, d) => {
-                    write!(f, "{}st.{}.{} [r{}+{}], {};", g(guard), space, width, r, d, src)
+                    write!(
+                        f,
+                        "{}st.{}.{} [r{}+{}], {};",
+                        g(guard),
+                        space,
+                        width,
+                        r,
+                        d,
+                        src
+                    )
                 }
                 _ => write!(f, "{}st.{}.{} [deq.addr], {};", g(guard), space, width, src),
             },
-            Instr::Atom { op, dst, addr, src, guard } => match addr {
+            Instr::Atom {
+                op,
+                dst,
+                addr,
+                src,
+                guard,
+            } => match addr {
                 AddrMode::Reg(r, d) => {
-                    write!(f, "{}atom.{} r{}, [r{}+{}], {};", g(guard), op, dst, r, d, src)
+                    write!(
+                        f,
+                        "{}atom.{} r{}, [r{}+{}], {};",
+                        g(guard),
+                        op,
+                        dst,
+                        r,
+                        d,
+                        src
+                    )
                 }
                 _ => write!(f, "{}atom.{} r{}, [deq.addr], {};", g(guard), op, dst, src),
             },
             Instr::Bra { target, pred } => match pred {
                 Some(PredSrc::Reg(gd)) => write!(f, "{gd} bra {target};"),
                 Some(PredSrc::Deq { negate }) => {
-                    write!(f, "@{}deq.pred bra {target};", if *negate { "!" } else { "" })
+                    write!(
+                        f,
+                        "@{}deq.pred bra {target};",
+                        if *negate { "!" } else { "" }
+                    )
                 }
                 None => write!(f, "bra {target};"),
             },

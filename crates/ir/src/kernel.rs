@@ -85,17 +85,26 @@ impl Kernel {
             }
             if let Some(d) = i.def_reg() {
                 if d >= self.num_regs {
-                    return Err(format!("pc {pc}: register r{d} >= num_regs {}", self.num_regs));
+                    return Err(format!(
+                        "pc {pc}: register r{d} >= num_regs {}",
+                        self.num_regs
+                    ));
                 }
             }
             for r in i.src_regs() {
                 if r >= self.num_regs {
-                    return Err(format!("pc {pc}: source r{r} >= num_regs {}", self.num_regs));
+                    return Err(format!(
+                        "pc {pc}: source r{r} >= num_regs {}",
+                        self.num_regs
+                    ));
                 }
             }
             if let Some(p) = i.def_pred() {
                 if p >= self.num_preds {
-                    return Err(format!("pc {pc}: predicate p{p} >= num_preds {}", self.num_preds));
+                    return Err(format!(
+                        "pc {pc}: predicate p{p} >= num_preds {}",
+                        self.num_preds
+                    ));
                 }
             }
             for o in i.src_operands() {
@@ -189,7 +198,10 @@ impl Program {
             ));
         }
         if launch.threads_per_cta() == 0 || launch.threads_per_cta() > 1024 {
-            return Err(format!("threads per CTA {} out of range", launch.threads_per_cta()));
+            return Err(format!(
+                "threads per CTA {} out of range",
+                launch.threads_per_cta()
+            ));
         }
         Ok(Program { kernel, launch })
     }
@@ -223,7 +235,13 @@ mod tests {
     #[test]
     fn validate_catches_bad_target() {
         let mut k = trivial_kernel();
-        k.instrs.insert(0, Instr::Bra { target: 99, pred: None });
+        k.instrs.insert(
+            0,
+            Instr::Bra {
+                target: 99,
+                pred: None,
+            },
+        );
         assert!(k.validate().unwrap_err().contains("out of range"));
     }
 

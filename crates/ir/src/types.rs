@@ -147,7 +147,10 @@ impl SpecialReg {
     /// (`blockIdx` and the grid-uniform registers).
     pub fn is_cta_uniform(self) -> bool {
         self.is_grid_uniform()
-            || matches!(self, SpecialReg::CtaIdX | SpecialReg::CtaIdY | SpecialReg::CtaIdZ)
+            || matches!(
+                self,
+                SpecialReg::CtaIdX | SpecialReg::CtaIdY | SpecialReg::CtaIdZ
+            )
     }
 }
 

@@ -1,39 +1,44 @@
-//! Property test: disassembly round-trips through the assembler for
-//! builder-generated kernels with loops, guards, and memory ops.
+//! Disassembly round-trips through the assembler for builder-generated
+//! kernels with loops, guards, and memory ops. The former proptest search
+//! space is small, so it is enumerated exhaustively (no external deps —
+//! the build environment is offline).
 
-use proptest::prelude::*;
 use simt_ir::disasm::to_asm;
 use simt_ir::{asm, CmpOp, KernelBuilder, Op, Operand, Space, Width};
 
-proptest! {
-    #[test]
-    fn builder_kernels_roundtrip(
-        nloops in 0usize..3,
-        nmem in 0usize..4,
-        shift in 0i64..4,
-        disp in -16i64..64,
-    ) {
-        let mut b = KernelBuilder::new("rt", 2);
-        let tid = b.tid_linear_x();
-        let off = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(shift));
-        let addr = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
-        for _ in 0..nmem {
-            let v = b.ld(Space::Global, addr, disp, Width::W32);
-            b.st(Space::Global, addr, disp + 4, Operand::Reg(v), Width::W32);
+fn roundtrip(nloops: usize, nmem: usize, shift: i64, disp: i64) {
+    let mut b = KernelBuilder::new("rt", 2);
+    let tid = b.tid_linear_x();
+    let off = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(shift));
+    let addr = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
+    for _ in 0..nmem {
+        let v = b.ld(Space::Global, addr, disp, Width::W32);
+        b.st(Space::Global, addr, disp + 4, Operand::Reg(v), Width::W32);
+    }
+    for k in 0..nloops {
+        let i = b.mov(Operand::Imm(0));
+        b.label(format!("l{k}"));
+        b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+        let p = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Param(1));
+        b.bra_if(p, &format!("l{k}"));
+    }
+    b.exit();
+    let k = b.build();
+    let text = to_asm(&k);
+    let k2 = asm::parse_kernel(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+    assert_eq!(&k.instrs, &k2.instrs, "{text}");
+    assert_eq!(k.num_preds, k2.num_preds);
+}
+
+#[test]
+fn builder_kernels_roundtrip() {
+    for nloops in 0..3 {
+        for nmem in 0..4 {
+            for shift in 0..4 {
+                for disp in [-16i64, -8, -1, 0, 1, 4, 17, 32, 63] {
+                    roundtrip(nloops, nmem, shift, disp);
+                }
+            }
         }
-        for k in 0..nloops {
-            let i = b.mov(Operand::Imm(0));
-            b.label(format!("l{k}"));
-            b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
-            let p = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Param(1));
-            b.bra_if(p, &format!("l{k}"));
-        }
-        b.exit();
-        let k = b.build();
-        let text = to_asm(&k);
-        let k2 = asm::parse_kernel(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
-        prop_assert_eq!(&k.instrs, &k2.instrs, "{}", text);
-        prop_assert_eq!(k.num_preds, k2.num_preds);
     }
 }

@@ -204,7 +204,10 @@ impl Cache {
         if self.pending_locks.contains_key(&line) {
             return true;
         }
-        let resident_locked = self.sets[s].iter().filter(|l| l.valid && l.locks > 0).count();
+        let resident_locked = self.sets[s]
+            .iter()
+            .filter(|l| l.valid && l.locks > 0)
+            .count();
         let pending_locked = self
             .pending_locks
             .keys()

@@ -137,7 +137,10 @@ mod tests {
     fn gtx480_geometry() {
         let c = MemConfig::gtx480();
         assert_eq!(c.l1_size / c.line_bytes / c.l1_ways as u64, 96); // 96 sets
-        assert_eq!(c.num_partitions as u64 * c.l2_size_per_partition, 768 * 1024);
+        assert_eq!(
+            c.num_partitions as u64 * c.l2_size_per_partition,
+            768 * 1024
+        );
     }
 
     #[test]

@@ -326,8 +326,7 @@ impl MemoryFabric {
             }
             let arrive = now + self.cfg.icnt_latency;
             self.parts[p].inq.push_back((arrive, req));
-        } else if req.client == Client::Lsu && self.sms[sm].mshr.first_client(req.line) == Some(2)
-        {
+        } else if req.client == Client::Lsu && self.sms[sm].mshr.first_client(req.line) == Some(2) {
             // Demand merging into an in-flight MTA prefetch: covered.
             self.stats_extra.prefetch_merged += 1;
         }
@@ -377,7 +376,11 @@ impl MemoryFabric {
         let sm = req.sm;
         // Drop if already resident or in flight.
         let redundant = self.sms[sm].l1.probe(req.line)
-            || self.sms[sm].pbuf.as_ref().map(|p| p.probe(req.line)).unwrap_or(false)
+            || self.sms[sm]
+                .pbuf
+                .as_ref()
+                .map(|p| p.probe(req.line))
+                .unwrap_or(false)
             || self.sms[sm].mshr.contains(req.line);
         if redundant {
             self.stats_extra.redundant_prefetches += 1;
@@ -428,13 +431,10 @@ impl MemoryFabric {
         // 1. Service the head of the input queue.
         let pop = {
             let part = &mut self.parts[p];
-            match part.inq.front() {
-                Some(&(arrive, _)) if arrive <= now => true,
-                _ => false,
-            }
+            matches!(part.inq.front(), Some(&(arrive, _)) if arrive <= now)
         };
         if pop {
-            let (_, req) = self.parts[p].inq.front().copied().map(|x| x).unwrap();
+            let (_, req) = self.parts[p].inq.front().copied().unwrap();
             let proceed = match req.kind {
                 ReqKind::Store => {
                     let part = &mut self.parts[p];
@@ -472,7 +472,7 @@ impl MemoryFabric {
                                 token: req.token,
                             })
                         } else {
-PartEvent::Fill { line: req.line }
+                            PartEvent::Fill { line: req.line }
                         };
                         self.sms[req.sm].push_incoming(at, seq, ev);
                         true
@@ -534,7 +534,7 @@ PartEvent::Fill { line: req.line }
                     token: req.token,
                 })
             } else {
-PartEvent::Fill { line: req.line }
+                PartEvent::Fill { line: req.line }
             };
             self.sms[req.sm].push_incoming(at, seq, ev);
         }
@@ -542,10 +542,8 @@ PartEvent::Fill { line: req.line }
 
     fn sm_incoming_cycle(&mut self, sm: usize, now: u64) {
         loop {
-            let pop = match self.sms[sm].incoming.peek() {
-                Some(&Reverse((at, _, _))) if at <= now => true,
-                _ => false,
-            };
+            let pop = matches!(self.sms[sm].incoming.peek(),
+                Some(&Reverse((at, _, _))) if at <= now);
             if !pop {
                 break;
             }
@@ -596,10 +594,8 @@ PartEvent::Fill { line: req.line }
     pub fn drain_responses(&mut self, sm: usize, now: u64) -> Vec<MemResponse> {
         let mut out = Vec::new();
         loop {
-            let pop = match self.sms[sm].ready.peek() {
-                Some(&Reverse((at, _, _))) if at <= now => true,
-                _ => false,
-            };
+            let pop = matches!(self.sms[sm].ready.peek(),
+                Some(&Reverse((at, _, _))) if at <= now);
             if !pop {
                 break;
             }
@@ -626,12 +622,13 @@ PartEvent::Fill { line: req.line }
 
     /// Any work still in flight anywhere in the hierarchy?
     pub fn quiescent(&self) -> bool {
-        self.sms.iter().all(|s| {
-            s.incoming.is_empty() && s.ready.is_empty() && s.mshr.outstanding() == 0
-        }) && self
-            .parts
+        self.sms
             .iter()
-            .all(|p| p.inq.is_empty() && p.inflight.is_empty() && p.dram.pending() == 0)
+            .all(|s| s.incoming.is_empty() && s.ready.is_empty() && s.mshr.outstanding() == 0)
+            && self
+                .parts
+                .iter()
+                .all(|p| p.inq.is_empty() && p.inflight.is_empty() && p.dram.pending() == 0)
     }
 
     /// Aggregate statistics from every component.
@@ -675,7 +672,12 @@ mod tests {
     }
 
     /// Run the fabric until a response for `sm` appears or `limit` cycles.
-    fn run_until_response(f: &mut MemoryFabric, sm: usize, start: u64, limit: u64) -> (u64, Vec<MemResponse>) {
+    fn run_until_response(
+        f: &mut MemoryFabric,
+        sm: usize,
+        start: u64,
+        limit: u64,
+    ) -> (u64, Vec<MemResponse>) {
         for t in start..start + limit {
             f.cycle(t);
             let r = f.drain_responses(sm, t);
@@ -744,11 +746,9 @@ mod tests {
         for i in 1..=8u64 {
             f.access(t + i, load(0, i * stride, 100 + i));
         }
-        let mut now = t + 9;
-        for _ in 0..5000 {
+        for now in t + 9..t + 5009 {
             f.cycle(now);
             f.drain_responses(0, now);
-            now += 1;
             if f.quiescent() {
                 break;
             }

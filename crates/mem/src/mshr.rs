@@ -63,7 +63,10 @@ impl MshrTable {
     /// Panics when called while [`MshrTable::can_accept`] is false; callers
     /// must check first (that is the structural stall).
     pub fn allocate(&mut self, line: u64, target: MshrTarget) -> bool {
-        assert!(self.can_accept(line), "MSHR overflow — check can_accept first");
+        assert!(
+            self.can_accept(line),
+            "MSHR overflow — check can_accept first"
+        );
         match self.entries.get_mut(&line) {
             Some(e) => {
                 e.targets.push(target);
@@ -90,12 +93,18 @@ impl MshrTable {
     /// The fill for `line` arrived: release the entry and return everyone
     /// waiting on it.
     pub fn release(&mut self, line: u64) -> Vec<MshrTarget> {
-        self.entries.remove(&line).map(|e| e.targets).unwrap_or_default()
+        self.entries
+            .remove(&line)
+            .map(|e| e.targets)
+            .unwrap_or_default()
     }
 
     /// Client id of the first (originating) requester of an in-flight line.
     pub fn first_client(&self, line: u64) -> Option<u8> {
-        self.entries.get(&line).and_then(|e| e.targets.first()).map(|t| t.client)
+        self.entries
+            .get(&line)
+            .and_then(|e| e.targets.first())
+            .map(|t| t.client)
     }
 
     /// Outstanding distinct miss lines.

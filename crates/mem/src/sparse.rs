@@ -95,12 +95,16 @@ impl SparseMemory {
 
     /// Read `len` 32-bit words starting at `base`.
     pub fn read_u32_vec(&self, base: u64, len: usize) -> Vec<u32> {
-        (0..len).map(|i| self.read_u32(base + 4 * i as u64)).collect()
+        (0..len)
+            .map(|i| self.read_u32(base + 4 * i as u64))
+            .collect()
     }
 
     /// Read `len` `f32` values starting at `base`.
     pub fn read_f32_vec(&self, base: u64, len: usize) -> Vec<f32> {
-        (0..len).map(|i| self.read_f32(base + 4 * i as u64)).collect()
+        (0..len)
+            .map(|i| self.read_f32(base + 4 * i as u64))
+            .collect()
     }
 
     /// Number of resident 4 KiB pages (observability for tests).

@@ -48,7 +48,55 @@ pub struct MemStats {
     pub stores: u64,
 }
 
+/// Generates the by-name field table used by the experiment harness to
+/// serialize and re-hydrate counter structs without an external serde.
+/// (Duplicated in `simt-sim` for `SimStats`; the two crates share no
+/// utility crate to host it.)
+macro_rules! stat_fields {
+    ($($field:ident),* $(,)?) => {
+        /// All counters as `(name, value)` pairs, in declaration order.
+        /// The harness serializes these into JSONL artifacts and cache
+        /// entries; names are part of the artifact schema.
+        pub fn fields(&self) -> Vec<(&'static str, u64)> {
+            vec![$((stringify!($field), self.$field)),*]
+        }
+
+        /// Set one counter by its serialized name. Returns `false` for an
+        /// unknown name so loaders can reject stale cache entries.
+        #[must_use]
+        pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+            match name {
+                $(stringify!($field) => self.$field = value,)*
+                _ => return false,
+            }
+            true
+        }
+    };
+}
+
 impl MemStats {
+    stat_fields!(
+        l1_hits,
+        l1_misses,
+        pbuf_hits,
+        pbuf_unused_evictions,
+        pbuf_fills,
+        l2_hits,
+        l2_misses,
+        dram_row_hits,
+        dram_row_misses,
+        dram_serviced,
+        mshr_full_stalls,
+        queue_full_stalls,
+        lock_budget_stalls,
+        writebacks,
+        atomics,
+        redundant_prefetches,
+        prefetch_merged,
+        loads,
+        stores,
+    );
+
     /// L1 hit rate over demand accesses, in [0, 1].
     pub fn l1_hit_rate(&self) -> f64 {
         let total = self.l1_hits + self.l1_misses;

@@ -1,7 +1,26 @@
-//! Property-based tests on the cache tag array and MSHR invariants.
+//! Randomized tests (deterministic, std-only) on the cache tag array and
+//! MSHR invariants. A seeded SplitMix64 stream replaces proptest so the
+//! suite runs in the offline build environment with reproducible cases.
 
-use proptest::prelude::*;
 use simt_mem::{Cache, MshrTable};
+
+/// Deterministic SplitMix64 generator (duplicated locally to keep this
+/// crate dependency-free).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 enum CacheOp {
@@ -11,28 +30,24 @@ enum CacheOp {
     Unlock(u64),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<CacheOp>> {
-    prop::collection::vec(
-        (0u64..64, 0u8..4).prop_map(|(slot, kind)| {
-            let line = slot * 128;
-            match kind {
-                0 => CacheOp::Access(line),
-                1 => CacheOp::Fill(line),
-                2 => CacheOp::FillLocked(line),
-                _ => CacheOp::Unlock(line),
-            }
-        }),
-        0..200,
-    )
-}
-
-proptest! {
-    /// Locked lines are never evicted, whatever the interleaving.
-    #[test]
-    fn locked_lines_survive_any_interleaving(ops in arb_ops()) {
+/// Locked lines are never evicted, whatever the interleaving.
+#[test]
+fn locked_lines_survive_any_interleaving() {
+    let mut rng = Rng(0x10CF_ED11);
+    for _ in 0..128 {
+        let ops: Vec<CacheOp> = (0..rng.below(200))
+            .map(|_| {
+                let line = rng.below(64) * 128;
+                match rng.below(4) {
+                    0 => CacheOp::Access(line),
+                    1 => CacheOp::Fill(line),
+                    2 => CacheOp::FillLocked(line),
+                    _ => CacheOp::Unlock(line),
+                }
+            })
+            .collect();
         let mut c = Cache::new(1024, 4, 128); // 2 sets × 4 ways
-        let mut locked: std::collections::HashMap<u64, u32> =
-            std::collections::HashMap::new();
+        let mut locked: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
         for op in ops {
             match op {
                 CacheOp::Access(l) => {
@@ -63,15 +78,19 @@ proptest! {
             // Every line with a positive lock count must be resident.
             for (&l, &n) in &locked {
                 if n > 0 {
-                    prop_assert!(c.probe(l), "locked line {l:#x} was evicted");
+                    assert!(c.probe(l), "locked line {l:#x} was evicted");
                 }
             }
         }
     }
+}
 
-    /// The lock budget keeps at least one way per set unlocked.
-    #[test]
-    fn lock_budget_leaves_a_free_way(lines in prop::collection::vec(0u64..32, 1..64)) {
+/// The lock budget keeps at least one way per set unlocked.
+#[test]
+fn lock_budget_leaves_a_free_way() {
+    let mut rng = Rng(0xB0D6_E7F1);
+    for _ in 0..128 {
+        let lines: Vec<u64> = (0..1 + rng.below(63)).map(|_| rng.below(32)).collect();
         let mut c = Cache::new(1024, 4, 128);
         for slot in lines {
             let line = slot * 128;
@@ -84,16 +103,21 @@ proptest! {
             // somewhere in the set (the deadlock-freedom invariant, §4.2).
             let probeline = (slot % 2) * 128 + 0xF000_0000;
             let _ = c.fill(probeline, 0);
-            prop_assert!(c.probe(probeline), "no evictable way left");
+            assert!(c.probe(probeline), "no evictable way left");
         }
     }
+}
 
-    /// MSHR: releases return exactly the targets allocated, once.
-    #[test]
-    fn mshr_targets_conserved(reqs in prop::collection::vec((0u64..16, 0u64..1000), 1..100)) {
+/// MSHR: releases return exactly the targets allocated, once.
+#[test]
+fn mshr_targets_conserved() {
+    let mut rng = Rng(0x3514_AB1E);
+    for _ in 0..128 {
+        let reqs: Vec<(u64, u64)> = (0..1 + rng.below(99))
+            .map(|_| (rng.below(16), rng.below(1000)))
+            .collect();
         let mut m = MshrTable::new(8, 4);
-        let mut expect: std::collections::HashMap<u64, usize> =
-            std::collections::HashMap::new();
+        let mut expect: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for (slot, token) in reqs {
             let line = slot * 128;
             if m.can_accept(line) {
@@ -104,9 +128,12 @@ proptest! {
         let lines: Vec<u64> = expect.keys().copied().collect();
         for line in lines {
             let t = m.release(line);
-            prop_assert_eq!(t.len(), expect[&line]);
-            prop_assert!(m.release(line).is_empty(), "double release returned targets");
+            assert_eq!(t.len(), expect[&line]);
+            assert!(
+                m.release(line).is_empty(),
+                "double release returned targets"
+            );
         }
-        prop_assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.outstanding(), 0);
     }
 }

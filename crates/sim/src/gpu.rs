@@ -229,11 +229,7 @@ mod tests {
         k.label("store");
         k.st(Space::Global, pa, 0, Operand::Reg(val), Width::W32);
         k.exit();
-        let prog = Program::new(
-            k.build(),
-            LaunchConfig::linear(1, 64, vec![0x4000]),
-        )
-        .unwrap();
+        let prog = Program::new(k.build(), LaunchConfig::linear(1, 64, vec![0x4000])).unwrap();
         let mut mem = SparseMemory::new();
         small_gpu().run(&prog, &mut mem);
         let out = mem.read_u32_vec(0x4000, 64);
@@ -259,11 +255,8 @@ mod tests {
         let pa = k.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
         k.st(Space::Global, pa, 0, Operand::Reg(acc), Width::W32);
         k.exit();
-        let prog = Program::new(
-            k.build(),
-            LaunchConfig::linear(1, 32, vec![0x4000, reps]),
-        )
-        .unwrap();
+        let prog =
+            Program::new(k.build(), LaunchConfig::linear(1, 32, vec![0x4000, reps])).unwrap();
         let mut mem = SparseMemory::new();
         small_gpu().run(&prog, &mut mem);
         let expect: u32 = (0..reps as u32).sum();
@@ -282,11 +275,19 @@ mod tests {
         let pa = k.alu2(Op::Add, Operand::Param(0), Operand::Reg(off));
         let v = k.ld(Space::Global, pa, 0, Width::W32);
         // shared[tid] = v
-        let soff = k.alu2(Op::Shl, Operand::Special(simt_ir::SpecialReg::TidX), Operand::Imm(2));
+        let soff = k.alu2(
+            Op::Shl,
+            Operand::Special(simt_ir::SpecialReg::TidX),
+            Operand::Imm(2),
+        );
         k.st(Space::Shared, soff, 0, Operand::Reg(v), Width::W32);
         k.bar();
         // v2 = shared[127 - tid]
-        let rev = k.alu2(Op::Sub, Operand::Imm(127), Operand::Special(simt_ir::SpecialReg::TidX));
+        let rev = k.alu2(
+            Op::Sub,
+            Operand::Imm(127),
+            Operand::Special(simt_ir::SpecialReg::TidX),
+        );
         let roff = k.alu2(Op::Shl, Operand::Reg(rev), Operand::Imm(2));
         let v2 = k.ld(Space::Shared, roff, 0, Width::W32);
         let pb = k.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));

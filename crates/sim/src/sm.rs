@@ -144,7 +144,11 @@ impl Sm {
                 .expect("no free warp slot");
             let first = w as u64 * 32;
             let live = threads.saturating_sub(first).min(32) as u32;
-            let mask = if live == 32 { u32::MAX } else { (1u32 << live) - 1 };
+            let mask = if live == 32 {
+                u32::MAX
+            } else {
+                (1u32 << live) - 1
+            };
             self.warps[id] = Some(WarpState::new(
                 id,
                 slot,
@@ -305,8 +309,14 @@ impl Sm {
         for &w in &pool {
             if self.warp_ready(w, now, cfg, kctx, coproc, stats) {
                 // Rotate the pool so the warp after `w` gets priority next.
-                let pos = self.schedulers[s].active.iter().position(|&x| x == w).unwrap();
-                self.schedulers[s].active.rotate_left((pos + 1) % pool.len().max(1));
+                let pos = self.schedulers[s]
+                    .active
+                    .iter()
+                    .position(|&x| x == w)
+                    .unwrap();
+                self.schedulers[s]
+                    .active
+                    .rotate_left((pos + 1) % pool.len().max(1));
                 return Some(w);
             }
         }
@@ -428,7 +438,11 @@ impl Sm {
                     warp.set_reg(*dst, lane, eval::eval(*op, a, b, c));
                 }
                 warp.mark_reg_pending(*dst);
-                let lat = if op.is_sfu() { cfg.sfu_latency } else { cfg.alu_latency };
+                let lat = if op.is_sfu() {
+                    cfg.sfu_latency
+                } else {
+                    cfg.alu_latency
+                };
                 self.schedule_writeback(now + lat, w, DefTarget::Reg(*dst));
                 if op.is_sfu() {
                     stats.sfu_lane_ops += lanes;
@@ -438,7 +452,14 @@ impl Sm {
                 stats.regfile_accesses += lanes * (op.arity() as u64 + 1);
                 self.warps[w].as_mut().unwrap().stack.advance();
             }
-            Instr::SetP { dst, cmp, a, b, float, .. } => {
+            Instr::SetP {
+                dst,
+                cmp,
+                a,
+                b,
+                float,
+                ..
+            } => {
                 let warp = self.warps[w].as_mut().unwrap();
                 let mut bits = 0u32;
                 for lane in 0..32 {
@@ -485,21 +506,35 @@ impl Sm {
                 stats.regfile_accesses += lanes * 3;
                 self.warps[w].as_mut().unwrap().stack.advance();
             }
-            Instr::Ld { dst, space, addr, width, .. } => {
+            Instr::Ld {
+                dst,
+                space,
+                addr,
+                width,
+                ..
+            } => {
                 self.exec_load(
                     w, pc, *dst, *space, *addr, *width, eff_mask, now, cfg, kctx, mem, coproc,
                     stats, cta_coords,
                 );
                 self.warps[w].as_mut().unwrap().stack.advance();
             }
-            Instr::St { space, addr, src, width, .. } => {
+            Instr::St {
+                space,
+                addr,
+                src,
+                width,
+                ..
+            } => {
                 self.exec_store(
                     w, pc, *space, *addr, *src, *width, eff_mask, cfg, kctx, mem, coproc, stats,
                     cta_coords,
                 );
                 self.warps[w].as_mut().unwrap().stack.advance();
             }
-            Instr::Atom { op, dst, addr, src, .. } => {
+            Instr::Atom {
+                op, dst, addr, src, ..
+            } => {
                 self.exec_atomic(
                     w, *op, *dst, *addr, *src, eff_mask, now, cfg, kctx, mem, stats, cta_coords,
                 );
@@ -619,10 +654,7 @@ impl Sm {
                 if decoupled {
                     stats.decoupled_loads += 1;
                 }
-                let unlock = matches!(
-                    record.as_ref().map(|r| r.kind),
-                    Some(RecordKind::Data)
-                );
+                let unlock = matches!(record.as_ref().map(|r| r.kind), Some(RecordKind::Data));
                 if txns.is_empty() {
                     // Fully inactive (guarded off): nothing outstanding.
                     return Some(());
@@ -752,11 +784,19 @@ impl Sm {
     ) {
         stats.atomic_instructions += 1;
         let launch = &kctx.program.launch;
-        let (addrs, _r) = self.resolve_addrs(w, addr, eff_mask, launch, cta_coords, &mut crate::coproc::NullCoProcessor);
+        let (addrs, _r) = self.resolve_addrs(
+            w,
+            addr,
+            eff_mask,
+            launch,
+            cta_coords,
+            &mut crate::coproc::NullCoProcessor,
+        );
         // Functional RMW, lanes in order (the simulator is the global
         // serialization point).
         {
             let warp = self.warps[w].as_mut().unwrap();
+            #[allow(clippy::needless_range_loop)] // lane also indexes warp operands
             for lane in 0..32 {
                 let Some(a) = addrs[lane] else { continue };
                 let old = mem.read_u32(a) as u64;
@@ -921,10 +961,7 @@ impl Sm {
             if all_done {
                 let warps = cta.warps.clone();
                 // Do not free warps with outstanding memory responses.
-                let pending_mem = self
-                    .outstanding
-                    .values()
-                    .any(|t| warps.contains(&t.warp));
+                let pending_mem = self.outstanding.values().any(|t| warps.contains(&t.warp));
                 if pending_mem {
                     continue;
                 }

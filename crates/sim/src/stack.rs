@@ -73,13 +73,17 @@ impl SimtStack {
     }
 
     fn top_mut(&mut self) -> &mut StackEntry {
-        self.entries.last_mut().expect("SIMT stack empty (warp done)")
+        self.entries
+            .last_mut()
+            .expect("SIMT stack empty (warp done)")
     }
 
     /// Drop empty paths and pop reconverged ones.
     fn settle(&mut self) {
         loop {
-            let Some(top) = self.entries.last() else { return };
+            let Some(top) = self.entries.last() else {
+                return;
+            };
             if top.mask & !self.exited == 0 {
                 self.entries.pop();
                 continue;
@@ -143,11 +147,7 @@ impl SimtStack {
         self.exited |= m;
         self.settle();
         // If only the root entry remains and everything exited, finish.
-        if self
-            .entries
-            .iter()
-            .all(|e| e.mask & !self.exited == 0)
-        {
+        if self.entries.iter().all(|e| e.mask & !self.exited == 0) {
             self.entries.clear();
         }
     }
@@ -212,7 +212,7 @@ mod tests {
         s.branch(0xFFFF_0000, 5, usize::MAX);
         assert_eq!(s.pc(), 5);
         s.exit(); // upper half exits
-        // Lower half resumes at fallthrough.
+                  // Lower half resumes at fallthrough.
         assert_eq!(s.pc(), 1);
         assert_eq!(s.active_mask(), 0x0000_FFFF);
         s.exit();

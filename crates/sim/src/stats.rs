@@ -58,7 +58,58 @@ pub struct SimStats {
     pub prefetches_issued: u64,
 }
 
+/// Generates the by-name field table used by the experiment harness to
+/// serialize and re-hydrate counter structs without an external serde.
+macro_rules! stat_fields {
+    ($($field:ident),* $(,)?) => {
+        /// All counters as `(name, value)` pairs, in declaration order.
+        /// The harness serializes these into JSONL artifacts and cache
+        /// entries; names are part of the artifact schema.
+        pub fn fields(&self) -> Vec<(&'static str, u64)> {
+            vec![$((stringify!($field), self.$field)),*]
+        }
+
+        /// Set one counter by its serialized name. Returns `false` for an
+        /// unknown name so loaders can reject stale cache entries.
+        #[must_use]
+        pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+            match name {
+                $(stringify!($field) => self.$field = value,)*
+                _ => return false,
+            }
+            true
+        }
+    };
+}
+
 impl SimStats {
+    stat_fields!(
+        cycles,
+        warp_instructions,
+        affine_instructions,
+        cae_affine_instructions,
+        alu_lane_ops,
+        sfu_lane_ops,
+        regfile_accesses,
+        global_loads,
+        decoupled_loads,
+        global_stores,
+        shared_accesses,
+        atomic_instructions,
+        branches,
+        barriers,
+        idle_scheduler_cycles,
+        affine_issue_slots,
+        deq_empty_stalls,
+        deq_data_stalls,
+        enq_full_stalls,
+        aeu_records,
+        peu_records,
+        ctas_launched,
+        threads_launched,
+        prefetches_issued,
+    );
+
     /// Total warp instructions across both streams.
     pub fn total_instructions(&self) -> u64 {
         self.warp_instructions + self.affine_instructions

@@ -175,8 +175,7 @@ impl WarpState {
 
     /// Any writeback still outstanding? (used for drain checks)
     pub fn scoreboard_clear(&self) -> bool {
-        self.pending_regs.values().all(|&c| c == 0)
-            && self.pending_preds.values().all(|&c| c == 0)
+        self.pending_regs.values().all(|&c| c == 0) && self.pending_preds.values().all(|&c| c == 0)
     }
 }
 

@@ -10,9 +10,7 @@
 
 use super::{init_f32, init_u32, tid_elem_addr, ARR_A, ARR_B, ARR_C};
 use crate::{PaperClass, Suite, Workload};
-use simt_ir::{
-    CmpOp, Dim3, KernelBuilder, LaunchConfig, Op, Operand, Space, SpecialReg, Width,
-};
+use simt_ir::{CmpOp, Dim3, KernelBuilder, LaunchConfig, Op, Operand, Space, SpecialReg, Width};
 use simt_mem::SparseMemory;
 
 fn f32imm(v: f32) -> Operand {
@@ -41,8 +39,16 @@ pub fn cp(scale: u32) -> Workload {
     let d2 = b.alu3(Op::FMad, Operand::Reg(dx), Operand::Reg(dx), f32imm(0.05));
     let dist = b.alu1(Op::FSqrt, Operand::Reg(d2));
     let inv = b.alu1(Op::FRcp, Operand::Reg(dist));
-    b.alu_into(acc, Op::FMad, &[Operand::Reg(aq), Operand::Reg(inv), Operand::Reg(acc)]);
-    b.alu_into(atom_addr, Op::Add, &[Operand::Reg(atom_addr), Operand::Imm(8)]);
+    b.alu_into(
+        acc,
+        Op::FMad,
+        &[Operand::Reg(aq), Operand::Reg(inv), Operand::Reg(acc)],
+    );
+    b.alu_into(
+        atom_addr,
+        Op::Add,
+        &[Operand::Reg(atom_addr), Operand::Imm(8)],
+    );
     b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
     let p = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Param(2));
     b.bra_if(p, "atoms");
@@ -134,7 +140,12 @@ pub fn aes(scale: u32) -> Workload {
     let sub = b.ld(Space::Shared, boff, 0, Width::W32);
     let rot = b.alu2(Op::Shr, Operand::Reg(s), Operand::Imm(8));
     let mix = b.alu2(Op::Xor, Operand::Reg(rot), Operand::Reg(sub));
-    let key = b.alu3(Op::Mad, Operand::Reg(round), Operand::Imm(0x1010_101), Operand::Imm(0x5A5A));
+    let key = b.alu3(
+        Op::Mad,
+        Operand::Reg(round),
+        Operand::Imm(0x0101_0101),
+        Operand::Imm(0x5A5A),
+    );
     b.alu_into(s, Op::Xor, &[Operand::Reg(mix), Operand::Reg(key)]);
     b.alu_into(round, Op::Add, &[Operand::Reg(round), Operand::Imm(1)]);
     let p = b.setp(CmpOp::Lt, Operand::Reg(round), Operand::Imm(10));
@@ -178,7 +189,11 @@ pub fn mq(scale: u32) -> Workload {
     let sn = b.alu1(Op::FSin, Operand::Reg(arg));
     let cs = b.alu1(Op::FCos, Operand::Reg(arg));
     let sum = b.alu2(Op::FAdd, Operand::Reg(sn), Operand::Reg(cs));
-    b.alu_into(acc, Op::FMad, &[Operand::Reg(phi), Operand::Reg(sum), Operand::Reg(acc)]);
+    b.alu_into(
+        acc,
+        Op::FMad,
+        &[Operand::Reg(phi), Operand::Reg(sum), Operand::Reg(acc)],
+    );
     b.alu_into(ka, Op::Add, &[Operand::Reg(ka), Operand::Imm(8)]);
     b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
     let p = b.setp(CmpOp::Lt, Operand::Reg(i), Operand::Param(2));
@@ -275,7 +290,12 @@ pub fn fft(scale: u32) -> Workload {
     let cs = b.alu2(Op::FMul, Operand::Reg(c), Operand::Reg(s));
     let ns = b.alu2(Op::FMul, Operand::Reg(cs), f32imm(2.0));
     let mag = b.alu3(Op::FMad, Operand::Reg(nc), Operand::Reg(nc), f32imm(1e-9));
-    let m2 = b.alu3(Op::FMad, Operand::Reg(ns), Operand::Reg(ns), Operand::Reg(mag));
+    let m2 = b.alu3(
+        Op::FMad,
+        Operand::Reg(ns),
+        Operand::Reg(ns),
+        Operand::Reg(mag),
+    );
     let inv = b.alu1(Op::FRcp, Operand::Reg(m2));
     let sc = b.alu1(Op::FSqrt, Operand::Reg(inv));
     b.alu_into(c, Op::FMul, &[Operand::Reg(nc), Operand::Reg(sc)]);
@@ -284,7 +304,12 @@ pub fn fft(scale: u32) -> Workload {
     let pr = b.setp(CmpOp::Lt, Operand::Reg(rr), Operand::Imm(20));
     b.bra_if(pr, "refine");
     let hit = b.alu2(Op::FMul, Operand::Reg(hi), Operand::Reg(c));
-    let hit2 = b.alu3(Op::FMad, Operand::Reg(hi), Operand::Reg(s), Operand::Reg(hit));
+    let hit2 = b.alu3(
+        Op::FMad,
+        Operand::Reg(hi),
+        Operand::Reg(s),
+        Operand::Reg(hit),
+    );
     let sum = b.alu2(Op::FAdd, Operand::Reg(lo), Operand::Reg(hit2));
     let dif = b.alu2(Op::FSub, Operand::Reg(lo), Operand::Reg(hit2));
     let o_lo = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(off));
@@ -334,7 +359,11 @@ pub fn bp(scale: u32) -> Workload {
     let ia = b.mov(Operand::Param(2));
     b.label("sum");
     let inv = b.ld(Space::Global, ia, 0, Width::W32);
-    b.alu_into(acc, Op::FMad, &[Operand::Reg(w), Operand::Reg(inv), Operand::Reg(acc)]);
+    b.alu_into(
+        acc,
+        Op::FMad,
+        &[Operand::Reg(w), Operand::Reg(inv), Operand::Reg(acc)],
+    );
     let sq = b.alu2(Op::FMul, Operand::Reg(acc), Operand::Reg(acc));
     let damp = b.alu2(Op::FMul, Operand::Reg(sq), f32imm(0.01));
     b.alu_into(acc, Op::FSub, &[Operand::Reg(acc), Operand::Reg(damp)]);
@@ -396,13 +425,23 @@ pub fn sr1(scale: u32) -> Workload {
     let dl = b.alu2(Op::FSub, Operand::Reg(l), Operand::Reg(c));
     let dr = b.alu2(Op::FSub, Operand::Reg(r), Operand::Reg(c));
     let g2 = b.alu3(Op::FMad, Operand::Reg(dl), Operand::Reg(dl), f32imm(1e-6));
-    let g2b = b.alu3(Op::FMad, Operand::Reg(dr), Operand::Reg(dr), Operand::Reg(g2));
+    let g2b = b.alu3(
+        Op::FMad,
+        Operand::Reg(dr),
+        Operand::Reg(dr),
+        Operand::Reg(g2),
+    );
     let den = b.alu2(Op::FAdd, Operand::Reg(g2b), f32imm(1.0));
     let q = b.alu1(Op::FRcp, Operand::Reg(den));
     let sq = b.alu1(Op::FSqrt, Operand::Reg(q));
     let lgq = b.alu1(Op::FLog2, Operand::Reg(den));
     let coef = b.alu2(Op::FMul, Operand::Reg(sq), Operand::Reg(lgq));
-    let upd = b.alu3(Op::FMad, Operand::Reg(coef), Operand::Reg(g2b), Operand::Reg(c));
+    let upd = b.alu3(
+        Op::FMad,
+        Operand::Reg(coef),
+        Operand::Reg(g2b),
+        Operand::Reg(c),
+    );
     // Iterate the diffusion update in registers (srad runs many sweeps).
     let cur = b.mov(Operand::Reg(upd));
     let it = b.mov(Operand::Imm(0));
@@ -410,11 +449,20 @@ pub fn sr1(scale: u32) -> Workload {
     let dl2 = b.alu2(Op::FSub, Operand::Reg(l), Operand::Reg(cur));
     let dr2 = b.alu2(Op::FSub, Operand::Reg(r), Operand::Reg(cur));
     let g = b.alu3(Op::FMad, Operand::Reg(dl2), Operand::Reg(dl2), f32imm(1e-6));
-    let gb = b.alu3(Op::FMad, Operand::Reg(dr2), Operand::Reg(dr2), Operand::Reg(g));
+    let gb = b.alu3(
+        Op::FMad,
+        Operand::Reg(dr2),
+        Operand::Reg(dr2),
+        Operand::Reg(g),
+    );
     let dn = b.alu2(Op::FAdd, Operand::Reg(gb), f32imm(1.0));
     let qq = b.alu1(Op::FRcp, Operand::Reg(dn));
     let sq2 = b.alu1(Op::FSqrt, Operand::Reg(qq));
-    b.alu_into(cur, Op::FMad, &[Operand::Reg(sq2), Operand::Reg(gb), Operand::Reg(cur)]);
+    b.alu_into(
+        cur,
+        Op::FMad,
+        &[Operand::Reg(sq2), Operand::Reg(gb), Operand::Reg(cur)],
+    );
     b.alu_into(it, Op::Add, &[Operand::Reg(it), Operand::Imm(1)]);
     let ps = b.setp(CmpOp::Lt, Operand::Reg(it), Operand::Imm(5));
     b.bra_if(ps, "sweep");
@@ -470,7 +518,11 @@ pub fn hs(scale: u32) -> Workload {
     let e = b.alu1(Op::FExp2, Operand::Reg(damp));
     let norm = b.alu2(Op::FAdd, Operand::Reg(e), f32imm(1.0));
     let rc = b.alu1(Op::FRcp, Operand::Reg(norm));
-    b.alu_into(cur, Op::FMad, &[Operand::Reg(flux), Operand::Reg(rc), Operand::Reg(cur)]);
+    b.alu_into(
+        cur,
+        Op::FMad,
+        &[Operand::Reg(flux), Operand::Reg(rc), Operand::Reg(cur)],
+    );
     b.alu_into(it, Op::Add, &[Operand::Reg(it), Operand::Imm(1)]);
     let p = b.setp(CmpOp::Lt, Operand::Reg(it), Operand::Imm(6));
     b.bra_if(p, "steps");
@@ -486,7 +538,11 @@ pub fn hs(scale: u32) -> Workload {
         suite: Suite::Rodinia,
         paper_class: PaperClass::Compute,
         kernel: b.build(),
-        launch: LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64]),
+        launch: LaunchConfig::linear(
+            ctas,
+            block,
+            vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64],
+        ),
         memory,
         output: (ARR_B, n),
     }
@@ -547,11 +603,7 @@ pub fn pf(scale: u32) -> Workload {
         suite: Suite::Rodinia,
         paper_class: PaperClass::Compute,
         kernel: b.build(),
-        launch: LaunchConfig::linear(
-            ctas,
-            block,
-            vec![ARR_A, ARR_B, rows, (ctas * block) as u64],
-        ),
+        launch: LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, rows, (ctas * block) as u64]),
         memory,
         output: (ARR_B, n),
     }
@@ -592,8 +644,16 @@ pub fn bs(scale: u32) -> Workload {
     let e = b.alu1(Op::FExp2, Operand::Reg(q));
     let l = b.alu1(Op::FLog2, Operand::Reg(e));
     let adj = b.alu2(Op::FSub, Operand::Reg(l), Operand::Reg(q));
-    b.alu_into(c1, Op::FMad, &[Operand::Reg(adj), f32imm(0.001), Operand::Reg(c1)]);
-    b.alu_into(c2, Op::FMad, &[Operand::Reg(adj), f32imm(-0.001), Operand::Reg(c2)]);
+    b.alu_into(
+        c1,
+        Op::FMad,
+        &[Operand::Reg(adj), f32imm(0.001), Operand::Reg(c1)],
+    );
+    b.alu_into(
+        c2,
+        Op::FMad,
+        &[Operand::Reg(adj), f32imm(-0.001), Operand::Reg(c2)],
+    );
     b.alu_into(it, Op::Add, &[Operand::Reg(it), Operand::Imm(1)]);
     let pp = b.setp(CmpOp::Lt, Operand::Reg(it), Operand::Imm(16));
     b.bra_if(pp, "polish");

@@ -74,7 +74,11 @@ pub fn lib(scale: u32) -> Workload {
         "LIB",
         Suite::GpgpuSim,
         b,
-        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64]),
+        LaunchConfig::linear(
+            ctas,
+            block,
+            vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64],
+        ),
         memory,
         (ARR_C, total),
     )
@@ -120,14 +124,34 @@ pub fn sg(scale: u32) -> Workload {
     let sb_mine = b.alu2(Op::Add, Operand::Reg(sa_mine), Operand::Imm(1024));
     b.label("tiles");
     // Cooperative loads: A[row][t*16+tx], B[t*16+ty][col].
-    let acol = b.alu3(Op::Mad, Operand::Reg(t), Operand::Imm(16), Operand::Special(SpecialReg::TidX));
-    let aidx = b.alu3(Op::Mad, Operand::Reg(row), Operand::Param(3), Operand::Reg(acol));
+    let acol = b.alu3(
+        Op::Mad,
+        Operand::Reg(t),
+        Operand::Imm(16),
+        Operand::Special(SpecialReg::TidX),
+    );
+    let aidx = b.alu3(
+        Op::Mad,
+        Operand::Reg(row),
+        Operand::Param(3),
+        Operand::Reg(acol),
+    );
     let aoff = b.alu2(Op::Shl, Operand::Reg(aidx), Operand::Imm(2));
     let aaddr = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(aoff));
     let av = b.ld(Space::Global, aaddr, 0, Width::W32);
     b.st(Space::Shared, sa_mine, 0, Operand::Reg(av), Width::W32);
-    let brow = b.alu3(Op::Mad, Operand::Reg(t), Operand::Imm(16), Operand::Special(SpecialReg::TidY));
-    let bidx = b.alu3(Op::Mad, Operand::Reg(brow), Operand::Param(4), Operand::Reg(col));
+    let brow = b.alu3(
+        Op::Mad,
+        Operand::Reg(t),
+        Operand::Imm(16),
+        Operand::Special(SpecialReg::TidY),
+    );
+    let bidx = b.alu3(
+        Op::Mad,
+        Operand::Reg(brow),
+        Operand::Param(4),
+        Operand::Reg(col),
+    );
     let boff = b.alu2(Op::Shl, Operand::Reg(bidx), Operand::Imm(2));
     let baddr = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(boff));
     let bv = b.ld(Space::Global, baddr, 0, Width::W32);
@@ -142,7 +166,11 @@ pub fn sg(scale: u32) -> Workload {
     b.label("inner");
     let x = b.ld(Space::Shared, sa_row, 0, Width::W32);
     let y = b.ld(Space::Global, gb, 0, Width::W32);
-    b.alu_into(acc, Op::FMad, &[Operand::Reg(x), Operand::Reg(y), Operand::Reg(acc)]);
+    b.alu_into(
+        acc,
+        Op::FMad,
+        &[Operand::Reg(x), Operand::Reg(y), Operand::Reg(acc)],
+    );
     b.alu_into(sa_row, Op::Add, &[Operand::Reg(sa_row), Operand::Imm(4)]);
     b.alu_into(gb, Op::Add, &[Operand::Reg(gb), Operand::Reg(bstride)]);
     b.alu_into(kk, Op::Add, &[Operand::Reg(kk), Operand::Imm(1)]);
@@ -152,7 +180,12 @@ pub fn sg(scale: u32) -> Workload {
     b.alu_into(t, Op::Add, &[Operand::Reg(t), Operand::Imm(1)]);
     let pt = b.setp(CmpOp::Lt, Operand::Reg(t), Operand::Imm((k / 16) as i64));
     b.bra_if(pt, "tiles");
-    let oidx = b.alu3(Op::Mad, Operand::Reg(row), Operand::Param(4), Operand::Reg(col));
+    let oidx = b.alu3(
+        Op::Mad,
+        Operand::Reg(row),
+        Operand::Param(4),
+        Operand::Reg(col),
+    );
     let ooff = b.alu2(Op::Shl, Operand::Reg(oidx), Operand::Imm(2));
     let oaddr = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(ooff));
     b.st(Space::Global, oaddr, 0, Operand::Reg(acc), Width::W32);
@@ -201,7 +234,11 @@ pub fn st(scale: u32) -> Workload {
     let s3 = b.alu2(Op::FAdd, Operand::Reg(s1), Operand::Reg(s2));
     let r = b.alu3(Op::FMad, Operand::Reg(c), f32imm(-4.0), Operand::Reg(s3));
     b.st(Space::Global, out, 0, Operand::Reg(r), Width::W32);
-    b.alu_into(center, Op::Add, &[Operand::Reg(center), Operand::Reg(ostride)]);
+    b.alu_into(
+        center,
+        Op::Add,
+        &[Operand::Reg(center), Operand::Reg(ostride)],
+    );
     b.alu_into(out, Op::Add, &[Operand::Reg(out), Operand::Reg(ostride)]);
     b.alu_into(z, Op::Add, &[Operand::Reg(z), Operand::Imm(1)]);
     let pz = b.setp(CmpOp::Lt, Operand::Reg(z), Operand::Imm(zplanes as i64));
@@ -209,7 +246,14 @@ pub fn st(scale: u32) -> Workload {
     b.exit();
     let total = n * zplanes as usize;
     let mut memory = SparseMemory::new();
-    init_f32(&mut memory, ARR_A, total + (3 * plane as usize) / 4, 205, -1.0, 1.0);
+    init_f32(
+        &mut memory,
+        ARR_A,
+        total + (3 * plane as usize) / 4,
+        205,
+        -1.0,
+        1.0,
+    );
     wl(
         "stencil",
         "ST",
@@ -370,7 +414,11 @@ pub fn spv(scale: u32) -> Workload {
     let xoff = b.alu2(Op::Shl, Operand::Reg(col), Operand::Imm(2));
     let xa = b.alu2(Op::Add, Operand::Param(3), Operand::Reg(xoff));
     let x = b.ld(Space::Global, xa, 0, Width::W32);
-    b.alu_into(acc, Op::FMad, &[Operand::Reg(val), Operand::Reg(x), Operand::Reg(acc)]);
+    b.alu_into(
+        acc,
+        Op::FMad,
+        &[Operand::Reg(val), Operand::Reg(x), Operand::Reg(acc)],
+    );
     b.alu_into(j, Op::Add, &[Operand::Reg(j), Operand::Imm(1)]);
     b.bra("nz");
     b.label("done");
@@ -415,7 +463,12 @@ pub fn bt(scale: u32) -> Workload {
     // child = tree[node*8 + (key >> level) & 7]
     let kshift = b.alu2(Op::Shr, Operand::Reg(key), Operand::Reg(lvl));
     let slot = b.alu2(Op::And, Operand::Reg(kshift), Operand::Imm(7));
-    let nidx = b.alu3(Op::Mad, Operand::Reg(node), Operand::Imm(8), Operand::Reg(slot));
+    let nidx = b.alu3(
+        Op::Mad,
+        Operand::Reg(node),
+        Operand::Imm(8),
+        Operand::Reg(slot),
+    );
     let noff = b.alu2(Op::Shl, Operand::Reg(nidx), Operand::Imm(2));
     let naddr = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(noff));
     let child = b.ld(Space::Global, naddr, 0, Width::W32);
@@ -460,7 +513,11 @@ pub fn lud(scale: u32) -> Workload {
     let piv = b.ld(Space::Global, pivot_a, 0, Width::W32);
     let scaled = b.alu2(Op::FMul, Operand::Reg(piv), f32imm(0.25));
     b.alu_into(cur, Op::FSub, &[Operand::Reg(cur), Operand::Reg(scaled)]);
-    b.alu_into(pivot_a, Op::Add, &[Operand::Reg(pivot_a), Operand::Reg(rowstride)]);
+    b.alu_into(
+        pivot_a,
+        Op::Add,
+        &[Operand::Reg(pivot_a), Operand::Reg(rowstride)],
+    );
     b.alu_into(k, Op::Add, &[Operand::Reg(k), Operand::Imm(1)]);
     let p = b.setp(CmpOp::Lt, Operand::Reg(k), Operand::Imm(steps as i64));
     b.bra_if(p, "elim");
@@ -540,14 +597,23 @@ pub fn sc(scale: u32) -> Workload {
     // Distance over dims: reload the point's coordinates (strided affine).
     let dist = b.mov(f32imm(0.0));
     let d = b.mov(Operand::Imm(0));
-    let pidx = b.alu3(Op::Mad, Operand::Reg(tid), Operand::Imm(dims as i64), Operand::Imm(0));
+    let pidx = b.alu3(
+        Op::Mad,
+        Operand::Reg(tid),
+        Operand::Imm(dims as i64),
+        Operand::Imm(0),
+    );
     let poff = b.alu2(Op::Shl, Operand::Reg(pidx), Operand::Imm(2));
     let pa = b.alu2(Op::Add, Operand::Param(0), Operand::Reg(poff));
     b.label("dims");
     let pv = b.ld(Space::Global, pa, 0, Width::W32);
     let cv = b.ld(Space::Global, ca, 0, Width::W32);
     let diff = b.alu2(Op::FSub, Operand::Reg(pv), Operand::Reg(cv));
-    b.alu_into(dist, Op::FMad, &[Operand::Reg(diff), Operand::Reg(diff), Operand::Reg(dist)]);
+    b.alu_into(
+        dist,
+        Op::FMad,
+        &[Operand::Reg(diff), Operand::Reg(diff), Operand::Reg(dist)],
+    );
     b.alu_into(pa, Op::Add, &[Operand::Reg(pa), Operand::Imm(4)]);
     b.alu_into(ca, Op::Add, &[Operand::Reg(ca), Operand::Imm(4)]);
     b.alu_into(d, Op::Add, &[Operand::Reg(d), Operand::Imm(1)]);
@@ -563,7 +629,14 @@ pub fn sc(scale: u32) -> Workload {
     b.exit();
     let mut memory = SparseMemory::new();
     init_f32(&mut memory, ARR_A, n * dims as usize, 217, -1.0, 1.0);
-    init_f32(&mut memory, ARR_B, (centers * dims) as usize, 218, -1.0, 1.0);
+    init_f32(
+        &mut memory,
+        ARR_B,
+        (centers * dims) as usize,
+        218,
+        -1.0,
+        1.0,
+    );
     wl(
         "stream cluster",
         "SC",
@@ -611,14 +684,25 @@ pub fn km(scale: u32) -> Workload {
     b.st(Space::Global, out, 0, Operand::Reg(bestc), Width::W32);
     b.exit();
     let mut memory = SparseMemory::new();
-    init_f32(&mut memory, ARR_A, n * (clusters as usize + 1), 219, -4.0, 4.0);
+    init_f32(
+        &mut memory,
+        ARR_A,
+        n * (clusters as usize + 1),
+        219,
+        -4.0,
+        4.0,
+    );
     init_f32(&mut memory, ARR_B, clusters as usize, 220, -4.0, 4.0);
     wl(
         "KMEANS",
         "KM",
         Suite::CudaSdk,
         b,
-        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64]),
+        LaunchConfig::linear(
+            ctas,
+            block,
+            vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64],
+        ),
         memory,
         (ARR_C, n),
     )
@@ -640,7 +724,12 @@ pub fn bfs(scale: u32) -> Workload {
     b.bra_if(pskip, "skip");
     // Visit neighbours: indices from the edge list (indirect).
     let e = b.mov(Operand::Imm(0));
-    let eidx = b.alu3(Op::Mad, Operand::Reg(tid), Operand::Imm(deg as i64), Operand::Imm(0));
+    let eidx = b.alu3(
+        Op::Mad,
+        Operand::Reg(tid),
+        Operand::Imm(deg as i64),
+        Operand::Imm(0),
+    );
     let eoff = b.alu2(Op::Shl, Operand::Reg(eidx), Operand::Imm(2));
     let ea = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(eoff));
     b.label("edges");
@@ -691,7 +780,11 @@ pub fn cfd(scale: u32) -> Workload {
         let na = b.alu2(Op::Add, Operand::Param(1), Operand::Reg(noff));
         let nv = b.ld(Space::Global, na, 0, Width::W32);
         let d = b.alu2(Op::FSub, Operand::Reg(nv), Operand::Reg(own));
-        b.alu_into(flux, Op::FMad, &[Operand::Reg(d), f32imm(0.25), Operand::Reg(flux)]);
+        b.alu_into(
+            flux,
+            Op::FMad,
+            &[Operand::Reg(d), f32imm(0.25), Operand::Reg(flux)],
+        );
     }
     let out = b.alu2(Op::Add, Operand::Param(2), Operand::Reg(coff));
     b.st(Space::Global, out, 0, Operand::Reg(flux), Width::W32);
@@ -727,7 +820,12 @@ pub fn mc(scale: u32) -> Workload {
     let stride = b.alu2(Op::Shl, Operand::Param(3), Operand::Imm(2));
     b.label("walk");
     // LCG step on data.
-    let m1 = b.alu3(Op::Mad, Operand::Reg(state), Operand::Imm(1664525), Operand::Imm(1013904223));
+    let m1 = b.alu3(
+        Op::Mad,
+        Operand::Reg(state),
+        Operand::Imm(1664525),
+        Operand::Imm(1013904223),
+    );
     let m2 = b.alu2(Op::And, Operand::Reg(m1), Operand::Imm(0xFFFF_FFFF));
     b.alu_into(state, Op::Mov, &[Operand::Reg(m2)]);
     b.st(Space::Global, path, 0, Operand::Reg(state), Width::W32);
@@ -743,7 +841,11 @@ pub fn mc(scale: u32) -> Workload {
         "MC",
         Suite::Parboil,
         b,
-        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, steps, (ctas * block) as u64]),
+        LaunchConfig::linear(
+            ctas,
+            block,
+            vec![ARR_A, ARR_B, steps, (ctas * block) as u64],
+        ),
         memory,
         (ARR_B, n * steps as usize),
     )
@@ -819,7 +921,11 @@ pub fn sp(scale: u32) -> Workload {
     b.label("stream");
     let x = b.ld(Space::Global, aa, 0, Width::W32);
     let y = b.ld(Space::Global, ba, 0, Width::W32);
-    b.alu_into(prod, Op::FMad, &[Operand::Reg(x), Operand::Reg(y), Operand::Reg(prod)]);
+    b.alu_into(
+        prod,
+        Op::FMad,
+        &[Operand::Reg(x), Operand::Reg(y), Operand::Reg(prod)],
+    );
     b.alu_into(aa, Op::Add, &[Operand::Reg(aa), Operand::Reg(stride)]);
     b.alu_into(ba, Op::Add, &[Operand::Reg(ba), Operand::Reg(stride)]);
     b.alu_into(seg, Op::Add, &[Operand::Reg(seg), Operand::Imm(1)]);
@@ -835,7 +941,12 @@ pub fn sp(scale: u32) -> Workload {
     let pin = b.setp(CmpOp::Ge, Operand::Reg(tx), Operand::Reg(s));
     b.bra_if(pin, "skip_add");
     let mine = b.ld(Space::Shared, soff, 0, Width::W32);
-    let partner_off = b.alu3(Op::Mad, Operand::Reg(s), Operand::Imm(4), Operand::Reg(soff));
+    let partner_off = b.alu3(
+        Op::Mad,
+        Operand::Reg(s),
+        Operand::Imm(4),
+        Operand::Reg(soff),
+    );
     let theirs = b.ld(Space::Shared, partner_off, 0, Width::W32);
     let sum = b.alu2(Op::FAdd, Operand::Reg(mine), Operand::Reg(theirs));
     b.st(Space::Shared, soff, 0, Operand::Reg(sum), Width::W32);
@@ -865,7 +976,11 @@ pub fn sp(scale: u32) -> Workload {
         "SP",
         Suite::Parboil,
         b,
-        LaunchConfig::linear(ctas, block, vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64]),
+        LaunchConfig::linear(
+            ctas,
+            block,
+            vec![ARR_A, ARR_B, ARR_C, (ctas * block) as u64],
+        ),
         memory,
         (ARR_C, ctas as usize),
     )
@@ -890,10 +1005,18 @@ pub fn cs(scale: u32) -> Workload {
     for k in -radius..=radius {
         let v = b.ld(Space::Global, center, (radius + k) * 4, Width::W32);
         let w = 1.0f32 / (1.0 + k.unsigned_abs() as f32);
-        b.alu_into(acc, Op::FMad, &[Operand::Reg(v), f32imm(w), Operand::Reg(acc)]);
+        b.alu_into(
+            acc,
+            Op::FMad,
+            &[Operand::Reg(v), f32imm(w), Operand::Reg(acc)],
+        );
     }
     b.st(Space::Global, out, 0, Operand::Reg(acc), Width::W32);
-    b.alu_into(center, Op::Add, &[Operand::Reg(center), Operand::Reg(stride)]);
+    b.alu_into(
+        center,
+        Op::Add,
+        &[Operand::Reg(center), Operand::Reg(stride)],
+    );
     b.alu_into(out, Op::Add, &[Operand::Reg(out), Operand::Reg(stride)]);
     b.alu_into(seg, Op::Add, &[Operand::Reg(seg), Operand::Imm(1)]);
     let ps = b.setp(CmpOp::Lt, Operand::Reg(seg), Operand::Imm(segs as i64));
@@ -901,7 +1024,14 @@ pub fn cs(scale: u32) -> Workload {
     b.exit();
     let total = n * segs as usize;
     let mut memory = SparseMemory::new();
-    init_f32(&mut memory, ARR_A, total + 2 * radius as usize + 1, 230, -1.0, 1.0);
+    init_f32(
+        &mut memory,
+        ARR_A,
+        total + 2 * radius as usize + 1,
+        230,
+        -1.0,
+        1.0,
+    );
     wl(
         "Convolution Sep.",
         "CS",

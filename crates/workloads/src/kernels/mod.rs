@@ -4,10 +4,42 @@ pub mod compute;
 pub mod memory;
 
 use crate::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simt_ir::{KernelBuilder, Op, Operand, RegId};
 use simt_mem::SparseMemory;
+
+/// Deterministic SplitMix64 stream (Steele et al.), used for input
+/// generation so the crate needs no external PRNG: the build environment is
+/// offline, and the exact stream is pinned by the golden-stats tests.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeded generator; equal seeds yield equal streams forever.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)` (n > 0). Multiply-shift keeps it unbiased enough
+    /// for synthetic inputs while staying branch-free and portable.
+    pub fn below(&mut self, n: u32) -> u32 {
+        ((self.next_u64() >> 32).wrapping_mul(n as u64) >> 32) as u32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_range(&mut self, lo: f32, hi: f32) -> f32 {
+        let unit = (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        lo + unit * (hi - lo)
+    }
+}
 
 /// Standard array base addresses, 16 MiB apart.
 pub const ARR_A: u64 = 0x0100_0000;
@@ -64,15 +96,15 @@ pub(crate) fn tid_elem_addr(b: &mut KernelBuilder, param: u16, shift: i64) -> (R
 
 /// Deterministic pseudo-random `f32` inputs in (lo, hi).
 pub(crate) fn init_f32(mem: &mut SparseMemory, base: u64, n: usize, seed: u64, lo: f32, hi: f32) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    let mut rng = SplitMix64::new(seed);
+    let data: Vec<f32> = (0..n).map(|_| rng.f32_range(lo, hi)).collect();
     mem.write_f32_slice(base, &data);
 }
 
 /// Deterministic pseudo-random `u32` inputs in `[0, modulo)`.
 pub(crate) fn init_u32(mem: &mut SparseMemory, base: u64, n: usize, seed: u64, modulo: u32) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let data: Vec<u32> = (0..n).map(|_| rng.gen_range(0..modulo)).collect();
+    let mut rng = SplitMix64::new(seed);
+    let data: Vec<u32> = (0..n).map(|_| rng.below(modulo)).collect();
     mem.write_u32_slice(base, &data);
 }
 

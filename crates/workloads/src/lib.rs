@@ -57,6 +57,7 @@ pub enum PaperClass {
 }
 
 /// A fully-specified benchmark instance.
+#[derive(Clone)]
 pub struct Workload {
     /// Full name (Table 2 "Name").
     pub name: &'static str,

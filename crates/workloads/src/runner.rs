@@ -140,7 +140,11 @@ mod tests {
     #[test]
     fn designs_agree_on_outputs() {
         let w = crate::benchmark("HI", 1).unwrap();
-        let base = run_design(&w, Design::Baseline, &GpuSim::new(simt_sim::GpuConfig::test_small()));
+        let base = run_design(
+            &w,
+            Design::Baseline,
+            &GpuSim::new(simt_sim::GpuConfig::test_small()),
+        );
         let golden = base.memory.read_u32_vec(w.output.0, w.output.1);
         for d in [Design::Cae, Design::Mta, Design::Dac] {
             let gpu = GpuSim::new(simt_sim::GpuConfig {

@@ -1,5 +1,6 @@
 //! Run a subset of the paper's 29-benchmark suite under all four designs
-//! (baseline / CAE / MTA / DAC) and print a Figure-16-style comparison.
+//! (baseline / CAE / MTA / DAC) in parallel and print a Figure-16-style
+//! comparison.
 //!
 //! ```sh
 //! cargo run --release --example benchmark_sweep [ABBR ...]
@@ -9,50 +10,62 @@
 //! (LIB), one stencil (ST), one indirect graph kernel (BFS — DAC's worst
 //! case), and one compute kernel (MQ).
 
-use dac_gpu::workloads::{benchmark, gpu_for, run_design, Design};
-use dac_gpu::sim::GpuSim;
+use dac_gpu::harness::{suite_jobs, DesignPoint, Harness, Overrides};
+use dac_gpu::workloads::{benchmark, Design};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let abbrs: Vec<String> = if args.is_empty() {
-        ["LIB", "ST", "BFS", "MQ"].iter().map(|s| s.to_string()).collect()
+        ["LIB", "ST", "BFS", "MQ"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         args
     };
+
+    let mut workloads = Vec::new();
+    for abbr in &abbrs {
+        match benchmark(abbr, 1) {
+            Some(w) => workloads.push(w),
+            None => eprintln!("unknown benchmark {abbr} (see Table 2 for abbreviations)"),
+        }
+    }
+
+    // One job per (workload, design); the harness runs them across all
+    // cores and returns results in job order.
+    let jobs = suite_jobs(workloads, 1, &DesignPoint::HW_ALL, &Overrides::default());
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let out = Harness::new(workers).run(&jobs);
 
     println!(
         "{:<6} {:>10} {:>8} {:>8} {:>8}  {:>8}",
         "bench", "base(cyc)", "CAE", "MTA", "DAC", "decoup%"
     );
-    for abbr in &abbrs {
-        let Some(w) = benchmark(abbr, 1) else {
-            eprintln!("unknown benchmark {abbr} (see Table 2 for abbreviations)");
-            continue;
-        };
-        let base = run_design(&w, Design::Baseline, &GpuSim::new(gpu_for(Design::Baseline)));
-        let golden = base.memory.read_u32_vec(w.output.0, w.output.1);
-        let mut cells = Vec::new();
-        let mut decoup = 0.0;
-        for d in [Design::Cae, Design::Mta, Design::Dac] {
-            let run = run_design(&w, d, &GpuSim::new(gpu_for(d)));
+    for (chunk, results) in jobs.chunks(4).zip(out.results.chunks(4)) {
+        let w = &chunk[0].workload;
+        let base = &results[0];
+        // The output digest must match across designs — decoupling may
+        // reorder work but never change what the program computes.
+        for (job, r) in chunk.iter().zip(results).skip(1) {
             assert_eq!(
-                run.memory.read_u32_vec(w.output.0, w.output.1),
-                golden,
-                "{abbr}: {d:?} changed outputs"
+                r.output_digest,
+                base.output_digest,
+                "{}: {} changed outputs",
+                w.abbr,
+                job.point.name()
             );
-            cells.push(base.report.cycles as f64 / run.report.cycles as f64);
-            if d == Design::Dac {
-                decoup = run.report.stats.decoupled_load_fraction();
-            }
         }
+        let speedup = |i: usize| base.report.cycles as f64 / results[i].report.cycles as f64;
+        let dac = Design::ALL.iter().position(|&d| d == Design::Dac).unwrap();
         println!(
             "{:<6} {:>10} {:>7.2}x {:>7.2}x {:>7.2}x  {:>7.1}%",
             w.abbr,
             base.report.cycles,
-            cells[0],
-            cells[1],
-            cells[2],
-            100.0 * decoup
+            speedup(1),
+            speedup(2),
+            speedup(3),
+            100.0 * results[dac].report.stats.decoupled_load_fraction()
         );
     }
     println!("\n(all outputs verified bit-identical across designs)");

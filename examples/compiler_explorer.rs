@@ -87,7 +87,11 @@ fn explore(title: &str, text: &str) {
             AffClass::AffineMod => "affine+mod",
             AffClass::NonAffine => "-",
         };
-        let taint = if a.tainted[pc] { "  [data-dependent CF]" } else { "" };
+        let taint = if a.tainted[pc] {
+            "  [data-dependent CF]"
+        } else {
+            ""
+        };
         println!("  {pc:3}: {:<38} {class}{taint}", i.to_string());
     }
 

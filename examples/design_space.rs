@@ -1,14 +1,14 @@
 //! Design-space exploration beyond the paper: sweep DAC's hardware budget
-//! (queue sizes, line locking, expansion behaviour) on a streaming workload
-//! and print speedup per configuration.
+//! (queue sizes, line locking) on a streaming workload and print speedup
+//! per configuration.
 //!
 //! ```sh
 //! cargo run --release --example design_space [ABBR]
 //! ```
 
-use dac_gpu::dac::DacConfig;
-use dac_gpu::sim::GpuSim;
-use dac_gpu::workloads::{benchmark, gpu_for, run_dac, run_design, Design};
+use dac_gpu::harness::{DesignPoint, Harness, Job, Overrides};
+use dac_gpu::workloads::{benchmark, Design};
+use std::sync::Arc;
 
 fn main() {
     let abbr = std::env::args().nth(1).unwrap_or_else(|| "SR2".to_string());
@@ -16,58 +16,47 @@ fn main() {
         eprintln!("unknown benchmark {abbr}");
         std::process::exit(1);
     });
-    let gpu = GpuSim::new(gpu_for(Design::Dac));
-    let base = run_design(&w, Design::Baseline, &GpuSim::new(gpu_for(Design::Baseline)));
-    println!("{}: baseline {} cycles\n", w.abbr, base.report.cycles);
-    println!("{:<34} {:>9} {:>9}", "configuration", "cycles", "speedup");
+    let w = Arc::new(w);
 
-    let sweep: Vec<(String, DacConfig)> = vec![
-        ("paper (ATQ 24, PWQ 192, lock)".into(), DacConfig::paper()),
+    // Each configuration is an `Overrides` delta on the paper's DacConfig.
+    let knobs: Vec<(&str, Vec<(&str, &str)>)> = vec![
+        ("paper (ATQ 24, PWQ 192, lock)", vec![]),
+        ("ATQ 4", vec![("atq_entries", "4")]),
+        ("ATQ 96", vec![("atq_entries", "96")]),
         (
-            "ATQ 4".into(),
-            DacConfig {
-                atq_entries: 4,
-                ..DacConfig::paper()
-            },
+            "PWQ 48 (shallow run-ahead)",
+            vec![("pwaq_total", "48"), ("pwpq_total", "48")],
         ),
         (
-            "ATQ 96".into(),
-            DacConfig {
-                atq_entries: 96,
-                ..DacConfig::paper()
-            },
+            "PWQ 768 (deep run-ahead)",
+            vec![("pwaq_total", "768"), ("pwpq_total", "768")],
         ),
-        (
-            "PWQ 48 (shallow run-ahead)".into(),
-            DacConfig {
-                pwaq_total: 48,
-                pwpq_total: 48,
-                ..DacConfig::paper()
-            },
-        ),
-        (
-            "PWQ 768 (deep run-ahead)".into(),
-            DacConfig {
-                pwaq_total: 768,
-                pwpq_total: 768,
-                ..DacConfig::paper()
-            },
-        ),
-        (
-            "no L1 line locking".into(),
-            DacConfig {
-                lock_lines: false,
-                ..DacConfig::paper()
-            },
-        ),
+        ("no L1 line locking", vec![("lock_lines", "off")]),
     ];
 
-    for (label, cfg) in sweep {
-        let run = run_dac(&w, &gpu, cfg);
+    // Job 0 is the baseline; the rest are DAC variants. One harness batch
+    // runs them all in parallel.
+    let mut jobs = vec![Job::new(w.clone(), 1, DesignPoint::Hw(Design::Baseline))];
+    for (_, set) in &knobs {
+        let mut o = Overrides::default();
+        for (k, v) in set {
+            o.set(k, v).expect("sweep knobs are well-formed");
+        }
+        jobs.push(Job {
+            overrides: o,
+            ..Job::new(w.clone(), 1, DesignPoint::Hw(Design::Dac))
+        });
+    }
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let out = Harness::new(workers).run(&jobs);
+
+    let base = &out.results[0];
+    println!("{}: baseline {} cycles\n", w.abbr, base.report.cycles);
+    println!("{:<34} {:>9} {:>9}", "configuration", "cycles", "speedup");
+    for ((label, _), run) in knobs.iter().zip(&out.results[1..]) {
         // Outputs must match the baseline regardless of configuration.
         assert_eq!(
-            run.memory.read_u32_vec(w.output.0, w.output.1),
-            base.memory.read_u32_vec(w.output.0, w.output.1),
+            run.output_digest, base.output_digest,
             "{label}: outputs diverged"
         );
         println!(

@@ -72,7 +72,11 @@ LOOP:
         mem2.read_u32_vec(b, n),
         "DAC must preserve program semantics"
     );
-    println!("DAC:      {} cycles  ({:.2}x speedup)", rep.cycles, base.cycles as f64 / rep.cycles as f64);
+    println!(
+        "DAC:      {} cycles  ({:.2}x speedup)",
+        rep.cycles,
+        base.cycles as f64 / rep.cycles as f64
+    );
     println!(
         "          {:.1}% of loads decoupled, warp instructions {:.2}x of baseline",
         100.0 * rep.stats.decoupled_load_fraction(),

@@ -14,12 +14,15 @@
 //! * [`baselines`] — CAE and MTA comparison designs.
 //! * [`energy`] — the GPUWattch-style energy/area model.
 //! * [`workloads`] — the 29 synthetic GPGPU benchmarks.
+//! * [`harness`] — parallel experiment orchestration, result caching, and
+//!   JSONL artifacts.
 
 pub use affine;
 pub use dac_core as dac;
 pub use gpu_baselines as baselines;
 pub use gpu_energy as energy;
 pub use gpu_workloads as workloads;
+pub use simt_harness as harness;
 pub use simt_ir as ir;
 pub use simt_mem as mem;
 pub use simt_sim as sim;

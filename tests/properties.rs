@@ -1,17 +1,21 @@
-//! Property-based tests on the reproduction's core invariants.
+//! Randomized tests (deterministic, std-only) on the reproduction's core
+//! invariants. A seeded SplitMix64 stream replaces proptest so the suite
+//! runs in the offline build environment with reproducible cases.
 
 use dac_gpu::affine::tuple::tuple_op;
 use dac_gpu::affine::{decouple, AffineAnalysis, AffineTuple};
 use dac_gpu::dac::{Dac, DacConfig};
-use dac_gpu::ir::{asm, eval, CmpOp, KernelBuilder, LaunchConfig, Op, Operand, Program, Space, Width};
+use dac_gpu::ir::{
+    asm, eval, CmpOp, KernelBuilder, LaunchConfig, Op, Operand, Program, Space, Width,
+};
 use dac_gpu::mem::SparseMemory;
 use dac_gpu::sim::{GpuConfig, GpuSim};
-use proptest::prelude::*;
+use dac_gpu::workloads::kernels::SplitMix64;
 
 // ---------- affine tuple algebra vs. per-thread scalar evaluation ----------
 
-/// A random affine expression: leaves are tid dimensions, immediates, or
-/// "parameters" (scalars); inner nodes are the affine-supported ops.
+/// A random affine expression: leaves are tid dimensions or immediates;
+/// inner nodes are the affine-supported ops.
 #[derive(Debug, Clone)]
 enum Expr {
     Tid(usize),
@@ -48,71 +52,106 @@ impl Expr {
             Expr::MulScalar(a, s) => {
                 tuple_op(Op::Mul, &[a.eval_tuple()?, AffineTuple::scalar(*s as u64)])
             }
-            Expr::Shl(a, s) => tuple_op(Op::Shl, &[a.eval_tuple()?, AffineTuple::scalar(*s as u64)]),
-            Expr::Rem(a, s) => tuple_op(Op::Rem, &[a.eval_tuple()?, AffineTuple::scalar(*s as u64)]),
-        }
-    }
-}
-
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0usize..3).prop_map(Expr::Tid),
-        (-1000i64..1000).prop_map(Expr::Imm),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
-            (inner.clone(), -64i64..64).prop_map(|(a, s)| Expr::MulScalar(a.into(), s)),
-            (inner.clone(), 0i64..8).prop_map(|(a, s)| Expr::Shl(a.into(), s)),
-            (inner, 1i64..512).prop_map(|(a, s)| Expr::Rem(a.into(), s)),
-        ]
-    })
-}
-
-proptest! {
-    /// The headline invariant: whenever the affine algebra can represent an
-    /// expression, evaluating the tuple per thread equals the scalar
-    /// per-thread computation, bit for bit. (Decoupling is an optimization,
-    /// never an approximation.)
-    #[test]
-    fn tuple_algebra_matches_per_thread_eval(e in arb_expr()) {
-        if let Some(t) = e.eval_tuple() {
-            for &(x, y, z) in &[(0u32, 0u32, 0u32), (1, 0, 0), (31, 0, 0), (5, 3, 1), (127, 7, 2)] {
-                let got = t.eval((x, y, z));
-                let expect = e.eval_thread((x, y, z));
-                prop_assert_eq!(got, expect, "thread ({}, {}, {})", x, y, z);
+            Expr::Shl(a, s) => {
+                tuple_op(Op::Shl, &[a.eval_tuple()?, AffineTuple::scalar(*s as u64)])
+            }
+            Expr::Rem(a, s) => {
+                tuple_op(Op::Rem, &[a.eval_tuple()?, AffineTuple::scalar(*s as u64)])
             }
         }
     }
+}
 
-    /// Scalar subsumption: any op over uniform inputs stays uniform and
-    /// matches the functional ALU exactly.
-    #[test]
-    fn scalar_subsumption_matches_alu(a in any::<u64>(), b in any::<u64>(), op in prop_oneof![
-        Just(Op::Add), Just(Op::Sub), Just(Op::Mul), Just(Op::And), Just(Op::Or),
-        Just(Op::Xor), Just(Op::Shr), Just(Op::Min), Just(Op::Max), Just(Op::Div),
-        Just(Op::FAdd), Just(Op::FMul),
-    ]) {
+/// A random expression tree of the given depth.
+fn gen_expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    if depth == 0 || rng.below(4) == 0 {
+        return if rng.below(2) == 0 {
+            Expr::Tid(rng.below(3) as usize)
+        } else {
+            Expr::Imm(rng.below(2000) as i64 - 1000)
+        };
+    }
+    let a = Box::new(gen_expr(rng, depth - 1));
+    match rng.below(5) {
+        0 => Expr::Add(a, Box::new(gen_expr(rng, depth - 1))),
+        1 => Expr::Sub(a, Box::new(gen_expr(rng, depth - 1))),
+        2 => Expr::MulScalar(a, rng.below(128) as i64 - 64),
+        3 => Expr::Shl(a, rng.below(8) as i64),
+        _ => Expr::Rem(a, 1 + rng.below(511) as i64),
+    }
+}
+
+/// The headline invariant: whenever the affine algebra can represent an
+/// expression, evaluating the tuple per thread equals the scalar per-thread
+/// computation, bit for bit. (Decoupling is an optimization, never an
+/// approximation.)
+#[test]
+fn tuple_algebra_matches_per_thread_eval() {
+    let mut rng = SplitMix64::new(0xA1_6EB2A);
+    for _ in 0..2048 {
+        let e = gen_expr(&mut rng, 4);
+        if let Some(t) = e.eval_tuple() {
+            for &(x, y, z) in &[
+                (0u32, 0u32, 0u32),
+                (1, 0, 0),
+                (31, 0, 0),
+                (5, 3, 1),
+                (127, 7, 2),
+            ] {
+                let got = t.eval((x, y, z));
+                let expect = e.eval_thread((x, y, z));
+                assert_eq!(got, expect, "thread ({x}, {y}, {z}) of {e:?}");
+            }
+        }
+    }
+}
+
+/// Scalar subsumption: any op over uniform inputs stays uniform and matches
+/// the functional ALU exactly.
+#[test]
+fn scalar_subsumption_matches_alu() {
+    const OPS: [Op; 12] = [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Shr,
+        Op::Min,
+        Op::Max,
+        Op::Div,
+        Op::FAdd,
+        Op::FMul,
+    ];
+    let mut rng = SplitMix64::new(0x5CA1A6);
+    for i in 0..2048 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        let op = OPS[i % OPS.len()];
         let r = tuple_op(op, &[AffineTuple::scalar(a), AffineTuple::scalar(b)])
             .expect("scalar inputs always evaluate");
-        prop_assert_eq!(r.as_scalar().unwrap(), eval::eval(op, a, b, 0));
+        assert_eq!(
+            r.as_scalar().unwrap(),
+            eval::eval(op, a, b, 0),
+            "{op:?}({a}, {b})"
+        );
     }
 }
 
 // ---------- decoupling preserves semantics on random streaming kernels ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-    /// Random strided-loop kernels: the decoupled program writes exactly
-    /// the bytes the original wrote.
-    #[test]
-    fn decoupling_preserves_streaming_semantics(
-        iters in 1u64..5,
-        stride_elems in 1u64..600,
-        addend in 0u32..1000,
-        ctas in 1u32..4,
-    ) {
+/// Random strided-loop kernels: the decoupled program writes exactly the
+/// bytes the original wrote.
+#[test]
+fn decoupling_preserves_streaming_semantics() {
+    let mut rng = SplitMix64::new(0xDECC_0091);
+    for _ in 0..6 {
+        let iters = 1 + rng.below(4) as u64;
+        let stride_elems = 1 + rng.below(599) as u64;
+        let addend = rng.below(1000);
+        let ctas = 1 + rng.below(3);
+
         let mut b = KernelBuilder::new("prop", 4);
         let tid = b.tid_linear_x();
         let off = b.alu2(Op::Shl, Operand::Reg(tid), Operand::Imm(2));
@@ -131,9 +170,8 @@ proptest! {
         b.bra_if(p, "loop");
         b.exit();
         let kernel = b.build();
-        let launch = LaunchConfig::linear(
-            ctas, 64, vec![0x10_0000, 0x200_0000, iters, stride_elems],
-        );
+        let launch =
+            LaunchConfig::linear(ctas, 64, vec![0x10_0000, 0x200_0000, iters, stride_elems]);
         let span = (stride_elems * iters) as usize + 64 * ctas as usize;
         let input: Vec<u32> = (0..span as u32).map(|i| i ^ 0xA5A5).collect();
 
@@ -145,28 +183,31 @@ proptest! {
 
         let analysis = AffineAnalysis::run(&kernel);
         let dk = decouple(&kernel, &analysis);
-        prop_assert!(dk.any_decoupled);
+        assert!(dk.any_decoupled);
         let dprog = Program::new(dk.non_affine.clone(), launch).unwrap();
         let mut dac = Dac::new(DacConfig::paper(), dk);
         let mut m2 = SparseMemory::new();
         m2.write_u32_slice(0x10_0000, &input);
         gpu.run_with(&dprog, &mut m2, &mut dac);
 
-        prop_assert_eq!(
+        assert_eq!(
             m1.read_u32_vec(0x200_0000, span),
-            m2.read_u32_vec(0x200_0000, span)
+            m2.read_u32_vec(0x200_0000, span),
+            "iters={iters} stride={stride_elems} addend={addend} ctas={ctas}"
         );
     }
 }
 
-// ---------- assembler total on printable kernels ----------
+// ---------- builder output always validates ----------
 
-proptest! {
-    /// The assembler accepts everything the builder can produce for a
-    /// simple ALU/branch subset after disassembly-style printing of the
-    /// same structure (labels regenerated).
-    #[test]
-    fn builder_kernels_always_validate(nops in 1usize..40, nloops in 0usize..3) {
+/// The builder can only produce kernels that validate, for a simple
+/// ALU/branch subset, and CFG construction succeeds on all of them.
+#[test]
+fn builder_kernels_always_validate() {
+    let mut rng = SplitMix64::new(0xBD_1DE2);
+    for _ in 0..64 {
+        let nops = 1 + rng.below(39) as usize;
+        let nloops = rng.below(3) as usize;
         let mut b = KernelBuilder::new("gen", 1);
         let mut last = b.mov(Operand::Imm(1));
         for k in 0..nloops {
@@ -182,18 +223,41 @@ proptest! {
         }
         b.exit();
         let k = b.build();
-        prop_assert!(k.validate().is_ok());
+        assert!(k.validate().is_ok());
         // CFG + reconvergence analysis must succeed on anything valid.
         let cfg = dac_gpu::ir::Cfg::build(&k);
-        prop_assert!(cfg.len() >= 1);
+        assert!(!cfg.is_empty());
     }
 }
 
 // ---------- the assembler rejects garbage without panicking ----------
 
-proptest! {
-    #[test]
-    fn assembler_never_panics(s in "[ -~\n]{0,200}") {
+#[test]
+fn assembler_never_panics() {
+    let mut rng = SplitMix64::new(0xA53B_1E55);
+    for _ in 0..2048 {
+        let len = rng.below(200) as usize;
+        let s: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus newline, as the proptest regex had.
+                let c = rng.below(96);
+                if c == 95 {
+                    '\n'
+                } else {
+                    (b' ' + c as u8) as char
+                }
+            })
+            .collect();
         let _ = asm::parse_kernel(&s);
+    }
+    // Directed garbage the fuzz loop may miss.
+    for s in [
+        "ld.global",
+        ".kernel",
+        "bra l999\nexit",
+        "r1 = add r2,",
+        "\u{0}",
+    ] {
+        let _ = asm::parse_kernel(s);
     }
 }
