@@ -222,10 +222,13 @@ impl CoProcessor for Mta {
                 }
             }
         }
-        // Issue one prefetch per cycle.
-        let Some(&line) = self.sms[sm].queue.front() else {
+        // Issue one prefetch per cycle. Inter-warp deltas are trained by
+        // dividing line addresses by warp distance, so a predicted address
+        // can fall mid-line; prefetch the containing line.
+        let Some(&predicted) = self.sms[sm].queue.front() else {
             return;
         };
+        let line = predicted & !(ctx.fabric.config().line_bytes - 1);
         let req = MemRequest {
             sm,
             line,
@@ -233,7 +236,7 @@ impl CoProcessor for Mta {
             client: Client::Mta,
             token: 0,
         };
-        match ctx.fabric.access(ctx.now, req) {
+        match ctx.fabric.access_traced(ctx.now, req, &mut *ctx.tracer) {
             AccessOutcome::Accepted => {
                 self.sms[sm].queue.pop_front();
                 ctx.stats.prefetches_issued += 1;

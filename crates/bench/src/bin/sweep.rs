@@ -95,4 +95,7 @@ fn main() {
     if let Some(path) = &out.artifact_path {
         eprintln!("sweep: artifacts -> {}", path.display());
     }
+    if let Some(dir) = &args.trace_dir {
+        eprintln!("sweep: traces -> {}", dir.display());
+    }
 }

@@ -7,6 +7,9 @@
 use simt_harness::{DesignPoint, Harness, Overrides, ResultCache};
 use std::path::PathBuf;
 
+/// Default per-job ring-buffer capacity for `--trace` (newest events kept).
+pub const DEFAULT_TRACE_EVENTS: usize = 1_000_000;
+
 /// Options shared by every experiment binary.
 #[derive(Debug, Clone)]
 pub struct CommonArgs {
@@ -28,6 +31,11 @@ pub struct CommonArgs {
     pub designs: Option<Vec<DesignPoint>>,
     /// `--set key=value` (repeatable) — configuration overrides.
     pub overrides: Overrides,
+    /// `--trace` / `--trace-dir DIR` — write per-job event traces here
+    /// (`None` = tracing off).
+    pub trace_dir: Option<PathBuf>,
+    /// `--trace-events N` — ring-buffer capacity per traced job.
+    pub trace_events: usize,
     /// `--quiet` — suppress per-job progress lines.
     pub quiet: bool,
     /// Positional arguments (the experiment name for `figures`).
@@ -45,6 +53,8 @@ impl Default for CommonArgs {
             out: None,
             designs: None,
             overrides: Overrides::default(),
+            trace_dir: None,
+            trace_events: DEFAULT_TRACE_EVENTS,
             quiet: false,
             positional: Vec::new(),
         }
@@ -57,6 +67,7 @@ impl CommonArgs {
     /// special message `"help"` means `-h`/`--help` was given.
     pub fn parse(args: &[String]) -> Result<CommonArgs, String> {
         let mut out = CommonArgs::default();
+        let mut set_keys: Vec<String> = Vec::new();
         let mut it = args.iter();
         let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
             it.next()
@@ -117,7 +128,27 @@ impl CommonArgs {
                     let (key, val) = v
                         .split_once('=')
                         .ok_or_else(|| format!("--set: expected key=value, got {v:?}"))?;
-                    out.overrides.set(key.trim(), val.trim())?;
+                    let key = key.trim();
+                    if set_keys.iter().any(|k| k == key) {
+                        return Err(format!(
+                            "--set: duplicate knob {key:?} (each knob may be set once)"
+                        ));
+                    }
+                    out.overrides.set(key, val.trim())?;
+                    set_keys.push(key.to_string());
+                }
+                "--trace" => {
+                    out.trace_dir
+                        .get_or_insert_with(|| PathBuf::from("results/traces"));
+                }
+                "--trace-dir" => {
+                    out.trace_dir = Some(PathBuf::from(value("--trace-dir", &mut it)?));
+                }
+                "--trace-events" => {
+                    let v = value("--trace-events", &mut it)?;
+                    out.trace_events = v
+                        .parse()
+                        .map_err(|_| format!("--trace-events: expected a number, got {v:?}"))?;
                 }
                 "--quiet" | "-q" => out.quiet = true,
                 flag if flag.starts_with('-') => {
@@ -143,6 +174,9 @@ impl CommonArgs {
             .or_else(|| artifacts_default.map(PathBuf::from));
         if let Some(dir) = artifacts {
             h = h.with_artifacts(dir);
+        }
+        if let Some(dir) = &self.trace_dir {
+            h = h.with_trace(dir, self.trace_events);
         }
         h
     }
@@ -176,9 +210,12 @@ common options:
   --cache-dir DIR    result cache location (default results/cache)
   --out DIR          write JSONL run artifacts to DIR
   --designs a,b,...  design points: baseline, cae, mta, dac, perfect
-  --set KEY=VALUE    config override (repeatable); knobs: atq_entries,
-                     pwaq_total, pwpq_total, lock_lines, divergent_tuples,
-                     num_sms, max_warps_per_sm
+  --set KEY=VALUE    config override (repeatable, each knob once); knobs:
+                     atq_entries, pwaq_total, pwpq_total, lock_lines,
+                     divergent_tuples, num_sms, max_warps_per_sm
+  --trace            write per-job event traces to results/traces
+  --trace-dir DIR    write per-job event traces to DIR (implies --trace)
+  --trace-events N   trace ring-buffer capacity (default 1000000)
   --quiet, -q        no per-job progress on stderr
   --help, -h         this text";
 
@@ -253,6 +290,41 @@ mod tests {
             assert!(parse(&bad).is_err(), "{bad:?} should be rejected");
         }
         assert_eq!(parse(&["--help"]).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn duplicate_set_key_is_rejected() {
+        let err = parse(&["--set", "atq_entries=12", "--set", "atq_entries=24"]).unwrap_err();
+        assert!(err.contains("duplicate"), "got: {err}");
+        // Distinct knobs remain composable.
+        let ok = parse(&["--set", "atq_entries=12", "--set", "pwaq_total=64"]).unwrap();
+        assert_eq!(ok.overrides.atq_entries, Some(12));
+        assert_eq!(ok.overrides.pwaq_total, Some(64));
+    }
+
+    #[test]
+    fn trace_flags() {
+        let off = parse(&[]).unwrap();
+        assert!(off.trace_dir.is_none());
+        assert_eq!(off.trace_events, DEFAULT_TRACE_EVENTS);
+        let on = parse(&["--trace"]).unwrap();
+        assert_eq!(
+            on.trace_dir.as_deref(),
+            Some(std::path::Path::new("results/traces"))
+        );
+        let custom = parse(&["--trace-dir", "/tmp/tr", "--trace-events", "512"]).unwrap();
+        assert_eq!(
+            custom.trace_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/tr"))
+        );
+        assert_eq!(custom.trace_events, 512);
+        // --trace after --trace-dir must not clobber the explicit dir.
+        let both = parse(&["--trace-dir", "/tmp/tr", "--trace"]).unwrap();
+        assert_eq!(
+            both.trace_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/tr"))
+        );
+        assert!(parse(&["--trace-events", "lots"]).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use affine::DecoupledKernel;
 use simt_ir::{AddrMode, Cfg, Instr, PredSrc, Program, QueueKind};
 use simt_mem::{AccessOutcome, Client, MemRequest, MemResponse, ReqKind};
 use simt_sim::{AddrRecord, CoCtx, CoProcessor, RecordKind, SimStats};
+use simt_trace::TraceEvent;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Per-SM DAC state.
@@ -86,7 +87,8 @@ impl Dac {
     /// One Address Expansion Unit work unit: expand one warp record of the
     /// oldest expandable Data/Addr tuple (per-CTA accumulators let the AEU
     /// skip tuples of blocked CTAs, §4.2).
-    fn aeu_step(&mut self, sm: usize, stats: &mut SimStats, line_bytes: u64) {
+    fn aeu_step(&mut self, sm: usize, ctx: &mut CoCtx<'_>) {
+        let line_bytes = ctx.fabric.config().line_bytes;
         let s = &mut self.sms[sm];
         let mut blocked_slots: HashSet<usize> = HashSet::new();
         let mut chosen: Option<usize> = None;
@@ -147,11 +149,21 @@ impl Dac {
                 s.pending_lines.push_back((id, line));
             }
         }
-        stats.aeu_records += 1;
+        ctx.stats.aeu_records += 1;
+        if ctx.tracer.enabled() {
+            ctx.tracer.emit(
+                ctx.now,
+                TraceEvent::Expand {
+                    sm: sm as u32,
+                    warp: w.warp_global as u32,
+                    pred: false,
+                },
+            );
+        }
     }
 
     /// One Predicate Expansion Unit work unit. Returns whether it did any.
-    fn peu_step(&mut self, sm: usize, stats: &mut SimStats) -> bool {
+    fn peu_step(&mut self, sm: usize, ctx: &mut CoCtx<'_>) -> bool {
         let s = &mut self.sms[sm];
         let mut blocked_slots: HashSet<usize> = HashSet::new();
         let mut chosen: Option<usize> = None;
@@ -183,7 +195,17 @@ impl Dac {
             s.queues.atq.remove(i);
         }
         s.queues.push_pred(w.warp_global, w.bits);
-        stats.peu_records += 1;
+        ctx.stats.peu_records += 1;
+        if ctx.tracer.enabled() {
+            ctx.tracer.emit(
+                ctx.now,
+                TraceEvent::Expand {
+                    sm: sm as u32,
+                    warp: w.warp_global as u32,
+                    pred: true,
+                },
+            );
+        }
         true
     }
 
@@ -207,18 +229,11 @@ impl Dac {
             client: Client::Dac,
             token: id,
         };
-        match ctx.fabric.access(ctx.now, req) {
+        match ctx.fabric.access_traced(ctx.now, req, &mut *ctx.tracer) {
             AccessOutcome::Accepted => {
-                if std::env::var_os("DAC_TRACE").is_some() && sm == 0 {
-                    eprintln!("[{}] sm0 prefetch line {:#x} rec {}", ctx.now, line, id);
-                }
                 s.pending_lines.pop_front();
             }
-            AccessOutcome::Stall(r) => {
-                if std::env::var_os("DAC_TRACE").is_some() && sm == 0 {
-                    eprintln!("[{}] sm0 prefetch stall {:?} line {:#x}", ctx.now, r, line);
-                }
-            }
+            AccessOutcome::Stall(_) => {}
         }
     }
 
@@ -242,11 +257,22 @@ impl Dac {
             if actx.done() {
                 continue;
             }
+            let pc = actx.stack.pc();
             let (outcome, peu) =
                 actx.exec_one(&self.dk.affine, &self.affine_reconv, launch, &mut s.queues);
             match outcome {
                 ExecOutcome::Executed => {
                     ctx.stats.affine_instructions += 1;
+                    if ctx.tracer.enabled() {
+                        ctx.tracer.emit(
+                            ctx.now,
+                            TraceEvent::AffineIssue {
+                                sm: sm as u32,
+                                slot: slot as u32,
+                                pc: pc as u32,
+                            },
+                        );
+                    }
                     match peu {
                         Some(PeuClass::Scalar) => self.peu_scalar += 1,
                         Some(PeuClass::TwoCompare) => self.peu_two_compare += 1,
@@ -413,9 +439,6 @@ impl CoProcessor for Dac {
     }
 
     fn deq_record(&mut self, sm: usize, warp: usize) -> Option<AddrRecord> {
-        if std::env::var_os("DAC_TRACE").is_some() && sm == 0 && warp == 0 {
-            eprintln!("    deq warp0");
-        }
         self.sms[sm].queues.pop_record(warp)
     }
 
@@ -425,9 +448,6 @@ impl CoProcessor for Dac {
 
     fn on_response(&mut self, resp: &MemResponse) {
         if resp.client == Client::Dac {
-            if std::env::var_os("DAC_TRACE").is_some() && resp.sm == 0 {
-                eprintln!("    resp rec {} line {:#x}", resp.token, resp.line);
-            }
             self.sms[resp.sm].queues.record_response(resp.token);
         }
     }
@@ -437,16 +457,42 @@ impl CoProcessor for Dac {
             return;
         }
         let sm = ctx.sm;
-        let line_bytes = ctx.fabric.config().line_bytes;
         self.pump_lines(sm, ctx);
         // Two expansion ALUs per SM (§4.8). The PEU claims one when it has
         // predicate work; otherwise both serve address expansion.
-        let did_pred = self.peu_step(sm, ctx.stats);
-        self.aeu_step(sm, ctx.stats, line_bytes);
+        let did_pred = self.peu_step(sm, ctx);
+        self.aeu_step(sm, ctx);
         if !did_pred {
-            self.aeu_step(sm, ctx.stats, line_bytes);
+            self.aeu_step(sm, ctx);
         }
         self.affine_issue(sm, ctx);
+        // Sample queue occupancy and run-ahead distance every cycle the DAC
+        // is live. The sums feed mean-occupancy stats; the trace event feeds
+        // the Chrome counter track. Counted unconditionally so a traced run
+        // reports identical statistics to an untraced one.
+        let s = &self.sms[sm];
+        let atq = s.queues.atq.len() as u64;
+        let pwaq = s.queues.records.len() as u64;
+        let pwpq: u64 = s.queues.pwpq.iter().map(|q| q.len() as u64).sum();
+        ctx.stats.atq_occupancy_sum += atq;
+        ctx.stats.pwaq_occupancy_sum += pwaq;
+        ctx.stats.pwpq_occupancy_sum += pwpq;
+        // Run-ahead distance: affine-stream products not yet consumed by the
+        // non-affine stream (ATQ tuples + expanded records in flight).
+        let runahead = atq + pwaq;
+        ctx.stats.affine_runahead_sum += runahead;
+        if ctx.tracer.enabled() {
+            ctx.tracer.emit(
+                ctx.now,
+                TraceEvent::QueueSample {
+                    sm: sm as u32,
+                    atq: atq as u32,
+                    pwaq: pwaq as u32,
+                    pwpq: pwpq as u32,
+                    runahead: runahead as u32,
+                },
+            );
+        }
     }
 
     fn quiescent(&self) -> bool {

@@ -4,15 +4,16 @@
 
 use crate::cache::fnv1a64;
 use dac_core::DacConfig;
-use gpu_workloads::{gpu_for, run_dac, run_design, Design, Workload};
+use gpu_workloads::{gpu_for, run_dac_traced, run_design_traced, Design, Workload};
 use simt_sim::{GpuConfig, GpuSim, SimReport};
+use simt_trace::{NullTracer, Tracer};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Version tag folded into every cache key. Bump whenever simulator
 /// behaviour changes in a way that invalidates cached results (the
 /// golden-stats test catches unintended shifts).
-pub const CACHE_VERSION: &str = "dac-cache-v1";
+pub const CACHE_VERSION: &str = "dac-cache-v2";
 
 /// A point in the design space: one of the paper's four hardware designs,
 /// or the perfect-memory machine used for the §5.1.2 compute/memory
@@ -225,23 +226,36 @@ impl Job {
     /// Run the simulation. Deterministic: equal jobs produce equal results
     /// on every invocation, which is what makes the cache sound.
     pub fn execute(&self) -> JobResult {
+        self.execute_traced(&mut NullTracer)
+    }
+
+    /// Run the simulation with an event tracer attached. Tracing is pure
+    /// observation: the [`JobResult`] is byte-identical to [`Job::execute`]
+    /// (the determinism test pins this across workloads × designs).
+    pub fn execute_traced(&self, tracer: &mut dyn Tracer) -> JobResult {
         let w = &*self.workload;
         let t0 = Instant::now();
         let (report, memory) = match self.point {
             DesignPoint::PerfectMem => {
                 let gpu = GpuSim::new(self.overrides.apply_gpu(GpuConfig::gtx480_perfect_mem()));
                 let mut memory = w.fresh_memory();
-                let report = gpu.run(&w.program(), &mut memory);
+                let mut nop = simt_sim::NullCoProcessor;
+                let report = gpu.run_traced(&w.program(), &mut memory, &mut nop, tracer);
                 (report, memory)
             }
             DesignPoint::Hw(Design::Dac) => {
                 let gpu = GpuSim::new(self.overrides.apply_gpu(gpu_for(Design::Dac)));
-                let run = run_dac(w, &gpu, self.overrides.apply_dac(DacConfig::paper()));
+                let run = run_dac_traced(
+                    w,
+                    &gpu,
+                    self.overrides.apply_dac(DacConfig::paper()),
+                    tracer,
+                );
                 (run.report, run.memory)
             }
             DesignPoint::Hw(design) => {
                 let gpu = GpuSim::new(self.overrides.apply_gpu(gpu_for(design)));
-                let run = run_design(w, design, &gpu);
+                let run = run_design_traced(w, design, &gpu, tracer);
                 (run.report, run.memory)
             }
         };

@@ -69,7 +69,15 @@ impl Value {
         }
     }
 
-    /// The object's fields.
+    /// The array's items.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's fields.
     pub fn as_obj(&self) -> Option<&[(String, Value)]> {
         match self {
             Value::Obj(fields) => Some(fields),
@@ -310,17 +318,31 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so this
-                    // is always valid).
-                    let rest = &self.bytes[self.pos..];
-                    let c = std::str::from_utf8(rest)
+                Some(b) if b < 0x80 => {
+                    s.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. Decoding only
+                    // the scalar's own bytes keeps string parsing O(n) —
+                    // validating the whole remaining input per character
+                    // is quadratic and never finishes on megabyte traces.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or("invalid utf-8")?;
+                    let c = std::str::from_utf8(chunk)
                         .map_err(|_| "invalid utf-8")?
                         .chars()
                         .next()
                         .unwrap();
                     s.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos += len;
                 }
             }
         }

@@ -86,13 +86,23 @@ pub struct RunOutput {
     pub executed: usize,
 }
 
-/// The experiment orchestrator: a worker count plus optional cache and
-/// artifact sinks.
+/// Where and how much to trace when the harness runs with tracing on.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Directory receiving one Chrome-JSON + one JSONL file per job.
+    pub dir: PathBuf,
+    /// Ring-buffer capacity: the newest `events` events are kept.
+    pub events: usize,
+}
+
+/// The experiment orchestrator: a worker count plus optional cache,
+/// artifact, and trace sinks.
 #[derive(Debug, Clone)]
 pub struct Harness {
     workers: usize,
     cache: Option<ResultCache>,
     artifact_dir: Option<PathBuf>,
+    trace: Option<TraceSpec>,
     verbose: bool,
 }
 
@@ -105,6 +115,7 @@ impl Harness {
             workers: workers.max(1),
             cache: None,
             artifact_dir: None,
+            trace: None,
             verbose: false,
         }
     }
@@ -123,6 +134,19 @@ impl Harness {
     /// Write a JSONL artifact per `run` call into `dir`.
     pub fn with_artifacts(mut self, dir: impl Into<PathBuf>) -> Self {
         self.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Trace every job into `dir` (one Chrome-JSON + one JSONL file per
+    /// job, keeping the newest `events` events). Tracing forces execution:
+    /// cache reads are skipped so each job actually simulates and emits its
+    /// timeline — results are still stored back, and stay byte-identical to
+    /// untraced runs.
+    pub fn with_trace(mut self, dir: impl Into<PathBuf>, events: usize) -> Self {
+        self.trace = Some(TraceSpec {
+            dir: dir.into(),
+            events,
+        });
         self
     }
 
@@ -148,7 +172,13 @@ impl Harness {
         let mut results: Vec<Option<JobResult>> = vec![None; jobs.len()];
         let mut misses: Vec<(usize, Job)> = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
-            match self.cache.as_ref().and_then(|c| c.load(job)) {
+            // Tracing forces execution: a cache hit has no timeline.
+            let hit = if self.trace.is_some() {
+                None
+            } else {
+                self.cache.as_ref().and_then(|c| c.load(job))
+            };
+            match hit {
                 Some(hit) => {
                     if self.verbose {
                         eprintln!("  {:<20} cached", job.label());
@@ -162,8 +192,19 @@ impl Harness {
         let executed = misses.len();
 
         let verbose = self.verbose;
+        let trace = self.trace.clone();
         let fresh = pool::run_indexed(self.workers, misses, move |_, (i, job)| {
-            let result = job.execute();
+            let result = match &trace {
+                None => job.execute(),
+                Some(spec) => {
+                    let mut sink = simt_trace::RingSink::new(spec.events);
+                    let result = job.execute_traced(&mut sink);
+                    if let Err(e) = write_trace(spec, &job, &sink) {
+                        eprintln!("warning: trace write failed for {}: {e}", job.label());
+                    }
+                    result
+                }
+            };
             if verbose {
                 eprintln!("  {:<20} ok ({:.1}s)", job.label(), result.wall_ms / 1e3);
             }
@@ -197,6 +238,30 @@ impl Harness {
             executed,
         }
     }
+}
+
+/// Write one Chrome-JSON and one `dac-trace/v1` JSONL file for a traced
+/// job. File names fold in workload, scale, and design so a sweep's traces
+/// land side by side without clobbering each other.
+fn write_trace(spec: &TraceSpec, job: &Job, sink: &simt_trace::RingSink) -> std::io::Result<()> {
+    fs::create_dir_all(&spec.dir)?;
+    let stem = format!(
+        "{}-s{}-{}",
+        job.workload.abbr.to_ascii_lowercase(),
+        job.scale,
+        job.point.name()
+    );
+    let chrome = simt_trace::chrome::export(sink.events(), sink.dropped());
+    fs::write(spec.dir.join(format!("{stem}.trace.json")), chrome)?;
+    let scale = job.scale.to_string();
+    let meta = [
+        ("bench", job.workload.abbr),
+        ("scale", scale.as_str()),
+        ("design", job.point.name()),
+    ];
+    let jsonl = simt_trace::jsonl::export(sink.events(), &meta, sink.dropped());
+    fs::write(spec.dir.join(format!("{stem}.trace.jsonl")), jsonl)?;
+    Ok(())
 }
 
 /// Write one JSONL line per job into a fresh file under `dir`.

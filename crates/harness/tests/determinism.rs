@@ -37,6 +37,27 @@ fn fingerprint(jobs: &[Job], results: &[simt_harness::JobResult]) -> Vec<u8> {
     out
 }
 
+/// Tracing is pure observation: with a tracer attached, every workload ×
+/// design must produce a byte-identical report (cycles, all counters,
+/// memory stats, output digest) to the untraced run — through the same
+/// artifact serialization the harness ships.
+#[test]
+fn tracing_does_not_perturb_results() {
+    for job in jobs() {
+        let plain = job.execute();
+        let mut sink = simt_trace::RingSink::new(1 << 20);
+        let traced = job.execute_traced(&mut sink);
+        let a = artifact::to_json(&job, &plain, None, None).to_json();
+        let b = artifact::to_json(&job, &traced, None, None).to_json();
+        assert_eq!(a, b, "{}: tracing changed the simulation", job.label());
+        assert!(
+            sink.emitted() > 0,
+            "{}: traced run emitted no events",
+            job.label()
+        );
+    }
+}
+
 #[test]
 fn parallel_results_are_byte_identical_to_serial() {
     let jobs = jobs();

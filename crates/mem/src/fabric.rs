@@ -13,6 +13,7 @@ use crate::config::MemConfig;
 use crate::dram::{DramPartition, DramRequest};
 use crate::mshr::{MshrTable, MshrTarget};
 use crate::stats::MemStats;
+use simt_trace::{NullTracer, StallCause, TraceClient, TraceEvent, TraceReqKind, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -28,6 +29,15 @@ pub enum Client {
 }
 
 impl Client {
+    /// The tracing mirror of this client id.
+    pub fn trace(self) -> TraceClient {
+        match self {
+            Client::Lsu => TraceClient::Lsu,
+            Client::Dac => TraceClient::Dac,
+            Client::Mta => TraceClient::Mta,
+        }
+    }
+
     fn to_u8(self) -> u8 {
         match self {
             Client::Lsu => 0,
@@ -61,6 +71,19 @@ pub enum ReqKind {
     /// MTA speculative prefetch: fills the dedicated prefetch buffer; no
     /// warp is waiting on it.
     Prefetch,
+}
+
+impl ReqKind {
+    /// The tracing mirror of this request kind.
+    pub fn trace(self) -> TraceReqKind {
+        match self {
+            ReqKind::Load => TraceReqKind::Load,
+            ReqKind::Store => TraceReqKind::Store,
+            ReqKind::Atomic => TraceReqKind::Atomic,
+            ReqKind::PrefetchLock => TraceReqKind::PrefetchLock,
+            ReqKind::Prefetch => TraceReqKind::Prefetch,
+        }
+    }
 }
 
 /// A memory request.
@@ -100,6 +123,17 @@ pub enum StallReason {
     QueueFull,
     /// DAC lock budget (`ways - 1` locked lines per set) exhausted.
     LockBudget,
+}
+
+impl StallReason {
+    /// The tracing mirror of this port-stall reason.
+    pub fn trace(self) -> StallCause {
+        match self {
+            StallReason::MshrFull => StallCause::MshrFull,
+            StallReason::QueueFull => StallCause::QueueFull,
+            StallReason::LockBudget => StallCause::LockBudget,
+        }
+    }
 }
 
 /// Result of submitting a request.
@@ -168,6 +202,10 @@ pub struct MemoryFabric {
     parts: Vec<Partition>,
     seq: u64,
     stats_extra: MemStats,
+    /// Acceptance cycle of in-flight traced requests, keyed by
+    /// `(sm, client, token)`. Populated only while a tracer is enabled
+    /// (pure observability — never read by timing code).
+    trace_t0: HashMap<(usize, u8, u64), u64>,
 }
 
 impl MemoryFabric {
@@ -210,6 +248,7 @@ impl MemoryFabric {
             parts,
             seq: 0,
             stats_extra: MemStats::default(),
+            trace_t0: HashMap::new(),
         }
     }
 
@@ -225,16 +264,60 @@ impl MemoryFabric {
 
     /// Submit a request at cycle `now`.
     pub fn access(&mut self, now: u64, req: MemRequest) -> AccessOutcome {
+        self.access_traced(now, req, &mut NullTracer)
+    }
+
+    /// [`MemoryFabric::access`] with request/stall events emitted into
+    /// `tracer`. Accepted requests with responses also record their
+    /// acceptance cycle so [`MemoryFabric::drain_responses_traced`] can
+    /// report end-to-end latency.
+    pub fn access_traced(
+        &mut self,
+        now: u64,
+        req: MemRequest,
+        tracer: &mut dyn Tracer,
+    ) -> AccessOutcome {
         debug_assert_eq!(req.line % self.cfg.line_bytes, 0, "unaligned line");
-        if self.cfg.perfect {
-            return self.access_perfect(now, req);
+        let out = if self.cfg.perfect {
+            self.access_perfect(now, req)
+        } else {
+            match req.kind {
+                ReqKind::Load | ReqKind::PrefetchLock => self.access_load(now, req),
+                ReqKind::Store => self.access_store(now, req),
+                ReqKind::Atomic => self.access_atomic(now, req),
+                ReqKind::Prefetch => self.access_prefetch(now, req),
+            }
+        };
+        if tracer.enabled() {
+            match out {
+                AccessOutcome::Accepted => {
+                    tracer.emit(
+                        now,
+                        TraceEvent::MemReq {
+                            sm: req.sm as u32,
+                            line: req.line,
+                            kind: req.kind.trace(),
+                            client: req.client.trace(),
+                            token: req.token,
+                        },
+                    );
+                    if req.kind.trace().has_response() {
+                        self.trace_t0
+                            .insert((req.sm, req.client.to_u8(), req.token), now);
+                    }
+                }
+                AccessOutcome::Stall(reason) => tracer.emit(
+                    now,
+                    TraceEvent::MemStall {
+                        sm: req.sm as u32,
+                        line: req.line,
+                        client: req.client.trace(),
+                        cause: reason.trace(),
+                    },
+                ),
+            }
         }
-        match req.kind {
-            ReqKind::Load | ReqKind::PrefetchLock => self.access_load(now, req),
-            ReqKind::Store => self.access_store(now, req),
-            ReqKind::Atomic => self.access_atomic(now, req),
-            ReqKind::Prefetch => self.access_prefetch(now, req),
-        }
+        out
     }
 
     fn access_perfect(&mut self, now: u64, req: MemRequest) -> AccessOutcome {
@@ -415,17 +498,23 @@ impl MemoryFabric {
 
     /// Advance the hierarchy one cycle.
     pub fn cycle(&mut self, now: u64) {
+        self.cycle_traced(now, &mut NullTracer);
+    }
+
+    /// [`MemoryFabric::cycle`] with L2-access and SM-fill events emitted
+    /// into `tracer`.
+    pub fn cycle_traced(&mut self, now: u64, tracer: &mut dyn Tracer) {
         // Partitions: accept one request per cycle, run DRAM, route returns.
         for p in 0..self.parts.len() {
-            self.partition_cycle(p, now);
+            self.partition_cycle(p, now, tracer);
         }
         // SMs: process incoming fills.
         for sm in 0..self.sms.len() {
-            self.sm_incoming_cycle(sm, now);
+            self.sm_incoming_cycle(sm, now, tracer);
         }
     }
 
-    fn partition_cycle(&mut self, p: usize, now: u64) {
+    fn partition_cycle(&mut self, p: usize, now: u64, tracer: &mut dyn Tracer) {
         let l2_latency = self.cfg.l2_latency;
         let icnt = self.cfg.icnt_latency;
         // 1. Service the head of the input queue.
@@ -435,11 +524,15 @@ impl MemoryFabric {
         };
         if pop {
             let (_, req) = self.parts[p].inq.front().copied().unwrap();
+            let mut l2_hit = false;
             let proceed = match req.kind {
                 ReqKind::Store => {
                     let part = &mut self.parts[p];
                     match part.l2.access(req.line, true) {
-                        CacheOutcome::Hit => true, // dirty in L2, done
+                        CacheOutcome::Hit => {
+                            l2_hit = true;
+                            true // dirty in L2, done
+                        }
                         CacheOutcome::Miss => {
                             // Write-no-allocate: forward to DRAM if room.
                             if part.dram.can_accept() {
@@ -461,6 +554,7 @@ impl MemoryFabric {
                     let is_atomic = req.kind == ReqKind::Atomic;
                     let part = &mut self.parts[p];
                     let hit = part.l2.access(req.line, is_atomic) == CacheOutcome::Hit;
+                    l2_hit = hit;
                     if hit {
                         let seq = self.next_seq();
                         let at = now + l2_latency + icnt;
@@ -496,6 +590,16 @@ impl MemoryFabric {
             };
             if proceed {
                 self.parts[p].inq.pop_front();
+                if tracer.enabled() {
+                    tracer.emit(
+                        now,
+                        TraceEvent::L2Access {
+                            partition: p as u32,
+                            line: req.line,
+                            hit: l2_hit,
+                        },
+                    );
+                }
             }
         }
         // 2. DRAM.
@@ -540,7 +644,7 @@ impl MemoryFabric {
         }
     }
 
-    fn sm_incoming_cycle(&mut self, sm: usize, now: u64) {
+    fn sm_incoming_cycle(&mut self, sm: usize, now: u64, tracer: &mut dyn Tracer) {
         loop {
             let pop = matches!(self.sms[sm].incoming.peek(),
                 Some(&Reverse((at, _, _))) if at <= now);
@@ -554,6 +658,15 @@ impl MemoryFabric {
                     self.sms[sm].push_ready(now, seq, resp);
                 }
                 PartEvent::Fill { line, .. } => {
+                    if tracer.enabled() {
+                        tracer.emit(
+                            now,
+                            TraceEvent::Fill {
+                                sm: sm as u32,
+                                line,
+                            },
+                        );
+                    }
                     let targets = self.sms[sm].mshr.release(line);
                     let locks = self.sms[sm].l1.pending_locks_for(line);
                     let to_l1 = locks > 0
@@ -592,6 +705,19 @@ impl MemoryFabric {
 
     /// Drain all responses ready for `sm` at cycle `now`.
     pub fn drain_responses(&mut self, sm: usize, now: u64) -> Vec<MemResponse> {
+        self.drain_responses_traced(sm, now, &mut NullTracer)
+    }
+
+    /// [`MemoryFabric::drain_responses`] emitting one
+    /// [`TraceEvent::MemResp`] per delivered response, with end-to-end
+    /// latency measured from fabric acceptance (requests submitted while
+    /// tracing was off report latency 0).
+    pub fn drain_responses_traced(
+        &mut self,
+        sm: usize,
+        now: u64,
+        tracer: &mut dyn Tracer,
+    ) -> Vec<MemResponse> {
         let mut out = Vec::new();
         loop {
             let pop = matches!(self.sms[sm].ready.peek(),
@@ -601,6 +727,24 @@ impl MemoryFabric {
             }
             let Reverse((_, _, id)) = self.sms[sm].ready.pop().unwrap();
             out.push(self.sms[sm].ready_events.remove(&id).unwrap());
+        }
+        if tracer.enabled() {
+            for r in &out {
+                let t0 = self
+                    .trace_t0
+                    .remove(&(r.sm, r.client.to_u8(), r.token))
+                    .unwrap_or(now);
+                tracer.emit(
+                    now,
+                    TraceEvent::MemResp {
+                        sm: r.sm as u32,
+                        line: r.line,
+                        client: r.client.trace(),
+                        token: r.token,
+                        latency: now - t0,
+                    },
+                );
+            }
         }
         out
     }

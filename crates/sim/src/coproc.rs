@@ -22,6 +22,7 @@
 use crate::stats::SimStats;
 use simt_ir::{Instr, Program, Space, Width};
 use simt_mem::{MemResponse, MemoryFabric};
+use simt_trace::Tracer;
 
 /// Whether a decoupled address record carries prefetched data or a bare
 /// address (paper: `enq.data` vs `enq.addr`).
@@ -72,6 +73,9 @@ pub struct CoCtx<'a> {
     pub issue_slot: &'a mut bool,
     /// Shared statistics sink.
     pub stats: &'a mut SimStats,
+    /// Event tracer (a `NullTracer` outside traced runs). Coprocessors
+    /// guard emission with `tracer.enabled()`.
+    pub tracer: &'a mut dyn Tracer,
 }
 
 /// Hooks implemented by DAC, CAE, and MTA. All methods default to no-ops so

@@ -6,6 +6,7 @@ use crate::sm::{KernelCtx, Sm};
 use crate::stats::SimStats;
 use simt_ir::{Cfg, Program};
 use simt_mem::{MemStats, MemoryFabric, SparseMemory};
+use simt_trace::{NullTracer, Tracer};
 
 /// Everything a run produced: timing, core events, memory events.
 #[derive(Debug, Clone)]
@@ -69,6 +70,24 @@ impl GpuSim {
         mem: &mut SparseMemory,
         coproc: &mut dyn CoProcessor,
     ) -> SimReport {
+        self.run_traced(program, mem, coproc, &mut NullTracer)
+    }
+
+    /// [`GpuSim::run_with`] with a tracer attached. Tracing is pure
+    /// observation: the returned [`SimReport`] is identical to an untraced
+    /// run (the harness determinism test asserts this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is malformed or the run exceeds
+    /// `cfg.max_cycles` (deadlock guard).
+    pub fn run_traced(
+        &self,
+        program: &Program,
+        mem: &mut SparseMemory,
+        coproc: &mut dyn CoProcessor,
+        tracer: &mut dyn Tracer,
+    ) -> SimReport {
         program.kernel.validate().expect("invalid kernel");
         let cfg = &self.cfg;
         let cfgraph = Cfg::build(&program.kernel);
@@ -103,9 +122,18 @@ impl GpuSim {
                 }
             }
 
-            fabric.cycle(now);
+            fabric.cycle_traced(now, tracer);
             for sm in &mut sms {
-                sm.cycle(now, cfg, &kctx, mem, &mut fabric, coproc, &mut stats);
+                sm.cycle(
+                    now,
+                    cfg,
+                    &kctx,
+                    mem,
+                    &mut fabric,
+                    coproc,
+                    &mut stats,
+                    tracer,
+                );
             }
             for sm in &mut sms {
                 sm.retire_ctas(coproc);

@@ -9,6 +9,7 @@ use crate::warp::WarpState;
 use simt_ir::cfg::DefTarget;
 use simt_ir::{eval, AddrMode, AtomOp, Instr, Operand, PredSrc, Program, Space, Width};
 use simt_mem::{AccessOutcome, Client, MemRequest, MemoryFabric, ReqKind, SparseMemory};
+use simt_trace::{StallCause, TraceEvent, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -54,6 +55,17 @@ struct LoadTrack {
 #[derive(Debug, Clone, Copy)]
 struct LsuTxn {
     req: MemRequest,
+}
+
+/// Outcome of a scheduler's readiness check on one warp slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Readiness {
+    /// The warp can issue this cycle.
+    Ready,
+    /// Empty slot or retired warp — not schedulable, not a stall.
+    Absent,
+    /// The warp exists but is blocked, for this reason.
+    Stalled(StallCause),
 }
 
 #[derive(Debug, Clone)]
@@ -202,9 +214,10 @@ impl Sm {
         fabric: &mut MemoryFabric,
         coproc: &mut dyn CoProcessor,
         stats: &mut SimStats,
+        tracer: &mut dyn Tracer,
     ) {
         self.drain_writebacks(now);
-        self.drain_responses(now, fabric, coproc);
+        self.drain_responses(now, fabric, coproc, tracer);
 
         // Coprocessor gets first crack at issue slot 0 (the affine warp
         // shares the SM's issue bandwidth, paper §4.4).
@@ -217,6 +230,7 @@ impl Sm {
                 fabric,
                 issue_slot: &mut slot0_free,
                 stats,
+                tracer,
             };
             coproc.step(&mut ctx);
         }
@@ -230,8 +244,8 @@ impl Sm {
             if self.schedulers[s].busy_until > now {
                 continue;
             }
-            if let Some(w) = self.pick_warp(s, now, cfg, kctx, coproc, stats) {
-                let cost = self.issue(w, now, cfg, kctx, mem, fabric, coproc, stats);
+            if let Some(w) = self.pick_warp(s, now, cfg, kctx, coproc, stats, tracer) {
+                let cost = self.issue(w, now, cfg, kctx, mem, fabric, coproc, stats, tracer);
                 let busy = match cost {
                     IssueCost::Normal => cfg.issue_interval,
                     IssueCost::Fast => 1,
@@ -242,7 +256,7 @@ impl Sm {
             }
         }
 
-        self.pump_lsu(now, fabric);
+        self.pump_lsu(now, fabric, tracer);
         self.resolve_barriers(coproc, stats);
     }
 
@@ -268,8 +282,9 @@ impl Sm {
         now: u64,
         fabric: &mut MemoryFabric,
         coproc: &mut dyn CoProcessor,
+        tracer: &mut dyn Tracer,
     ) {
-        for resp in fabric.drain_responses(self.id, now) {
+        for resp in fabric.drain_responses_traced(self.id, now, tracer) {
             match resp.client {
                 Client::Lsu => {
                     if let Some(track) = self.outstanding.remove(&resp.token) {
@@ -290,6 +305,7 @@ impl Sm {
 
     /// Two-level warp pick for scheduler `s`: round-robin over the active
     /// pool's ready warps; on a dry pool, swap a ready pending warp in.
+    #[allow(clippy::too_many_arguments)]
     fn pick_warp(
         &mut self,
         s: usize,
@@ -298,6 +314,7 @@ impl Sm {
         kctx: &KernelCtx<'_>,
         coproc: &mut dyn CoProcessor,
         stats: &mut SimStats,
+        tracer: &mut dyn Tracer,
     ) -> Option<usize> {
         let nsched = self.schedulers.len();
         // Evict finished warps from the pool.
@@ -307,7 +324,7 @@ impl Sm {
         // 1. Ready warp already in the active pool (rotating order).
         let pool: Vec<usize> = self.schedulers[s].active.iter().copied().collect();
         for &w in &pool {
-            if self.warp_ready(w, now, cfg, kctx, coproc, stats) {
+            if self.warp_check(w, now, cfg, kctx, coproc, stats, tracer) == Readiness::Ready {
                 // Rotate the pool so the warp after `w` gets priority next.
                 let pos = self.schedulers[s]
                     .active
@@ -327,7 +344,7 @@ impl Sm {
             .filter(|&w| matches!(&self.warps[w], Some(ws) if !ws.done()))
             .collect();
         for w in candidates {
-            if self.warp_ready(w, now, cfg, kctx, coproc, stats) {
+            if self.warp_check(w, now, cfg, kctx, coproc, stats, tracer) == Readiness::Ready {
                 if self.schedulers[s].active.len() >= cfg.active_pool {
                     self.schedulers[s].active.pop_front();
                 }
@@ -338,6 +355,46 @@ impl Sm {
         None
     }
 
+    /// Classify a warp's readiness, count the stall reason (counters are
+    /// updated identically whether tracing is on or off), and emit a
+    /// [`TraceEvent::WarpStall`] when a tracer is attached.
+    #[allow(clippy::too_many_arguments)]
+    fn warp_check(
+        &self,
+        w: usize,
+        now: u64,
+        cfg: &GpuConfig,
+        kctx: &KernelCtx<'_>,
+        coproc: &mut dyn CoProcessor,
+        stats: &mut SimStats,
+        tracer: &mut dyn Tracer,
+    ) -> Readiness {
+        let r = self.warp_ready(w, now, cfg, kctx, coproc, stats);
+        if let Readiness::Stalled(cause) = r {
+            match cause {
+                StallCause::Scoreboard => stats.stall_scoreboard += 1,
+                StallCause::LsuFull => stats.stall_lsu_full += 1,
+                StallCause::Barrier => stats.stall_barrier += 1,
+                // Coprocessor gates keep their own counters
+                // (deq_empty_stalls / deq_data_stalls).
+                _ => {}
+            }
+            if tracer.enabled() {
+                let pc = self.warps[w].as_ref().map_or(0, |ws| ws.stack.pc());
+                tracer.emit(
+                    now,
+                    TraceEvent::WarpStall {
+                        sm: self.id as u32,
+                        warp: w as u32,
+                        pc: pc as u32,
+                        cause,
+                    },
+                );
+            }
+        }
+        r
+    }
+
     fn warp_ready(
         &self,
         w: usize,
@@ -346,42 +403,49 @@ impl Sm {
         kctx: &KernelCtx<'_>,
         coproc: &mut dyn CoProcessor,
         stats: &mut SimStats,
-    ) -> bool {
+    ) -> Readiness {
         let Some(warp) = self.warps[w].as_ref() else {
-            return false;
+            return Readiness::Absent;
         };
-        if warp.done() || warp.at_barrier {
-            return false;
+        if warp.done() {
+            return Readiness::Absent;
+        }
+        if warp.at_barrier {
+            return Readiness::Stalled(StallCause::Barrier);
         }
         let pc = warp.stack.pc();
         let instr = &kctx.program.kernel.instrs[pc];
         // Scoreboard: sources and destination must be idle.
         for r in instr.src_regs() {
             if warp.reg_pending(r) {
-                return false;
+                return Readiness::Stalled(StallCause::Scoreboard);
             }
         }
         for p in instr.src_preds() {
             if warp.pred_pending(p) {
-                return false;
+                return Readiness::Stalled(StallCause::Scoreboard);
             }
         }
         if let Some(r) = instr.def_reg() {
             if warp.reg_pending(r) {
-                return false;
+                return Readiness::Stalled(StallCause::Scoreboard);
             }
         }
         if let Some(p) = instr.def_pred() {
             if warp.pred_pending(p) {
-                return false;
+                return Readiness::Stalled(StallCause::Scoreboard);
             }
         }
         // Structural: LSU queue space for memory instructions.
         if instr.is_mem() && self.lsu.len() >= cfg.lsu_queue {
-            return false;
+            return Readiness::Stalled(StallCause::LsuFull);
         }
         // Coprocessor gate (dequeue readiness).
-        coproc.can_issue(self.id, w, instr, stats)
+        if coproc.can_issue(self.id, w, instr, stats) {
+            Readiness::Ready
+        } else {
+            Readiness::Stalled(StallCause::CoprocGate)
+        }
     }
 
     /// Issue and functionally execute one instruction of warp `w`.
@@ -396,6 +460,7 @@ impl Sm {
         _fabric: &mut MemoryFabric,
         coproc: &mut dyn CoProcessor,
         stats: &mut SimStats,
+        tracer: &mut dyn Tracer,
     ) -> IssueCost {
         let launch = &kctx.program.launch;
         let pc = self.warps[w].as_ref().unwrap().stack.pc();
@@ -412,6 +477,18 @@ impl Sm {
         let active = self.warps[w].as_ref().unwrap().stack.active_mask();
         let cost = coproc.issue_cost(self.id, w, &instr, active, stats);
         self.warps[w].as_mut().unwrap().last_issue = now;
+        let depth_before = self.warps[w].as_ref().unwrap().stack.depth();
+        if tracer.enabled() {
+            tracer.emit(
+                now,
+                TraceEvent::WarpIssue {
+                    sm: self.id as u32,
+                    warp: w as u32,
+                    pc: pc as u32,
+                    active: active.count_ones(),
+                },
+            );
+        }
 
         let eff_mask = {
             let warp = self.warps[w].as_ref().unwrap();
@@ -515,7 +592,7 @@ impl Sm {
             } => {
                 self.exec_load(
                     w, pc, *dst, *space, *addr, *width, eff_mask, now, cfg, kctx, mem, coproc,
-                    stats, cta_coords,
+                    stats, cta_coords, tracer,
                 );
                 self.warps[w].as_mut().unwrap().stack.advance();
             }
@@ -527,8 +604,8 @@ impl Sm {
                 ..
             } => {
                 self.exec_store(
-                    w, pc, *space, *addr, *src, *width, eff_mask, cfg, kctx, mem, coproc, stats,
-                    cta_coords,
+                    w, pc, *space, *addr, *src, *width, eff_mask, now, cfg, kctx, mem, coproc,
+                    stats, cta_coords, tracer,
                 );
                 self.warps[w].as_mut().unwrap().stack.advance();
             }
@@ -583,6 +660,21 @@ impl Sm {
                 unreachable!("enq must only appear in the affine stream");
             }
         }
+        if tracer.enabled() {
+            let depth_after = self.warps[w].as_ref().unwrap().stack.depth();
+            if depth_after != depth_before {
+                tracer.emit(
+                    now,
+                    TraceEvent::StackDepth {
+                        sm: self.id as u32,
+                        warp: w as u32,
+                        pc: pc as u32,
+                        depth: depth_after as u32,
+                        push: depth_after > depth_before,
+                    },
+                );
+            }
+        }
         cost
     }
 
@@ -603,6 +695,7 @@ impl Sm {
         coproc: &mut dyn CoProcessor,
         stats: &mut SimStats,
         cta_coords: (u32, u32, u32),
+        tracer: &mut dyn Tracer,
     ) -> Option<()> {
         let launch = &kctx.program.launch;
         let (addrs, record) = self.resolve_addrs(w, addr, eff_mask, launch, cta_coords, coproc);
@@ -650,6 +743,19 @@ impl Sm {
                 let txns = coalesce(&addrs, cfg.mem.line_bytes);
                 let lines: Vec<u64> = txns.iter().map(|t| t.line).collect();
                 coproc.observe_mem(self.id, w, pc, space, false, &lines);
+                if tracer.enabled() {
+                    tracer.emit(
+                        now,
+                        TraceEvent::Coalesce {
+                            sm: self.id as u32,
+                            warp: w as u32,
+                            pc: pc as u32,
+                            lanes: addrs.iter().flatten().count() as u32,
+                            txns: txns.len() as u32,
+                            store: false,
+                        },
+                    );
+                }
                 let decoupled = record.is_some();
                 if decoupled {
                     stats.decoupled_loads += 1;
@@ -696,12 +802,14 @@ impl Sm {
         src: Operand,
         width: Width,
         eff_mask: u32,
+        now: u64,
         cfg: &GpuConfig,
         kctx: &KernelCtx<'_>,
         mem: &mut SparseMemory,
         coproc: &mut dyn CoProcessor,
         stats: &mut SimStats,
         cta_coords: (u32, u32, u32),
+        tracer: &mut dyn Tracer,
     ) {
         let launch = &kctx.program.launch;
         let (addrs, _record) = self.resolve_addrs(w, addr, eff_mask, launch, cta_coords, coproc);
@@ -749,6 +857,19 @@ impl Sm {
                 let txns = coalesce(&addrs, cfg.mem.line_bytes);
                 let lines: Vec<u64> = txns.iter().map(|t| t.line).collect();
                 coproc.observe_mem(self.id, w, pc, space, true, &lines);
+                if tracer.enabled() {
+                    tracer.emit(
+                        now,
+                        TraceEvent::Coalesce {
+                            sm: self.id as u32,
+                            warp: w as u32,
+                            pc: pc as u32,
+                            lanes: addrs.iter().flatten().count() as u32,
+                            txns: txns.len() as u32,
+                            store: true,
+                        },
+                    );
+                }
                 for t in &txns {
                     let token = self.next_token;
                     self.next_token += 1;
@@ -895,11 +1016,11 @@ impl Sm {
             .collect()
     }
 
-    fn pump_lsu(&mut self, now: u64, fabric: &mut MemoryFabric) {
+    fn pump_lsu(&mut self, now: u64, fabric: &mut MemoryFabric, tracer: &mut dyn Tracer) {
         // One transaction per cycle reaches the L1 (one coalesced access
         // per cycle, as on Fermi).
         if let Some(txn) = self.lsu.front() {
-            match fabric.access(now, txn.req) {
+            match fabric.access_traced(now, txn.req, tracer) {
                 AccessOutcome::Accepted => {
                     let txn = self.lsu.pop_front().unwrap();
                     // Stores need no tracking.

@@ -56,6 +56,22 @@ pub struct SimStats {
     pub threads_launched: u64,
     /// MTA prefetch requests issued.
     pub prefetches_issued: u64,
+    /// Warp-issue attempts blocked by a scoreboard hazard.
+    pub stall_scoreboard: u64,
+    /// Warp-issue attempts blocked by a full LSU queue.
+    pub stall_lsu_full: u64,
+    /// Warp-issue attempts blocked at a CTA barrier.
+    pub stall_barrier: u64,
+    /// Sum over (cycle, SM) of ATQ occupancy while DAC is active; divide
+    /// by `cycles` for mean occupancy.
+    pub atq_occupancy_sum: u64,
+    /// Sum over (cycle, SM) of expanded address records outstanding.
+    pub pwaq_occupancy_sum: u64,
+    /// Sum over (cycle, SM) of predicate bit-vectors outstanding.
+    pub pwpq_occupancy_sum: u64,
+    /// Sum over (cycle, SM) of affine-warp run-ahead distance (queued
+    /// decoupled work: ATQ entries + expanded records).
+    pub affine_runahead_sum: u64,
 }
 
 /// Generates the by-name field table used by the experiment harness to
@@ -108,6 +124,13 @@ impl SimStats {
         ctas_launched,
         threads_launched,
         prefetches_issued,
+        stall_scoreboard,
+        stall_lsu_full,
+        stall_barrier,
+        atq_occupancy_sum,
+        pwaq_occupancy_sum,
+        pwpq_occupancy_sum,
+        affine_runahead_sum,
     );
 
     /// Total warp instructions across both streams.

@@ -1,0 +1,194 @@
+//! Derived time-series: aggregate views computed from a retained event
+//! stream. These are the Fig. 7/8-style explanations — how far the affine
+//! warp runs ahead, how queue back-pressure evolves, where IPC dips.
+
+use crate::event::{TimedEvent, TraceEvent};
+
+/// One IPC window: instructions issued (warp + affine) in
+/// `[start, start + window)` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpcWindow {
+    /// Window start cycle.
+    pub start: u64,
+    /// Instructions issued in the window.
+    pub issued: u64,
+}
+
+/// Instructions-per-window over the traced interval. Windows with no
+/// issue events between the first and last observed window are included
+/// with `issued == 0`, so gaps (pipeline drains) are visible.
+pub fn ipc_windows<'a>(
+    events: impl Iterator<Item = &'a TimedEvent>,
+    window: u64,
+) -> Vec<IpcWindow> {
+    let window = window.max(1);
+    let mut counts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for te in events {
+        if matches!(
+            te.event,
+            TraceEvent::WarpIssue { .. } | TraceEvent::AffineIssue { .. }
+        ) {
+            *counts.entry(te.cycle / window).or_insert(0) += 1;
+        }
+    }
+    let (Some((&lo, _)), Some((&hi, _))) = (counts.first_key_value(), counts.last_key_value())
+    else {
+        return Vec::new();
+    };
+    (lo..=hi)
+        .map(|w| IpcWindow {
+            start: w * window,
+            issued: counts.get(&w).copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// One queue-occupancy sample (averaged across SMs when several sample in
+/// the same cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuePoint {
+    /// Sample cycle.
+    pub cycle: u64,
+    /// Summed ATQ entries across sampled SMs.
+    pub atq: u64,
+    /// Summed expanded address records.
+    pub pwaq: u64,
+    /// Summed predicate bit-vectors.
+    pub pwpq: u64,
+}
+
+/// DAC queue occupancy over time, one point per cycle that carried at
+/// least one [`TraceEvent::QueueSample`] (multiple SMs in the same cycle
+/// sum into one point).
+pub fn queue_series<'a>(events: impl Iterator<Item = &'a TimedEvent>) -> Vec<QueuePoint> {
+    let mut points: std::collections::BTreeMap<u64, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for te in events {
+        if let TraceEvent::QueueSample {
+            atq, pwaq, pwpq, ..
+        } = te.event
+        {
+            let p = points.entry(te.cycle).or_insert((0, 0, 0));
+            p.0 += atq as u64;
+            p.1 += pwaq as u64;
+            p.2 += pwpq as u64;
+        }
+    }
+    points
+        .into_iter()
+        .map(|(cycle, (atq, pwaq, pwpq))| QueuePoint {
+            cycle,
+            atq,
+            pwaq,
+            pwpq,
+        })
+        .collect()
+}
+
+/// Histogram of affine-warp run-ahead distance. `buckets[i]` counts
+/// samples with `runahead` in `[i * bucket, (i + 1) * bucket)`; the last
+/// bucket absorbs the overflow tail.
+pub fn runahead_histogram<'a>(
+    events: impl Iterator<Item = &'a TimedEvent>,
+    bucket: u32,
+    num_buckets: usize,
+) -> Vec<u64> {
+    let bucket = bucket.max(1);
+    let num_buckets = num_buckets.max(1);
+    let mut hist = vec![0u64; num_buckets];
+    for te in events {
+        if let TraceEvent::QueueSample { runahead, .. } = te.event {
+            let idx = ((runahead / bucket) as usize).min(num_buckets - 1);
+            hist[idx] += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn issue(cycle: u64) -> TimedEvent {
+        TimedEvent {
+            cycle,
+            event: TraceEvent::WarpIssue {
+                sm: 0,
+                warp: 0,
+                pc: 0,
+                active: 32,
+            },
+        }
+    }
+
+    fn sample(cycle: u64, sm: u32, runahead: u32) -> TimedEvent {
+        TimedEvent {
+            cycle,
+            event: TraceEvent::QueueSample {
+                sm,
+                atq: 1,
+                pwaq: 2,
+                pwpq: 3,
+                runahead,
+            },
+        }
+    }
+
+    #[test]
+    fn ipc_windows_include_gaps() {
+        let events = [issue(10), issue(15), issue(3500)];
+        let w = ipc_windows(events.iter(), 1000);
+        assert_eq!(
+            w,
+            vec![
+                IpcWindow {
+                    start: 0,
+                    issued: 2
+                },
+                IpcWindow {
+                    start: 1000,
+                    issued: 0
+                },
+                IpcWindow {
+                    start: 2000,
+                    issued: 0
+                },
+                IpcWindow {
+                    start: 3000,
+                    issued: 1
+                },
+            ]
+        );
+        assert!(ipc_windows([].iter(), 1000).is_empty());
+    }
+
+    #[test]
+    fn queue_series_sums_sms_per_cycle() {
+        let events = [sample(7, 0, 4), sample(7, 1, 9), sample(9, 0, 1)];
+        let s = queue_series(events.iter());
+        assert_eq!(
+            s,
+            vec![
+                QueuePoint {
+                    cycle: 7,
+                    atq: 2,
+                    pwaq: 4,
+                    pwpq: 6
+                },
+                QueuePoint {
+                    cycle: 9,
+                    atq: 1,
+                    pwaq: 2,
+                    pwpq: 3
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn runahead_histogram_clamps_tail() {
+        let events = [sample(1, 0, 0), sample(2, 0, 5), sample(3, 0, 99)];
+        let h = runahead_histogram(events.iter(), 4, 3);
+        assert_eq!(h, vec![1, 1, 1]); // 0 → [0,4), 5 → [4,8), 99 → tail
+    }
+}

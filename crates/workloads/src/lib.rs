@@ -20,7 +20,9 @@ pub mod runner;
 use simt_ir::{Kernel, LaunchConfig, Program};
 use simt_mem::SparseMemory;
 
-pub use runner::{classify, gpu_for, run_dac, run_design, BenchRun, Design};
+pub use runner::{
+    classify, gpu_for, run_dac, run_dac_traced, run_design, run_design_traced, BenchRun, Design,
+};
 
 /// Benchmark suite of origin (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

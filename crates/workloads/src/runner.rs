@@ -7,6 +7,7 @@ use dac_core::{Dac, DacConfig};
 use gpu_baselines::{Cae, CaeConfig, Mta, MtaConfig};
 use simt_mem::{MemConfig, SparseMemory};
 use simt_sim::{GpuConfig, GpuSim, SimReport};
+use simt_trace::{NullTracer, Tracer};
 
 /// The four hardware designs of Figure 16.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,10 +62,22 @@ pub struct BenchRun {
 /// Run `w` under `design` on `gpu` (pass [`gpu_for`]'s result, or a custom
 /// configuration for ablations).
 pub fn run_design(w: &Workload, design: Design, gpu: &GpuSim) -> BenchRun {
+    run_design_traced(w, design, gpu, &mut NullTracer)
+}
+
+/// [`run_design`] with an event tracer attached. Tracing is pure
+/// observation: the returned report is identical to the untraced run.
+pub fn run_design_traced(
+    w: &Workload,
+    design: Design,
+    gpu: &GpuSim,
+    tracer: &mut dyn Tracer,
+) -> BenchRun {
     let mut memory = w.fresh_memory();
     match design {
         Design::Baseline => {
-            let report = gpu.run(&w.program(), &mut memory);
+            let mut nop = simt_sim::NullCoProcessor;
+            let report = gpu.run_traced(&w.program(), &mut memory, &mut nop, tracer);
             BenchRun {
                 report,
                 memory,
@@ -73,7 +86,7 @@ pub fn run_design(w: &Workload, design: Design, gpu: &GpuSim) -> BenchRun {
         }
         Design::Cae => {
             let mut cae = Cae::new(CaeConfig::default());
-            let report = gpu.run_with(&w.program(), &mut memory, &mut cae);
+            let report = gpu.run_traced(&w.program(), &mut memory, &mut cae, tracer);
             BenchRun {
                 report,
                 memory,
@@ -82,26 +95,36 @@ pub fn run_design(w: &Workload, design: Design, gpu: &GpuSim) -> BenchRun {
         }
         Design::Mta => {
             let mut mta = Mta::new(MtaConfig::default());
-            let report = gpu.run_with(&w.program(), &mut memory, &mut mta);
+            let report = gpu.run_traced(&w.program(), &mut memory, &mut mta, tracer);
             BenchRun {
                 report,
                 memory,
                 decoupled: None,
             }
         }
-        Design::Dac => run_dac(w, gpu, DacConfig::paper()),
+        Design::Dac => run_dac_traced(w, gpu, DacConfig::paper(), tracer),
     }
 }
 
 /// Run DAC with an explicit configuration (ablation entry point).
 pub fn run_dac(w: &Workload, gpu: &GpuSim, cfg: DacConfig) -> BenchRun {
+    run_dac_traced(w, gpu, cfg, &mut NullTracer)
+}
+
+/// [`run_dac`] with an event tracer attached.
+pub fn run_dac_traced(
+    w: &Workload,
+    gpu: &GpuSim,
+    cfg: DacConfig,
+    tracer: &mut dyn Tracer,
+) -> BenchRun {
     let analysis = AffineAnalysis::run(&w.kernel);
     let dk = decouple(&w.kernel, &analysis);
     let mut memory = w.fresh_memory();
     let program = simt_ir::Program::new(dk.non_affine.clone(), w.launch.clone())
         .expect("decoupled kernel invalid");
     let mut dac = Dac::new(cfg, dk);
-    let report = gpu.run_with(&program, &mut memory, &mut dac);
+    let report = gpu.run_traced(&program, &mut memory, &mut dac, tracer);
     BenchRun {
         report,
         memory,
