@@ -22,6 +22,7 @@ experiments:
   fig19    % of loads issued by the affine warp (memory-intensive set)
   fig20    MTA prefetcher coverage (memory-intensive set)
   fig21    energy normalized to baseline
+  mem      L1 / L2 / DRAM row-buffer hit rates per design
   area     DAC area overhead (§4.8)
   ablate   queue-size / locking / divergence ablations (beyond paper)
   all      everything above";
@@ -76,6 +77,7 @@ fn main() {
                 "fig19" => fig19(&run_rows(benches)),
                 "fig20" => fig20(&run_rows(benches)),
                 "fig21" => fig21(&run_rows(benches)),
+                "mem" => mem_rates(&run_rows(benches)),
                 "ablate" => ablate(&harness, &args, benches),
                 "all" => {
                     let rows = run_rows(benches.clone());
@@ -88,6 +90,7 @@ fn main() {
                     fig19(&rows);
                     fig20(&rows);
                     fig21(&rows);
+                    mem_rates(&rows);
                     area();
                     ablate(&harness, &args, benches);
                 }
@@ -349,6 +352,30 @@ fn fig21(rows: &[FullRow]) {
         "GEOMEAN total = {:.3} (paper: 0.798)",
         geomean(totals.iter().copied())
     );
+}
+
+/// Memory-system hit rates per design — the quantitative backdrop for the
+/// Figure 16 speedups (e.g. why MTA under-delivers when its prefetches
+/// miss L2, or how DAC's line locking holds L1 hits up).
+fn mem_rates(rows: &[FullRow]) {
+    hdr("Memory hit rates per design (L1 / L2 / DRAM row-buffer)");
+    println!(
+        "{:<6} {:<9} {:>6} {:>6} {:>6}",
+        "Bench", "Design", "L1", "L2", "Row"
+    );
+    for r in rows {
+        for d in Design::ALL {
+            let m = &r.report(d).mem;
+            println!(
+                "{:<6} {:<9} {:>5.1}% {:>5.1}% {:>5.1}%",
+                r.abbr,
+                d.name(),
+                100.0 * m.l1_hit_rate(),
+                100.0 * m.l2_hit_rate(),
+                100.0 * m.row_hit_rate()
+            );
+        }
+    }
 }
 
 fn area() {

@@ -98,4 +98,12 @@ fn main() {
     if let Some(dir) = &args.trace_dir {
         eprintln!("sweep: traces -> {}", dir.display());
     }
+    if out.trace_drops > 0 {
+        eprintln!(
+            "sweep: WARNING: {} trace events dropped across {} job(s); \
+             exported timelines keep only the newest events \
+             (raise --trace-events, currently {})",
+            out.trace_drops, out.trace_dropped_jobs, args.trace_events
+        );
+    }
 }

@@ -120,6 +120,18 @@ fn main() {
     );
 
     summarize(&sink, result.report.cycles);
+
+    if sink.dropped() > 0 {
+        eprintln!(
+            "trace: WARNING: ring buffer dropped {} of {} events; the exported \
+             timeline keeps only the newest {} (raise --trace-events, \
+             currently {})",
+            sink.dropped(),
+            sink.emitted(),
+            sink.len(),
+            args.trace_events
+        );
+    }
 }
 
 /// Print derived time-series: issue-rate windows, queue occupancy, and the

@@ -54,6 +54,37 @@ fn counters_to_json(fields: Vec<(&'static str, u64)>) -> Value {
     )
 }
 
+/// Derived profiling view attached to every record: top-down issue-slot
+/// fractions plus cache and DRAM hit rates. Purely a function of the raw
+/// `stats`/`mem` counters — [`from_json`] ignores it, so old readers and
+/// the cache loader are unaffected.
+fn profile_to_json(report: &SimReport) -> Value {
+    let total = report.stats.issue_slots_total();
+    let frac = |v: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            v as f64 / total as f64
+        }
+    };
+    let stack = report
+        .stats
+        .issue_slot_buckets()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), Value::Float(frac(v))))
+        .collect();
+    Value::Obj(vec![
+        ("issue_slots".into(), Value::Int(total)),
+        ("cpi_stack".into(), Value::Obj(stack)),
+        ("l1_hit_rate".into(), Value::Float(report.mem.l1_hit_rate())),
+        ("l2_hit_rate".into(), Value::Float(report.mem.l2_hit_rate())),
+        (
+            "dram_row_hit_rate".into(),
+            Value::Float(report.mem.row_hit_rate()),
+        ),
+    ])
+}
+
 /// Serialize one result. `invocation` attaches the per-invocation fields
 /// (job index within this run, wall time, cache-hit flag) used in run
 /// artifacts but omitted from cache entries; `cache_key` attaches the
@@ -99,6 +130,7 @@ pub fn to_json(
             "mem".to_string(),
             counters_to_json(result.report.mem.fields()),
         ),
+        ("profile".to_string(), profile_to_json(&result.report)),
         (
             "energy".to_string(),
             Value::Obj(vec![
@@ -238,6 +270,29 @@ mod tests {
         // Still loadable (key comes back empty).
         let (key, _) = from_json(&v).unwrap();
         assert!(key.is_empty());
+    }
+
+    #[test]
+    fn profile_section_is_derived_and_loader_safe() {
+        let job = small_job(DesignPoint::Hw(Design::Baseline));
+        let result = job.execute();
+        let v = to_json(&job, &result, None, None);
+        let profile = v.get("profile").expect("profile section present");
+        let slots = profile
+            .get("issue_slots")
+            .and_then(Value::as_u64)
+            .expect("issue_slots");
+        assert_eq!(slots, result.report.stats.issue_slots_total());
+        let stack = profile
+            .get("cpi_stack")
+            .and_then(Value::as_obj)
+            .expect("cpi_stack");
+        let sum: f64 = stack.iter().filter_map(|(_, v)| v.as_f64()).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "fractions sum to 1, got {sum}");
+        assert!(profile.get("l1_hit_rate").and_then(Value::as_f64).is_some());
+        // The loader ignores the derived section entirely.
+        let (_, loaded) = from_json(&v).unwrap();
+        assert_eq!(loaded.report.stats, result.report.stats);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::Instant;
 /// Version tag folded into every cache key. Bump whenever simulator
 /// behaviour changes in a way that invalidates cached results (the
 /// golden-stats test catches unintended shifts).
-pub const CACHE_VERSION: &str = "dac-cache-v2";
+pub const CACHE_VERSION: &str = "dac-cache-v3";
 
 /// A point in the design space: one of the paper's four hardware designs,
 /// or the perfect-memory machine used for the §5.1.2 compute/memory

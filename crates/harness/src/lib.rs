@@ -84,6 +84,12 @@ pub struct RunOutput {
     pub cache_hits: usize,
     /// Jobs actually simulated.
     pub executed: usize,
+    /// Trace events evicted from ring buffers across all traced jobs
+    /// (0 when tracing is off). Non-zero means exported timelines are
+    /// truncated to the newest events; CLIs surface this as a warning.
+    pub trace_drops: u64,
+    /// Number of traced jobs that dropped at least one event.
+    pub trace_dropped_jobs: usize,
 }
 
 /// Where and how much to trace when the harness runs with tracing on.
@@ -194,26 +200,30 @@ impl Harness {
         let verbose = self.verbose;
         let trace = self.trace.clone();
         let fresh = pool::run_indexed(self.workers, misses, move |_, (i, job)| {
-            let result = match &trace {
-                None => job.execute(),
+            let (result, dropped) = match &trace {
+                None => (job.execute(), 0),
                 Some(spec) => {
                     let mut sink = simt_trace::RingSink::new(spec.events);
                     let result = job.execute_traced(&mut sink);
                     if let Err(e) = write_trace(spec, &job, &sink) {
                         eprintln!("warning: trace write failed for {}: {e}", job.label());
                     }
-                    result
+                    (result, sink.dropped())
                 }
             };
             if verbose {
                 eprintln!("  {:<20} ok ({:.1}s)", job.label(), result.wall_ms / 1e3);
             }
-            (i, job, result)
+            (i, job, result, dropped)
         });
-        for (i, job, result) in fresh {
+        let mut trace_drops = 0u64;
+        let mut trace_dropped_jobs = 0usize;
+        for (i, job, result, dropped) in fresh {
             if let Some(cache) = &self.cache {
                 cache.store(&job, &result);
             }
+            trace_drops += dropped;
+            trace_dropped_jobs += usize::from(dropped > 0);
             results[i] = Some(result);
         }
         let results: Vec<JobResult> = results
@@ -236,6 +246,8 @@ impl Harness {
             artifact_path,
             cache_hits,
             executed,
+            trace_drops,
+            trace_dropped_jobs,
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Banked DRAM with open-row (row-buffer) timing and a bandwidth-limited
 //! data bus.
 
+use simt_trace::{NullTracer, TraceEvent, Tracer};
 use std::collections::VecDeque;
 
 /// A memory request as seen by DRAM: just a line address plus whether it is
@@ -118,6 +119,12 @@ impl DramPartition {
     /// that hits an open row in a free bank, then the oldest request whose
     /// bank is free (one scheduling decision per cycle, deterministic).
     pub fn cycle(&mut self, now: u64) {
+        self.cycle_traced(now, 0, &mut NullTracer);
+    }
+
+    /// [`DramPartition::cycle`] emitting a [`TraceEvent::DramAccess`] per
+    /// scheduling decision. `partition` is only used to label the event.
+    pub fn cycle_traced(&mut self, now: u64, partition: usize, tracer: &mut dyn Tracer) {
         if self.queue.is_empty() {
             return;
         }
@@ -144,13 +151,25 @@ impl DramPartition {
         let b = self.bank_of(req.line);
         let row = self.row_of(req.line);
         let bank = &mut self.banks[b];
-        let (access_latency, busy) = if bank.open_row == Some(row) {
+        let row_hit = bank.open_row == Some(row);
+        let (access_latency, busy) = if row_hit {
             self.row_hits += 1;
             (self.row_hit_latency, self.row_hit_busy)
         } else {
             self.row_misses += 1;
             (self.row_miss_latency, self.row_miss_busy)
         };
+        if tracer.enabled() {
+            tracer.emit(
+                now,
+                TraceEvent::DramAccess {
+                    partition: partition as u32,
+                    line: req.line,
+                    row_hit,
+                    write: req.write,
+                },
+            );
+        }
         bank.open_row = Some(row);
         bank.busy_until = now + busy;
         // Bank accesses overlap; the shared data bus serializes transfers.

@@ -597,13 +597,14 @@ impl MemoryFabric {
                             partition: p as u32,
                             line: req.line,
                             hit: l2_hit,
+                            client: req.client.trace(),
                         },
                     );
                 }
             }
         }
         // 2. DRAM.
-        self.parts[p].dram.cycle(now);
+        self.parts[p].dram.cycle_traced(now, p, tracer);
         // 3. Completed DRAM reads → fill L2, route to SM.
         while let Some(done) = self.parts[p].dram.pop_done(now) {
             let req = match self.parts[p].inflight.remove(&done.id) {

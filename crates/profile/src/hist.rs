@@ -1,0 +1,164 @@
+//! Fixed-bucket histograms: all storage is allocated at construction, so
+//! recording a sample on the simulator's hot path costs one add and one
+//! bounds-clamped index — no allocation, no sorting.
+
+/// A histogram over `u64` samples with uniform bucket width; the last
+/// bucket absorbs the overflow tail. Percentiles are answered from the
+/// bucket boundaries (upper edge of the bucket holding the rank), which is
+/// exact to within one bucket width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    width: u64,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with `num_buckets` buckets of `width` each.
+    pub fn new(width: u64, num_buckets: usize) -> Self {
+        Histogram {
+            width: width.max(1),
+            counts: vec![0; num_buckets.max(1)],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = ((v / self.width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts (`buckets()[i]` covers `[i*width, (i+1)*width)`;
+    /// the last bucket is the overflow tail).
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `p`-th percentile (`p` in [0, 1]): the upper edge of the bucket
+    /// containing that rank, clamped to the observed maximum. 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if i == self.counts.len() - 1 {
+                    // Overflow tail: the nominal upper edge understates.
+                    return self.max;
+                }
+                return ((i as u64 + 1) * self.width).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Histogram::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let h = Histogram::new(10, 8);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn percentiles_land_on_bucket_edges() {
+        let mut h = Histogram::new(10, 10);
+        for v in 0..100 {
+            h.record(v);
+        }
+        // 100 uniform samples over [0, 100): p50 in bucket [40,50).
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p90(), 90);
+        assert_eq!(h.p99(), 99); // clamped to observed max
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_bucket_absorbs_overflow() {
+        let mut h = Histogram::new(10, 4);
+        h.record(5);
+        h.record(1_000_000);
+        assert_eq!(h.buckets(), &[1, 0, 0, 1]);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.p99(), 1_000_000);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::new(8, 8);
+        h.record(42);
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+    }
+}

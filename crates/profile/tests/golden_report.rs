@@ -1,0 +1,70 @@
+//! Golden report test: pins one full bottleneck report byte for byte.
+//!
+//! The report is documented as deterministic — same simulator, same
+//! workload, same bytes on any machine — and downstream tooling (CI
+//! artifact diffing) relies on that. Regenerate after an intentional
+//! simulator change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p simt-profile --test golden_report
+//! ```
+//!
+//! and review the diff like any other golden update (and bump
+//! `CACHE_VERSION` if counters moved).
+
+use gpu_workloads::{gpu_for, Design};
+use simt_harness::{DesignPoint, Job, Overrides};
+use simt_profile::{report, DesignProfile, ProfileSink, WorkloadProfile};
+use std::sync::Arc;
+
+const GOLDEN_PATH: &str = "tests/golden/bfs_report.md";
+
+/// Mirror of the profile binary's per-run setup (small 2-SM machine).
+fn profile_bfs() -> WorkloadProfile {
+    let overrides = Overrides {
+        num_sms: Some(2),
+        max_warps_per_sm: Some(16),
+        ..Overrides::default()
+    };
+    let mut designs = Vec::new();
+    for d in Design::ALL {
+        let w = gpu_workloads::benchmark("BFS", 1).expect("known benchmark");
+        let mut job = Job::new(Arc::new(w), 1, DesignPoint::Hw(d));
+        job.overrides = overrides.clone();
+        let cfg = overrides.apply_gpu(gpu_for(d));
+        let cutoff = cfg.mem.l1_hit_latency.max(cfg.mem.prefetch_buffer_latency);
+        let mut sink = ProfileSink::new(cutoff);
+        let result = job.execute_traced(&mut sink);
+        designs.push(DesignProfile::new(d.name(), &result.report, sink));
+    }
+    WorkloadProfile {
+        bench: "BFS".into(),
+        scale: 1,
+        designs,
+    }
+}
+
+#[test]
+fn bfs_report_matches_golden_bytes() {
+    let wp = profile_bfs();
+    let got = report::markdown(std::slice::from_ref(&wp));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file present (run with UPDATE_GOLDEN=1 to create)");
+    assert_eq!(
+        got, want,
+        "profile report drifted from {GOLDEN_PATH}; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn bfs_json_report_is_stable_across_renders() {
+    let wp = profile_bfs();
+    let a = report::json(std::slice::from_ref(&wp));
+    let b = report::json(std::slice::from_ref(&profile_bfs()));
+    assert_eq!(a, b, "JSON report must be deterministic across runs");
+}

@@ -156,11 +156,25 @@ impl GpuSim {
             );
         }
 
-        stats.cycles = now;
+        // The loop above executed SM cycles for now = 0..=now inclusive.
+        stats.cycles = now + 1;
+        let expected_slots = stats.cycles * cfg.schedulers as u64 * cfg.num_sms as u64;
+        assert_eq!(
+            stats.issue_slots_total(),
+            expected_slots,
+            "issue-slot accounting broken: buckets {:?} must sum to \
+             cycles({}) x schedulers({}) x SMs({}) for kernel={} coproc={}",
+            stats.issue_slot_buckets(),
+            stats.cycles,
+            cfg.schedulers,
+            cfg.num_sms,
+            program.kernel.name,
+            coproc.name()
+        );
         SimReport {
             kernel: program.kernel.name.clone(),
             coproc: coproc.name().to_string(),
-            cycles: now,
+            cycles: stats.cycles,
             stats,
             mem: fabric.stats(),
         }
@@ -399,6 +413,29 @@ mod tests {
         );
         // A streaming kernel should be strongly memory-bound.
         assert!(base.cycles as f64 / perf.cycles as f64 > 1.5);
+    }
+
+    #[test]
+    fn issue_slot_buckets_sum_to_total_slots() {
+        let n = 1000u32;
+        let a = 0x10_000u64;
+        let b = 0x80_000u64;
+        let mut mem = SparseMemory::new();
+        mem.write_u32_slice(a, &(0..n).collect::<Vec<u32>>());
+        let prog = add_one_program(n, a, b);
+        let report = small_gpu().run(&prog, &mut mem);
+        let cfg = GpuConfig::test_small();
+        assert_eq!(
+            report.stats.issue_slots_total(),
+            report.cycles * cfg.schedulers as u64 * cfg.num_sms as u64
+        );
+        assert!(report.stats.slot_issued > 0);
+        // A memory-bound streaming kernel must show scoreboard pressure.
+        assert!(report.stats.slot_scoreboard > 0);
+        // No coprocessor: the DAC-only buckets stay empty.
+        assert_eq!(report.stats.slot_deq_empty, 0);
+        assert_eq!(report.stats.slot_deq_data, 0);
+        assert_eq!(report.stats.slot_enq_full, 0);
     }
 
     #[test]

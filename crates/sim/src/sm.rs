@@ -68,6 +68,56 @@ enum Readiness {
     Stalled(StallCause),
 }
 
+/// Stall causes observed while one scheduler hunted for a ready warp this
+/// cycle. When the hunt comes up empty, the tally attributes the slot to
+/// exactly one top-down accounting bucket.
+#[derive(Debug, Default, Clone, Copy)]
+struct StallTally {
+    scoreboard: u64,
+    lsu_full: u64,
+    barrier: u64,
+    deq_empty: u64,
+    deq_data: u64,
+}
+
+impl StallTally {
+    /// Charge one empty issue slot to a bucket: majority stall cause over
+    /// the warps considered, ties broken by a fixed order (back-pressure
+    /// causes first) so attribution is deterministic. Slots where no warp
+    /// was even considered are `enq_full` when the affine engine was
+    /// blocked on a full ATQ this cycle, else `idle`.
+    fn attribute(&self, enq_pressure: bool, stats: &mut SimStats) {
+        let ranked = [
+            self.deq_data,
+            self.deq_empty,
+            self.lsu_full,
+            self.scoreboard,
+            self.barrier,
+        ];
+        if ranked.iter().sum::<u64>() == 0 {
+            if enq_pressure {
+                stats.slot_enq_full += 1;
+            } else {
+                stats.slot_idle += 1;
+            }
+            return;
+        }
+        let mut best = 0;
+        for (i, &n) in ranked.iter().enumerate().skip(1) {
+            if n > ranked[best] {
+                best = i;
+            }
+        }
+        match best {
+            0 => stats.slot_deq_data += 1,
+            1 => stats.slot_deq_empty += 1,
+            2 => stats.slot_lsu_full += 1,
+            3 => stats.slot_scoreboard += 1,
+            _ => stats.slot_barrier += 1,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Scheduler {
     busy_until: u64,
@@ -223,6 +273,7 @@ impl Sm {
         // shares the SM's issue bandwidth, paper §4.4).
         let mut slot0_free = self.schedulers[0].busy_until <= now;
         let slot0_was_free = slot0_free;
+        let enq_before = stats.enq_full_stalls;
         {
             let mut ctx = CoCtx {
                 now,
@@ -234,7 +285,9 @@ impl Sm {
             };
             coproc.step(&mut ctx);
         }
-        if slot0_was_free && !slot0_free {
+        let enq_pressure = stats.enq_full_stalls > enq_before;
+        let affine_consumed = slot0_was_free && !slot0_free;
+        if affine_consumed {
             // Affine warp consumed scheduler 0 for one instruction.
             self.schedulers[0].busy_until = now + 1;
             stats.affine_issue_slots += 1;
@@ -242,9 +295,17 @@ impl Sm {
 
         for s in 0..self.schedulers.len() {
             if self.schedulers[s].busy_until > now {
+                // An affine-consumed slot 0 is already bucketed as
+                // `affine_issue_slots`; any other busy scheduler is still
+                // occupied by a prior multi-cycle issue.
+                if s != 0 || !affine_consumed {
+                    stats.slot_busy += 1;
+                }
                 continue;
             }
-            if let Some(w) = self.pick_warp(s, now, cfg, kctx, coproc, stats, tracer) {
+            let mut tally = StallTally::default();
+            if let Some(w) = self.pick_warp(s, now, cfg, kctx, coproc, stats, tracer, &mut tally) {
+                stats.slot_issued += 1;
                 let cost = self.issue(w, now, cfg, kctx, mem, fabric, coproc, stats, tracer);
                 let busy = match cost {
                     IssueCost::Normal => cfg.issue_interval,
@@ -253,6 +314,7 @@ impl Sm {
                 self.schedulers[s].busy_until = now + busy;
             } else {
                 stats.idle_scheduler_cycles += 1;
+                tally.attribute(s == 0 && enq_pressure, stats);
             }
         }
 
@@ -315,6 +377,7 @@ impl Sm {
         coproc: &mut dyn CoProcessor,
         stats: &mut SimStats,
         tracer: &mut dyn Tracer,
+        tally: &mut StallTally,
     ) -> Option<usize> {
         let nsched = self.schedulers.len();
         // Evict finished warps from the pool.
@@ -324,7 +387,8 @@ impl Sm {
         // 1. Ready warp already in the active pool (rotating order).
         let pool: Vec<usize> = self.schedulers[s].active.iter().copied().collect();
         for &w in &pool {
-            if self.warp_check(w, now, cfg, kctx, coproc, stats, tracer) == Readiness::Ready {
+            if self.warp_check(w, now, cfg, kctx, coproc, stats, tracer, tally) == Readiness::Ready
+            {
                 // Rotate the pool so the warp after `w` gets priority next.
                 let pos = self.schedulers[s]
                     .active
@@ -344,7 +408,8 @@ impl Sm {
             .filter(|&w| matches!(&self.warps[w], Some(ws) if !ws.done()))
             .collect();
         for w in candidates {
-            if self.warp_check(w, now, cfg, kctx, coproc, stats, tracer) == Readiness::Ready {
+            if self.warp_check(w, now, cfg, kctx, coproc, stats, tracer, tally) == Readiness::Ready
+            {
                 if self.schedulers[s].active.len() >= cfg.active_pool {
                     self.schedulers[s].active.pop_front();
                 }
@@ -368,15 +433,34 @@ impl Sm {
         coproc: &mut dyn CoProcessor,
         stats: &mut SimStats,
         tracer: &mut dyn Tracer,
+        tally: &mut StallTally,
     ) -> Readiness {
+        let deq_data_before = stats.deq_data_stalls;
         let r = self.warp_ready(w, now, cfg, kctx, coproc, stats);
         if let Readiness::Stalled(cause) = r {
             match cause {
-                StallCause::Scoreboard => stats.stall_scoreboard += 1,
-                StallCause::LsuFull => stats.stall_lsu_full += 1,
-                StallCause::Barrier => stats.stall_barrier += 1,
+                StallCause::Scoreboard => {
+                    stats.stall_scoreboard += 1;
+                    tally.scoreboard += 1;
+                }
+                StallCause::LsuFull => {
+                    stats.stall_lsu_full += 1;
+                    tally.lsu_full += 1;
+                }
+                StallCause::Barrier => {
+                    stats.stall_barrier += 1;
+                    tally.barrier += 1;
+                }
                 // Coprocessor gates keep their own counters
-                // (deq_empty_stalls / deq_data_stalls).
+                // (deq_empty_stalls / deq_data_stalls); split the tally
+                // the same way by watching which counter moved.
+                StallCause::CoprocGate => {
+                    if stats.deq_data_stalls > deq_data_before {
+                        tally.deq_data += 1;
+                    } else {
+                        tally.deq_empty += 1;
+                    }
+                }
                 _ => {}
             }
             if tracer.enabled() {

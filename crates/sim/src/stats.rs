@@ -72,6 +72,30 @@ pub struct SimStats {
     /// Sum over (cycle, SM) of affine-warp run-ahead distance (queued
     /// decoupled work: ATQ entries + expanded records).
     pub affine_runahead_sum: u64,
+    /// Issue slots that issued a warp instruction (top-down bucket).
+    pub slot_issued: u64,
+    /// Issue slots unavailable because a prior multi-cycle issue still
+    /// occupies the scheduler (top-down bucket).
+    pub slot_busy: u64,
+    /// Empty issue slots attributed to scoreboard hazards (top-down bucket).
+    pub slot_scoreboard: u64,
+    /// Empty issue slots attributed to a full LSU queue (top-down bucket).
+    pub slot_lsu_full: u64,
+    /// Empty issue slots attributed to warps parked at a CTA barrier
+    /// (top-down bucket).
+    pub slot_barrier: u64,
+    /// Empty issue slots attributed to an empty DAC dequeue (top-down
+    /// bucket).
+    pub slot_deq_empty: u64,
+    /// Empty issue slots attributed to decoupled data not yet arrived
+    /// (top-down bucket).
+    pub slot_deq_data: u64,
+    /// Empty issue slots where only the affine engine wanted the slot but
+    /// was blocked on a full ATQ (top-down bucket).
+    pub slot_enq_full: u64,
+    /// Empty issue slots with no schedulable warp resident at all
+    /// (top-down bucket).
+    pub slot_idle: u64,
 }
 
 /// Generates the by-name field table used by the experiment harness to
@@ -131,7 +155,41 @@ impl SimStats {
         pwaq_occupancy_sum,
         pwpq_occupancy_sum,
         affine_runahead_sum,
+        slot_issued,
+        slot_busy,
+        slot_scoreboard,
+        slot_lsu_full,
+        slot_barrier,
+        slot_deq_empty,
+        slot_deq_data,
+        slot_enq_full,
+        slot_idle,
     );
+
+    /// Top-down issue-slot buckets as `(name, value)` pairs, in reporting
+    /// order. Every scheduler issue slot of every cycle lands in exactly
+    /// one bucket; `affine` reuses [`SimStats::affine_issue_slots`].
+    pub fn issue_slot_buckets(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("issued", self.slot_issued),
+            ("affine", self.affine_issue_slots),
+            ("busy", self.slot_busy),
+            ("scoreboard", self.slot_scoreboard),
+            ("lsu_full", self.slot_lsu_full),
+            ("barrier", self.slot_barrier),
+            ("deq_empty", self.slot_deq_empty),
+            ("deq_data", self.slot_deq_data),
+            ("enq_full", self.slot_enq_full),
+            ("idle", self.slot_idle),
+        ]
+    }
+
+    /// Sum of all top-down issue-slot buckets. The accounting invariant —
+    /// checked after every run — is
+    /// `issue_slots_total() == cycles × schedulers × SMs`.
+    pub fn issue_slots_total(&self) -> u64 {
+        self.issue_slot_buckets().iter().map(|&(_, v)| v).sum()
+    }
 
     /// Total warp instructions across both streams.
     pub fn total_instructions(&self) -> u64 {

@@ -161,13 +161,30 @@ pub fn export<'a>(events: impl Iterator<Item = &'a TimedEvent>, dropped: u64) ->
                 partition,
                 line,
                 hit,
+                client,
             } => push_event(
                 &mut out,
                 format_args!(
                     "{{\"name\": \"l2-{}\", \"cat\": \"mem\", \"ph\": \"i\", \
                      \"s\": \"t\", \"ts\": {ts}, \"pid\": {pid}, \"tid\": 0, \
-                     \"args\": {{\"line\": {line}}}}}",
+                     \"args\": {{\"line\": {line}, \"client\": \"{client}\"}}}}",
                     if hit { "hit" } else { "miss" },
+                    pid = 1000 + partition,
+                    client = client.name(),
+                ),
+            ),
+            TraceEvent::DramAccess {
+                partition,
+                line,
+                row_hit,
+                write,
+            } => push_event(
+                &mut out,
+                format_args!(
+                    "{{\"name\": \"dram-row-{}\", \"cat\": \"mem\", \"ph\": \"i\", \
+                     \"s\": \"t\", \"ts\": {ts}, \"pid\": {pid}, \"tid\": 1, \
+                     \"args\": {{\"line\": {line}, \"write\": {write}}}}}",
+                    if row_hit { "hit" } else { "miss" },
                     pid = 1000 + partition,
                 ),
             ),

@@ -187,6 +187,20 @@ pub enum TraceEvent {
         line: u64,
         /// `true` if the line hit in L2, `false` if it went to DRAM.
         hit: bool,
+        /// Unit that issued the original request (demand vs prefetch
+        /// traffic — lets profiles compute per-client L2 hit rates).
+        client: TraceClient,
+    },
+    /// A DRAM bank scheduled one command (FR-FCFS decision).
+    DramAccess {
+        /// DRAM/L2 partition index.
+        partition: u32,
+        /// Line address.
+        line: u64,
+        /// `true` if the access hit the bank's open row buffer.
+        row_hit: bool,
+        /// `true` for write-back traffic.
+        write: bool,
     },
     /// A fill (line of data) arrived back at an SM port and was installed.
     Fill {
@@ -254,6 +268,7 @@ impl TraceEvent {
             TraceEvent::MemReq { .. } => "mem_req",
             TraceEvent::MemStall { .. } => "mem_stall",
             TraceEvent::L2Access { .. } => "l2_access",
+            TraceEvent::DramAccess { .. } => "dram_access",
             TraceEvent::Fill { .. } => "fill",
             TraceEvent::MemResp { .. } => "mem_resp",
             TraceEvent::QueueSample { .. } => "queue_sample",

@@ -114,10 +114,25 @@ pub fn export<'a>(
                 partition,
                 line,
                 hit,
+                client,
             } => {
                 let _ = write!(
                     out,
-                    ", \"partition\": {partition}, \"line\": {line}, \"hit\": {hit}"
+                    ", \"partition\": {partition}, \"line\": {line}, \"hit\": {hit}, \
+                     \"client\": \"{}\"",
+                    client.name()
+                );
+            }
+            TraceEvent::DramAccess {
+                partition,
+                line,
+                row_hit,
+                write,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"partition\": {partition}, \"line\": {line}, \
+                     \"row_hit\": {row_hit}, \"write\": {write}"
                 );
             }
             TraceEvent::Fill { sm, line } => {
