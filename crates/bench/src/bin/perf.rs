@@ -1,0 +1,417 @@
+//! Simulation-throughput benchmarking (wall-clock, min-of-N).
+//!
+//! Runs each selected benchmark under each selected design `--repeat N`
+//! times with *no* tracer or profiling sink attached — the configuration a
+//! large sweep actually runs — and records the **minimum** wall time per
+//! run. Min-of-N is the standard defense against timer noise and scheduler
+//! jitter: the shortest observed time is the closest estimate of the true
+//! cost (BENCH_pr3.json carried single-shot `wall_s` values as low as
+//! 0.07 s, which are noise-dominated).
+//!
+//! Emits `BENCH_pr5.json` (`dac-bench-pr5/v1`, schema-checked by
+//! `--check-bench`, used by CI) and, when a baseline record is available,
+//! prints the geomean cycles/sec speedup against it.
+
+use dac_bench::cli::{CommonArgs, COMMON_USAGE};
+use simt_harness::{json, DesignPoint, Job};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: perf [options]
+       perf --check-bench FILE
+
+Times every selected benchmark (default: BFS,LIB,MQ,SPV) under every
+selected design (default: baseline,cae,mta,dac) with no tracer attached,
+taking the minimum wall time over --repeat N runs, and writes a throughput
+record to --bench-json (default BENCH_pr5.json). Timed runs always
+simulate; the result cache is not consulted. If --baseline FILE exists it
+also prints the geomean cycles/sec speedup against it.
+
+perf options:
+  --repeat N         timed iterations per run; min wall time kept (default 3)
+  --bench-json FILE  where to write the throughput record
+  --baseline FILE    prior record to compare against (default BENCH_pr3.json)
+  --check-bench FILE validate FILE against schemas/bench_pr5.schema.json
+                     and exit (0 = valid)";
+
+/// Same suite as the profile binary, so BENCH_pr5.json rows are directly
+/// comparable to BENCH_pr3.json rows.
+const DEFAULT_BENCHES: &str = "BFS,LIB,MQ,SPV";
+
+fn usage_exit(error: &str) -> ! {
+    if error == "help" {
+        println!("{USAGE}\n\n{COMMON_USAGE}");
+        std::process::exit(0);
+    }
+    eprintln!("perf: {error}\n\n{USAGE}\n\n{COMMON_USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+
+    // Strip perf-only flags before handing the rest to CommonArgs.
+    let mut repeat: usize = 3;
+    let mut bench_json = PathBuf::from("BENCH_pr5.json");
+    let mut baseline = PathBuf::from("BENCH_pr3.json");
+    let mut check_bench: Option<PathBuf> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--repeat" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => repeat = n,
+                _ => usage_exit("--repeat requires a positive number"),
+            },
+            "--bench-json" => match it.next() {
+                Some(v) => bench_json = PathBuf::from(v),
+                None => usage_exit("--bench-json requires a path"),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline = PathBuf::from(v),
+                None => usage_exit("--baseline requires a path"),
+            },
+            "--check-bench" => match it.next() {
+                Some(v) => check_bench = Some(PathBuf::from(v)),
+                None => usage_exit("--check-bench requires a path"),
+            },
+            _ => rest.push(arg),
+        }
+    }
+    let mut args = CommonArgs::parse(&rest).unwrap_or_else(|e| usage_exit(&e));
+    if let Some(stray) = args.positional.first() {
+        usage_exit(&format!("unexpected argument {stray:?}"));
+    }
+
+    if let Some(path) = check_bench {
+        std::process::exit(check_bench_file(&path));
+    }
+
+    if args.bench_filter.is_none() {
+        args.bench_filter = Some(DEFAULT_BENCHES.split(',').map(|s| s.to_string()).collect());
+    }
+    let benches = args.benchmarks().unwrap_or_else(|e| usage_exit(&e));
+    let points: Vec<DesignPoint> = args
+        .designs
+        .clone()
+        .unwrap_or_else(|| DesignPoint::HW_ALL.to_vec());
+
+    eprintln!(
+        "perf: {} benchmarks x {} designs, repeat {} (scale {})",
+        benches.len(),
+        points.len(),
+        repeat,
+        args.scale
+    );
+
+    // (bench, design, cycles, warp_instructions, min wall_s) per run.
+    let mut timings: Vec<(String, String, u64, u64, f64)> = Vec::new();
+    for w in &benches {
+        for &point in &points {
+            let workload = Arc::new(
+                gpu_workloads::benchmark(w.abbr, args.scale)
+                    .unwrap_or_else(|| usage_exit(&format!("unknown benchmark {:?}", w.abbr))),
+            );
+            let mut job = Job::new(workload, args.scale, point);
+            job.overrides = args.overrides.clone();
+            let mut min_wall_s = f64::INFINITY;
+            let mut pinned: Option<(u64, u64, u64)> = None;
+            for _ in 0..repeat {
+                let result = job.execute();
+                let sig = (
+                    result.report.cycles,
+                    result.report.stats.warp_instructions,
+                    result.output_digest,
+                );
+                // Repeats double as a determinism smoke: a hot-path change
+                // that perturbs results shows up here before it reaches CI.
+                match pinned {
+                    None => pinned = Some(sig),
+                    Some(p) => assert_eq!(p, sig, "{} nondeterministic", job.label()),
+                }
+                min_wall_s = min_wall_s.min(result.wall_ms / 1e3);
+            }
+            let (cycles, instrs, _) = pinned.unwrap();
+            if !args.quiet {
+                eprintln!(
+                    "  {}/{}: {} cycles in {:.4}s ({:.0} cycles/sec)",
+                    w.abbr,
+                    point.name(),
+                    cycles,
+                    min_wall_s,
+                    if min_wall_s > 0.0 {
+                        cycles as f64 / min_wall_s
+                    } else {
+                        0.0
+                    }
+                );
+            }
+            timings.push((
+                w.abbr.to_string(),
+                point.name().to_string(),
+                cycles,
+                instrs,
+                min_wall_s,
+            ));
+        }
+    }
+
+    let text = bench_pr5_json(&args, repeat, &timings);
+    if let Err(e) = json::parse(&text) {
+        panic!("BENCH_pr5.json is invalid JSON: {e}");
+    }
+    if let Err(e) = std::fs::write(&bench_json, &text) {
+        eprintln!("perf: cannot write {}: {e}", bench_json.display());
+        std::process::exit(1);
+    }
+
+    let geo = geomean_cycles_per_sec(&timings);
+    println!(
+        "perf: {} runs -> {} (geomean {:.0} cycles/sec)",
+        timings.len(),
+        bench_json.display(),
+        geo
+    );
+    compare_baseline(&baseline, &timings);
+}
+
+/// Geomean of per-run cycles/sec over the timing rows.
+fn geomean_cycles_per_sec(timings: &[(String, String, u64, u64, f64)]) -> f64 {
+    dac_bench::geomean(
+        timings
+            .iter()
+            .filter(|t| t.4 > 0.0)
+            .map(|t| t.2 as f64 / t.4),
+    )
+}
+
+/// Print the geomean cycles/sec speedup against a prior throughput record
+/// (BENCH_pr3.json or an earlier BENCH_pr5.json), matching rows by
+/// `(bench, design)`. Silent when the baseline file does not exist.
+fn compare_baseline(path: &Path, timings: &[(String, String, u64, u64, f64)]) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let Ok(value) = json::parse(&text) else {
+        eprintln!(
+            "perf: {} is not valid JSON; skipping compare",
+            path.display()
+        );
+        return;
+    };
+    let Some(runs) = value.get("runs").and_then(|v| v.as_arr()) else {
+        eprintln!("perf: {} has no runs; skipping compare", path.display());
+        return;
+    };
+    let mut ratios = Vec::new();
+    for (bench, design, cycles, _, wall_s) in timings {
+        if *wall_s <= 0.0 {
+            continue;
+        }
+        let new_rate = *cycles as f64 / wall_s;
+        let old_rate = runs.iter().find_map(|r| {
+            let b = r.get("bench").and_then(json::Value::as_str)?;
+            let d = r.get("design").and_then(json::Value::as_str)?;
+            (b == bench && d == design)
+                .then(|| r.get("cycles_per_sec").and_then(json::Value::as_f64))
+                .flatten()
+        });
+        if let Some(old_rate) = old_rate {
+            if old_rate > 0.0 {
+                ratios.push(new_rate / old_rate);
+            }
+        }
+    }
+    if ratios.is_empty() {
+        eprintln!(
+            "perf: no matching (bench, design) rows in {}; skipping compare",
+            path.display()
+        );
+        return;
+    }
+    let matched = ratios.len();
+    println!(
+        "perf: geomean cycles/sec speedup vs {}: {:.2}x over {matched} matched runs",
+        path.display(),
+        dac_bench::geomean(ratios)
+    );
+}
+
+/// Render the `dac-bench-pr5/v1` throughput record. Same row shape as
+/// `dac-bench-pr3/v1` plus a top-level `repeat`, so rows stay directly
+/// comparable across the two schemas.
+fn bench_pr5_json(
+    args: &CommonArgs,
+    repeat: usize,
+    timings: &[(String, String, u64, u64, f64)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"schema\": \"dac-bench-pr5/v1\"");
+    let _ = write!(out, ", \"scale\": {}", args.scale);
+    let _ = write!(out, ", \"repeat\": {repeat}");
+    out.push_str(", \"overrides\": {");
+    let mut first = true;
+    for (k, v) in args
+        .overrides
+        .relevant(DesignPoint::Hw(gpu_workloads::Design::Dac))
+    {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "\"{k}\": {v}");
+    }
+    out.push_str("}, \"runs\": [");
+    let mut total_wall = 0.0;
+    let mut total_instr = 0u64;
+    for (i, (bench, design, cycles, instrs, wall_s)) in timings.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        total_wall += wall_s;
+        total_instr += instrs;
+        let rate = |n: u64| {
+            if *wall_s > 0.0 {
+                n as f64 / wall_s
+            } else {
+                0.0
+            }
+        };
+        let _ = write!(
+            out,
+            "{{\"bench\": \"{bench}\", \"design\": \"{design}\", \"cycles\": {cycles}, \
+             \"warp_instructions\": {instrs}, \"wall_s\": {wall_s:.4}, \
+             \"warp_instr_per_sec\": {:.1}, \"cycles_per_sec\": {:.1}}}",
+            rate(*instrs),
+            rate(*cycles)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "], \"totals\": {{\"runs\": {}, \"wall_s\": {:.4}, \"warp_instr_per_sec\": {:.1}, \
+         \"geomean_cycles_per_sec\": {:.1}}}}}",
+        timings.len(),
+        total_wall,
+        if total_wall > 0.0 {
+            total_instr as f64 / total_wall
+        } else {
+            0.0
+        },
+        geomean_cycles_per_sec(timings)
+    );
+    out
+}
+
+/// `--check-bench FILE`: validate a throughput record against the
+/// checked-in schema (`schemas/bench_pr5.schema.json`). Returns the
+/// process exit code.
+fn check_bench_file(path: &Path) -> i32 {
+    let schema_path = Path::new("schemas/bench_pr5.schema.json");
+    let schema_text = match std::fs::read_to_string(schema_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf: cannot read {}: {e}", schema_path.display());
+            return 2;
+        }
+    };
+    let schema = match json::parse(&schema_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("perf: schema is invalid JSON: {e}");
+            return 2;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf: cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let value = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("perf: {} is invalid JSON: {e}", path.display());
+            return 1;
+        }
+    };
+    let mut errors = Vec::new();
+    validate(&value, &schema, "$", &mut errors);
+    if errors.is_empty() {
+        println!("perf: {} conforms to dac-bench-pr5/v1", path.display());
+        0
+    } else {
+        for e in &errors {
+            eprintln!("perf: {e}");
+        }
+        eprintln!(
+            "perf: {} FAILED validation ({} errors)",
+            path.display(),
+            errors.len()
+        );
+        1
+    }
+}
+
+/// Minimal JSON-Schema-subset validator: `type`, `required`, `properties`,
+/// `items`, `const`, `minItems`. Enough to pin the artifact shape without
+/// an external schema library.
+fn validate(value: &json::Value, schema: &json::Value, at: &str, errors: &mut Vec<String>) {
+    use json::Value;
+    if let Some(expected) = schema.get("const") {
+        let matches = match (expected, value) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        };
+        if !matches {
+            errors.push(format!("{at}: expected const {expected:?}"));
+        }
+    }
+    if let Some(t) = schema.get("type").and_then(Value::as_str) {
+        let ok = match t {
+            "object" => value.as_obj().is_some(),
+            "array" => value.as_arr().is_some(),
+            "string" => value.as_str().is_some(),
+            "number" => value.as_f64().is_some(),
+            "integer" => value.as_u64().is_some(),
+            "boolean" => value.as_bool().is_some(),
+            _ => true,
+        };
+        if !ok {
+            errors.push(format!("{at}: expected type {t}"));
+            return;
+        }
+    }
+    if let Some(obj) = value.as_obj() {
+        if let Some(required) = schema.get("required").and_then(Value::as_arr) {
+            for name in required.iter().filter_map(Value::as_str) {
+                if !obj.iter().any(|(k, _)| k == name) {
+                    errors.push(format!("{at}: missing required field {name:?}"));
+                }
+            }
+        }
+        if let Some(props) = schema.get("properties").and_then(Value::as_obj) {
+            for (name, sub) in props {
+                if let Some((_, v)) = obj.iter().find(|(k, _)| k == name) {
+                    validate(v, sub, &format!("{at}.{name}"), errors);
+                }
+            }
+        }
+    }
+    if let Some(arr) = value.as_arr() {
+        if let Some(min) = schema.get("minItems").and_then(Value::as_u64) {
+            if (arr.len() as u64) < min {
+                errors.push(format!(
+                    "{at}: expected at least {min} items, got {}",
+                    arr.len()
+                ));
+            }
+        }
+        if let Some(items) = schema.get("items") {
+            for (i, v) in arr.iter().enumerate() {
+                validate(v, items, &format!("{at}[{i}]"), errors);
+            }
+        }
+    }
+}

@@ -137,6 +137,7 @@ impl CommonArgs {
                     out.overrides.set(key, val.trim())?;
                     set_keys.push(key.to_string());
                 }
+                "--no-fast-forward" => out.overrides.no_fast_forward = true,
                 "--trace" => {
                     out.trace_dir
                         .get_or_insert_with(|| PathBuf::from("results/traces"));
@@ -213,6 +214,7 @@ common options:
   --set KEY=VALUE    config override (repeatable, each knob once); knobs:
                      atq_entries, pwaq_total, pwpq_total, lock_lines,
                      divergent_tuples, num_sms, max_warps_per_sm
+  --no-fast-forward  disable idle-cycle fast-forward (same results, slower)
   --trace            write per-job event traces to results/traces
   --trace-dir DIR    write per-job event traces to DIR (implies --trace)
   --trace-events N   trace ring-buffer capacity (default 1000000)
@@ -325,6 +327,17 @@ mod tests {
             Some(std::path::Path::new("/tmp/tr"))
         );
         assert!(parse(&["--trace-events", "lots"]).is_err());
+    }
+
+    #[test]
+    fn no_fast_forward_flag() {
+        assert!(!parse(&[]).unwrap().overrides.no_fast_forward);
+        assert!(
+            parse(&["--no-fast-forward"])
+                .unwrap()
+                .overrides
+                .no_fast_forward
+        );
     }
 
     #[test]

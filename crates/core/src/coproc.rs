@@ -7,10 +7,10 @@ use crate::engine::{AffineCtx, ExecOutcome, PeuClass};
 use crate::queues::DacQueues;
 use affine::DecoupledKernel;
 use simt_ir::{AddrMode, Cfg, Instr, PredSrc, Program, QueueKind};
-use simt_mem::{AccessOutcome, Client, MemRequest, MemResponse, ReqKind};
+use simt_mem::{AccessOutcome, Client, FxHashSet, MemRequest, MemResponse, ReqKind};
 use simt_sim::{AddrRecord, CoCtx, CoProcessor, RecordKind, SimStats};
 use simt_trace::TraceEvent;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// Per-SM DAC state.
 struct SmDac {
@@ -90,22 +90,25 @@ impl Dac {
     fn aeu_step(&mut self, sm: usize, ctx: &mut CoCtx<'_>) {
         let line_bytes = ctx.fabric.config().line_bytes;
         let s = &mut self.sms[sm];
-        let mut blocked_slots: HashSet<usize> = HashSet::new();
+        // CTA slots are per-SM hardware resources (far fewer than 64), so a
+        // bitmask replaces the per-cycle HashSet this loop used to allocate.
+        let mut blocked_slots = 0u64;
         let mut chosen: Option<usize> = None;
         for (i, e) in s.queues.atq.iter().enumerate() {
             if e.kind == QueueKind::Pred {
                 continue;
             }
-            if blocked_slots.contains(&e.slot) {
+            debug_assert!(e.slot < 64);
+            if blocked_slots & (1 << e.slot) != 0 {
                 continue;
             }
             if e.epoch > s.nonaffine_epoch[e.slot] {
-                blocked_slots.insert(e.slot);
+                blocked_slots |= 1 << e.slot;
                 continue;
             }
             let warp = e.per_warp[e.next].warp_global;
             if !s.queues.pwaq_has_space(warp) {
-                blocked_slots.insert(e.slot);
+                blocked_slots |= 1 << e.slot;
                 continue;
             }
             chosen = Some(i);
@@ -165,22 +168,24 @@ impl Dac {
     /// One Predicate Expansion Unit work unit. Returns whether it did any.
     fn peu_step(&mut self, sm: usize, ctx: &mut CoCtx<'_>) -> bool {
         let s = &mut self.sms[sm];
-        let mut blocked_slots: HashSet<usize> = HashSet::new();
+        // Bitmask, not HashSet — see aeu_step.
+        let mut blocked_slots = 0u64;
         let mut chosen: Option<usize> = None;
         for (i, e) in s.queues.atq.iter().enumerate() {
             if e.kind != QueueKind::Pred {
                 continue;
             }
-            if blocked_slots.contains(&e.slot) {
+            debug_assert!(e.slot < 64);
+            if blocked_slots & (1 << e.slot) != 0 {
                 continue;
             }
             if e.epoch > s.nonaffine_epoch[e.slot] {
-                blocked_slots.insert(e.slot);
+                blocked_slots |= 1 << e.slot;
                 continue;
             }
             let warp = e.per_warp[e.next].warp_global;
             if !s.queues.pwpq_has_space(warp) {
-                blocked_slots.insert(e.slot);
+                blocked_slots |= 1 << e.slot;
                 continue;
             }
             chosen = Some(i);
@@ -369,7 +374,7 @@ impl CoProcessor for Dac {
         self.dropped_at_retire += dropped as u64;
         // Drop pending line requests for discarded records.
         if dropped > 0 {
-            let live: HashSet<u64> = s.queues.records.keys().copied().collect();
+            let live: FxHashSet<u64> = s.queues.records.keys().copied().collect();
             s.pending_lines.retain(|(id, _)| live.contains(id));
         }
         self.repartition(sm);

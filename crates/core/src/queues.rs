@@ -2,8 +2,9 @@
 //! predicate queues (paper Figure 9, Table 1).
 
 use simt_ir::{QueueKind, Space, Width};
+use simt_mem::FxHashMap;
 use simt_sim::AddrRecord;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// The concrete expansion of one enqueue for one non-affine warp,
 /// precomputed by the affine engine (the AEU/PEU charge the timing).
@@ -64,8 +65,10 @@ pub struct DacQueues {
     pub pwaq: Vec<VecDeque<u64>>,
     /// Per-warp predicate queues (bit vectors).
     pub pwpq: Vec<VecDeque<u32>>,
-    /// Record store.
-    pub records: HashMap<u64, RecordState>,
+    /// Record store. Fx-hashed: lookups/inserts/removes only — the one
+    /// place keys are enumerated collects them into a membership set, so
+    /// iteration order never reaches a simulation result.
+    pub records: FxHashMap<u64, RecordState>,
     atq_cap: usize,
     pwaq_cap: usize,
     pwpq_cap: usize,
@@ -79,7 +82,7 @@ impl DacQueues {
             atq: VecDeque::new(),
             pwaq: vec![VecDeque::new(); warps],
             pwpq: vec![VecDeque::new(); warps],
-            records: HashMap::new(),
+            records: FxHashMap::default(),
             atq_cap,
             pwaq_cap,
             pwpq_cap,

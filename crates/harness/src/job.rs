@@ -75,6 +75,11 @@ pub struct Overrides {
     pub num_sms: Option<usize>,
     /// Resident warps per SM (all designs; paper: 48).
     pub max_warps_per_sm: Option<usize>,
+    /// Disable idle-cycle fast-forward (`--no-fast-forward`). Purely a
+    /// simulator-speed knob: results are byte-identical either way (the
+    /// determinism test pins this), so it is deliberately *excluded* from
+    /// [`Overrides::relevant`] — cache entries and artifacts are shared.
+    pub no_fast_forward: bool,
 }
 
 impl Overrides {
@@ -91,6 +96,7 @@ impl Overrides {
         if let Some(n) = self.max_warps_per_sm {
             cfg.max_warps_per_sm = n;
         }
+        cfg.fast_forward = !self.no_fast_forward;
         cfg
     }
 

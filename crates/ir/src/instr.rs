@@ -489,29 +489,82 @@ impl Instr {
     /// All general-purpose registers read by this instruction (including the
     /// guard's predicate register — which is a *predicate*, so excluded here).
     pub fn src_regs(&self) -> Vec<RegId> {
-        self.src_operands().iter().filter_map(|o| o.reg()).collect()
+        let (regs, n) = self.src_regs_inline();
+        regs[..n].to_vec()
+    }
+
+    /// [`Instr::src_regs`] without allocating: a fixed array plus the live
+    /// count. No instruction reads more than three general-purpose
+    /// registers (ALU arity caps at 3). This is the scoreboard's per-cycle
+    /// hot path — the `Vec` variants stay for the cold analysis passes.
+    pub fn src_regs_inline(&self) -> ([RegId; 3], usize) {
+        let mut out = [0; 3];
+        let mut n = 0;
+        let mut push = |o: Option<RegId>| {
+            if let Some(r) = o {
+                out[n] = r;
+                n += 1;
+            }
+        };
+        match self {
+            Instr::Alu { op, srcs, .. } => {
+                for s in &srcs[..op.arity()] {
+                    push(s.reg());
+                }
+            }
+            Instr::SetP { a, b, .. } | Instr::Sel { a, b, .. } => {
+                push(a.reg());
+                push(b.reg());
+            }
+            Instr::Ld { addr, .. } => push(addr.reg()),
+            Instr::St { addr, src, .. } | Instr::Atom { addr, src, .. } => {
+                push(addr.reg());
+                push(src.reg());
+            }
+            Instr::Enq { src, .. } => push(*src),
+            Instr::Bra { .. } | Instr::Bar | Instr::Exit => {}
+        }
+        (out, n)
     }
 
     /// Predicate registers read (guard + setp-like sources + branch preds).
     pub fn src_preds(&self) -> Vec<PredId> {
-        let mut v = Vec::new();
+        let (preds, n) = self.src_preds_inline();
+        preds[..n].to_vec()
+    }
+
+    /// [`Instr::src_preds`] without allocating: at most a guard plus one
+    /// instruction-specific predicate source.
+    pub fn src_preds_inline(&self) -> ([PredId; 2], usize) {
+        let mut out = [0; 2];
+        let mut n = 0;
         if let Some(g) = self.guard() {
-            v.push(g.pred);
+            out[n] = g.pred;
+            n += 1;
         }
         match self {
-            Instr::Sel { pred, .. } => v.push(pred.pred),
+            Instr::Sel { pred, .. } => {
+                out[n] = pred.pred;
+                n += 1;
+            }
             Instr::Bra {
                 pred: Some(PredSrc::Reg(g)),
                 ..
-            } => v.push(g.pred),
+            } => {
+                out[n] = g.pred;
+                n += 1;
+            }
             Instr::Enq {
                 kind: QueueKind::Pred,
                 pred: Some(p),
                 ..
-            } => v.push(*p),
+            } => {
+                out[n] = *p;
+                n += 1;
+            }
             _ => {}
         }
-        v
+        (out, n)
     }
 
     /// The instruction's guard, if any (branches use [`PredSrc`] instead).

@@ -11,11 +11,12 @@
 use crate::cache::{Cache, CacheOutcome};
 use crate::config::MemConfig;
 use crate::dram::{DramPartition, DramRequest};
+use crate::fxhash::FxHashMap;
 use crate::mshr::{MshrTable, MshrTarget};
 use crate::stats::MemStats;
 use simt_trace::{NullTracer, StallCause, TraceClient, TraceEvent, TraceReqKind, Tracer};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Who issued a request (routes the response).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -159,8 +160,8 @@ struct Partition {
     inq: VecDeque<(u64, MemRequest)>,
     l2: Cache,
     dram: DramPartition,
-    /// Outstanding DRAM reads by id.
-    inflight: HashMap<u64, MemRequest>,
+    /// Outstanding DRAM reads by id. FxHashMap: hot path, never iterated.
+    inflight: FxHashMap<u64, MemRequest>,
     next_id: u64,
 }
 
@@ -169,28 +170,53 @@ struct SmPort {
     l1: Cache,
     mshr: MshrTable,
     pbuf: Option<Cache>,
-    /// (ready_cycle, seq) → fill/direct events arriving from partitions.
-    incoming: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    incoming_events: HashMap<usize, PartEvent>,
+    /// (ready_cycle, seq, ord, slot): fill/direct events from partitions.
+    /// Payloads live in a slab (`Vec<Option<..>>` + free list) instead of a
+    /// `HashMap` keyed by event id. Slab slots are reused, so the heap
+    /// carries a monotone `ord` as the tiebreaker — several ready events
+    /// can share one `(at, seq)` (an MSHR fill releasing merged targets)
+    /// and must drain in insertion order.
+    incoming: BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
+    incoming_slab: Vec<Option<PartEvent>>,
+    incoming_free: Vec<usize>,
     next_ev: usize,
     /// Responses ready for the client to drain.
-    ready: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    ready_events: HashMap<usize, MemResponse>,
+    ready: BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
+    ready_slab: Vec<Option<MemResponse>>,
+    ready_free: Vec<usize>,
 }
 
 impl SmPort {
     fn push_incoming(&mut self, at: u64, seq: u64, ev: PartEvent) {
-        let id = self.next_ev;
+        let ord = self.next_ev;
         self.next_ev += 1;
-        self.incoming_events.insert(id, ev);
-        self.incoming.push(Reverse((at, seq, id)));
+        let slot = match self.incoming_free.pop() {
+            Some(i) => {
+                self.incoming_slab[i] = Some(ev);
+                i
+            }
+            None => {
+                self.incoming_slab.push(Some(ev));
+                self.incoming_slab.len() - 1
+            }
+        };
+        self.incoming.push(Reverse((at, seq, ord, slot)));
     }
 
     fn push_ready(&mut self, at: u64, seq: u64, r: MemResponse) {
-        let id = self.next_ev;
+        let ord = self.next_ev;
         self.next_ev += 1;
-        self.ready_events.insert(id, r);
-        self.ready.push(Reverse((at, seq, id)));
+        let slot = match self.ready_free.pop() {
+            Some(i) => {
+                self.ready_slab[i] = Some(r);
+                i
+            }
+            None => {
+                self.ready_slab.push(Some(r));
+                self.ready_slab.len() - 1
+            }
+        };
+        self.ready.push(Reverse((at, seq, ord, slot)));
     }
 }
 
@@ -205,7 +231,14 @@ pub struct MemoryFabric {
     /// Acceptance cycle of in-flight traced requests, keyed by
     /// `(sm, client, token)`. Populated only while a tracer is enabled
     /// (pure observability — never read by timing code).
-    trace_t0: HashMap<(usize, u8, u64), u64>,
+    trace_t0: FxHashMap<(usize, u8, u64), u64>,
+    /// Monotone event counter for the idle-cycle fast-forward probe: bumped
+    /// on every accepted request, every event pop (partition input queue,
+    /// DRAM completions, SM incoming, response drain), and every DRAM
+    /// scheduling decision (`serviced` delta, folded in during the
+    /// partition cycle). Deliberately not a [`MemStats`] field — it must
+    /// never reach artifacts.
+    progress: u64,
 }
 
 impl MemoryFabric {
@@ -218,10 +251,12 @@ impl MemoryFabric {
                 pbuf: (cfg.prefetch_buffer_size > 0)
                     .then(|| Cache::new(cfg.prefetch_buffer_size, 8, cfg.line_bytes)),
                 incoming: BinaryHeap::new(),
-                incoming_events: HashMap::new(),
+                incoming_slab: Vec::new(),
+                incoming_free: Vec::new(),
                 next_ev: 0,
                 ready: BinaryHeap::new(),
-                ready_events: HashMap::new(),
+                ready_slab: Vec::new(),
+                ready_free: Vec::new(),
             })
             .collect();
         let parts = (0..cfg.num_partitions)
@@ -238,7 +273,7 @@ impl MemoryFabric {
                     cfg.dram_burst_cycles,
                     cfg.dram_queue,
                 ),
-                inflight: HashMap::new(),
+                inflight: FxHashMap::default(),
                 next_id: 0,
             })
             .collect();
@@ -248,7 +283,8 @@ impl MemoryFabric {
             parts,
             seq: 0,
             stats_extra: MemStats::default(),
-            trace_t0: HashMap::new(),
+            trace_t0: FxHashMap::default(),
+            progress: 0,
         }
     }
 
@@ -288,6 +324,9 @@ impl MemoryFabric {
                 ReqKind::Prefetch => self.access_prefetch(now, req),
             }
         };
+        if out == AccessOutcome::Accepted {
+            self.progress += 1;
+        }
         if tracer.enabled() {
             match out {
                 AccessOutcome::Accepted => {
@@ -590,6 +629,7 @@ impl MemoryFabric {
             };
             if proceed {
                 self.parts[p].inq.pop_front();
+                self.progress += 1;
                 if tracer.enabled() {
                     tracer.emit(
                         now,
@@ -603,10 +643,13 @@ impl MemoryFabric {
                 }
             }
         }
-        // 2. DRAM.
+        // 2. DRAM. A scheduling decision (serviced bump) is progress.
+        let serviced_before = self.parts[p].dram.serviced;
         self.parts[p].dram.cycle_traced(now, p, tracer);
+        self.progress += self.parts[p].dram.serviced - serviced_before;
         // 3. Completed DRAM reads → fill L2, route to SM.
         while let Some(done) = self.parts[p].dram.pop_done(now) {
+            self.progress += 1;
             let req = match self.parts[p].inflight.remove(&done.id) {
                 Some(r) => r,
                 None => continue,
@@ -648,12 +691,14 @@ impl MemoryFabric {
     fn sm_incoming_cycle(&mut self, sm: usize, now: u64, tracer: &mut dyn Tracer) {
         loop {
             let pop = matches!(self.sms[sm].incoming.peek(),
-                Some(&Reverse((at, _, _))) if at <= now);
+                Some(&Reverse((at, _, _, _))) if at <= now);
             if !pop {
                 break;
             }
-            let Reverse((_, seq, id)) = self.sms[sm].incoming.pop().unwrap();
-            let ev = self.sms[sm].incoming_events.remove(&id).unwrap();
+            let Reverse((_, seq, _, slot)) = self.sms[sm].incoming.pop().unwrap();
+            let ev = self.sms[sm].incoming_slab[slot].take().unwrap();
+            self.sms[sm].incoming_free.push(slot);
+            self.progress += 1;
             match ev {
                 PartEvent::Direct(resp) => {
                     self.sms[sm].push_ready(now, seq, resp);
@@ -720,17 +765,34 @@ impl MemoryFabric {
         tracer: &mut dyn Tracer,
     ) -> Vec<MemResponse> {
         let mut out = Vec::new();
+        self.drain_responses_into(sm, now, tracer, &mut out);
+        out
+    }
+
+    /// [`MemoryFabric::drain_responses_traced`] appending into a
+    /// caller-owned buffer, so the per-cycle hot path can reuse one
+    /// allocation across cycles.
+    pub fn drain_responses_into(
+        &mut self,
+        sm: usize,
+        now: u64,
+        tracer: &mut dyn Tracer,
+        out: &mut Vec<MemResponse>,
+    ) {
+        let start = out.len();
         loop {
             let pop = matches!(self.sms[sm].ready.peek(),
-                Some(&Reverse((at, _, _))) if at <= now);
+                Some(&Reverse((at, _, _, _))) if at <= now);
             if !pop {
                 break;
             }
-            let Reverse((_, _, id)) = self.sms[sm].ready.pop().unwrap();
-            out.push(self.sms[sm].ready_events.remove(&id).unwrap());
+            let Reverse((_, _, _, slot)) = self.sms[sm].ready.pop().unwrap();
+            out.push(self.sms[sm].ready_slab[slot].take().unwrap());
+            self.sms[sm].ready_free.push(slot);
+            self.progress += 1;
         }
         if tracer.enabled() {
-            for r in &out {
+            for r in &out[start..] {
                 let t0 = self
                     .trace_t0
                     .remove(&(r.sm, r.client.to_u8(), r.token))
@@ -747,7 +809,6 @@ impl MemoryFabric {
                 );
             }
         }
-        out
     }
 
     /// Unlock a DAC-locked L1 line after its demand access (paper §4.2).
@@ -795,6 +856,63 @@ impl MemoryFabric {
             s.dram_serviced += p.dram.serviced;
         }
         s
+    }
+
+    /// Fast-forward probe: total fabric progress events so far. Two
+    /// identical values across a cycle mean the hierarchy neither accepted,
+    /// moved, scheduled, completed, nor delivered anything that cycle.
+    pub fn progress_count(&self) -> u64 {
+        self.progress
+    }
+
+    /// Earliest cycle after `now` at which the hierarchy could act on its
+    /// own: an incoming/ready event maturing, a queued partition request
+    /// arriving, or DRAM finishing a transfer / freeing a bank. `u64::MAX`
+    /// when fully drained. A partition-queue head with `arrive <= now` is
+    /// *blocked* (its DRAM queue is full — otherwise the probe cycle would
+    /// have made progress), so the DRAM wake time covers it.
+    pub fn next_event_time(&self, now: u64) -> u64 {
+        let mut wake = u64::MAX;
+        for port in &self.sms {
+            if let Some(&Reverse((at, _, _, _))) = port.incoming.peek() {
+                wake = wake.min(at.max(now + 1));
+            }
+            if let Some(&Reverse((at, _, _, _))) = port.ready.peek() {
+                wake = wake.min(at.max(now + 1));
+            }
+        }
+        for p in &self.parts {
+            if let Some(&(arrive, _)) = p.inq.front() {
+                if arrive > now {
+                    wake = wake.min(arrive);
+                }
+            }
+            wake = wake.min(p.dram.next_event_time(now));
+        }
+        wake
+    }
+
+    /// Credit `k` skipped idle cycles to the aggregate statistics: add
+    /// `k × (stats() − before)` into the fabric-level extras, field by
+    /// field. `before` must be a [`MemoryFabric::stats`] snapshot taken
+    /// just before the probe cycle; the only counters that move in a
+    /// no-progress cycle are per-cycle stall events, which repeat exactly
+    /// in every skipped cycle.
+    pub fn ff_credit(&mut self, before: &MemStats, k: u64) {
+        let after = self.stats();
+        let extra_now = self.stats_extra.fields();
+        for (((name, b), (_, a)), (_, e)) in before
+            .fields()
+            .into_iter()
+            .zip(after.fields())
+            .zip(extra_now)
+        {
+            debug_assert!(a >= b, "MemStats counter {name} went backwards");
+            if a != b {
+                let ok = self.stats_extra.set_field(name, e + (a - b) * k);
+                debug_assert!(ok, "unknown MemStats field {name}");
+            }
+        }
     }
 }
 

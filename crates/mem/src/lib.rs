@@ -22,6 +22,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod fabric;
+pub mod fxhash;
 pub mod mshr;
 pub mod sparse;
 pub mod stats;
@@ -30,6 +31,7 @@ pub use cache::{Cache, CacheOutcome};
 pub use config::MemConfig;
 pub use dram::DramPartition;
 pub use fabric::{AccessOutcome, Client, MemRequest, MemResponse, MemoryFabric, ReqKind};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use mshr::MshrTable;
 pub use sparse::SparseMemory;
 pub use stats::MemStats;

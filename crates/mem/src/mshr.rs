@@ -1,6 +1,6 @@
 //! Miss Status Holding Registers with same-line request merging.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 /// A target waiting on an in-flight line: who to notify when it fills.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,7 +20,10 @@ struct Entry {
 /// the number of merged requests per line.
 #[derive(Debug, Clone)]
 pub struct MshrTable {
-    entries: HashMap<u64, Entry>,
+    // FxHashMap, not the default SipHash map: this table sits on the
+    // per-access hot path and is never iterated, so the hasher swap cannot
+    // perturb results.
+    entries: FxHashMap<u64, Entry>,
     capacity: usize,
     merge_capacity: usize,
     /// Allocation failures due to a full table (structural stall events).
@@ -33,7 +36,7 @@ impl MshrTable {
     /// A table with `capacity` entries and `merge_capacity` targets each.
     pub fn new(capacity: usize, merge_capacity: usize) -> Self {
         MshrTable {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             capacity,
             merge_capacity,
             full_stalls: 0,

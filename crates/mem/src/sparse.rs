@@ -1,18 +1,25 @@
 //! Functional (value-carrying) memory, sparsely allocated in 4 KiB pages.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 const PAGE_BITS: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const PAGE_MASK: u64 = PAGE_SIZE as u64 - 1;
 
 /// Byte-addressable sparse memory. Unwritten bytes read as zero.
 ///
 /// This carries the *values* of global/local memory; the timing model in
 /// [`crate::fabric`] is separate (tag-only caches), so functional execution
 /// can run at instruction-issue time while timing unfolds over many cycles.
+///
+/// The page table is an [`FxHashMap`] (never iterated — lookups only, so
+/// the hasher swap cannot perturb results), and all multi-byte accessors
+/// resolve their page once per access, not once per byte: functional
+/// loads/stores sit on the per-issue hot path, and workload construction
+/// writes whole input arrays through the slice paths.
 #[derive(Debug, Default, Clone)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: FxHashMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl SparseMemory {
@@ -30,32 +37,53 @@ impl SparseMemory {
     /// Read one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
         match self.pages.get(&(addr >> PAGE_BITS)) {
-            Some(p) => p[(addr & (PAGE_SIZE as u64 - 1)) as usize],
+            Some(p) => p[(addr & PAGE_MASK) as usize],
             None => 0,
         }
     }
 
     /// Write one byte.
     pub fn write_u8(&mut self, addr: u64, v: u8) {
-        let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        let off = (addr & PAGE_MASK) as usize;
         self.page_mut(addr)[off] = v;
     }
 
     /// Read `n ≤ 8` bytes little-endian.
     pub fn read_bytes(&self, addr: u64, n: usize) -> u64 {
         debug_assert!(n <= 8);
-        let mut v = 0u64;
-        for i in 0..n {
-            v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+        let off = (addr & PAGE_MASK) as usize;
+        if off + n <= PAGE_SIZE {
+            // Common case: the access stays within one page.
+            let Some(p) = self.pages.get(&(addr >> PAGE_BITS)) else {
+                return 0;
+            };
+            let mut v = 0u64;
+            for i in 0..n {
+                v |= (p[off + i] as u64) << (8 * i);
+            }
+            v
+        } else {
+            let mut v = 0u64;
+            for i in 0..n {
+                v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
     /// Write `n ≤ 8` bytes little-endian.
     pub fn write_bytes(&mut self, addr: u64, v: u64, n: usize) {
         debug_assert!(n <= 8);
-        for i in 0..n {
-            self.write_u8(addr + i as u64, (v >> (8 * i)) as u8);
+        let off = (addr & PAGE_MASK) as usize;
+        if off + n <= PAGE_SIZE {
+            let p = self.page_mut(addr);
+            for i in 0..n {
+                p[off + i] = (v >> (8 * i)) as u8;
+            }
+        } else {
+            for i in 0..n {
+                self.write_u8(addr + i as u64, (v >> (8 * i)) as u8);
+            }
         }
     }
 
@@ -79,18 +107,37 @@ impl SparseMemory {
         self.write_u32(addr, v.to_bits());
     }
 
+    /// Write a run of 32-bit words page-by-page: one page-table lookup per
+    /// touched page instead of one per byte.
+    fn write_word_run(&mut self, base: u64, words: impl Fn(usize) -> u32, len: usize) {
+        let mut i = 0;
+        while i < len {
+            let addr = base + 4 * i as u64;
+            let off = (addr & PAGE_MASK) as usize;
+            let in_page = ((PAGE_SIZE - off) / 4).min(len - i);
+            if in_page == 0 {
+                // A word straddling the page boundary (unaligned base).
+                self.write_bytes(addr, words(i) as u64, 4);
+                i += 1;
+                continue;
+            }
+            let p = self.page_mut(addr);
+            for j in 0..in_page {
+                let o = off + 4 * j;
+                p[o..o + 4].copy_from_slice(&words(i + j).to_le_bytes());
+            }
+            i += in_page;
+        }
+    }
+
     /// Bulk-initialize a region with 32-bit words.
     pub fn write_u32_slice(&mut self, base: u64, data: &[u32]) {
-        for (i, &w) in data.iter().enumerate() {
-            self.write_u32(base + 4 * i as u64, w);
-        }
+        self.write_word_run(base, |i| data[i], data.len());
     }
 
     /// Bulk-initialize a region with `f32` values.
     pub fn write_f32_slice(&mut self, base: u64, data: &[f32]) {
-        for (i, &f) in data.iter().enumerate() {
-            self.write_f32(base + 4 * i as u64, f);
-        }
+        self.write_word_run(base, |i| data[i].to_bits(), data.len());
     }
 
     /// Read `len` 32-bit words starting at `base`.
@@ -139,6 +186,16 @@ mod tests {
         let data = [1.0f32, -2.5, 3.75];
         m.write_f32_slice(0x1000, &data);
         assert_eq!(m.read_f32_vec(0x1000, 3), data.to_vec());
+    }
+
+    #[test]
+    fn slice_write_across_page_boundary() {
+        let mut m = SparseMemory::new();
+        let base = (1 << PAGE_BITS) - 6; // 6 bytes in page 0, rest in page 1
+        let data: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        m.write_u32_slice(base, &data);
+        assert_eq!(m.read_u32_vec(base, 1024), data);
+        assert_eq!(m.resident_pages(), 2);
     }
 
     #[test]

@@ -12,18 +12,14 @@ use gpu_workloads::{gpu_for, Design, ALL_ABBRS};
 use simt_harness::{suite_jobs, DesignPoint, Harness, Overrides};
 use simt_profile::CpiStack;
 
-#[test]
-fn slot_buckets_sum_to_issue_slots_on_all_workloads_and_designs() {
-    let overrides = Overrides {
-        num_sms: Some(2),
-        max_warps_per_sm: Some(16),
-        ..Overrides::default()
-    };
+/// Run the full suite × all designs with the given overrides and assert
+/// the issue-slot identity on every result.
+fn check_invariant(overrides: &Overrides) {
     let benches = ALL_ABBRS
         .iter()
         .map(|a| gpu_workloads::benchmark(a, 1).expect("known benchmark"))
         .collect();
-    let jobs = suite_jobs(benches, 1, &DesignPoint::HW_ALL, &overrides);
+    let jobs = suite_jobs(benches, 1, &DesignPoint::HW_ALL, overrides);
     assert_eq!(jobs.len(), ALL_ABBRS.len() * Design::ALL.len());
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
     let out = Harness::new(workers).run(&jobs);
@@ -58,4 +54,28 @@ fn slot_buckets_sum_to_issue_slots_on_all_workloads_and_designs() {
             );
         }
     }
+}
+
+/// The default configuration: idle-cycle fast-forward is *on*, so this
+/// exercises the bulk-crediting path — every skipped cycle's issue slots
+/// must still land in exactly one bucket for the identity to hold.
+#[test]
+fn slot_buckets_sum_to_issue_slots_on_all_workloads_and_designs() {
+    check_invariant(&Overrides {
+        num_sms: Some(2),
+        max_warps_per_sm: Some(16),
+        ..Overrides::default()
+    });
+}
+
+/// Same identity with fast-forward disabled (`--no-fast-forward`): the
+/// cycle-by-cycle reference the bulk crediting must agree with.
+#[test]
+fn slot_buckets_sum_without_fast_forward() {
+    check_invariant(&Overrides {
+        num_sms: Some(2),
+        max_warps_per_sm: Some(16),
+        no_fast_forward: true,
+        ..Overrides::default()
+    });
 }

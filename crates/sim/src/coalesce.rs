@@ -13,8 +13,16 @@ pub struct Transaction {
 /// Coalesce per-lane byte addresses (`None` = inactive lane) into unique
 /// line transactions, in first-appearance order (deterministic).
 pub fn coalesce(addrs: &[Option<u64>], line_bytes: u64) -> Vec<Transaction> {
+    let mut out = Vec::new();
+    coalesce_into(addrs, line_bytes, &mut out);
+    out
+}
+
+/// [`coalesce`] into a caller-owned buffer (cleared first), so the hot
+/// path can reuse one allocation across instructions.
+pub fn coalesce_into(addrs: &[Option<u64>], line_bytes: u64, out: &mut Vec<Transaction>) {
     debug_assert!(line_bytes.is_power_of_two());
-    let mut out: Vec<Transaction> = Vec::new();
+    out.clear();
     for (lane, addr) in addrs.iter().enumerate() {
         let Some(a) = addr else { continue };
         let line = a & !(line_bytes - 1);
@@ -26,7 +34,6 @@ pub fn coalesce(addrs: &[Option<u64>], line_bytes: u64) -> Vec<Transaction> {
             }),
         }
     }
-    out
 }
 
 #[cfg(test)]

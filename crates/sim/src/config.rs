@@ -33,6 +33,10 @@ pub struct GpuConfig {
     pub lsu_queue: usize,
     /// Hard cap on simulated cycles (deadlock guard).
     pub max_cycles: u64,
+    /// Fast-forward across stretches of cycles in which nothing can make
+    /// progress (see DESIGN.md "Simulator performance"). Cycle-exact by
+    /// construction; disable with `--no-fast-forward` to cross-check.
+    pub fast_forward: bool,
     /// The memory hierarchy.
     pub mem: MemConfig,
 }
@@ -55,6 +59,7 @@ impl GpuConfig {
             shared_mem_per_sm: 48 * 1024,
             lsu_queue: 16,
             max_cycles: 200_000_000,
+            fast_forward: true,
             mem: MemConfig::gtx480(),
         }
     }

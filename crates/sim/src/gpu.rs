@@ -104,6 +104,17 @@ impl GpuSim {
         let mut next_cta = 0u64;
         let mut now = 0u64;
 
+        // Idle-cycle fast-forward (probe-and-multiply): after a cycle in
+        // which nothing progressed, jump straight to the next cycle at
+        // which anything *can* progress, crediting the skipped cycles'
+        // per-cycle counters in bulk. Exact by construction — a
+        // no-progress cycle is a pure function of state that does not
+        // change, so each skipped cycle would have repeated it verbatim.
+        // Disabled while tracing (skipped cycles would drop their per-cycle
+        // stall events from the trace).
+        let ff_enabled = cfg.fast_forward && !tracer.enabled();
+        let mut prev_quiet = false;
+
         loop {
             // Dispatch pending CTAs breadth-first: one CTA per SM per pass,
             // so work spreads across SMs before SMs fill up (as the
@@ -121,6 +132,28 @@ impl GpuSim {
                     break;
                 }
             }
+
+            // Cheap progress fingerprint (a handful of u64 reads). The full
+            // statistics snapshot needed to credit skipped cycles is only
+            // taken when the *previous* cycle was already quiet: a quiet
+            // cycle is a pure function of state that did not change, so the
+            // cycle after it repeats it verbatim and can serve as the
+            // measured template. Busy phases therefore pay almost nothing
+            // for the probe; idle stretches pay one extra stepped cycle.
+            let prog_before =
+                fabric.progress_count() + sms.iter().map(Sm::progress_count).sum::<u64>();
+            let fp_before = (
+                stats.slot_issued,
+                stats.affine_issue_slots,
+                stats.aeu_records,
+                stats.peu_records,
+                stats.ctas_launched,
+            );
+            let ff_probe = if ff_enabled && prev_quiet {
+                Some((stats.clone(), fabric.stats()))
+            } else {
+                None
+            };
 
             fabric.cycle_traced(now, tracer);
             for sm in &mut sms {
@@ -146,6 +179,43 @@ impl GpuSim {
             if done {
                 break;
             }
+
+            // "Quiet" = no SM/fabric progress event and no coprocessor work
+            // (issue slots, AEU/PEU expansions, CTA launches all surface as
+            // stats deltas).
+            let quiet = ff_enabled
+                && prog_before
+                    == fabric.progress_count() + sms.iter().map(Sm::progress_count).sum::<u64>()
+                && fp_before
+                    == (
+                        stats.slot_issued,
+                        stats.affine_issue_slots,
+                        stats.aeu_records,
+                        stats.peu_records,
+                        stats.ctas_launched,
+                    );
+            if quiet {
+                if let Some((stats_before, mem_before)) = ff_probe {
+                    let wake = sms
+                        .iter()
+                        .map(|s| s.next_event_time(now))
+                        .chain([fabric.next_event_time(now), coproc.ff_wake(now)])
+                        .min()
+                        .unwrap()
+                        .min(cfg.max_cycles);
+                    // Jump so the `now += 1` below lands exactly on `wake`;
+                    // clamping at `max_cycles` preserves the deadlock guard
+                    // (a wake of `u64::MAX` means nothing can ever happen).
+                    if wake > now + 1 {
+                        let k = wake - 1 - now;
+                        stats.ff_credit(&stats_before, k);
+                        fabric.ff_credit(&mem_before, k);
+                        now += k;
+                    }
+                }
+            }
+            prev_quiet = quiet;
+
             now += 1;
             assert!(
                 now < cfg.max_cycles,

@@ -1,14 +1,16 @@
 //! One streaming multiprocessor: schedulers, scoreboard, functional
 //! execution, LSU, barriers, and CTA residency.
 
-use crate::coalesce::coalesce;
+use crate::coalesce::{coalesce_into, Transaction};
 use crate::config::GpuConfig;
 use crate::coproc::{CoCtx, CoProcessor, IssueCost, RecordKind};
 use crate::stats::SimStats;
 use crate::warp::WarpState;
 use simt_ir::cfg::DefTarget;
 use simt_ir::{eval, AddrMode, AtomOp, Instr, Operand, PredSrc, Program, Space, Width};
-use simt_mem::{AccessOutcome, Client, MemRequest, MemoryFabric, ReqKind, SparseMemory};
+use simt_mem::{
+    AccessOutcome, Client, MemRequest, MemResponse, MemoryFabric, ReqKind, SparseMemory,
+};
 use simt_trace::{StallCause, TraceEvent, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -135,12 +137,30 @@ pub struct Sm {
     /// CTA slots.
     pub cta_slots: Vec<Option<CtaInfo>>,
     schedulers: Vec<Scheduler>,
-    writeback: BinaryHeap<Reverse<(u64, usize, u64)>>,
-    writeback_what: HashMap<u64, (usize, DefTarget)>,
+    /// Pending register/predicate releases: `(at, warp, id, target)` with a
+    /// monotone `id` so ordering never reaches the 4th field. The def
+    /// target is encoded inline (`Reg(r)` → `r`, `Pred(p)` → `1<<32 | p`)
+    /// instead of living in a side map keyed by id.
+    writeback: BinaryHeap<Reverse<(u64, usize, u64, u64)>>,
     next_wb: u64,
     lsu: VecDeque<LsuTxn>,
-    outstanding: HashMap<u64, LoadTrack>,
+    /// In-flight loads/atomics by token. A short linear-scan Vec, not a
+    /// map: a handful of entries at most, and removal order never matters.
+    outstanding: Vec<(u64, LoadTrack)>,
     next_token: u64,
+    /// Reusable scratch buffers for the per-cycle hot path (see DESIGN.md
+    /// "Simulator performance"); cleared before each use, never observed
+    /// across calls.
+    resp_scratch: Vec<MemResponse>,
+    txn_scratch: Vec<Transaction>,
+    line_scratch: Vec<u64>,
+    /// Monotone event counter for the idle-cycle fast-forward probe. Bumped
+    /// only on SM-side state changes that no statistics counter already
+    /// witnesses: writeback-heap pops, barrier releases, and CTA retires.
+    /// (Issues show up as `slot_issued` / `affine_issue_slots`; memory
+    /// traffic as fabric progress.) Deliberately NOT a `SimStats` field —
+    /// it must never reach artifacts.
+    progress: u64,
 }
 
 impl Sm {
@@ -157,12 +177,39 @@ impl Sm {
                 })
                 .collect(),
             writeback: BinaryHeap::new(),
-            writeback_what: HashMap::new(),
             next_wb: 0,
             lsu: VecDeque::new(),
-            outstanding: HashMap::new(),
+            outstanding: Vec::new(),
             next_token: 0,
+            resp_scratch: Vec::new(),
+            txn_scratch: Vec::new(),
+            line_scratch: Vec::new(),
+            progress: 0,
         }
+    }
+
+    /// Fast-forward probe: total SM-side progress events so far (see the
+    /// `progress` field for what counts).
+    pub(crate) fn progress_count(&self) -> u64 {
+        self.progress
+    }
+
+    /// Earliest cycle after `now` at which this SM could act without any
+    /// external event: the next writeback release, or a scheduler coming
+    /// back from a multi-cycle issue. `u64::MAX` when neither is pending.
+    /// Called after the cycle's `drain_writebacks`, so any heap head is
+    /// strictly in the future.
+    pub(crate) fn next_event_time(&self, now: u64) -> u64 {
+        let mut wake = u64::MAX;
+        if let Some(&Reverse((at, _, _, _))) = self.writeback.peek() {
+            wake = wake.min(at.max(now + 1));
+        }
+        for s in &self.schedulers {
+            if s.busy_until > now {
+                wake = wake.min(s.busy_until);
+            }
+        }
+        wake
     }
 
     /// Does the SM have room for another CTA of this kernel?
@@ -249,8 +296,11 @@ impl Sm {
     fn schedule_writeback(&mut self, at: u64, warp: usize, what: DefTarget) {
         let id = self.next_wb;
         self.next_wb += 1;
-        self.writeback_what.insert(id, (warp, what));
-        self.writeback.push(Reverse((at, warp, id)));
+        let enc = match what {
+            DefTarget::Reg(r) => r as u64,
+            DefTarget::Pred(p) => (1u64 << 32) | p as u64,
+        };
+        self.writeback.push(Reverse((at, warp, id, enc)));
     }
 
     /// Advance the SM one cycle.
@@ -323,17 +373,17 @@ impl Sm {
     }
 
     fn drain_writebacks(&mut self, now: u64) {
-        while let Some(&Reverse((at, _, id))) = self.writeback.peek() {
+        while let Some(&Reverse((at, warp, _, enc))) = self.writeback.peek() {
             if at > now {
                 break;
             }
             self.writeback.pop();
-            if let Some((warp, what)) = self.writeback_what.remove(&id) {
-                if let Some(w) = self.warps[warp].as_mut() {
-                    match what {
-                        DefTarget::Reg(r) => w.release_reg(r),
-                        DefTarget::Pred(p) => w.release_pred(p),
-                    }
+            self.progress += 1;
+            if let Some(w) = self.warps[warp].as_mut() {
+                if enc & (1u64 << 32) != 0 {
+                    w.release_pred(enc as u16);
+                } else {
+                    w.release_reg(enc as u16);
                 }
             }
         }
@@ -346,10 +396,14 @@ impl Sm {
         coproc: &mut dyn CoProcessor,
         tracer: &mut dyn Tracer,
     ) {
-        for resp in fabric.drain_responses_traced(self.id, now, tracer) {
+        let mut resps = std::mem::take(&mut self.resp_scratch);
+        resps.clear();
+        fabric.drain_responses_into(self.id, now, tracer, &mut resps);
+        for resp in &resps {
             match resp.client {
                 Client::Lsu => {
-                    if let Some(track) = self.outstanding.remove(&resp.token) {
+                    if let Some(pos) = self.outstanding.iter().position(|&(t, _)| t == resp.token) {
+                        let (_, track) = self.outstanding.swap_remove(pos);
                         if let Some(line) = track.unlock_line {
                             fabric.unlock(self.id, line);
                         }
@@ -360,9 +414,10 @@ impl Sm {
                         }
                     }
                 }
-                Client::Dac | Client::Mta => coproc.on_response(&resp),
+                Client::Dac | Client::Mta => coproc.on_response(resp),
             }
         }
+        self.resp_scratch = resps;
     }
 
     /// Two-level warp pick for scheduler `s`: round-robin over the active
@@ -384,30 +439,29 @@ impl Sm {
         self.schedulers[s]
             .active
             .retain(|&w| matches!(&self.warps[w], Some(ws) if !ws.done()));
-        // 1. Ready warp already in the active pool (rotating order).
-        let pool: Vec<usize> = self.schedulers[s].active.iter().copied().collect();
-        for &w in &pool {
+        // 1. Ready warp already in the active pool (rotating order). The
+        // pool is only mutated on a successful pick, so indexed iteration
+        // sees exactly the snapshot a copy would.
+        let pool_len = self.schedulers[s].active.len();
+        for pos in 0..pool_len {
+            let w = self.schedulers[s].active[pos];
             if self.warp_check(w, now, cfg, kctx, coproc, stats, tracer, tally) == Readiness::Ready
             {
                 // Rotate the pool so the warp after `w` gets priority next.
-                let pos = self.schedulers[s]
-                    .active
-                    .iter()
-                    .position(|&x| x == w)
-                    .unwrap();
                 self.schedulers[s]
                     .active
-                    .rotate_left((pos + 1) % pool.len().max(1));
+                    .rotate_left((pos + 1) % pool_len.max(1));
                 return Some(w);
             }
         }
         // 2. Swap in a ready pending warp.
-        let candidates: Vec<usize> = (0..self.warps.len())
-            .filter(|&w| w % nsched == s)
-            .filter(|w| !pool.contains(w))
-            .filter(|&w| matches!(&self.warps[w], Some(ws) if !ws.done()))
-            .collect();
-        for w in candidates {
+        for w in 0..self.warps.len() {
+            if w % nsched != s
+                || self.schedulers[s].active.contains(&w)
+                || !matches!(&self.warps[w], Some(ws) if !ws.done())
+            {
+                continue;
+            }
             if self.warp_check(w, now, cfg, kctx, coproc, stats, tracer, tally) == Readiness::Ready
             {
                 if self.schedulers[s].active.len() >= cfg.active_pool {
@@ -499,13 +553,17 @@ impl Sm {
         }
         let pc = warp.stack.pc();
         let instr = &kctx.program.kernel.instrs[pc];
-        // Scoreboard: sources and destination must be idle.
-        for r in instr.src_regs() {
+        // Scoreboard: sources and destination must be idle. The inline
+        // (array) variants keep this allocation-free — it runs for every
+        // candidate warp every cycle.
+        let (src_regs, nr) = instr.src_regs_inline();
+        for &r in &src_regs[..nr] {
             if warp.reg_pending(r) {
                 return Readiness::Stalled(StallCause::Scoreboard);
             }
         }
-        for p in instr.src_preds() {
+        let (src_preds, np) = instr.src_preds_inline();
+        for &p in &src_preds[..np] {
             if warp.pred_pending(p) {
                 return Readiness::Stalled(StallCause::Scoreboard);
             }
@@ -548,7 +606,9 @@ impl Sm {
     ) -> IssueCost {
         let launch = &kctx.program.launch;
         let pc = self.warps[w].as_ref().unwrap().stack.pc();
-        let instr = kctx.program.kernel.instrs[pc].clone();
+        // Borrow the instruction from the shared program — kctx outlives
+        // the `&mut self` uses below, so no per-issue clone is needed.
+        let instr = &kctx.program.kernel.instrs[pc];
         let cta_coords;
         {
             let warp = self.warps[w].as_ref().unwrap();
@@ -559,7 +619,7 @@ impl Sm {
         }
         stats.warp_instructions += 1;
         let active = self.warps[w].as_ref().unwrap().stack.active_mask();
-        let cost = coproc.issue_cost(self.id, w, &instr, active, stats);
+        let cost = coproc.issue_cost(self.id, w, instr, active, stats);
         self.warps[w].as_mut().unwrap().last_issue = now;
         let depth_before = self.warps[w].as_ref().unwrap().stack.depth();
         if tracer.enabled() {
@@ -586,7 +646,7 @@ impl Sm {
         };
         let lanes = eff_mask.count_ones() as u64;
 
-        match &instr {
+        match instr {
             Instr::Alu { op, dst, srcs, .. } => {
                 let warp = self.warps[w].as_mut().unwrap();
                 for lane in 0..32 {
@@ -809,11 +869,10 @@ impl Sm {
                 // Dequeued records already carry absolute addresses (the
                 // AEU applied the local window when it issued the early
                 // requests).
-                let addrs = if record.is_some() {
-                    addrs
-                } else {
-                    self.translate_local(w, space, addrs, kctx)
-                };
+                let mut addrs = addrs;
+                if record.is_none() {
+                    self.translate_local(w, space, &mut addrs, kctx);
+                }
                 // Functional read at issue.
                 {
                     let warp = self.warps[w].as_mut().unwrap();
@@ -824,9 +883,11 @@ impl Sm {
                         }
                     }
                 }
-                let txns = coalesce(&addrs, cfg.mem.line_bytes);
-                let lines: Vec<u64> = txns.iter().map(|t| t.line).collect();
-                coproc.observe_mem(self.id, w, pc, space, false, &lines);
+                let mut txns = std::mem::take(&mut self.txn_scratch);
+                coalesce_into(&addrs, cfg.mem.line_bytes, &mut txns);
+                self.line_scratch.clear();
+                self.line_scratch.extend(txns.iter().map(|t| t.line));
+                coproc.observe_mem(self.id, w, pc, space, false, &self.line_scratch);
                 if tracer.enabled() {
                     tracer.emit(
                         now,
@@ -844,22 +905,20 @@ impl Sm {
                 if decoupled {
                     stats.decoupled_loads += 1;
                 }
-                let unlock = matches!(record.as_ref().map(|r| r.kind), Some(RecordKind::Data));
-                if txns.is_empty() {
-                    // Fully inactive (guarded off): nothing outstanding.
-                    return Some(());
-                }
+                let unlock = matches!(record, Some(RecordKind::Data));
+                // An empty txn list (fully guarded off) leaves nothing
+                // outstanding.
                 for t in &txns {
                     let token = self.next_token;
                     self.next_token += 1;
-                    self.outstanding.insert(
+                    self.outstanding.push((
                         token,
                         LoadTrack {
                             warp: w,
                             dst: Some(dst),
                             unlock_line: unlock.then_some(t.line),
                         },
-                    );
+                    ));
                     self.warps[w].as_mut().unwrap().mark_reg_pending(dst);
                     self.lsu.push_back(LsuTxn {
                         req: MemRequest {
@@ -871,6 +930,7 @@ impl Sm {
                         },
                     });
                 }
+                self.txn_scratch = txns;
             }
         }
         Some(())
@@ -920,27 +980,26 @@ impl Sm {
             }
             Space::Global | Space::Local => {
                 stats.global_stores += 1;
-                let addrs = if _record.is_some() {
-                    addrs
-                } else {
-                    self.translate_local(w, space, addrs, kctx)
-                };
+                let mut addrs = addrs;
+                if _record.is_none() {
+                    self.translate_local(w, space, &mut addrs, kctx);
+                }
                 {
+                    // `mem` is disjoint from the warp borrow, so the
+                    // functional writes happen in one pass, in lane order.
                     let warp = self.warps[w].as_ref().unwrap();
-                    let vals: Vec<(u64, u64)> = addrs
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(lane, a)| {
-                            a.map(|a| (a, warp.operand(src, lane, launch, cta_coords)))
-                        })
-                        .collect();
-                    for (a, v) in vals {
-                        mem.write_bytes(a, v, width.bytes() as usize);
+                    for (lane, a) in addrs.iter().enumerate() {
+                        if let Some(a) = a {
+                            let v = warp.operand(src, lane, launch, cta_coords);
+                            mem.write_bytes(*a, v, width.bytes() as usize);
+                        }
                     }
                 }
-                let txns = coalesce(&addrs, cfg.mem.line_bytes);
-                let lines: Vec<u64> = txns.iter().map(|t| t.line).collect();
-                coproc.observe_mem(self.id, w, pc, space, true, &lines);
+                let mut txns = std::mem::take(&mut self.txn_scratch);
+                coalesce_into(&addrs, cfg.mem.line_bytes, &mut txns);
+                self.line_scratch.clear();
+                self.line_scratch.extend(txns.iter().map(|t| t.line));
+                coproc.observe_mem(self.id, w, pc, space, true, &self.line_scratch);
                 if tracer.enabled() {
                     tracer.emit(
                         now,
@@ -967,6 +1026,7 @@ impl Sm {
                         },
                     });
                 }
+                self.txn_scratch = txns;
             }
         }
     }
@@ -1016,18 +1076,19 @@ impl Sm {
                 warp.set_reg(dst, lane, old);
             }
         }
-        let txns = coalesce(&addrs, cfg.mem.line_bytes);
+        let mut txns = std::mem::take(&mut self.txn_scratch);
+        coalesce_into(&addrs, cfg.mem.line_bytes, &mut txns);
         for t in &txns {
             let token = self.next_token;
             self.next_token += 1;
-            self.outstanding.insert(
+            self.outstanding.push((
                 token,
                 LoadTrack {
                     warp: w,
                     dst: Some(dst),
                     unlock_line: None,
                 },
-            );
+            ));
             self.warps[w].as_mut().unwrap().mark_reg_pending(dst);
             self.lsu.push_back(LsuTxn {
                 req: MemRequest {
@@ -1039,11 +1100,13 @@ impl Sm {
                 },
             });
         }
+        self.txn_scratch = txns;
         stats.alu_lane_ops += eff_mask.count_ones() as u64;
     }
 
     /// Resolve per-lane addresses from the addressing mode; returns the DAC
-    /// record when the mode was a dequeue form.
+    /// record kind when the mode was a dequeue form. Dequeued records hand
+    /// over their address vector by move (no clone).
     fn resolve_addrs(
         &mut self,
         w: usize,
@@ -1052,7 +1115,7 @@ impl Sm {
         launch: &simt_ir::LaunchConfig,
         cta_coords: (u32, u32, u32),
         coproc: &mut dyn CoProcessor,
-    ) -> (Vec<Option<u64>>, Option<crate::coproc::AddrRecord>) {
+    ) -> (Vec<Option<u64>>, Option<RecordKind>) {
         match addr {
             AddrMode::Reg(r, disp) => {
                 let warp = self.warps[w].as_ref().unwrap();
@@ -1070,34 +1133,31 @@ impl Sm {
                 let rec = coproc
                     .deq_record(self.id, w)
                     .expect("deq issued with empty PWAQ");
-                (rec.thread_addrs.clone(), Some(rec))
+                (rec.thread_addrs, Some(rec.kind))
             }
         }
     }
 
-    /// Rebase local-space addresses into each thread's private window.
+    /// Rebase local-space addresses into each thread's private window,
+    /// in place.
     fn translate_local(
         &self,
         w: usize,
         space: Space,
-        addrs: Vec<Option<u64>>,
+        addrs: &mut [Option<u64>],
         kctx: &KernelCtx<'_>,
-    ) -> Vec<Option<u64>> {
+    ) {
         if space != Space::Local {
-            return addrs;
+            return;
         }
         let warp = self.warps[w].as_ref().unwrap();
         let tpc = kctx.program.launch.threads_per_cta() as u64;
-        addrs
-            .into_iter()
-            .enumerate()
-            .map(|(lane, a)| {
-                a.map(|a| {
-                    let gtid = warp.cta_linear * tpc + warp.thread_linear(lane);
-                    LOCAL_BASE + gtid * LOCAL_STRIDE + (a % LOCAL_STRIDE)
-                })
-            })
-            .collect()
+        for (lane, a) in addrs.iter_mut().enumerate() {
+            if let Some(a) = a {
+                let gtid = warp.cta_linear * tpc + warp.thread_linear(lane);
+                *a = LOCAL_BASE + gtid * LOCAL_STRIDE + (*a % LOCAL_STRIDE);
+            }
+        }
     }
 
     fn pump_lsu(&mut self, now: u64, fabric: &mut MemoryFabric, tracer: &mut dyn Tracer) {
@@ -1107,10 +1167,11 @@ impl Sm {
             match fabric.access_traced(now, txn.req, tracer) {
                 AccessOutcome::Accepted => {
                     let txn = self.lsu.pop_front().unwrap();
-                    // Stores need no tracking.
-                    if txn.req.kind == ReqKind::Store {
-                        self.outstanding.remove(&txn.req.token);
-                    }
+                    // Stores need no tracking (they were never inserted).
+                    debug_assert!(
+                        txn.req.kind != ReqKind::Store
+                            || !self.outstanding.iter().any(|&(t, _)| t == txn.req.token)
+                    );
                 }
                 AccessOutcome::Stall(_) => {}
             }
@@ -1138,6 +1199,7 @@ impl Sm {
                 }
             }
             if any_waiting && all_arrived {
+                self.progress += 1;
                 let warps = cta.warps.clone();
                 for wid in warps {
                     if let Some(w) = self.warps[wid].as_mut() {
@@ -1166,7 +1228,10 @@ impl Sm {
             if all_done {
                 let warps = cta.warps.clone();
                 // Do not free warps with outstanding memory responses.
-                let pending_mem = self.outstanding.values().any(|t| warps.contains(&t.warp));
+                let pending_mem = self
+                    .outstanding
+                    .iter()
+                    .any(|(_, t)| warps.contains(&t.warp));
                 if pending_mem {
                     continue;
                 }
@@ -1174,6 +1239,7 @@ impl Sm {
                     self.warps[wid] = None;
                 }
                 self.cta_slots[slot] = None;
+                self.progress += 1;
                 coproc.on_cta_retire(self.id, slot);
                 retired.push(slot);
             }
