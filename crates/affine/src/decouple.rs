@@ -66,6 +66,7 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
             num_preds: 0,
             num_params: kernel.num_params,
             shared_bytes: 0,
+            regs_per_thread: 0,
         },
         non_affine: kernel.clone(),
         any_decoupled: false,
@@ -452,6 +453,7 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
         num_preds: kernel.num_preds,
         num_params: kernel.num_params,
         shared_bytes: 0,
+        regs_per_thread: extra_reg,
     };
     let non_affine = Kernel {
         name: format!("{}@nonaffine", kernel.name),
@@ -460,6 +462,10 @@ pub fn decouple(kernel: &Kernel, analysis: &AffineAnalysis) -> DecoupledKernel {
         num_preds: kernel.num_preds,
         num_params: kernel.num_params,
         shared_bytes: kernel.shared_bytes,
+        // Decoupling does not shrink the register allocation: the
+        // non-affine stream occupies the same register-file footprint as
+        // the original kernel, so DAC's occupancy matches the baseline's.
+        regs_per_thread: kernel.regs_per_thread,
     };
     if affine.validate().is_err() || non_affine.validate().is_err() {
         return trivial();

@@ -436,7 +436,7 @@ fn ablate(harness: &Harness, args: &CommonArgs, benches: Vec<Workload>) {
     let mut jobs: Vec<Job> = subset
         .iter()
         .map(|w| Job {
-            workload: w.clone(),
+            payload: simt_harness::Payload::Bench(w.clone()),
             scale: args.scale,
             point: DesignPoint::Hw(Design::Baseline),
             overrides: args.overrides.clone(),
@@ -445,7 +445,7 @@ fn ablate(harness: &Harness, args: &CommonArgs, benches: Vec<Workload>) {
     for (_, overrides) in &configs {
         for w in &subset {
             jobs.push(Job {
-                workload: w.clone(),
+                payload: simt_harness::Payload::Bench(w.clone()),
                 scale: args.scale,
                 point: DesignPoint::Hw(Design::Dac),
                 overrides: overrides.clone(),

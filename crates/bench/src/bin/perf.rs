@@ -10,7 +10,10 @@
 //!
 //! Emits `BENCH_pr5.json` (`dac-bench-pr5/v1`, schema-checked by
 //! `--check-bench`, used by CI) and, when a baseline record is available,
-//! prints the geomean cycles/sec speedup against it.
+//! prints the geomean cycles/sec speedup against it. With `--full-chip`
+//! the machine is the full 15-SM GTX 480 and the record is
+//! `BENCH_pr6.json` (`dac-bench-pr6/v1`): same row shape, machine size
+//! pinned by the schema.
 
 use dac_bench::cli::{CommonArgs, COMMON_USAGE};
 use simt_harness::{json, DesignPoint, Job};
@@ -24,16 +27,18 @@ usage: perf [options]
 Times every selected benchmark (default: BFS,LIB,MQ,SPV) under every
 selected design (default: baseline,cae,mta,dac) with no tracer attached,
 taking the minimum wall time over --repeat N runs, and writes a throughput
-record to --bench-json (default BENCH_pr5.json). Timed runs always
-simulate; the result cache is not consulted. If --baseline FILE exists it
-also prints the geomean cycles/sec speedup against it.
+record to --bench-json (default BENCH_pr5.json, or BENCH_pr6.json with
+--full-chip). Timed runs always simulate; the result cache is not
+consulted. If --baseline FILE exists it also prints the geomean
+cycles/sec speedup against it.
 
 perf options:
   --repeat N         timed iterations per run; min wall time kept (default 3)
   --bench-json FILE  where to write the throughput record
-  --baseline FILE    prior record to compare against (default BENCH_pr3.json)
-  --check-bench FILE validate FILE against schemas/bench_pr5.schema.json
-                     and exit (0 = valid)";
+  --baseline FILE    prior record to compare against (default BENCH_pr3.json,
+                     or BENCH_pr6.json with --full-chip)
+  --check-bench FILE validate FILE against the bench schema matching its
+                     \"schema\" field (pr5 or pr6) and exit (0 = valid)";
 
 /// Same suite as the profile binary, so BENCH_pr5.json rows are directly
 /// comparable to BENCH_pr3.json rows.
@@ -53,8 +58,8 @@ fn main() {
 
     // Strip perf-only flags before handing the rest to CommonArgs.
     let mut repeat: usize = 3;
-    let mut bench_json = PathBuf::from("BENCH_pr5.json");
-    let mut baseline = PathBuf::from("BENCH_pr3.json");
+    let mut bench_json: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
     let mut check_bench: Option<PathBuf> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
@@ -65,11 +70,11 @@ fn main() {
                 _ => usage_exit("--repeat requires a positive number"),
             },
             "--bench-json" => match it.next() {
-                Some(v) => bench_json = PathBuf::from(v),
+                Some(v) => bench_json = Some(PathBuf::from(v)),
                 None => usage_exit("--bench-json requires a path"),
             },
             "--baseline" => match it.next() {
-                Some(v) => baseline = PathBuf::from(v),
+                Some(v) => baseline = Some(PathBuf::from(v)),
                 None => usage_exit("--baseline requires a path"),
             },
             "--check-bench" => match it.next() {
@@ -87,6 +92,27 @@ fn main() {
     if let Some(path) = check_bench {
         std::process::exit(check_bench_file(&path));
     }
+
+    // --full-chip times the full 15-SM machine and records a pr6 file;
+    // a full-chip record only compares sensibly against another one.
+    let schema = if args.full_chip {
+        "dac-bench-pr6/v1"
+    } else {
+        "dac-bench-pr5/v1"
+    };
+    let default_json = if args.full_chip {
+        "BENCH_pr6.json"
+    } else {
+        "BENCH_pr5.json"
+    };
+    let bench_json = bench_json.unwrap_or_else(|| PathBuf::from(default_json));
+    let baseline = baseline.unwrap_or_else(|| {
+        PathBuf::from(if args.full_chip {
+            "BENCH_pr6.json"
+        } else {
+            "BENCH_pr3.json"
+        })
+    });
 
     if args.bench_filter.is_none() {
         args.bench_filter = Some(DEFAULT_BENCHES.split(',').map(|s| s.to_string()).collect());
@@ -157,9 +183,12 @@ fn main() {
         }
     }
 
-    let text = bench_pr5_json(&args, repeat, &timings);
+    let text = bench_record_json(schema, &args, repeat, &timings);
     if let Err(e) = json::parse(&text) {
-        panic!("BENCH_pr5.json is invalid JSON: {e}");
+        panic!(
+            "{}: generated record is invalid JSON: {e}",
+            bench_json.display()
+        );
     }
     if let Err(e) = std::fs::write(&bench_json, &text) {
         eprintln!("perf: cannot write {}: {e}", bench_json.display());
@@ -238,16 +267,17 @@ fn compare_baseline(path: &Path, timings: &[(String, String, u64, u64, f64)]) {
     );
 }
 
-/// Render the `dac-bench-pr5/v1` throughput record. Same row shape as
-/// `dac-bench-pr3/v1` plus a top-level `repeat`, so rows stay directly
-/// comparable across the two schemas.
-fn bench_pr5_json(
+/// Render a throughput record (`dac-bench-pr5/v1` or `dac-bench-pr6/v1`).
+/// Same row shape as `dac-bench-pr3/v1` plus a top-level `repeat`, so rows
+/// stay directly comparable across all three schemas.
+fn bench_record_json(
+    schema: &str,
     args: &CommonArgs,
     repeat: usize,
     timings: &[(String, String, u64, u64, f64)],
 ) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("{\"schema\": \"dac-bench-pr5/v1\"");
+    let mut out = format!("{{\"schema\": \"{schema}\"");
     let _ = write!(out, ", \"scale\": {}", args.scale);
     let _ = write!(out, ", \"repeat\": {repeat}");
     out.push_str(", \"overrides\": {");
@@ -304,24 +334,10 @@ fn bench_pr5_json(
 }
 
 /// `--check-bench FILE`: validate a throughput record against the
-/// checked-in schema (`schemas/bench_pr5.schema.json`). Returns the
-/// process exit code.
+/// checked-in schema matching its `"schema"` field
+/// (`schemas/bench_pr5.schema.json` or `schemas/bench_pr6.schema.json`).
+/// Returns the process exit code.
 fn check_bench_file(path: &Path) -> i32 {
-    let schema_path = Path::new("schemas/bench_pr5.schema.json");
-    let schema_text = match std::fs::read_to_string(schema_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("perf: cannot read {}: {e}", schema_path.display());
-            return 2;
-        }
-    };
-    let schema = match json::parse(&schema_text) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("perf: schema is invalid JSON: {e}");
-            return 2;
-        }
-    };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -336,10 +352,37 @@ fn check_bench_file(path: &Path) -> i32 {
             return 1;
         }
     };
+    let declared = value.get("schema").and_then(json::Value::as_str);
+    let schema_path = match declared {
+        Some("dac-bench-pr5/v1") => Path::new("schemas/bench_pr5.schema.json"),
+        Some("dac-bench-pr6/v1") => Path::new("schemas/bench_pr6.schema.json"),
+        other => {
+            eprintln!("perf: {} declares unknown schema {other:?}", path.display());
+            return 1;
+        }
+    };
+    let schema_text = match std::fs::read_to_string(schema_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf: cannot read {}: {e}", schema_path.display());
+            return 2;
+        }
+    };
+    let schema = match json::parse(&schema_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("perf: schema is invalid JSON: {e}");
+            return 2;
+        }
+    };
     let mut errors = Vec::new();
     validate(&value, &schema, "$", &mut errors);
     if errors.is_empty() {
-        println!("perf: {} conforms to dac-bench-pr5/v1", path.display());
+        println!(
+            "perf: {} conforms to {}",
+            path.display(),
+            declared.unwrap_or("?")
+        );
         0
     } else {
         for e in &errors {
@@ -362,7 +405,10 @@ fn validate(value: &json::Value, schema: &json::Value, at: &str, errors: &mut Ve
     if let Some(expected) = schema.get("const") {
         let matches = match (expected, value) {
             (Value::Str(a), Value::Str(b)) => a == b,
-            _ => false,
+            _ => match (expected.as_f64(), value.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
         };
         if !matches {
             errors.push(format!("{at}: expected const {expected:?}"));

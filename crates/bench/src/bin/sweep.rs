@@ -10,7 +10,7 @@
 use dac_bench::cli::{CommonArgs, COMMON_USAGE};
 use dac_bench::geomean;
 use gpu_workloads::Design;
-use simt_harness::{suite_jobs, DesignPoint};
+use simt_harness::{scenario_jobs, suite_jobs, DesignPoint};
 
 const USAGE: &str = "\
 usage: sweep [options]
@@ -18,7 +18,12 @@ usage: sweep [options]
 Runs every selected benchmark under every selected design (default:
 baseline, cae, mta, dac) and writes one JSONL record per simulation to
 --out (default results/runs). Fully cached: rerunning an identical sweep
-hits results/cache and simulates nothing.";
+hits results/cache and simulates nothing.
+
+With --set streams=NAME the sweep instead runs that multi-kernel stream
+scenario under every selected design (concurrent kernel streams dispatched
+by the command processor; --set cta_policy=greedy|rr picks the placement
+policy) and prints chip-wide plus per-kernel cycle counts.";
 
 fn usage_exit(error: &str) -> ! {
     if error == "help" {
@@ -35,11 +40,15 @@ fn main() {
     if let Some(stray) = args.positional.first() {
         usage_exit(&format!("unexpected argument {stray:?}"));
     }
-    let benches = args.benchmarks().unwrap_or_else(|e| usage_exit(&e));
     let points = args
         .designs
         .clone()
         .unwrap_or_else(|| DesignPoint::HW_ALL.to_vec());
+    if let Some(name) = args.overrides.streams.clone() {
+        scenario_sweep(&args, &name, &points);
+        return;
+    }
+    let benches = args.benchmarks().unwrap_or_else(|e| usage_exit(&e));
 
     let harness = args.harness(Some("results/runs"));
     let jobs = suite_jobs(benches, args.scale, &points, &args.overrides);
@@ -63,8 +72,7 @@ fn main() {
     println!();
     let mut dac_speedups = Vec::new();
     for (row, chunk) in out.results.chunks(points.len()).enumerate() {
-        let bench = &jobs[row * points.len()].workload;
-        let mut line = format!("{:<6}", bench.abbr);
+        let mut line = format!("{:<6}", jobs[row * points.len()].bench());
         for (col, r) in chunk.iter().enumerate() {
             let mut cell = format!("{}={}", points[col].name(), r.report.cycles);
             if let Some(b) = base_col {
@@ -105,5 +113,61 @@ fn main() {
              (raise --trace-events, currently {})",
             out.trace_drops, out.trace_dropped_jobs, args.trace_events
         );
+    }
+}
+
+/// Run one multi-kernel stream scenario under every selected design and
+/// print chip-wide plus per-kernel cycle counts.
+fn scenario_sweep(args: &CommonArgs, name: &str, points: &[DesignPoint]) {
+    let sc = gpu_workloads::scenario(name, args.scale)
+        .unwrap_or_else(|| usage_exit(&format!("unknown scenario {name:?}")));
+    let harness = args.harness(Some("results/runs"));
+    let jobs = scenario_jobs(vec![sc], args.scale, points, &args.overrides);
+    eprintln!(
+        "sweep: scenario {name} ({} policy), {} designs on {} workers",
+        jobs[0].policy().name(),
+        points.len(),
+        harness.workers()
+    );
+    let t0 = std::time::Instant::now();
+    let out = harness.run(&jobs);
+    let wall = t0.elapsed();
+
+    let base_col = points
+        .iter()
+        .position(|&p| p == DesignPoint::Hw(Design::Baseline));
+    for (col, (job, r)) in jobs.iter().zip(&out.results).enumerate() {
+        let mut head = format!("{:<10} {:>10} cycles", job.label(), r.report.cycles);
+        if let Some(b) = base_col {
+            if col != b {
+                head.push_str(&format!(
+                    " ({:.2}x)",
+                    out.results[b].report.cycles as f64 / r.report.cycles as f64
+                ));
+            }
+        }
+        println!("{head}");
+        for k in &r.per_kernel {
+            println!(
+                "  s{}.{} {:<10} {:>10} cycles ({}..{}), {} ctas, {} instrs",
+                k.stream,
+                k.seq,
+                k.label,
+                k.stats.cycles,
+                k.first_cycle,
+                k.done_cycle,
+                k.ctas,
+                k.stats.total_instructions()
+            );
+        }
+    }
+    eprintln!(
+        "sweep: {} simulated, {} from cache in {:.1}s",
+        out.executed,
+        out.cache_hits,
+        wall.as_secs_f64()
+    );
+    if let Some(path) = &out.artifact_path {
+        eprintln!("sweep: artifacts -> {}", path.display());
     }
 }

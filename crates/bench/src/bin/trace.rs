@@ -79,7 +79,7 @@ fn main() {
     }
     let stem = format!(
         "{}-s{}-{}",
-        job.workload.abbr.to_ascii_lowercase(),
+        job.bench().to_ascii_lowercase(),
         job.scale,
         point.name()
     );
@@ -88,7 +88,7 @@ fn main() {
     let chrome_text = chrome::export(sink.events(), sink.dropped());
     let scale = args.scale.to_string();
     let meta = [
-        ("bench", job.workload.abbr),
+        ("bench", job.bench()),
         ("scale", scale.as_str()),
         ("design", point.name()),
     ];

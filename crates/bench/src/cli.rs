@@ -31,6 +31,9 @@ pub struct CommonArgs {
     pub designs: Option<Vec<DesignPoint>>,
     /// `--set key=value` (repeatable) — configuration overrides.
     pub overrides: Overrides,
+    /// `--full-chip` — pin the full GTX 480 chip (15 SMs, 48 warps/SM)
+    /// as explicit overrides, so artifacts record the machine size.
+    pub full_chip: bool,
     /// `--trace` / `--trace-dir DIR` — write per-job event traces here
     /// (`None` = tracing off).
     pub trace_dir: Option<PathBuf>,
@@ -53,6 +56,7 @@ impl Default for CommonArgs {
             out: None,
             designs: None,
             overrides: Overrides::default(),
+            full_chip: false,
             trace_dir: None,
             trace_events: DEFAULT_TRACE_EVENTS,
             quiet: false,
@@ -137,6 +141,19 @@ impl CommonArgs {
                     out.overrides.set(key, val.trim())?;
                     set_keys.push(key.to_string());
                 }
+                "--full-chip" => {
+                    // The preset is spelled as ordinary overrides so the
+                    // machine size lands in cache keys and artifacts, and
+                    // the duplicate-knob check catches conflicting --set.
+                    for (k, v) in [("num_sms", "15"), ("max_warps_per_sm", "48")] {
+                        if set_keys.iter().any(|s| s == k) {
+                            return Err(format!("--full-chip conflicts with --set {k}"));
+                        }
+                        out.overrides.set(k, v)?;
+                        set_keys.push(k.to_string());
+                    }
+                    out.full_chip = true;
+                }
                 "--no-fast-forward" => out.overrides.no_fast_forward = true,
                 "--trace" => {
                     out.trace_dir
@@ -213,7 +230,11 @@ common options:
   --designs a,b,...  design points: baseline, cae, mta, dac, perfect
   --set KEY=VALUE    config override (repeatable, each knob once); knobs:
                      atq_entries, pwaq_total, pwpq_total, lock_lines,
-                     divergent_tuples, num_sms, max_warps_per_sm
+                     divergent_tuples, num_sms, max_warps_per_sm,
+                     streams (multi-kernel scenario: smem_pressure,
+                     reg_pressure, pipeline), cta_policy (greedy|rr)
+  --full-chip        full GTX 480 preset: 15 SMs, 48 warps/SM, recorded as
+                     explicit num_sms/max_warps_per_sm overrides
   --no-fast-forward  disable idle-cycle fast-forward (same results, slower)
   --trace            write per-job event traces to results/traces
   --trace-dir DIR    write per-job event traces to DIR (implies --trace)
@@ -327,6 +348,29 @@ mod tests {
             Some(std::path::Path::new("/tmp/tr"))
         );
         assert!(parse(&["--trace-events", "lots"]).is_err());
+    }
+
+    #[test]
+    fn full_chip_preset() {
+        let a = parse(&["--full-chip"]).unwrap();
+        assert!(a.full_chip);
+        assert_eq!(a.overrides.num_sms, Some(15));
+        assert_eq!(a.overrides.max_warps_per_sm, Some(48));
+        // Conflicting machine-size overrides are rejected in either order.
+        assert!(parse(&["--full-chip", "--set", "num_sms=2"]).is_err());
+        assert!(parse(&["--set", "num_sms=2", "--full-chip"]).is_err());
+    }
+
+    #[test]
+    fn streams_knob() {
+        let a = parse(&["--set", "streams=PIPELINE", "--set", "cta_policy=rr"]).unwrap();
+        assert_eq!(a.overrides.streams.as_deref(), Some("pipeline"));
+        assert_eq!(
+            a.overrides.cta_policy,
+            Some(simt_sim::PlacementPolicy::RoundRobin)
+        );
+        assert!(parse(&["--set", "streams=warp9"]).is_err());
+        assert!(parse(&["--set", "cta_policy=random"]).is_err());
     }
 
     #[test]

@@ -136,7 +136,10 @@ pub fn evaluate_all(
     let out = harness.run(&jobs);
     jobs.chunks(ROW_POINTS.len())
         .zip(out.results.chunks(ROW_POINTS.len()))
-        .map(|(jobs, results)| assemble_row(&jobs[0].workload, jobs, results))
+        .map(|(jobs, results)| {
+            let w = jobs[0].workload().expect("suite_jobs builds bench jobs");
+            assemble_row(w, jobs, results)
+        })
         .collect()
 }
 

@@ -23,7 +23,7 @@ use crate::job::{DesignPoint, Job, JobResult, Overrides};
 use crate::json::Value;
 use gpu_energy::{energy_of, EnergyModel};
 use simt_mem::MemStats;
-use simt_sim::{SimReport, SimStats};
+use simt_sim::{KernelReport, SimReport, SimStats};
 
 /// Schema tag on every record; loaders reject anything else.
 pub const SCHEMA: &str = "dac-run/v1";
@@ -85,6 +85,61 @@ fn profile_to_json(report: &SimReport) -> Value {
     ])
 }
 
+/// One per-kernel attribution record of a scenario run. `stats.cycles`
+/// is the kernel's residency span (first CTA launch to last retire), not
+/// the chip-wide cycle count.
+fn kernel_to_json(k: &KernelReport) -> Value {
+    Value::Obj(vec![
+        ("label".into(), Value::Str(k.label.clone())),
+        ("kernel".into(), Value::Str(k.kernel.clone())),
+        ("coproc".into(), Value::Str(k.coproc.clone())),
+        ("stream".into(), Value::Int(k.stream as u64)),
+        ("seq".into(), Value::Int(k.seq as u64)),
+        ("ctas".into(), Value::Int(k.ctas)),
+        ("first_cycle".into(), Value::Int(k.first_cycle)),
+        ("done_cycle".into(), Value::Int(k.done_cycle)),
+        ("stats".into(), counters_to_json(k.stats.fields())),
+    ])
+}
+
+fn kernel_from_json(v: &Value) -> Result<KernelReport, String> {
+    let str_field = |name: &str| -> Result<String, String> {
+        Ok(v.get(name)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("kernels[]: missing field {name:?}"))?
+            .to_string())
+    };
+    let int_field = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("kernels[]: missing field {name:?}"))
+    };
+    let mut stats = SimStats::default();
+    for (name, val) in v
+        .get("stats")
+        .and_then(Value::as_obj)
+        .ok_or("kernels[]: missing field \"stats\"")?
+    {
+        let n = val
+            .as_u64()
+            .ok_or_else(|| format!("kernels[].stats.{name} not a u64"))?;
+        if !stats.set_field(name, n) {
+            return Err(format!("unknown stats counter {name:?}"));
+        }
+    }
+    Ok(KernelReport {
+        label: str_field("label")?,
+        kernel: str_field("kernel")?,
+        coproc: str_field("coproc")?,
+        stream: int_field("stream")? as usize,
+        seq: int_field("seq")? as usize,
+        ctas: int_field("ctas")?,
+        first_cycle: int_field("first_cycle")?,
+        done_cycle: int_field("done_cycle")?,
+        stats,
+    })
+}
+
 /// Serialize one result. `invocation` attaches the per-invocation fields
 /// (job index within this run, wall time, cache-hit flag) used in run
 /// artifacts but omitted from cache entries; `cache_key` attaches the
@@ -101,12 +156,9 @@ pub fn to_json(
         fields.push(("key".into(), Value::Str(key.into())));
     }
     fields.extend([
-        ("bench".to_string(), Value::Str(job.workload.abbr.into())),
-        ("name".to_string(), Value::Str(job.workload.name.into())),
-        (
-            "suite".to_string(),
-            Value::Str(job.workload.suite.tag().to_string()),
-        ),
+        ("bench".to_string(), Value::Str(job.bench().into())),
+        ("name".to_string(), Value::Str(job.display_name().into())),
+        ("suite".to_string(), Value::Str(job.suite_tag().to_string())),
         ("scale".to_string(), Value::Int(job.scale as u64)),
         ("design".to_string(), Value::Str(job.point.name().into())),
         (
@@ -147,6 +199,15 @@ pub fn to_json(
             Value::Str(format!("{:016x}", result.output_digest)),
         ),
     ]);
+    if job.scenario().is_some() {
+        fields.push(("cta_policy".into(), Value::Str(job.policy().name().into())));
+    }
+    if !result.per_kernel.is_empty() {
+        fields.push((
+            "kernels".into(),
+            Value::Arr(result.per_kernel.iter().map(kernel_to_json).collect()),
+        ));
+    }
     if let Some(index) = invocation {
         fields.push(("job".into(), Value::Int(index as u64)));
         fields.push(("wall_ms".into(), Value::Float(result.wall_ms)));
@@ -209,6 +270,13 @@ pub fn from_json(v: &Value) -> Result<(String, JobResult), String> {
     }
     let digest = u64::from_str_radix(&str_field("output_digest")?, 16)
         .map_err(|e| format!("bad output_digest: {e}"))?;
+    let per_kernel = match v.get("kernels").and_then(Value::as_arr) {
+        None => Vec::new(),
+        Some(items) => items
+            .iter()
+            .map(kernel_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
 
     Ok((
         key,
@@ -220,6 +288,7 @@ pub fn from_json(v: &Value) -> Result<(String, JobResult), String> {
                 stats,
                 mem,
             },
+            per_kernel,
             output_digest: digest,
             wall_ms: 0.0,
             cached: true,

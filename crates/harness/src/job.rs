@@ -4,16 +4,22 @@
 
 use crate::cache::fnv1a64;
 use dac_core::DacConfig;
-use gpu_workloads::{gpu_for, run_dac_traced, run_design_traced, Design, Workload};
-use simt_sim::{GpuConfig, GpuSim, SimReport};
+use gpu_workloads::{
+    gpu_for, run_dac_traced, run_design_traced, run_scenario_design_traced, Design, Scenario,
+    Workload,
+};
+use simt_sim::{GpuConfig, GpuSim, KernelReport, PlacementPolicy, SimReport};
 use simt_trace::{NullTracer, Tracer};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Version tag folded into every cache key. Bump whenever simulator
 /// behaviour changes in a way that invalidates cached results (the
-/// golden-stats test catches unintended shifts).
-pub const CACHE_VERSION: &str = "dac-cache-v3";
+/// golden-stats test catches unintended shifts). v4: the command
+/// processor's occupancy model added the register-file term to CTA
+/// admission (kernels declaring `.regs` can now occupy fewer CTAs per
+/// SM than under v3).
+pub const CACHE_VERSION: &str = "dac-cache-v4";
 
 /// A point in the design space: one of the paper's four hardware designs,
 /// or the perfect-memory machine used for the §5.1.2 compute/memory
@@ -80,6 +86,16 @@ pub struct Overrides {
     /// determinism test pins this), so it is deliberately *excluded* from
     /// [`Overrides::relevant`] — cache entries and artifacts are shared.
     pub no_fast_forward: bool,
+    /// Multi-kernel scenario selected with `--set streams=NAME`. Not a
+    /// per-job knob: the CLIs consume it to build scenario jobs (the
+    /// scenario name enters the cache key through the job payload, so it
+    /// is excluded from [`Overrides::relevant`]).
+    pub streams: Option<String>,
+    /// CTA placement policy for scenario jobs (`--set cta_policy=greedy`
+    /// or `rr`). Single-kernel runs always place greedily, so like
+    /// `streams` this keys through the scenario section of the cache key
+    /// rather than [`Overrides::relevant`].
+    pub cta_policy: Option<PlacementPolicy>,
 }
 
 impl Overrides {
@@ -142,10 +158,25 @@ impl Overrides {
             "divergent_tuples" => self.divergent_tuples = Some(flag(key, value)?),
             "num_sms" => self.num_sms = Some(num(key, value)?),
             "max_warps_per_sm" => self.max_warps_per_sm = Some(num(key, value)?),
+            "streams" => {
+                if gpu_workloads::scenario(value, 1).is_none() {
+                    return Err(format!(
+                        "--set streams: unknown scenario {value:?} (expected one of: {})",
+                        gpu_workloads::ALL_SCENARIOS.join(", ")
+                    ));
+                }
+                self.streams = Some(value.to_ascii_lowercase());
+            }
+            "cta_policy" => {
+                self.cta_policy = Some(PlacementPolicy::parse(value).ok_or_else(|| {
+                    format!("--set cta_policy: expected greedy or rr, got {value:?}")
+                })?);
+            }
             _ => {
                 return Err(format!(
                     "unknown config knob {key:?} (expected one of: atq_entries, pwaq_total, \
-                     pwpq_total, lock_lines, divergent_tuples, num_sms, max_warps_per_sm)"
+                     pwpq_total, lock_lines, divergent_tuples, num_sms, max_warps_per_sm, \
+                     streams, cta_policy)"
                 ))
             }
         }
@@ -184,13 +215,24 @@ impl Overrides {
     }
 }
 
+/// What a job simulates: one of the 29 single-kernel benchmarks, or a
+/// multi-kernel stream scenario dispatched by the command processor.
+#[derive(Clone)]
+pub enum Payload {
+    /// A single-kernel benchmark (shared across jobs; each run clones the
+    /// memory image).
+    Bench(Arc<Workload>),
+    /// A multi-kernel stream scenario.
+    Scenario(Arc<Scenario>),
+}
+
 /// One schedulable simulation.
 #[derive(Clone)]
 pub struct Job {
-    /// The workload (shared across jobs; each run clones the memory image).
-    pub workload: Arc<Workload>,
-    /// The scale the workload was built at — part of the cache key, since
-    /// the workload registry parameterizes inputs by scale.
+    /// What to simulate.
+    pub payload: Payload,
+    /// The scale the payload was built at — part of the cache key, since
+    /// both registries parameterize inputs by scale.
     pub scale: u32,
     /// Which design to run.
     pub point: DesignPoint,
@@ -199,25 +241,91 @@ pub struct Job {
 }
 
 impl Job {
-    /// A job at paper-default configuration.
+    /// A benchmark job at paper-default configuration.
     pub fn new(workload: Arc<Workload>, scale: u32, point: DesignPoint) -> Self {
         Job {
-            workload,
+            payload: Payload::Bench(workload),
             scale,
             point,
             overrides: Overrides::default(),
         }
     }
 
+    /// A multi-kernel scenario job at paper-default configuration.
+    pub fn for_scenario(scenario: Arc<Scenario>, scale: u32, point: DesignPoint) -> Self {
+        Job {
+            payload: Payload::Scenario(scenario),
+            scale,
+            point,
+            overrides: Overrides::default(),
+        }
+    }
+
+    /// The benchmark workload, when this is a benchmark job.
+    pub fn workload(&self) -> Option<&Arc<Workload>> {
+        match &self.payload {
+            Payload::Bench(w) => Some(w),
+            Payload::Scenario(_) => None,
+        }
+    }
+
+    /// The scenario, when this is a scenario job.
+    pub fn scenario(&self) -> Option<&Arc<Scenario>> {
+        match &self.payload {
+            Payload::Bench(_) => None,
+            Payload::Scenario(sc) => Some(sc),
+        }
+    }
+
+    /// Stable short name keying the payload: the benchmark abbreviation
+    /// or the scenario name.
+    pub fn bench(&self) -> &str {
+        match &self.payload {
+            Payload::Bench(w) => w.abbr,
+            Payload::Scenario(sc) => sc.name,
+        }
+    }
+
+    /// Human-readable payload name for artifacts.
+    pub fn display_name(&self) -> &str {
+        match &self.payload {
+            Payload::Bench(w) => w.name,
+            Payload::Scenario(sc) => sc.description,
+        }
+    }
+
+    /// Suite tag: the Table 2 suite letter, or `S` for scenarios.
+    pub fn suite_tag(&self) -> char {
+        match &self.payload {
+            Payload::Bench(w) => w.suite.tag(),
+            Payload::Scenario(_) => 'S',
+        }
+    }
+
+    /// The CTA placement policy this job runs under (scenario jobs only;
+    /// single-kernel dispatch is always greedy).
+    pub fn policy(&self) -> PlacementPolicy {
+        self.overrides.cta_policy.unwrap_or_default()
+    }
+
     /// The canonical cache key: every input that determines the result.
     /// Hash this (the cache does) rather than parsing it.
     pub fn cache_key(&self) -> String {
-        let mut key = format!(
-            "{CACHE_VERSION}|bench={}|scale={}|design={}",
-            self.workload.abbr,
-            self.scale,
-            self.point.name()
-        );
+        let mut key = match &self.payload {
+            Payload::Bench(w) => format!(
+                "{CACHE_VERSION}|bench={}|scale={}|design={}",
+                w.abbr,
+                self.scale,
+                self.point.name()
+            ),
+            Payload::Scenario(sc) => format!(
+                "{CACHE_VERSION}|scenario={}|cta_policy={}|scale={}|design={}",
+                sc.name,
+                self.policy().name(),
+                self.scale,
+                self.point.name()
+            ),
+        };
         for (k, v) in self.overrides.relevant(self.point) {
             key.push_str(&format!("|{k}={v}"));
         }
@@ -226,7 +334,7 @@ impl Job {
 
     /// Short human label for progress lines.
     pub fn label(&self) -> String {
-        format!("{}/{}", self.workload.abbr, self.point.name())
+        format!("{}/{}", self.bench(), self.point.name())
     }
 
     /// Run the simulation. Deterministic: equal jobs produce equal results
@@ -239,7 +347,13 @@ impl Job {
     /// observation: the [`JobResult`] is byte-identical to [`Job::execute`]
     /// (the determinism test pins this across workloads × designs).
     pub fn execute_traced(&self, tracer: &mut dyn Tracer) -> JobResult {
-        let w = &*self.workload;
+        match &self.payload {
+            Payload::Bench(w) => self.execute_bench(w, tracer),
+            Payload::Scenario(sc) => self.execute_scenario(sc, tracer),
+        }
+    }
+
+    fn execute_bench(&self, w: &Workload, tracer: &mut dyn Tracer) -> JobResult {
         let t0 = Instant::now();
         let (report, memory) = match self.point {
             DesignPoint::PerfectMem => {
@@ -266,17 +380,54 @@ impl Job {
             }
         };
         let words = memory.read_u32_vec(w.output.0, w.output.1);
-        let mut bytes = Vec::with_capacity(words.len() * 4);
-        for word in &words {
-            bytes.extend_from_slice(&word.to_le_bytes());
-        }
         JobResult {
             report,
-            output_digest: fnv1a64(&bytes),
+            per_kernel: Vec::new(),
+            output_digest: digest_words(&words),
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
             cached: false,
         }
     }
+
+    fn execute_scenario(&self, sc: &Scenario, tracer: &mut dyn Tracer) -> JobResult {
+        let t0 = Instant::now();
+        let (design, base_cfg) = match self.point {
+            DesignPoint::PerfectMem => (Design::Baseline, GpuConfig::gtx480_perfect_mem()),
+            DesignPoint::Hw(d) => (d, gpu_for(d)),
+        };
+        let gpu = GpuSim::new(self.overrides.apply_gpu(base_cfg));
+        let run = run_scenario_design_traced(
+            sc,
+            design,
+            &gpu,
+            self.policy(),
+            self.overrides.apply_dac(DacConfig::paper()),
+            tracer,
+        );
+        let words = sc.output_words(&run.memory);
+        JobResult {
+            report: SimReport {
+                kernel: sc.name.to_string(),
+                coproc: self.point.name().to_string(),
+                cycles: run.report.cycles,
+                stats: run.report.stats,
+                mem: run.report.mem,
+            },
+            per_kernel: run.report.per_kernel,
+            output_digest: digest_words(&words),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            cached: false,
+        }
+    }
+}
+
+/// FNV-1a digest of a word vector, little-endian.
+fn digest_words(words: &[u32]) -> u64 {
+    let mut bytes = Vec::with_capacity(words.len() * 4);
+    for word in words {
+        bytes.extend_from_slice(&word.to_le_bytes());
+    }
+    fnv1a64(&bytes)
 }
 
 /// What a job produced. Everything here round-trips through the cache and
@@ -284,8 +435,13 @@ impl Job {
 /// invocation rather than the simulation.
 #[derive(Debug, Clone)]
 pub struct JobResult {
-    /// The simulator report (cycles + core stats + memory stats).
+    /// The simulator report (cycles + core stats + memory stats). For
+    /// scenario jobs, `kernel` is the scenario name, `coproc` the design
+    /// name, and `stats` the exact field-wise sum over `per_kernel` bins.
     pub report: SimReport,
+    /// Per-kernel attribution, stream-major — one entry per launch for
+    /// scenario jobs, empty for single-kernel benchmark jobs.
+    pub per_kernel: Vec<KernelReport>,
     /// FNV-1a digest of the output memory region, for cross-design
     /// correctness checks without holding the memory image.
     pub output_digest: u64,

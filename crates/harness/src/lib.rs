@@ -39,9 +39,9 @@ pub mod pool;
 
 pub use cache::{fnv1a64, ResultCache};
 pub use gpu_workloads::Design;
-pub use job::{DesignPoint, Job, JobResult, Overrides, CACHE_VERSION};
+pub use job::{DesignPoint, Job, JobResult, Overrides, Payload, CACHE_VERSION};
 
-use gpu_workloads::Workload;
+use gpu_workloads::{Scenario, Workload};
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -63,7 +63,32 @@ pub fn suite_jobs(
             points
                 .iter()
                 .map(|&point| Job {
-                    workload: w.clone(),
+                    payload: Payload::Bench(w.clone()),
+                    scale,
+                    point,
+                    overrides: overrides.clone(),
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// The cross product `scenarios × points` for multi-kernel stream runs,
+/// all at the same overrides (which carry the CTA placement policy).
+pub fn scenario_jobs(
+    scenarios: Vec<Scenario>,
+    scale: u32,
+    points: &[DesignPoint],
+    overrides: &Overrides,
+) -> Vec<Job> {
+    scenarios
+        .into_iter()
+        .flat_map(|sc| {
+            let sc = Arc::new(sc);
+            points
+                .iter()
+                .map(|&point| Job {
+                    payload: Payload::Scenario(sc.clone()),
                     scale,
                     point,
                     overrides: overrides.clone(),
@@ -259,7 +284,7 @@ fn write_trace(spec: &TraceSpec, job: &Job, sink: &simt_trace::RingSink) -> std:
     fs::create_dir_all(&spec.dir)?;
     let stem = format!(
         "{}-s{}-{}",
-        job.workload.abbr.to_ascii_lowercase(),
+        job.bench().to_ascii_lowercase(),
         job.scale,
         job.point.name()
     );
@@ -267,7 +292,7 @@ fn write_trace(spec: &TraceSpec, job: &Job, sink: &simt_trace::RingSink) -> std:
     fs::write(spec.dir.join(format!("{stem}.trace.json")), chrome)?;
     let scale = job.scale.to_string();
     let meta = [
-        ("bench", job.workload.abbr),
+        ("bench", job.bench()),
         ("scale", scale.as_str()),
         ("design", job.point.name()),
     ];
@@ -372,9 +397,9 @@ mod tests {
     fn suite_jobs_is_the_cross_product() {
         let jobs = small_suite();
         assert_eq!(jobs.len(), 8);
-        assert_eq!(jobs[0].workload.abbr, "LIB");
+        assert_eq!(jobs[0].bench(), "LIB");
         assert_eq!(jobs[0].point, DesignPoint::Hw(Design::Baseline));
         assert_eq!(jobs[3].point, DesignPoint::Hw(Design::Dac));
-        assert_eq!(jobs[4].workload.abbr, "MQ");
+        assert_eq!(jobs[4].bench(), "MQ");
     }
 }

@@ -48,7 +48,7 @@ fn headline_counters_match_golden_values() {
     for ((job, result), &(bench, design, cycles, warp_instructions, decoupled_loads)) in
         jobs.iter().zip(&out.results).zip(GOLDEN)
     {
-        assert_eq!(job.workload.abbr, bench);
+        assert_eq!(job.bench(), bench);
         assert_eq!(job.point.name(), design);
         let s = &result.report.stats;
         assert_eq!(

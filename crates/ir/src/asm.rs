@@ -58,6 +58,7 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, ParseAsmError> {
     let mut name = String::from("kernel");
     let mut num_params = 0u16;
     let mut shared_bytes = 0u32;
+    let mut regs_per_thread = 0u16;
     let mut instrs: Vec<Instr> = Vec::new();
     let mut labels: HashMap<String, usize> = HashMap::new();
     let mut fixups: Vec<(usize, String, usize)> = Vec::new(); // (pc, label, line)
@@ -89,6 +90,10 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, ParseAsmError> {
         }
         if let Some(rest) = s.strip_prefix(".shared") {
             shared_bytes = rest.trim().parse().map_err(|_| err(line, "bad .shared"))?;
+            continue;
+        }
+        if let Some(rest) = s.strip_prefix(".regs") {
+            regs_per_thread = rest.trim().parse().map_err(|_| err(line, "bad .regs"))?;
             continue;
         }
 
@@ -131,6 +136,7 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, ParseAsmError> {
         num_preds: max_pred,
         num_params,
         shared_bytes,
+        regs_per_thread: regs_per_thread.max(max_reg),
     })
 }
 

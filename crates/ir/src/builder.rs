@@ -34,6 +34,7 @@ pub struct KernelBuilder {
     next_pred: PredId,
     num_params: u16,
     shared_bytes: u32,
+    regs_per_thread: u16,
     labels: HashMap<String, usize>,
     fixups: Vec<(usize, String)>,
 }
@@ -48,6 +49,7 @@ impl KernelBuilder {
             next_pred: 0,
             num_params,
             shared_bytes: 0,
+            regs_per_thread: 0,
             labels: HashMap::new(),
             fixups: Vec::new(),
         }
@@ -56,6 +58,15 @@ impl KernelBuilder {
     /// Reserve `bytes` of per-CTA shared memory.
     pub fn shared(&mut self, bytes: u32) -> &mut Self {
         self.shared_bytes = self.shared_bytes.max(bytes);
+        self
+    }
+
+    /// Declare the per-thread register-file footprint for occupancy
+    /// accounting. [`KernelBuilder::build`] raises it to the number of
+    /// virtual registers actually allocated, so this only matters when
+    /// modelling *extra* register pressure (spills, compiler padding).
+    pub fn regs_per_thread(&mut self, regs: u16) -> &mut Self {
+        self.regs_per_thread = self.regs_per_thread.max(regs);
         self
     }
 
@@ -380,6 +391,7 @@ impl KernelBuilder {
             num_preds: self.next_pred,
             num_params: self.num_params,
             shared_bytes: self.shared_bytes,
+            regs_per_thread: self.regs_per_thread.max(self.next_reg),
         }
     }
 }

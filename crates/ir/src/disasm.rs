@@ -24,6 +24,9 @@ pub fn to_asm(kernel: &Kernel) -> String {
     if kernel.shared_bytes > 0 {
         out.push_str(&format!(".shared {}\n", kernel.shared_bytes));
     }
+    if kernel.regs_per_thread > kernel.num_regs {
+        out.push_str(&format!(".regs {}\n", kernel.regs_per_thread));
+    }
     for (pc, i) in kernel.instrs.iter().enumerate() {
         if let Some(l) = labels.get(&pc) {
             out.push_str(&format!("{l}:\n"));

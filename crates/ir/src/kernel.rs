@@ -64,6 +64,12 @@ pub struct Kernel {
     pub num_params: u16,
     /// Bytes of shared memory required per CTA.
     pub shared_bytes: u32,
+    /// Architectural registers each thread occupies in the SM register
+    /// file. At least `num_regs`; kernels may declare more to model the
+    /// register pressure of the original program (occupancy accounting —
+    /// the command processor multiplies this by the CTA's thread count
+    /// against `regfile_per_sm`).
+    pub regs_per_thread: u16,
 }
 
 impl Kernel {
@@ -76,6 +82,13 @@ impl Kernel {
     pub fn validate(&self) -> Result<(), String> {
         if self.instrs.is_empty() {
             return Err("kernel has no instructions".to_string());
+        }
+        if self.regs_per_thread < self.num_regs {
+            return Err(format!(
+                "regs_per_thread {} < num_regs {} (occupancy declaration \
+                 cannot be smaller than the registers actually used)",
+                self.regs_per_thread, self.num_regs
+            ));
         }
         for (pc, i) in self.instrs.iter().enumerate() {
             if let Instr::Bra { target, .. } = i {
@@ -220,7 +233,18 @@ mod tests {
             num_preds: 0,
             num_params: 0,
             shared_bytes: 0,
+            regs_per_thread: 0,
         }
+    }
+
+    #[test]
+    fn validate_catches_undersized_regs_per_thread() {
+        let mut k = trivial_kernel();
+        k.num_regs = 4;
+        k.regs_per_thread = 2;
+        assert!(k.validate().is_err());
+        k.regs_per_thread = 4;
+        assert!(k.validate().is_ok());
     }
 
     #[test]

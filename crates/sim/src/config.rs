@@ -29,6 +29,9 @@ pub struct GpuConfig {
     pub shared_latency: u64,
     /// Shared memory capacity per SM (bounds concurrent CTAs).
     pub shared_mem_per_sm: u32,
+    /// 32-bit registers in the SM register file (bounds concurrent CTAs
+    /// by `threads_per_cta * regs_per_thread`; 32 K = 128 KB on Fermi).
+    pub regfile_per_sm: u32,
     /// Outstanding memory transactions the per-SM LSU queue can hold.
     pub lsu_queue: usize,
     /// Hard cap on simulated cycles (deadlock guard).
@@ -57,6 +60,7 @@ impl GpuConfig {
             sfu_latency: 20,
             shared_latency: 24,
             shared_mem_per_sm: 48 * 1024,
+            regfile_per_sm: 32 * 1024,
             lsu_queue: 16,
             max_cycles: 200_000_000,
             fast_forward: true,
@@ -107,6 +111,7 @@ mod tests {
         assert_eq!(c.schedulers, 2);
         assert_eq!(c.mem.l1_size, 48 * 1024);
         assert_eq!(c.mem.num_partitions, 6);
+        assert_eq!(c.regfile_per_sm, 32 * 1024);
     }
 
     #[test]

@@ -89,6 +89,25 @@ pub trait CoProcessor {
         let _ = (program, num_sms);
     }
 
+    /// The command processor bound `sm` to kernel `kernel` (`None` =
+    /// unbound). Single-kernel coprocessors ignore this; the multi-kernel
+    /// router (`MultiCoProcessor`) re-targets the SM's hooks at the owning
+    /// kernel's coprocessor.
+    fn on_sm_bound(&mut self, sm: usize, kernel: Option<usize>) {
+        let _ = (sm, kernel);
+    }
+
+    /// Is the coprocessor drained *as far as `sm` is concerned* — no
+    /// per-SM queue entries and no in-flight fabric requests that will
+    /// come back to this SM? The command processor only re-binds an SM to
+    /// a different kernel when this holds, so responses never route to a
+    /// stale owner. The default conservatively reuses the global
+    /// [`CoProcessor::quiescent`].
+    fn sm_quiescent(&self, sm: usize) -> bool {
+        let _ = sm;
+        self.quiescent()
+    }
+
     /// CTA `cta_linear` occupied `slot` on `sm`, owning warp ids `warps`.
     fn on_cta_launch(&mut self, sm: usize, slot: usize, cta_linear: u64, warps: &[usize]) {
         let _ = (sm, slot, cta_linear, warps);

@@ -1,9 +1,14 @@
-//! The top-level GPU: CTA dispatch, the main cycle loop, and reports.
+//! The top-level GPU: the main cycle loop and reports. CTA dispatch is
+//! owned by the command processor (`cmdproc.rs`); single-kernel runs are
+//! one-stream, one-launch multi-stream runs, so they reduce to the
+//! classic behaviour by construction.
 
+use crate::cmdproc::{CommandProcessor, MultiCoProcessor, PlacementPolicy};
 use crate::config::GpuConfig;
 use crate::coproc::{CoProcessor, NullCoProcessor};
 use crate::sm::{KernelCtx, Sm};
 use crate::stats::SimStats;
+use crate::stream::{Stream, StreamLaunch};
 use simt_ir::{Cfg, Program};
 use simt_mem::{MemStats, MemoryFabric, SparseMemory};
 use simt_trace::{NullTracer, Tracer};
@@ -28,6 +33,68 @@ impl SimReport {
     pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
         baseline.cycles as f64 / self.cycles as f64
     }
+}
+
+/// Per-kernel slice of a multi-stream run.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Attribution label (from the stream launch).
+    pub label: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Coprocessor driving this kernel.
+    pub coproc: String,
+    /// Stream index.
+    pub stream: usize,
+    /// Position within the stream.
+    pub seq: usize,
+    /// CTAs in the kernel's grid.
+    pub ctas: u64,
+    /// Cycle the first CTA was placed on an SM.
+    pub first_cycle: u64,
+    /// Cycle the last CTA retired.
+    pub done_cycle: u64,
+    /// Core-side counters attributed to this kernel. Its `cycles` field
+    /// holds the residency span `done_cycle - first_cycle + 1`.
+    pub stats: SimStats,
+}
+
+/// Report of a multi-stream run: chip-wide totals plus a per-kernel
+/// attribution slice for every launch.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Total cycles to completion of all streams.
+    pub cycles: u64,
+    /// Chip-wide core statistics (exact field-wise sum of all per-kernel
+    /// bins plus the unbound-SM bin).
+    pub stats: SimStats,
+    /// Memory-side statistics (shared hierarchy, not attributed).
+    pub mem: MemStats,
+    /// One entry per kernel launch, flattened stream-major.
+    pub per_kernel: Vec<KernelReport>,
+}
+
+/// Progress fingerprint over the attribution bins (a handful of u64
+/// sums): any issue slot, coprocessor record, or CTA launch shows up
+/// here, so "fingerprint unchanged" means the cycle was quiet.
+fn fingerprint(bins: &[SimStats]) -> (u64, u64, u64, u64, u64) {
+    bins.iter().fold((0, 0, 0, 0, 0), |a, s| {
+        (
+            a.0 + s.slot_issued,
+            a.1 + s.affine_issue_slots,
+            a.2 + s.aeu_records,
+            a.3 + s.peu_records,
+            a.4 + s.ctas_launched,
+        )
+    })
+}
+
+/// The per-SM coprocessor view of a run: a single child is handed
+/// straight to the SMs (no routing overhead on the classic path); two or
+/// more go through the [`MultiCoProcessor`] router.
+enum Router<'a> {
+    Single(&'a mut dyn CoProcessor),
+    Multi(MultiCoProcessor<'a>),
 }
 
 /// The whole GPU.
@@ -88,21 +155,119 @@ impl GpuSim {
         coproc: &mut dyn CoProcessor,
         tracer: &mut dyn Tracer,
     ) -> SimReport {
-        program.kernel.validate().expect("invalid kernel");
+        let kernel = program.kernel.name.clone();
+        let coproc_name = coproc.name().to_string();
+        let streams = [Stream::single(StreamLaunch::new(program.clone()))];
+        let rep =
+            self.run_streams_traced(&streams, mem, vec![coproc], PlacementPolicy::Greedy, tracer);
+        SimReport {
+            kernel,
+            coproc: coproc_name,
+            cycles: rep.cycles,
+            stats: rep.stats,
+            mem: rep.mem,
+        }
+    }
+
+    /// Run multiple kernel streams concurrently (untraced). See
+    /// [`GpuSim::run_streams_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any program is malformed, `coprocs` does not hold one
+    /// coprocessor per launch, or the run exceeds `cfg.max_cycles`.
+    pub fn run_streams(
+        &self,
+        streams: &[Stream],
+        mem: &mut SparseMemory,
+        coprocs: Vec<&mut dyn CoProcessor>,
+        policy: PlacementPolicy,
+    ) -> StreamReport {
+        self.run_streams_traced(streams, mem, coprocs, policy, &mut NullTracer)
+    }
+
+    /// Run multiple kernel streams concurrently. The command processor
+    /// dispatches CTAs of each stream's head launch onto SMs under the
+    /// full occupancy model (CTA slots, warp slots, shared memory,
+    /// register file); streams are in-order internally and compete for
+    /// SMs against each other. `coprocs` holds one coprocessor per kernel
+    /// launch, flattened stream-major; per-SM hooks route to the owning
+    /// kernel's instance. Deterministic by construction — no host-order
+    /// or timing dependence anywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any program is malformed, `coprocs` does not hold one
+    /// coprocessor per launch, or the run exceeds `cfg.max_cycles`
+    /// (deadlock guard).
+    pub fn run_streams_traced(
+        &self,
+        streams: &[Stream],
+        mem: &mut SparseMemory,
+        mut coprocs: Vec<&mut dyn CoProcessor>,
+        policy: PlacementPolicy,
+        tracer: &mut dyn Tracer,
+    ) -> StreamReport {
         let cfg = &self.cfg;
-        let cfgraph = Cfg::build(&program.kernel);
-        let kctx = KernelCtx {
-            program,
-            reconvergence: &cfgraph.reconvergence,
-        };
+        // Flatten launches stream-major; position = kernel/launch id.
+        let flat: Vec<(usize, usize, &StreamLaunch)> = streams
+            .iter()
+            .enumerate()
+            .flat_map(|(s, st)| st.launches.iter().enumerate().map(move |(i, l)| (s, i, l)))
+            .collect();
+        assert!(!flat.is_empty(), "no kernel launches");
+        assert_eq!(
+            coprocs.len(),
+            flat.len(),
+            "need one coprocessor per kernel launch"
+        );
+        for (_, _, l) in &flat {
+            l.program.kernel.validate().expect("invalid kernel");
+        }
+        let cfgraphs: Vec<Cfg> = flat
+            .iter()
+            .map(|(_, _, l)| Cfg::build(&l.program.kernel))
+            .collect();
+        let kctxs: Vec<KernelCtx<'_>> = flat
+            .iter()
+            .zip(&cfgraphs)
+            .map(|((_, _, l), g)| KernelCtx {
+                program: &l.program,
+                reconvergence: &g.reconvergence,
+            })
+            .collect();
+
         let mut fabric = MemoryFabric::new(cfg.mem.clone(), cfg.num_sms);
         let mut sms: Vec<Sm> = (0..cfg.num_sms).map(|i| Sm::new(i, cfg)).collect();
-        let mut stats = SimStats::default();
-        coproc.on_kernel_launch(program, cfg.num_sms);
+        let nk = flat.len();
+        // One attribution bin per kernel plus one for unbound-SM cycles,
+        // so the issue-slot invariant holds on the fold.
+        let mut bins: Vec<SimStats> = vec![SimStats::default(); nk + 1];
+        let coproc_names: Vec<String> = coprocs.iter().map(|c| c.name().to_string()).collect();
+        for (k, c) in coprocs.iter_mut().enumerate() {
+            c.on_kernel_launch(&flat[k].2.program, cfg.num_sms);
+        }
 
-        let total_ctas = program.launch.num_ctas();
-        let mut next_cta = 0u64;
-        let mut now = 0u64;
+        let ctas_by_stream: Vec<Vec<u64>> = streams
+            .iter()
+            .map(|st| {
+                st.launches
+                    .iter()
+                    .map(|l| l.program.launch.num_ctas())
+                    .collect()
+            })
+            .collect();
+        let mut cmdproc = CommandProcessor::new(policy, &ctas_by_stream, cfg.num_sms);
+
+        let mut router = if nk == 1 {
+            Router::Single(coprocs.pop().unwrap())
+        } else {
+            Router::Multi(MultiCoProcessor::new(coprocs, cfg.num_sms))
+        };
+        let coproc: &mut dyn CoProcessor = match &mut router {
+            Router::Single(c) => &mut **c,
+            Router::Multi(m) => m,
+        };
 
         // Idle-cycle fast-forward (probe-and-multiply): after a cycle in
         // which nothing progressed, jump straight to the next cycle at
@@ -114,24 +279,10 @@ impl GpuSim {
         // stall events from the trace).
         let ff_enabled = cfg.fast_forward && !tracer.enabled();
         let mut prev_quiet = false;
+        let mut now = 0u64;
 
         loop {
-            // Dispatch pending CTAs breadth-first: one CTA per SM per pass,
-            // so work spreads across SMs before SMs fill up (as the
-            // hardware scheduler does).
-            loop {
-                let mut progressed = false;
-                for sm in &mut sms {
-                    if next_cta < total_ctas && sm.can_accept_cta(cfg, &kctx) {
-                        sm.launch_cta(&kctx, next_cta, coproc, &mut stats);
-                        next_cta += 1;
-                        progressed = true;
-                    }
-                }
-                if !progressed || next_cta == total_ctas {
-                    break;
-                }
-            }
+            cmdproc.dispatch(now, cfg, &mut sms, &kctxs, coproc, &mut bins, tracer);
 
             // Cheap progress fingerprint (a handful of u64 reads). The full
             // statistics snapshot needed to credit skipped cycles is only
@@ -142,37 +293,36 @@ impl GpuSim {
             // for the probe; idle stretches pay one extra stepped cycle.
             let prog_before =
                 fabric.progress_count() + sms.iter().map(Sm::progress_count).sum::<u64>();
-            let fp_before = (
-                stats.slot_issued,
-                stats.affine_issue_slots,
-                stats.aeu_records,
-                stats.peu_records,
-                stats.ctas_launched,
-            );
+            let fp_before = fingerprint(&bins);
             let ff_probe = if ff_enabled && prev_quiet {
-                Some((stats.clone(), fabric.stats()))
+                Some((bins.clone(), fabric.stats()))
             } else {
                 None
             };
 
             fabric.cycle_traced(now, tracer);
             for sm in &mut sms {
+                let bin = cmdproc.binding(sm.id).unwrap_or(nk);
+                let kctx = &kctxs[cmdproc.binding(sm.id).unwrap_or(0)];
                 sm.cycle(
                     now,
                     cfg,
-                    &kctx,
+                    kctx,
                     mem,
                     &mut fabric,
                     coproc,
-                    &mut stats,
+                    &mut bins[bin],
                     tracer,
                 );
             }
-            for sm in &mut sms {
-                sm.retire_ctas(coproc);
+            for (i, s) in sms.iter_mut().enumerate() {
+                let retired = s.retire_ctas(coproc, tracer, now);
+                if retired > 0 {
+                    cmdproc.note_retired(i, retired as u64, now);
+                }
             }
 
-            let done = next_cta == total_ctas
+            let done = cmdproc.all_complete()
                 && sms.iter().all(|s| s.idle())
                 && fabric.quiescent()
                 && coproc.quiescent();
@@ -186,16 +336,9 @@ impl GpuSim {
             let quiet = ff_enabled
                 && prog_before
                     == fabric.progress_count() + sms.iter().map(Sm::progress_count).sum::<u64>()
-                && fp_before
-                    == (
-                        stats.slot_issued,
-                        stats.affine_issue_slots,
-                        stats.aeu_records,
-                        stats.peu_records,
-                        stats.ctas_launched,
-                    );
+                && fp_before == fingerprint(&bins);
             if quiet {
-                if let Some((stats_before, mem_before)) = ff_probe {
+                if let Some((bins_before, mem_before)) = ff_probe {
                     let wake = sms
                         .iter()
                         .map(|s| s.next_event_time(now))
@@ -208,7 +351,9 @@ impl GpuSim {
                     // (a wake of `u64::MAX` means nothing can ever happen).
                     if wake > now + 1 {
                         let k = wake - 1 - now;
-                        stats.ff_credit(&stats_before, k);
+                        for (b, before) in bins.iter_mut().zip(&bins_before) {
+                            b.ff_credit(before, k);
+                        }
                         fabric.ff_credit(&mem_before, k);
                         now += k;
                     }
@@ -219,14 +364,18 @@ impl GpuSim {
             now += 1;
             assert!(
                 now < cfg.max_cycles,
-                "simulation exceeded {} cycles — deadlock? kernel={} coproc={}",
+                "simulation exceeded {} cycles — deadlock? first kernel={} coproc={}",
                 cfg.max_cycles,
-                program.kernel.name,
+                flat[0].2.program.kernel.name,
                 coproc.name()
             );
         }
 
         // The loop above executed SM cycles for now = 0..=now inclusive.
+        let mut stats = SimStats::default();
+        for b in &bins {
+            stats.accumulate(b);
+        }
         stats.cycles = now + 1;
         let expected_slots = stats.cycles * cfg.schedulers as u64 * cfg.num_sms as u64;
         assert_eq!(
@@ -238,15 +387,36 @@ impl GpuSim {
             stats.cycles,
             cfg.schedulers,
             cfg.num_sms,
-            program.kernel.name,
+            flat[0].2.program.kernel.name,
             coproc.name()
         );
-        SimReport {
-            kernel: program.kernel.name.clone(),
-            coproc: coproc.name().to_string(),
+        let per_kernel = flat
+            .iter()
+            .enumerate()
+            .map(|(k, (s, i, l))| {
+                let st = cmdproc.state(k);
+                let first = st.first_cycle.unwrap_or(0);
+                let done = st.done_cycle.unwrap_or(first);
+                let mut kstats = bins[k].clone();
+                kstats.cycles = done - first + 1;
+                KernelReport {
+                    label: l.label.clone(),
+                    kernel: l.program.kernel.name.clone(),
+                    coproc: coproc_names[k].clone(),
+                    stream: *s,
+                    seq: *i,
+                    ctas: st.total_ctas,
+                    first_cycle: first,
+                    done_cycle: done,
+                    stats: kstats,
+                }
+            })
+            .collect();
+        StreamReport {
             cycles: stats.cycles,
             stats,
             mem: fabric.stats(),
+            per_kernel,
         }
     }
 }

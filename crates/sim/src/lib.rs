@@ -22,6 +22,7 @@
 //! PTX mode); timing unfolds separately through the scoreboard and the
 //! memory fabric.
 
+pub mod cmdproc;
 pub mod coalesce;
 pub mod config;
 pub mod coproc;
@@ -29,10 +30,13 @@ pub mod gpu;
 pub mod sm;
 pub mod stack;
 pub mod stats;
+pub mod stream;
 pub mod warp;
 
+pub use cmdproc::{CommandProcessor, LaunchState, MultiCoProcessor, PlacementPolicy};
 pub use config::GpuConfig;
 pub use coproc::{AddrRecord, CoCtx, CoProcessor, IssueCost, NullCoProcessor, RecordKind};
-pub use gpu::{GpuSim, SimReport};
+pub use gpu::{GpuSim, KernelReport, SimReport, StreamReport};
 pub use stack::SimtStack;
 pub use stats::SimStats;
+pub use stream::{Stream, StreamLaunch};

@@ -45,6 +45,13 @@ pub struct CtaInfo {
     pub warps: Vec<usize>,
     /// Per-CTA shared memory contents.
     pub shared: SparseMemory,
+    /// Owning kernel (flattened stream-major launch index; 0 for
+    /// single-kernel runs). Attribution tag for stats and trace events.
+    pub kernel: usize,
+    /// Register-file footprint (registers held while resident).
+    pub regs: u32,
+    /// Shared-memory footprint in bytes (held while resident).
+    pub shared_bytes: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -154,6 +161,11 @@ pub struct Sm {
     resp_scratch: Vec<MemResponse>,
     txn_scratch: Vec<Transaction>,
     line_scratch: Vec<u64>,
+    /// Registers currently held by resident CTAs (incremental occupancy
+    /// accounting; launch adds, retire subtracts).
+    used_regs: u32,
+    /// Shared-memory bytes currently held by resident CTAs.
+    used_shared: u32,
     /// Monotone event counter for the idle-cycle fast-forward probe. Bumped
     /// only on SM-side state changes that no statistics counter already
     /// witnesses: writeback-heap pops, barrier releases, and CTA retires.
@@ -184,6 +196,8 @@ impl Sm {
             resp_scratch: Vec::new(),
             txn_scratch: Vec::new(),
             line_scratch: Vec::new(),
+            used_regs: 0,
+            used_shared: 0,
             progress: 0,
         }
     }
@@ -212,25 +226,46 @@ impl Sm {
         wake
     }
 
-    /// Does the SM have room for another CTA of this kernel?
+    /// Register-file footprint of one CTA of this kernel: every warp slot
+    /// holds 32 threads' worth of `regs_per_thread` registers.
+    pub fn cta_regs(kctx: &KernelCtx<'_>) -> u32 {
+        kctx.program.launch.warps_per_cta() * 32 * kctx.program.kernel.regs_per_thread as u32
+    }
+
+    /// Does the SM have room for another CTA of this kernel? Checks all
+    /// four static resources: CTA slots, warp slots, shared memory, and
+    /// the register file.
     pub fn can_accept_cta(&self, cfg: &GpuConfig, kctx: &KernelCtx<'_>) -> bool {
         let warps_needed = kctx.program.launch.warps_per_cta() as usize;
         let free_slot = self.cta_slots.iter().any(|s| s.is_none());
         let free_warps = self.warps.iter().filter(|w| w.is_none()).count();
-        let resident = self.cta_slots.iter().flatten().count() as u32;
-        let shared_ok = kctx.program.kernel.shared_bytes == 0
-            || (resident + 1) * kctx.program.kernel.shared_bytes <= cfg.shared_mem_per_sm;
-        free_slot && free_warps >= warps_needed && shared_ok
+        let shared_ok =
+            self.used_shared + kctx.program.kernel.shared_bytes <= cfg.shared_mem_per_sm;
+        let regs_ok = self.used_regs + Self::cta_regs(kctx) <= cfg.regfile_per_sm;
+        free_slot && free_warps >= warps_needed && shared_ok && regs_ok
     }
 
-    /// Launch CTA `cta_linear` onto this SM. Returns the slot used.
+    /// Registers currently held by resident CTAs.
+    pub fn used_regs(&self) -> u32 {
+        self.used_regs
+    }
+
+    /// Shared-memory bytes currently held by resident CTAs.
+    pub fn used_shared(&self) -> u32 {
+        self.used_shared
+    }
+
+    /// Launch CTA `cta_linear` of kernel `kernel_id` onto this SM. Returns
+    /// the slot used.
     ///
     /// # Panics
     ///
     /// Panics if [`Sm::can_accept_cta`] is false.
     pub fn launch_cta(
         &mut self,
+        cfg: &GpuConfig,
         kctx: &KernelCtx<'_>,
+        kernel_id: usize,
         cta_linear: u64,
         coproc: &mut dyn CoProcessor,
         stats: &mut SimStats,
@@ -269,15 +304,31 @@ impl Sm {
             ));
             warp_ids.push(id);
         }
+        let cta_regs = Self::cta_regs(kctx);
+        self.used_regs += cta_regs;
+        self.used_shared += kernel.shared_bytes;
+        assert!(
+            self.used_regs <= cfg.regfile_per_sm && self.used_shared <= cfg.shared_mem_per_sm,
+            "CTA launch oversubscribed SM {}: regs {}/{}, shared {}/{}",
+            self.id,
+            self.used_regs,
+            cfg.regfile_per_sm,
+            self.used_shared,
+            cfg.shared_mem_per_sm
+        );
         self.cta_slots[slot] = Some(CtaInfo {
             cta_linear,
             coords: launch.grid.unflatten(cta_linear),
-            warps: warp_ids.clone(),
+            warps: warp_ids,
             shared: SparseMemory::new(),
+            kernel: kernel_id,
+            regs: cta_regs,
+            shared_bytes: kernel.shared_bytes,
         });
         stats.ctas_launched += 1;
         stats.threads_launched += threads;
-        coproc.on_cta_launch(self.id, slot, cta_linear, &warp_ids);
+        let cta = self.cta_slots[slot].as_ref().unwrap();
+        coproc.on_cta_launch(self.id, slot, cta_linear, &cta.warps);
         slot
     }
 
@@ -1180,14 +1231,22 @@ impl Sm {
 
     fn resolve_barriers(&mut self, coproc: &mut dyn CoProcessor, stats: &mut SimStats) {
         let _ = stats;
-        for slot in 0..self.cta_slots.len() {
-            let Some(cta) = self.cta_slots[slot].as_ref() else {
+        let sm_id = self.id;
+        // Disjoint field borrows (no per-release clone of `cta.warps`).
+        let Sm {
+            cta_slots,
+            warps,
+            progress,
+            ..
+        } = self;
+        for (slot, cs) in cta_slots.iter().enumerate() {
+            let Some(cta) = cs.as_ref() else {
                 continue;
             };
             let mut all_arrived = true;
             let mut any_waiting = false;
             for &wid in &cta.warps {
-                if let Some(w) = self.warps[wid].as_ref() {
+                if let Some(w) = warps[wid].as_ref() {
                     if w.done() {
                         continue;
                     }
@@ -1199,22 +1258,28 @@ impl Sm {
                 }
             }
             if any_waiting && all_arrived {
-                self.progress += 1;
-                let warps = cta.warps.clone();
-                for wid in warps {
-                    if let Some(w) = self.warps[wid].as_mut() {
+                *progress += 1;
+                for &wid in &cta.warps {
+                    if let Some(w) = warps[wid].as_mut() {
                         w.at_barrier = false;
                     }
                 }
-                coproc.on_barrier_release(self.id, slot);
+                coproc.on_barrier_release(sm_id, slot);
             }
         }
     }
 
-    /// Retire CTAs whose warps have all finished (and drained). Returns the
-    /// retired slot indices.
-    pub fn retire_ctas(&mut self, coproc: &mut dyn CoProcessor) -> Vec<usize> {
-        let mut retired = Vec::new();
+    /// Retire CTAs whose warps have all finished (and drained), freeing
+    /// their warp slots, registers, and shared memory. Returns how many
+    /// CTAs retired this cycle. Allocation-free: the retiring `CtaInfo` is
+    /// moved out of its slot, never cloned.
+    pub fn retire_ctas(
+        &mut self,
+        coproc: &mut dyn CoProcessor,
+        tracer: &mut dyn Tracer,
+        now: u64,
+    ) -> usize {
+        let mut retired = 0;
         for slot in 0..self.cta_slots.len() {
             let Some(cta) = self.cta_slots[slot].as_ref() else {
                 continue;
@@ -1225,24 +1290,37 @@ impl Sm {
                     .map(|w| w.done() && w.scoreboard_clear())
                     .unwrap_or(true)
             });
-            if all_done {
-                let warps = cta.warps.clone();
-                // Do not free warps with outstanding memory responses.
-                let pending_mem = self
-                    .outstanding
-                    .iter()
-                    .any(|(_, t)| warps.contains(&t.warp));
-                if pending_mem {
-                    continue;
-                }
-                for wid in warps {
-                    self.warps[wid] = None;
-                }
-                self.cta_slots[slot] = None;
-                self.progress += 1;
-                coproc.on_cta_retire(self.id, slot);
-                retired.push(slot);
+            if !all_done {
+                continue;
             }
+            // Do not free warps with outstanding memory responses.
+            let pending_mem = self
+                .outstanding
+                .iter()
+                .any(|(_, t)| cta.warps.contains(&t.warp));
+            if pending_mem {
+                continue;
+            }
+            let cta = self.cta_slots[slot].take().unwrap();
+            for &wid in &cta.warps {
+                self.warps[wid] = None;
+            }
+            debug_assert!(self.used_regs >= cta.regs && self.used_shared >= cta.shared_bytes);
+            self.used_regs -= cta.regs;
+            self.used_shared -= cta.shared_bytes;
+            self.progress += 1;
+            coproc.on_cta_retire(self.id, slot);
+            if tracer.enabled() {
+                tracer.emit(
+                    now,
+                    TraceEvent::CtaRetire {
+                        sm: self.id as u32,
+                        slot: slot as u32,
+                        kernel: cta.kernel as u32,
+                    },
+                );
+            }
+            retired += 1;
         }
         retired
     }

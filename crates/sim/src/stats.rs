@@ -166,6 +166,19 @@ impl SimStats {
         slot_idle,
     );
 
+    /// Field-wise sum: fold `other` into `self`. Exact — every counter is
+    /// a `u64` total, so summing per-kernel bins reproduces the counters a
+    /// single shared sink would have collected. Used by multi-stream runs
+    /// to aggregate per-kernel attribution bins into the chip-wide report.
+    pub fn accumulate(&mut self, other: &SimStats) {
+        for ((name, a), (_, b)) in self.fields().into_iter().zip(other.fields()) {
+            if b != 0 {
+                let ok = self.set_field(name, a + b);
+                debug_assert!(ok, "unknown SimStats field {name}");
+            }
+        }
+    }
+
     /// Credit `k` skipped idle cycles to every counter: add
     /// `k × (self − before)`, field by field. Used by the fast-forward in
     /// the GPU loop — `before` is a snapshot taken just before a probe

@@ -1,0 +1,56 @@
+//! Kernel streams: ordered launch queues consumed by the command
+//! processor ([`crate::cmdproc::CommandProcessor`]).
+//!
+//! A [`Stream`] carries CUDA stream semantics: launches within one stream
+//! run strictly in order (launch `i + 1` begins dispatching only after
+//! every CTA of launch `i` has retired), while distinct streams are
+//! independent and compete for SMs concurrently.
+
+use simt_ir::Program;
+
+/// One kernel launch queued on a stream.
+#[derive(Debug, Clone)]
+pub struct StreamLaunch {
+    /// The validated program (kernel + launch geometry + parameters).
+    pub program: Program,
+    /// Attribution label carried into per-kernel reports and artifacts
+    /// (a benchmark abbreviation or the kernel name).
+    pub label: String,
+}
+
+impl StreamLaunch {
+    /// A launch labelled with the kernel's own name.
+    pub fn new(program: Program) -> Self {
+        let label = program.kernel.name.clone();
+        StreamLaunch { program, label }
+    }
+
+    /// A launch with an explicit attribution label.
+    pub fn labelled(program: Program, label: impl Into<String>) -> Self {
+        StreamLaunch {
+            program,
+            label: label.into(),
+        }
+    }
+}
+
+/// An in-order queue of kernel launches.
+#[derive(Debug, Clone, Default)]
+pub struct Stream {
+    /// Launches in issue order.
+    pub launches: Vec<StreamLaunch>,
+}
+
+impl Stream {
+    /// A stream of the given launches.
+    pub fn of(launches: Vec<StreamLaunch>) -> Self {
+        Stream { launches }
+    }
+
+    /// A stream holding a single launch.
+    pub fn single(launch: StreamLaunch) -> Self {
+        Stream {
+            launches: vec![launch],
+        }
+    }
+}

@@ -259,6 +259,28 @@ pub fn export<'a>(events: impl Iterator<Item = &'a TimedEvent>, dropped: u64) ->
                     if pred { "peu-expand" } else { "aeu-expand" }
                 ),
             ),
+            TraceEvent::CtaLaunch {
+                sm,
+                slot,
+                kernel,
+                cta,
+            } => push_event(
+                &mut out,
+                format_args!(
+                    "{{\"name\": \"cta-launch\", \"cat\": \"cta\", \"ph\": \"i\", \
+                     \"s\": \"t\", \"ts\": {ts}, \"pid\": {sm}, \"tid\": 905, \
+                     \"args\": {{\"slot\": {slot}, \"kernel\": {kernel}, \
+                     \"cta\": {cta}}}}}"
+                ),
+            ),
+            TraceEvent::CtaRetire { sm, slot, kernel } => push_event(
+                &mut out,
+                format_args!(
+                    "{{\"name\": \"cta-retire\", \"cat\": \"cta\", \"ph\": \"i\", \
+                     \"s\": \"t\", \"ts\": {ts}, \"pid\": {sm}, \"tid\": 905, \
+                     \"args\": {{\"slot\": {slot}, \"kernel\": {kernel}}}}}"
+                ),
+            ),
         }
     }
     let _ = write!(

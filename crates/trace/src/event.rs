@@ -255,6 +255,28 @@ pub enum TraceEvent {
         /// address expansion.
         pred: bool,
     },
+    /// The command processor placed a CTA on an SM.
+    CtaLaunch {
+        /// SM index.
+        sm: u32,
+        /// CTA slot the block occupies.
+        slot: u32,
+        /// Owning kernel (flattened stream-major launch index; 0 for
+        /// single-kernel runs).
+        kernel: u32,
+        /// Linear CTA index within the owning kernel's grid.
+        cta: u64,
+    },
+    /// A CTA finished and freed its SM resources (warps, registers,
+    /// shared memory).
+    CtaRetire {
+        /// SM index.
+        sm: u32,
+        /// CTA slot freed.
+        slot: u32,
+        /// Owning kernel (flattened stream-major launch index).
+        kernel: u32,
+    },
 }
 
 impl TraceEvent {
@@ -274,6 +296,8 @@ impl TraceEvent {
             TraceEvent::QueueSample { .. } => "queue_sample",
             TraceEvent::AffineIssue { .. } => "affine_issue",
             TraceEvent::Expand { .. } => "expand",
+            TraceEvent::CtaLaunch { .. } => "cta_launch",
+            TraceEvent::CtaRetire { .. } => "cta_retire",
         }
     }
 }

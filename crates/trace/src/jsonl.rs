@@ -171,6 +171,23 @@ pub fn export<'a>(
             TraceEvent::Expand { sm, warp, pred } => {
                 let _ = write!(out, ", \"sm\": {sm}, \"warp\": {warp}, \"pred\": {pred}");
             }
+            TraceEvent::CtaLaunch {
+                sm,
+                slot,
+                kernel,
+                cta,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"sm\": {sm}, \"slot\": {slot}, \"kernel\": {kernel}, \"cta\": {cta}"
+                );
+            }
+            TraceEvent::CtaRetire { sm, slot, kernel } => {
+                let _ = write!(
+                    out,
+                    ", \"sm\": {sm}, \"slot\": {slot}, \"kernel\": {kernel}"
+                );
+            }
         }
         out.push_str("}\n");
     }

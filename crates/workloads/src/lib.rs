@@ -16,13 +16,16 @@
 
 pub mod kernels;
 pub mod runner;
+pub mod scenarios;
 
 use simt_ir::{Kernel, LaunchConfig, Program};
 use simt_mem::SparseMemory;
 
 pub use runner::{
-    classify, gpu_for, run_dac, run_dac_traced, run_design, run_design_traced, BenchRun, Design,
+    classify, gpu_for, run_dac, run_dac_traced, run_design, run_design_traced, run_scenario_design,
+    run_scenario_design_traced, BenchRun, Design, ScenarioRun,
 };
+pub use scenarios::{all_scenarios, scenario, Scenario, ScenarioKernel, ALL_SCENARIOS};
 
 /// Benchmark suite of origin (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

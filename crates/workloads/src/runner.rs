@@ -1,12 +1,16 @@
 //! Run benchmarks under each design (baseline / CAE / MTA / DAC) and
 //! classify them as compute- or memory-intensive (paper §5.1.2).
 
+use crate::scenarios::Scenario;
 use crate::Workload;
 use affine::{decouple, AffineAnalysis, DecoupledKernel};
 use dac_core::{Dac, DacConfig};
 use gpu_baselines::{Cae, CaeConfig, Mta, MtaConfig};
 use simt_mem::{MemConfig, SparseMemory};
-use simt_sim::{GpuConfig, GpuSim, SimReport};
+use simt_sim::{
+    CoProcessor, GpuConfig, GpuSim, NullCoProcessor, PlacementPolicy, SimReport, Stream,
+    StreamLaunch, StreamReport,
+};
 use simt_trace::{NullTracer, Tracer};
 
 /// The four hardware designs of Figure 16.
@@ -132,6 +136,96 @@ pub fn run_dac_traced(
     }
 }
 
+/// One scenario run: the stream report (chip-wide + per-kernel stats)
+/// plus the memory image it produced.
+pub struct ScenarioRun {
+    /// The simulator report, including one [`simt_sim::KernelReport`] per
+    /// launch (stream-major).
+    pub report: StreamReport,
+    /// Final memory (for per-kernel cross-design output checks).
+    pub memory: SparseMemory,
+}
+
+/// Owned per-kernel coprocessor storage for a scenario run (one instance
+/// per launch; the GPU routes per-SM hooks to the owning kernel's
+/// instance).
+enum ScenarioCo {
+    Null(NullCoProcessor),
+    Cae(Box<Cae>),
+    Mta(Box<Mta>),
+    Dac(Box<Dac>),
+}
+
+impl ScenarioCo {
+    fn as_dyn(&mut self) -> &mut dyn CoProcessor {
+        match self {
+            ScenarioCo::Null(c) => c,
+            ScenarioCo::Cae(c) => &mut **c,
+            ScenarioCo::Mta(c) => &mut **c,
+            ScenarioCo::Dac(c) => &mut **c,
+        }
+    }
+}
+
+/// Run a multi-kernel scenario under `design` at paper-default DAC
+/// configuration. Each launch gets its own coprocessor instance (for DAC,
+/// its own decoupled kernel); streams run concurrently under `policy`.
+pub fn run_scenario_design(
+    sc: &Scenario,
+    design: Design,
+    gpu: &GpuSim,
+    policy: PlacementPolicy,
+) -> ScenarioRun {
+    run_scenario_design_traced(sc, design, gpu, policy, DacConfig::paper(), &mut NullTracer)
+}
+
+/// [`run_scenario_design`] with an explicit DAC configuration (used only
+/// when `design` is [`Design::Dac`]) and an event tracer attached.
+pub fn run_scenario_design_traced(
+    sc: &Scenario,
+    design: Design,
+    gpu: &GpuSim,
+    policy: PlacementPolicy,
+    dac: DacConfig,
+    tracer: &mut dyn Tracer,
+) -> ScenarioRun {
+    let mut memory = sc.fresh_memory();
+    let mut streams: Vec<Stream> = Vec::new();
+    let mut owned: Vec<ScenarioCo> = Vec::new();
+    for s in &sc.streams {
+        let mut launches = Vec::new();
+        for k in s {
+            let (program, co) = match design {
+                Design::Baseline => (k.program(), ScenarioCo::Null(NullCoProcessor)),
+                Design::Cae => (
+                    k.program(),
+                    ScenarioCo::Cae(Box::new(Cae::new(CaeConfig::default()))),
+                ),
+                Design::Mta => (
+                    k.program(),
+                    ScenarioCo::Mta(Box::new(Mta::new(MtaConfig::default()))),
+                ),
+                Design::Dac => {
+                    let analysis = AffineAnalysis::run(&k.kernel);
+                    let dk = decouple(&k.kernel, &analysis);
+                    let program = simt_ir::Program::new(dk.non_affine.clone(), k.launch.clone())
+                        .expect("decoupled scenario kernel invalid");
+                    (
+                        program,
+                        ScenarioCo::Dac(Box::new(Dac::new(dac.clone(), dk))),
+                    )
+                }
+            };
+            launches.push(StreamLaunch::labelled(program, k.label));
+            owned.push(co);
+        }
+        streams.push(Stream::of(launches));
+    }
+    let coprocs: Vec<&mut dyn CoProcessor> = owned.iter_mut().map(ScenarioCo::as_dyn).collect();
+    let report = gpu.run_streams_traced(&streams, &mut memory, coprocs, policy, tracer);
+    ScenarioRun { report, memory }
+}
+
 /// Classify a benchmark: memory-intensive iff perfect memory yields ≥ 1.5×
 /// (paper §5.1.2). Returns `(is_memory_intensive, perfect_speedup)`.
 pub fn classify(w: &Workload) -> (bool, f64) {
@@ -156,6 +250,44 @@ mod tests {
         }
         assert!(gpu_for(Design::Mta).mem.prefetch_buffer_size > 0);
         assert_eq!(gpu_for(Design::Dac).mem.prefetch_buffer_size, 0);
+    }
+
+    /// Every design must produce bit-identical per-kernel outputs on every
+    /// multi-stream scenario, and report per-kernel stats for every launch.
+    #[test]
+    fn scenarios_agree_on_outputs_across_designs() {
+        for sc in crate::all_scenarios(1) {
+            let base = run_scenario_design(
+                &sc,
+                Design::Baseline,
+                &GpuSim::new(simt_sim::GpuConfig::test_small()),
+                PlacementPolicy::Greedy,
+            );
+            let golden = sc.output_words(&base.memory);
+            assert_eq!(base.report.per_kernel.len(), sc.kernels().len());
+            for (k, sk) in base.report.per_kernel.iter().zip(sc.kernels()) {
+                assert_eq!(k.label, sk.label, "{}: per-kernel order", sc.name);
+                assert_eq!(k.ctas, sk.launch.num_ctas(), "{}: CTA count", sc.name);
+                assert!(k.stats.ctas_launched == k.ctas, "{}: all CTAs ran", sc.name);
+            }
+            for d in [Design::Cae, Design::Mta, Design::Dac] {
+                for policy in [PlacementPolicy::Greedy, PlacementPolicy::RoundRobin] {
+                    let gpu = GpuSim::new(simt_sim::GpuConfig {
+                        mem: gpu_for(d).mem,
+                        ..simt_sim::GpuConfig::test_small()
+                    });
+                    let run = run_scenario_design(&sc, d, &gpu, policy);
+                    assert_eq!(
+                        sc.output_words(&run.memory),
+                        golden,
+                        "design {:?}/{:?} diverged on {}",
+                        d,
+                        policy,
+                        sc.name
+                    );
+                }
+            }
+        }
     }
 
     /// Every design must produce bit-identical outputs on a workload with

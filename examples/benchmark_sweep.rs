@@ -43,7 +43,7 @@ fn main() {
         "bench", "base(cyc)", "CAE", "MTA", "DAC", "decoup%"
     );
     for (chunk, results) in jobs.chunks(4).zip(out.results.chunks(4)) {
-        let w = &chunk[0].workload;
+        let w = chunk[0].workload().expect("suite_jobs builds bench jobs");
         let base = &results[0];
         // The output digest must match across designs — decoupling may
         // reorder work but never change what the program computes.
