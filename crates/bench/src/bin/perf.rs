@@ -376,7 +376,7 @@ fn check_bench_file(path: &Path) -> i32 {
         }
     };
     let mut errors = Vec::new();
-    validate(&value, &schema, "$", &mut errors);
+    json::validate(&value, &schema, "$", &mut errors);
     if errors.is_empty() {
         println!(
             "perf: {} conforms to {}",
@@ -394,70 +394,5 @@ fn check_bench_file(path: &Path) -> i32 {
             errors.len()
         );
         1
-    }
-}
-
-/// Minimal JSON-Schema-subset validator: `type`, `required`, `properties`,
-/// `items`, `const`, `minItems`. Enough to pin the artifact shape without
-/// an external schema library.
-fn validate(value: &json::Value, schema: &json::Value, at: &str, errors: &mut Vec<String>) {
-    use json::Value;
-    if let Some(expected) = schema.get("const") {
-        let matches = match (expected, value) {
-            (Value::Str(a), Value::Str(b)) => a == b,
-            _ => match (expected.as_f64(), value.as_f64()) {
-                (Some(a), Some(b)) => a == b,
-                _ => false,
-            },
-        };
-        if !matches {
-            errors.push(format!("{at}: expected const {expected:?}"));
-        }
-    }
-    if let Some(t) = schema.get("type").and_then(Value::as_str) {
-        let ok = match t {
-            "object" => value.as_obj().is_some(),
-            "array" => value.as_arr().is_some(),
-            "string" => value.as_str().is_some(),
-            "number" => value.as_f64().is_some(),
-            "integer" => value.as_u64().is_some(),
-            "boolean" => value.as_bool().is_some(),
-            _ => true,
-        };
-        if !ok {
-            errors.push(format!("{at}: expected type {t}"));
-            return;
-        }
-    }
-    if let Some(obj) = value.as_obj() {
-        if let Some(required) = schema.get("required").and_then(Value::as_arr) {
-            for name in required.iter().filter_map(Value::as_str) {
-                if !obj.iter().any(|(k, _)| k == name) {
-                    errors.push(format!("{at}: missing required field {name:?}"));
-                }
-            }
-        }
-        if let Some(props) = schema.get("properties").and_then(Value::as_obj) {
-            for (name, sub) in props {
-                if let Some((_, v)) = obj.iter().find(|(k, _)| k == name) {
-                    validate(v, sub, &format!("{at}.{name}"), errors);
-                }
-            }
-        }
-    }
-    if let Some(arr) = value.as_arr() {
-        if let Some(min) = schema.get("minItems").and_then(Value::as_u64) {
-            if (arr.len() as u64) < min {
-                errors.push(format!(
-                    "{at}: expected at least {min} items, got {}",
-                    arr.len()
-                ));
-            }
-        }
-        if let Some(items) = schema.get("items") {
-            for (i, v) in arr.iter().enumerate() {
-                validate(v, items, &format!("{at}[{i}]"), errors);
-            }
-        }
     }
 }

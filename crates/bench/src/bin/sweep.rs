@@ -30,7 +30,9 @@ fn usage_exit(error: &str) -> ! {
         println!("{USAGE}\n\n{COMMON_USAGE}");
         std::process::exit(0);
     }
-    eprintln!("sweep: {error}\n\n{USAGE}\n\n{COMMON_USAGE}");
+    // One line, not the usage dump: parse errors already name the valid
+    // choices, and burying them under 40 lines of usage hides the message.
+    eprintln!("sweep: {error} (run `sweep --help` for usage)");
     std::process::exit(2);
 }
 
@@ -119,8 +121,12 @@ fn main() {
 /// Run one multi-kernel stream scenario under every selected design and
 /// print chip-wide plus per-kernel cycle counts.
 fn scenario_sweep(args: &CommonArgs, name: &str, points: &[DesignPoint]) {
-    let sc = gpu_workloads::scenario(name, args.scale)
-        .unwrap_or_else(|| usage_exit(&format!("unknown scenario {name:?}")));
+    let sc = gpu_workloads::scenario(name, args.scale).unwrap_or_else(|| {
+        usage_exit(&format!(
+            "unknown scenario {name:?} (expected one of: {})",
+            gpu_workloads::ALL_SCENARIOS.join(", ")
+        ))
+    });
     let harness = args.harness(Some("results/runs"));
     let jobs = scenario_jobs(vec![sc], args.scale, points, &args.overrides);
     eprintln!(

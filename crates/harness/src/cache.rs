@@ -47,19 +47,71 @@ impl ResultCache {
         &self.dir
     }
 
-    fn entry_path(&self, key: &str) -> PathBuf {
-        self.dir
-            .join(format!("{:016x}.json", fnv1a64(key.as_bytes())))
+    /// The on-disk path of the entry for `key` (whether or not it exists).
+    /// File names are the FNV-1a hash of the canonical key — the same hash
+    /// [`entry_path_for_hash`](ResultCache::entry_path_for_hash) addresses,
+    /// which is how the sweep service serves `GET /runs/:key`.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        self.entry_path_for_hash(fnv1a64(key.as_bytes()))
     }
 
-    /// Look up a job. Any failure — missing file, unreadable JSON, schema
-    /// or key mismatch — is a miss; the cache never fails a run.
+    /// The on-disk path of the entry named by a key hash.
+    pub fn entry_path_for_hash(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}.json"))
+    }
+
+    /// Read the raw JSON record stored under a key hash, if present and
+    /// well-formed (`dac-run/v1` with a matching embedded key hash). Used
+    /// by the sweep service to serve cached artifacts without re-encoding.
+    pub fn load_raw_by_hash(&self, hash: u64) -> Option<String> {
+        let path = self.entry_path_for_hash(hash);
+        let text = fs::read_to_string(&path).ok()?;
+        let parsed = json::parse(&text)
+            .ok()
+            .filter(|v| match artifact::from_json(v) {
+                Ok((key, _)) => fnv1a64(key.as_bytes()) == hash,
+                Err(_) => false,
+            });
+        if parsed.is_none() {
+            self.evict_corrupt(&path);
+            return None;
+        }
+        Some(text)
+    }
+
+    /// Look up a job. A missing file is a plain miss; a file that exists
+    /// but does not parse back to this job's key (truncated write, disk
+    /// corruption, stale schema) is **evicted** — warned about once and
+    /// deleted — so the run recomputes it instead of tripping over the
+    /// same bad bytes on every sweep. The cache never fails a run.
     pub fn load(&self, job: &Job) -> Option<JobResult> {
         let key = job.cache_key();
-        let text = fs::read_to_string(self.entry_path(&key)).ok()?;
-        let value = json::parse(&text).ok()?;
-        let (stored_key, result) = artifact::from_json(&value).ok()?;
-        (stored_key == key).then_some(result)
+        let path = self.entry_path(&key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return None, // plain miss: nothing stored
+        };
+        let result = json::parse(&text)
+            .ok()
+            .and_then(|v| artifact::from_json(&v).ok())
+            .and_then(|(stored_key, result)| (stored_key == key).then_some(result));
+        if result.is_none() {
+            // The entry exists but is unusable (a hash collision also lands
+            // here — indistinguishable from corruption, and equally safe to
+            // recompute). Evict it so the fresh result can take its place.
+            self.evict_corrupt(&path);
+        }
+        result
+    }
+
+    fn evict_corrupt(&self, path: &Path) {
+        eprintln!(
+            "warning: evicting corrupt cache entry {} (recomputing)",
+            path.display()
+        );
+        if let Err(e) = fs::remove_file(path) {
+            eprintln!("warning: could not remove {}: {e}", path.display());
+        }
     }
 
     /// Store a fresh result. Write failures are reported but non-fatal
@@ -138,20 +190,53 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entries_read_as_miss() {
+    fn corrupt_entries_are_evicted_and_recomputable() {
         let dir = tmp_dir("corrupt");
         let cache = ResultCache::new(&dir);
         let job = small_job();
         let result = job.execute();
         cache.store(&job, &result);
         let path = cache.entry_path(&job.cache_key());
+
+        // Truncated JSON (torn write): miss, and the bad file is evicted so
+        // the recomputed result can be stored cleanly.
         fs::write(&path, b"{ not json").unwrap();
         assert!(cache.load(&job).is_none());
-        // Key mismatch (simulated collision) is also a miss.
+        assert!(!path.exists(), "corrupt entry must be evicted");
+
+        // A fresh store + load works again after eviction.
+        cache.store(&job, &result);
+        assert!(cache.load(&job).is_some());
+
+        // Key mismatch (simulated collision) is also evicted.
         let record =
             artifact::to_json(&job, &result, None, Some("dac-cache-v0|bench=???")).to_json();
         fs::write(&path, record).unwrap();
         assert!(cache.load(&job).is_none());
+        assert!(!path.exists());
+
+        // A missing entry is a plain miss: nothing to evict, no warning.
+        assert!(cache.load(&job).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn raw_access_by_hash() {
+        let dir = tmp_dir("raw");
+        let cache = ResultCache::new(&dir);
+        let job = small_job();
+        let result = job.execute();
+        cache.store(&job, &result);
+        let hash = fnv1a64(job.cache_key().as_bytes());
+        let text = cache.load_raw_by_hash(hash).expect("raw entry readable");
+        let (key, loaded) = artifact::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(key, job.cache_key());
+        assert_eq!(loaded.report.cycles, result.report.cycles);
+        // Unknown hash: None. Corrupt entry: evicted + None.
+        assert!(cache.load_raw_by_hash(hash ^ 1).is_none());
+        fs::write(cache.entry_path_for_hash(hash), b"garbage").unwrap();
+        assert!(cache.load_raw_by_hash(hash).is_none());
+        assert!(!cache.entry_path_for_hash(hash).exists());
         let _ = fs::remove_dir_all(&dir);
     }
 }

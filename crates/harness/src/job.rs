@@ -332,6 +332,13 @@ impl Job {
         key
     }
 
+    /// The FNV-1a hash of the canonical cache key — the stable short id a
+    /// result is addressed by on disk (`results/cache/<hash>.json`) and
+    /// over the sweep-service API (`GET /runs/<hash>`).
+    pub fn cache_hash(&self) -> u64 {
+        fnv1a64(self.cache_key().as_bytes())
+    }
+
     /// Short human label for progress lines.
     pub fn label(&self) -> String {
         format!("{}/{}", self.bench(), self.point.name())

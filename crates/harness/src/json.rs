@@ -153,6 +153,73 @@ fn write_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Validate `value` against a minimal JSON-Schema subset: `type`,
+/// `required`, `properties`, `items`, `const`, `minItems` — enough to pin
+/// artifact shapes (the checked-in `schemas/*.schema.json`) without an
+/// external schema library. Appends one message per violation to `errors`,
+/// with `at` as the JSONPath-style location prefix (pass `"$"` at the
+/// root). Shared by `perf --check-bench` and `sweepctl check-bench`.
+pub fn validate(value: &Value, schema: &Value, at: &str, errors: &mut Vec<String>) {
+    if let Some(expected) = schema.get("const") {
+        let matches = match (expected, value) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => match (expected.as_f64(), value.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        };
+        if !matches {
+            errors.push(format!("{at}: expected const {expected:?}"));
+        }
+    }
+    if let Some(t) = schema.get("type").and_then(Value::as_str) {
+        let ok = match t {
+            "object" => value.as_obj().is_some(),
+            "array" => value.as_arr().is_some(),
+            "string" => value.as_str().is_some(),
+            "number" => value.as_f64().is_some(),
+            "integer" => value.as_u64().is_some(),
+            "boolean" => value.as_bool().is_some(),
+            _ => true,
+        };
+        if !ok {
+            errors.push(format!("{at}: expected type {t}"));
+            return;
+        }
+    }
+    if let Some(obj) = value.as_obj() {
+        if let Some(required) = schema.get("required").and_then(Value::as_arr) {
+            for name in required.iter().filter_map(Value::as_str) {
+                if !obj.iter().any(|(k, _)| k == name) {
+                    errors.push(format!("{at}: missing required field {name:?}"));
+                }
+            }
+        }
+        if let Some(props) = schema.get("properties").and_then(Value::as_obj) {
+            for (name, sub) in props {
+                if let Some((_, v)) = obj.iter().find(|(k, _)| k == name) {
+                    validate(v, sub, &format!("{at}.{name}"), errors);
+                }
+            }
+        }
+    }
+    if let Some(arr) = value.as_arr() {
+        if let Some(min) = schema.get("minItems").and_then(Value::as_u64) {
+            if (arr.len() as u64) < min {
+                errors.push(format!(
+                    "{at}: expected at least {min} items, got {}",
+                    arr.len()
+                ));
+            }
+        }
+        if let Some(items) = schema.get("items") {
+            for (i, v) in arr.iter().enumerate() {
+                validate(v, items, &format!("{at}[{i}]"), errors);
+            }
+        }
+    }
+}
+
 /// Parse one JSON document. Trailing whitespace is allowed; trailing
 /// content is an error.
 pub fn parse(text: &str) -> Result<Value, String> {
@@ -421,6 +488,39 @@ mod tests {
         for bad in ["", "{", "[1,", "\"abc", "{\"a\" 1}", "12 34", "nul", "+5"] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn validate_checks_shape_and_reports_paths() {
+        let schema = parse(
+            r#"{"type":"object","required":["schema","runs"],
+                "properties":{
+                  "schema":{"type":"string","const":"x/v1"},
+                  "runs":{"type":"array","minItems":2,
+                          "items":{"type":"object","required":["n"],
+                                   "properties":{"n":{"type":"integer"}}}}}}"#,
+        )
+        .unwrap();
+        let good = parse(r#"{"schema":"x/v1","runs":[{"n":1},{"n":2}]}"#).unwrap();
+        let mut errors = Vec::new();
+        validate(&good, &schema, "$", &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+
+        let bad = parse(r#"{"schema":"x/v2","runs":[{"n":"one"}]}"#).unwrap();
+        let mut errors = Vec::new();
+        validate(&bad, &schema, "$", &mut errors);
+        assert!(
+            errors.iter().any(|e| e.starts_with("$.schema")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("at least 2")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.starts_with("$.runs[0].n")),
+            "{errors:?}"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Run `f` over `items` on `workers` threads and return results in item
 /// order. `workers == 1` degenerates to a plain serial loop on the calling
@@ -80,10 +80,120 @@ where
         .collect()
 }
 
+/// A persistent worker pool with **non-blocking submission** — the
+/// long-lived counterpart of [`run_indexed`], built for the sweep service:
+/// `run_indexed` owns the calling thread until a batch drains, while a
+/// daemon must keep accepting requests while earlier work executes.
+///
+/// Tasks are plain closures; ordering guarantees are the *submitter's*
+/// responsibility (the service orders by cache key, not completion).
+/// A panicking task is caught and reported to stderr, and its worker
+/// keeps serving — one poisoned simulation must not wedge the daemon.
+/// Dropping the pool closes the queue and joins the workers, finishing
+/// whatever was already submitted.
+pub struct WorkerPool {
+    tx: Option<mpsc::Sender<Box<dyn FnOnce() + Send>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (at least one) pulling from a shared queue.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<Box<dyn FnOnce() + Send>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("simt-pool-{i}"))
+                    .spawn(move || loop {
+                        // Take the next task under the lock, run it outside.
+                        let task = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break, // lock poisoned: shutting down
+                        };
+                        let Ok(task) = task else { break };
+                        if let Err(p) = catch_unwind(AssertUnwindSafe(task)) {
+                            let msg = p
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| p.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic".into());
+                            eprintln!("warning: pool task panicked: {msg}");
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+            workers,
+        }
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueue a task and return immediately. Tasks start in submission
+    /// order (completion order depends on task cost and worker count).
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        if let Some(tx) = &self.tx {
+            // Send fails only after shutdown started; dropping the task is
+            // then correct (the submitter is going away too).
+            let _ = tx.send(Box::new(task));
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue: workers exit when drained
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn worker_pool_runs_all_tasks_and_drains_on_drop() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(4);
+        for _ in 0..100 {
+            let count = Arc::clone(&count);
+            pool.submit(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins workers after the queue drains
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_tasks() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(2);
+        for i in 0..20 {
+            let count = Arc::clone(&count);
+            pool.submit(move || {
+                if i % 5 == 0 {
+                    panic!("task {i} boom");
+                }
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
 
     #[test]
     fn preserves_item_order() {

@@ -1,0 +1,545 @@
+//! `sweepctl` — client for the sweep daemon (`serve`).
+//!
+//! Submits design-space grids, watches them to completion, fetches raw
+//! `dac-run/v1` artifacts out of the shared store, and runs the serving
+//! benchmark that produces `BENCH_pr7.json`. Machine-readable output (JSON
+//! documents) goes to stdout; progress lines go to stderr.
+
+use simt_harness::json::{self, Value};
+use simt_serve::client::Client;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: sweepctl <command> [options]
+
+commands:
+  submit       submit a grid (--bench A,B --scenarios S --designs D --scale N
+               --set k=v ...); add --watch to block until it completes
+  watch ID     poll a sweep until it completes
+  fetch KEY    print the raw dac-run/v1 artifact for a 16-hex run key
+               (--out FILE writes it to disk instead)
+  status       print the service overview
+  metrics      print service counters and per-endpoint latency
+  shutdown     stop the daemon
+  bench        run the cold/overlap/warm serving benchmark and write
+               BENCH_pr7.json (--out FILE, --benches A,B,C,D, --designs D,
+               --scale N)
+  check-bench FILE
+               validate FILE against schemas/bench_pr7.schema.json
+
+connection options (all commands):
+  --addr HOST:PORT   daemon address (default 127.0.0.1:7878)
+  --port-file PATH   read the port from PATH (as written by serve
+                     --port-file), host 127.0.0.1
+  --timeout SECS     watch/bench completion timeout (default 600)";
+
+fn usage_exit(error: &str) -> ! {
+    if error == "help" {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    eprintln!("sweepctl: {error} (run `sweepctl --help` for usage)");
+    std::process::exit(2);
+}
+
+fn fail(error: &str) -> ! {
+    eprintln!("sweepctl: {error}");
+    std::process::exit(1);
+}
+
+/// Flags shared by every command, split away from command-specific ones.
+struct Common {
+    addr: String,
+    timeout: Duration,
+    rest: Vec<String>,
+}
+
+fn parse_common(raw: &[String]) -> Common {
+    let mut addr: Option<String> = None;
+    let mut port_file: Option<String> = None;
+    let mut timeout = Duration::from_secs(600);
+    let mut rest = Vec::new();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| usage_exit(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--timeout" => {
+                timeout = Duration::from_secs(
+                    value("--timeout")
+                        .parse()
+                        .unwrap_or_else(|_| usage_exit("--timeout: expected seconds")),
+                )
+            }
+            "-h" | "--help" => usage_exit("help"),
+            other => rest.push(other.to_string()),
+        }
+    }
+    let addr = match (addr, port_file) {
+        (Some(a), _) => a,
+        (None, Some(path)) => {
+            let port = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read port file {path}: {e}")));
+            format!("127.0.0.1:{}", port.trim())
+        }
+        (None, None) => "127.0.0.1:7878".into(),
+    };
+    Common {
+        addr,
+        timeout,
+        rest,
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage_exit("missing command");
+    }
+    let command = raw[0].clone();
+    if command == "-h" || command == "--help" {
+        usage_exit("help");
+    }
+    let common = parse_common(&raw[1..]);
+    let client = Client::new(common.addr.clone());
+    match command.as_str() {
+        "submit" => submit(&client, &common),
+        "watch" => {
+            let id = common
+                .rest
+                .first()
+                .unwrap_or_else(|| usage_exit("watch needs a sweep id"));
+            let status = watch(&client, id, common.timeout);
+            println!("{}", status.to_json());
+        }
+        "fetch" => fetch(&client, &common),
+        "status" => print_endpoint(&client, "/status"),
+        "metrics" => print_endpoint(&client, "/metrics"),
+        "shutdown" => {
+            let v = client
+                .post("/shutdown", None)
+                .and_then(|r| r.ok())
+                .unwrap_or_else(|e| fail(&e));
+            println!("{}", v.to_json());
+        }
+        "bench" => bench(&client, &common),
+        "check-bench" => {
+            let path = common
+                .rest
+                .first()
+                .unwrap_or_else(|| usage_exit("check-bench needs a file"));
+            std::process::exit(check_bench_file(Path::new(path)));
+        }
+        other => usage_exit(&format!("unknown command {other:?}")),
+    }
+}
+
+fn print_endpoint(client: &Client, path: &str) {
+    let v = client
+        .get(path)
+        .and_then(|r| r.ok())
+        .unwrap_or_else(|e| fail(&e));
+    println!("{}", v.to_json());
+}
+
+/// Build a grid-request JSON document from `submit`/`bench` style flags.
+fn grid_json(
+    benches: &[String],
+    scenarios: &[String],
+    designs: &[String],
+    scale: u64,
+    sets: &[(String, String)],
+) -> Value {
+    let strs = |items: &[String]| Value::Arr(items.iter().map(|s| Value::Str(s.clone())).collect());
+    let mut fields = Vec::new();
+    if !benches.is_empty() {
+        fields.push(("benches".into(), strs(benches)));
+    }
+    if !scenarios.is_empty() {
+        fields.push(("scenarios".into(), strs(scenarios)));
+    }
+    if !designs.is_empty() {
+        fields.push(("designs".into(), strs(designs)));
+    }
+    fields.push(("scale".into(), Value::Int(scale)));
+    if !sets.is_empty() {
+        fields.push((
+            "overrides".into(),
+            Value::Obj(
+                sets.iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Obj(fields)
+}
+
+fn split_list(text: &str) -> Vec<String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn submit(client: &Client, common: &Common) {
+    let mut benches = Vec::new();
+    let mut scenarios = Vec::new();
+    let mut designs = Vec::new();
+    let mut scale = 1u64;
+    let mut sets = Vec::new();
+    let mut watch_it = false;
+    let mut it = common.rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| usage_exit(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--bench" | "--benches" => benches = split_list(&value("--bench")),
+            "--scenarios" => scenarios = split_list(&value("--scenarios")),
+            "--designs" => designs = split_list(&value("--designs")),
+            "--scale" => {
+                scale = value("--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--scale: expected an integer"))
+            }
+            "--set" => {
+                let pair = value("--set");
+                let (k, v) = pair
+                    .split_once('=')
+                    .unwrap_or_else(|| usage_exit("--set: expected key=value"));
+                sets.push((k.to_string(), v.to_string()));
+            }
+            "--watch" => watch_it = true,
+            other => usage_exit(&format!("unknown submit option {other:?}")),
+        }
+    }
+    let request = grid_json(&benches, &scenarios, &designs, scale, &sets);
+    let receipt = client
+        .post("/sweeps", Some(&request))
+        .and_then(|r| r.ok())
+        .unwrap_or_else(|e| fail(&e));
+    let id = receipt
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| fail("receipt has no id"))
+        .to_string();
+    eprintln!(
+        "sweepctl: {id}: {} point(s), {} new, {} already done, {} in flight",
+        receipt.get("total").and_then(Value::as_u64).unwrap_or(0),
+        receipt.get("new").and_then(Value::as_u64).unwrap_or(0),
+        receipt
+            .get("already_done")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+        receipt
+            .get("inflight_shared")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+    );
+    if watch_it {
+        let status = watch(client, &id, common.timeout);
+        println!("{}", status.to_json());
+    } else {
+        println!("{}", receipt.to_json());
+    }
+}
+
+/// Poll a sweep until it completes; exits the process on timeout or if any
+/// point failed. Returns the final status document.
+fn watch(client: &Client, id: &str, timeout: Duration) -> Value {
+    let deadline = Instant::now() + timeout;
+    let mut last_done = u64::MAX;
+    loop {
+        let status = client
+            .get(&format!("/sweeps/{id}"))
+            .and_then(|r| r.ok())
+            .unwrap_or_else(|e| fail(&e));
+        let done = status.get("done").and_then(Value::as_u64).unwrap_or(0);
+        let failed = status.get("failed").and_then(Value::as_u64).unwrap_or(0);
+        let total = status.get("total").and_then(Value::as_u64).unwrap_or(0);
+        if done + failed != last_done {
+            last_done = done + failed;
+            eprintln!("sweepctl: {id}: {done}/{total} done, {failed} failed");
+        }
+        if status.get("complete").and_then(Value::as_bool) == Some(true) {
+            if failed > 0 {
+                fail(&format!("{id}: {failed} point(s) failed"));
+            }
+            return status;
+        }
+        if Instant::now() >= deadline {
+            fail(&format!("{id}: timed out after {}s", timeout.as_secs()));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+fn fetch(client: &Client, common: &Common) {
+    let mut key: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = common.rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_exit("--out needs a path")),
+                )
+            }
+            k if key.is_none() => key = Some(k.to_string()),
+            other => usage_exit(&format!("unknown fetch option {other:?}")),
+        }
+    }
+    let key = key.unwrap_or_else(|| usage_exit("fetch needs a 16-hex run key"));
+    let response = client
+        .get(&format!("/runs/{key}"))
+        .unwrap_or_else(|e| fail(&e));
+    if response.status != 200 {
+        let _ = response.ok().map_err(|e| fail(&e));
+        return;
+    }
+    // The raw body, not a re-serialization: fetched artifacts must be
+    // byte-identical to what the store holds.
+    match out {
+        Some(path) => std::fs::write(&path, &response.raw)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}"))),
+        None => println!("{}", response.raw),
+    }
+}
+
+/// One measured phase of the serving benchmark.
+struct Phase {
+    points: u64,
+    executed: u64,
+    wall_s: f64,
+}
+
+impl Phase {
+    fn to_json(&self) -> Value {
+        let hits = self.points - self.executed;
+        let rate = if self.points > 0 {
+            hits as f64 / self.points as f64
+        } else {
+            0.0
+        };
+        Value::Obj(vec![
+            ("points".into(), Value::Int(self.points)),
+            ("executed".into(), Value::Int(self.executed)),
+            ("hits".into(), Value::Int(hits)),
+            ("cache_hit_rate".into(), Value::Float(rate)),
+            ("wall_s".into(), Value::Float(self.wall_s)),
+            (
+                "points_per_sec".into(),
+                Value::Float(if self.wall_s > 0.0 {
+                    self.points as f64 / self.wall_s
+                } else {
+                    0.0
+                }),
+            ),
+        ])
+    }
+}
+
+/// Fresh-execution counter from `/metrics` — phase deltas of this counter
+/// are what "point served without simulating" is measured against.
+fn executed_counter(client: &Client) -> u64 {
+    client
+        .get("/metrics")
+        .and_then(|r| r.ok())
+        .unwrap_or_else(|e| fail(&e))
+        .get("executed")
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| fail("metrics has no executed counter"))
+}
+
+/// Submit one grid, block until it completes, and measure how many of its
+/// points needed a fresh simulation (daemon-wide counter delta — run the
+/// benchmark against an otherwise idle daemon).
+fn run_phase(
+    client: &Client,
+    benches: &[String],
+    designs: &[String],
+    scale: u64,
+    timeout: Duration,
+) -> Phase {
+    let before = executed_counter(client);
+    let t0 = Instant::now();
+    let receipt = client
+        .post(
+            "/sweeps",
+            Some(&grid_json(benches, &[], designs, scale, &[])),
+        )
+        .and_then(|r| r.ok())
+        .unwrap_or_else(|e| fail(&e));
+    let id = receipt
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| fail("receipt has no id"))
+        .to_string();
+    let status = watch(client, &id, timeout);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let after = executed_counter(client);
+    Phase {
+        points: status.get("total").and_then(Value::as_u64).unwrap_or(0),
+        executed: after - before,
+        wall_s,
+    }
+}
+
+/// The serving benchmark behind `BENCH_pr7.json`: a cold grid, an
+/// overlapping grid (sharing all but one benchmark), and an identical
+/// re-submission. Warm must execute nothing — the schema pins it.
+fn bench(client: &Client, common: &Common) {
+    let mut out = "BENCH_pr7.json".to_string();
+    let mut benches = split_list("BFS,LIB,MQ,SPV");
+    let mut designs = split_list("baseline,dac");
+    let mut scale = 1u64;
+    let mut it = common.rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| usage_exit(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--out" => out = value("--out"),
+            "--benches" => benches = split_list(&value("--benches")),
+            "--designs" => designs = split_list(&value("--designs")),
+            "--scale" => {
+                scale = value("--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--scale: expected an integer"))
+            }
+            other => usage_exit(&format!("unknown bench option {other:?}")),
+        }
+    }
+    if benches.len() < 2 {
+        usage_exit("bench needs at least two benchmarks to overlap");
+    }
+    // Cold grid = all but the last benchmark; overlapping grid = all but
+    // the first. They share benches[1..n-1] — those points must be served,
+    // not re-simulated.
+    let cold = &benches[..benches.len() - 1];
+    let overlap = &benches[1..];
+
+    eprintln!("sweepctl: bench phase 1/3: cold {}", cold.join(","));
+    let cold_phase = run_phase(client, cold, &designs, scale, common.timeout);
+    eprintln!("sweepctl: bench phase 2/3: overlap {}", overlap.join(","));
+    let overlap_phase = run_phase(client, overlap, &designs, scale, common.timeout);
+    eprintln!("sweepctl: bench phase 3/3: warm {}", cold.join(","));
+    let warm_phase = run_phase(client, cold, &designs, scale, common.timeout);
+    if warm_phase.executed != 0 {
+        fail(&format!(
+            "warm phase re-executed {} point(s); the store is not serving",
+            warm_phase.executed
+        ));
+    }
+
+    let workers = client
+        .get("/status")
+        .and_then(|r| r.ok())
+        .unwrap_or_else(|e| fail(&e))
+        .get("workers")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let total_points = cold_phase.points + overlap_phase.points + warm_phase.points;
+    let total_executed = cold_phase.executed + overlap_phase.executed;
+    let total_wall = cold_phase.wall_s + overlap_phase.wall_s + warm_phase.wall_s;
+    let strs = |items: &[String]| Value::Arr(items.iter().map(|s| Value::Str(s.clone())).collect());
+    let record = Value::Obj(vec![
+        ("schema".into(), Value::Str("dac-bench-pr7/v1".into())),
+        ("workers".into(), Value::Int(workers)),
+        ("scale".into(), Value::Int(scale)),
+        ("benches".into(), strs(&benches)),
+        ("designs".into(), strs(&designs)),
+        (
+            "phases".into(),
+            Value::Obj(vec![
+                ("cold".into(), cold_phase.to_json()),
+                ("overlap".into(), overlap_phase.to_json()),
+                ("warm".into(), warm_phase.to_json()),
+            ]),
+        ),
+        (
+            "totals".into(),
+            Phase {
+                points: total_points,
+                executed: total_executed,
+                wall_s: total_wall,
+            }
+            .to_json(),
+        ),
+    ]);
+    let text = record.to_json();
+    std::fs::write(&out, format!("{text}\n"))
+        .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    eprintln!("sweepctl: bench record -> {out}");
+    println!("{text}");
+}
+
+/// Validate a `dac-bench-pr7/v1` record against the checked-in schema.
+/// Returns the process exit code (0 = valid).
+fn check_bench_file(path: &Path) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sweepctl: cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let value = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("sweepctl: {} is invalid JSON: {e}", path.display());
+            return 1;
+        }
+    };
+    let declared = value.get("schema").and_then(Value::as_str);
+    if declared != Some("dac-bench-pr7/v1") {
+        eprintln!(
+            "sweepctl: {} declares unknown schema {declared:?}",
+            path.display()
+        );
+        return 1;
+    }
+    let schema_path = Path::new("schemas/bench_pr7.schema.json");
+    let schema_text = match std::fs::read_to_string(schema_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sweepctl: cannot read {}: {e}", schema_path.display());
+            return 2;
+        }
+    };
+    let schema = match json::parse(&schema_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("sweepctl: {} is invalid JSON: {e}", schema_path.display());
+            return 1;
+        }
+    };
+    let mut errors = Vec::new();
+    json::validate(&value, &schema, "$", &mut errors);
+    if errors.is_empty() {
+        println!(
+            "sweepctl: {} is a valid dac-bench-pr7/v1 record",
+            path.display()
+        );
+        0
+    } else {
+        for e in &errors {
+            eprintln!("sweepctl: {}: {e}", path.display());
+        }
+        1
+    }
+}

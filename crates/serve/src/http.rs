@@ -1,0 +1,266 @@
+//! A dependency-free HTTP/1.1 front end for the sweep service.
+//!
+//! Deliberately minimal: thread-per-connection, `Connection: close`, JSON
+//! bodies only. That is all a lab daemon needs, and it keeps the build
+//! offline-clean (no async runtime, no TLS, no frameworks).
+//!
+//! | Method | Path          | Body          | Response                      |
+//! |--------|---------------|---------------|-------------------------------|
+//! | POST   | `/sweeps`     | grid request  | submission receipt            |
+//! | GET    | `/sweeps/:id` | —             | sweep status + per-point list |
+//! | GET    | `/runs/:key`  | —             | raw `dac-run/v1` artifact     |
+//! | GET    | `/status`     | —             | service overview              |
+//! | GET    | `/metrics`    | —             | counters + endpoint latency   |
+//! | POST   | `/shutdown`   | —             | ack, then the daemon exits    |
+
+use crate::grid::GridRequest;
+use crate::service::SweepService;
+use simt_harness::json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Largest request body we accept (a grid request is a few hundred bytes;
+/// this is purely a safety bound against garbage input).
+const MAX_BODY: usize = 1 << 20;
+
+/// A bound, not-yet-serving HTTP server over a [`SweepService`].
+pub struct Server {
+    service: Arc<SweepService>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+/// Handle for stopping a running [`Server`] from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to exit after the connection in flight (the
+    /// self-connect below unblocks `accept` immediately).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) without serving
+    /// yet. The bound address is available via [`Server::handle`].
+    pub fn bind(service: Arc<SweepService>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            service,
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The control handle (address + remote shutdown).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.listener.local_addr().expect("bound listener"),
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Serve until [`ServerHandle::shutdown`] (or `POST /shutdown`).
+    /// Blocks the calling thread; connections are handled on short-lived
+    /// threads so a slow client never blocks a status poll.
+    pub fn serve(self) {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let service = Arc::clone(&self.service);
+            let handle = self.handle();
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &service, &handle);
+            });
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, value: &json::Value) -> Response {
+        Response {
+            status,
+            body: value.to_json(),
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            &json::Value::Obj(vec![("error".into(), json::Value::Str(message.into()))]),
+        )
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    service: &SweepService,
+    handle: &ServerHandle,
+) -> std::io::Result<()> {
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(msg) => {
+            return write_response(&mut stream, &Response::error(400, &msg));
+        }
+    };
+    let started = Instant::now();
+    let (label, response) = route(&request, service);
+    service.record_endpoint(label, started.elapsed().as_micros() as u64);
+    let written = write_response(&mut stream, &response);
+    if label == "POST /shutdown" {
+        // Signal only after the ack is on the wire, so the client never
+        // sees a torn response when the process exits right behind us.
+        service.stop();
+        handle.shutdown();
+    }
+    written
+}
+
+/// Dispatch one request. Returns the endpoint label used for latency
+/// accounting (the route shape, not the concrete path, so `/sweeps/:id`
+/// aggregates across ids).
+fn route(req: &Request, service: &SweepService) -> (&'static str, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/sweeps") => ("POST /sweeps", post_sweeps(req, service)),
+        ("GET", "/status") => ("GET /status", Response::json(200, &service.status())),
+        ("GET", "/metrics") => ("GET /metrics", Response::json(200, &service.metrics())),
+        ("POST", "/shutdown") => (
+            // The caller triggers the actual stop after the response is
+            // written; here we only acknowledge.
+            "POST /shutdown",
+            Response::json(
+                200,
+                &json::Value::Obj(vec![("stopping".into(), json::Value::Bool(true))]),
+            ),
+        ),
+        ("GET", path) if path.starts_with("/sweeps/") => {
+            let id = &path["/sweeps/".len()..];
+            let response = match service.sweep_status(id) {
+                Some(status) => Response::json(200, &status),
+                None => Response::error(404, &format!("unknown sweep {id:?}")),
+            };
+            ("GET /sweeps/:id", response)
+        }
+        ("GET", path) if path.starts_with("/runs/") => {
+            let key = &path["/runs/".len()..];
+            let response = match u64::from_str_radix(key, 16) {
+                Ok(hash) if key.len() == 16 => match service.cache().load_raw_by_hash(hash) {
+                    Some(raw) => Response {
+                        status: 200,
+                        body: raw,
+                    },
+                    None => Response::error(404, &format!("no result for run {key}")),
+                },
+                _ => Response::error(400, "run key must be 16 hex digits"),
+            };
+            ("GET /runs/:key", response)
+        }
+        _ => (
+            "other",
+            Response::error(404, &format!("no route {} {}", req.method, req.path)),
+        ),
+    }
+}
+
+fn post_sweeps(req: &Request, service: &SweepService) -> Response {
+    let parsed = json::parse(&req.body)
+        .map_err(|e| format!("invalid JSON body: {e}"))
+        .and_then(|v| GridRequest::from_json(&v));
+    match parsed {
+        Ok(grid) => match service.submit(grid) {
+            Ok(receipt) => Response::json(200, &receipt.to_json()),
+            Err(e) => Response::error(503, &e),
+        },
+        Err(e) => Response::error(400, &e),
+    }
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("bad request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("missing request path")?.to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("bad header: {e}"))?;
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(value) = header
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            content_length = value;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body too large ({content_length} bytes)"));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("short body: {e}"))?;
+    }
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        reason,
+        response.body.len(),
+        response.body
+    )?;
+    stream.flush()
+}

@@ -1,0 +1,770 @@
+//! The sweep service core: a job queue with **single-flight semantics**
+//! over the shared result store.
+//!
+//! Every submitted grid lowers to harness jobs and canonicalizes each
+//! point to its cache key. The key's hash is the point's identity in a
+//! service-wide registry: the first sweep to name a point *owns* it (the
+//! service enqueues it once), and every later sweep naming the same point
+//! — concurrently or after the fact — **shares** the one run. Combined
+//! with the on-disk content-addressed cache this gives the three regimes
+//! the north star asks for:
+//!
+//! * cold point → simulated once, stored, served to everyone;
+//! * point in flight → second submitter attaches to the running job;
+//! * warm point → resolved from the store, zero execution.
+//!
+//! Execution happens on a [`WorkerPool`] (non-blocking submission), so
+//! the daemon keeps accepting requests while earlier grids simulate.
+//! Progress is durable without any progress file: a point is done iff its
+//! result is in the cache, so a restarted daemon re-enqueues manifest
+//! points and the finished ones resolve instantly as cache hits.
+
+use crate::grid::GridRequest;
+use crate::manifest;
+use simt_harness::{json, Job, ResultCache, WorkerPool};
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Schema tag on every status/metrics/receipt document the service emits.
+pub const SCHEMA: &str = "dac-serve/v1";
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Results root: the cache lives in `<results>/cache`, manifests in
+    /// `<results>/sweeps` — the same layout the CLI tools use, so the
+    /// daemon warms up from (and feeds) every prior one-shot sweep.
+    pub results_dir: PathBuf,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Execute at most this many *fresh* simulations this session (cache
+    /// hits are free). When the budget runs out, remaining points stay
+    /// queued and resume on the next session — time-boxed incremental
+    /// warming for CI, and a deterministic way to stop a daemon
+    /// mid-sweep.
+    pub execute_budget: Option<usize>,
+    /// Per-point progress lines on stderr.
+    pub verbose: bool,
+}
+
+impl ServeConfig {
+    /// A daemon over `results/` with `workers` threads and no budget.
+    pub fn new(results_dir: impl Into<PathBuf>, workers: usize) -> Self {
+        ServeConfig {
+            results_dir: results_dir.into(),
+            workers,
+            execute_budget: None,
+            verbose: false,
+        }
+    }
+}
+
+/// How a completed point got its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolution {
+    /// Simulated fresh by this daemon session.
+    Executed,
+    /// Served from the on-disk result store.
+    CacheHit,
+}
+
+#[derive(Debug, Clone)]
+enum PointStatus {
+    Queued,
+    Running,
+    Done { cycles: u64, resolution: Resolution },
+    Failed(String),
+}
+
+impl PointStatus {
+    fn is_terminal(&self) -> bool {
+        matches!(self, PointStatus::Done { .. } | PointStatus::Failed(_))
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            PointStatus::Queued => "queued",
+            PointStatus::Running => "running",
+            PointStatus::Done { .. } => "done",
+            PointStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One entry in the single-flight registry.
+struct PointEntry {
+    job: Job,
+    label: String,
+    /// The sweep that first named this point (and thus enqueued it).
+    owner: String,
+    status: PointStatus,
+}
+
+struct SweepState {
+    hashes: Vec<u64>,
+    submitted: Instant,
+    /// Wall seconds from submission to the last point completing.
+    done_wall_s: Option<f64>,
+}
+
+#[derive(Default)]
+struct Latency {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+struct State {
+    points: HashMap<u64, PointEntry>,
+    sweeps: BTreeMap<String, SweepState>,
+    /// Fresh simulations this session.
+    executed: u64,
+    /// Points resolved from the on-disk store this session.
+    cache_hits: u64,
+    /// Submitted points that attached to an existing entry (single-flight
+    /// shares plus resubmissions).
+    shared_submissions: u64,
+    failed: u64,
+    budget_left: Option<usize>,
+    /// Dispatched pool tasks not yet finished (for idle detection).
+    pending: usize,
+    stopping: bool,
+    endpoints: BTreeMap<String, Latency>,
+}
+
+/// What a submission did, point-count wise, **at submission time**.
+#[derive(Debug, Clone)]
+pub struct Receipt {
+    /// Content-addressed sweep id.
+    pub id: String,
+    /// True when this exact grid was already registered (the receipt then
+    /// describes the existing sweep; nothing was enqueued).
+    pub resubmitted: bool,
+    /// Points in the grid.
+    pub total: usize,
+    /// Points newly enqueued by this submission.
+    pub new: usize,
+    /// Points already complete when this submission arrived.
+    pub already_done: usize,
+    /// Points owned by another sweep and still in flight — this
+    /// submission shares their (single) run.
+    pub inflight_shared: usize,
+}
+
+impl Receipt {
+    /// The receipt as a `dac-serve/v1` JSON document.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::Obj(vec![
+            ("schema".into(), json::Value::Str(SCHEMA.into())),
+            ("id".into(), json::Value::Str(self.id.clone())),
+            ("resubmitted".into(), json::Value::Bool(self.resubmitted)),
+            ("total".into(), json::Value::Int(self.total as u64)),
+            ("new".into(), json::Value::Int(self.new as u64)),
+            (
+                "already_done".into(),
+                json::Value::Int(self.already_done as u64),
+            ),
+            (
+                "inflight_shared".into(),
+                json::Value::Int(self.inflight_shared as u64),
+            ),
+        ])
+    }
+}
+
+/// The long-lived sweep service. Cheap to share: wrap it in an [`Arc`]
+/// and hand clones to the HTTP layer and to tests.
+pub struct SweepService {
+    cfg: ServeConfig,
+    cache: ResultCache,
+    state: Arc<(Mutex<State>, Condvar)>,
+    pool: WorkerPool,
+    started: Instant,
+}
+
+impl SweepService {
+    /// Start a service session: workers up, nothing submitted yet. Call
+    /// [`SweepService::resume`] to pick up prior sessions' manifests.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let cache = ResultCache::new(cfg.results_dir.join("cache"));
+        let state = Arc::new((
+            Mutex::new(State {
+                points: HashMap::new(),
+                sweeps: BTreeMap::new(),
+                executed: 0,
+                cache_hits: 0,
+                shared_submissions: 0,
+                failed: 0,
+                budget_left: cfg.execute_budget,
+                pending: 0,
+                stopping: false,
+                endpoints: BTreeMap::new(),
+            }),
+            Condvar::new(),
+        ));
+        let pool = WorkerPool::new(cfg.workers);
+        SweepService {
+            cfg,
+            cache,
+            state,
+            pool,
+            started: Instant::now(),
+        }
+    }
+
+    /// The configuration this session runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The shared result store.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Re-register every sweep manifest under the results root. Completed
+    /// points resolve as cache hits; unfinished ones execute. Returns the
+    /// ids of the sweeps that resumed with simulation work left to do
+    /// (fully warm sweeps re-register silently — their points resolve from
+    /// the store without executing anything).
+    pub fn resume(&self) -> Vec<String> {
+        let mut resumed = Vec::new();
+        for m in manifest::load_all(&self.cfg.results_dir) {
+            // Done-ness across a restart lives on disk, not in memory: a
+            // point is finished iff its cache entry exists.
+            let unfinished = m
+                .request
+                .jobs()
+                .iter()
+                .filter(|j| !self.cache.entry_path_for_hash(j.cache_hash()).exists())
+                .count();
+            let receipt = match self.submit(m.request.clone()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("warning: cannot resume {}: {e}", m.id);
+                    continue;
+                }
+            };
+            if receipt.id != m.id {
+                // Keys changed under us (e.g. a CACHE_VERSION bump): the
+                // grid resumes under its new identity.
+                eprintln!(
+                    "warning: manifest {} re-registered as {} (cache keys changed)",
+                    m.id, receipt.id
+                );
+            }
+            if unfinished > 0 {
+                resumed.push(receipt.id);
+            }
+        }
+        resumed
+    }
+
+    /// Submit a grid: register its points (single-flight), persist its
+    /// manifest, and enqueue whatever is not already owned. Non-blocking —
+    /// poll [`SweepService::sweep_status`] or wait on
+    /// [`SweepService::wait_for_sweep`] for completion.
+    pub fn submit(&self, request: GridRequest) -> Result<Receipt, String> {
+        let jobs = request.jobs();
+        if jobs.is_empty() {
+            return Err("empty grid".into());
+        }
+        let id = GridRequest::sweep_id(&jobs);
+        let mut to_enqueue: Vec<u64> = Vec::new();
+        let receipt = {
+            let (lock, _) = &*self.state;
+            let mut st = lock.lock().unwrap();
+            if st.stopping {
+                return Err("service is shutting down".into());
+            }
+            if st.sweeps.contains_key(&id) {
+                let receipt = Self::resubmission_receipt(&st, &id);
+                st.shared_submissions += receipt.total as u64;
+                return Ok(receipt);
+            }
+            let mut receipt = Receipt {
+                id: id.clone(),
+                resubmitted: false,
+                total: 0,
+                new: 0,
+                already_done: 0,
+                inflight_shared: 0,
+            };
+            let mut hashes = Vec::with_capacity(jobs.len());
+            for job in &jobs {
+                let hash = job.cache_hash();
+                if hashes.contains(&hash) {
+                    continue; // duplicate point inside one grid
+                }
+                hashes.push(hash);
+                receipt.total += 1;
+                match st.points.get(&hash) {
+                    Some(entry) => {
+                        if entry.status.is_terminal() {
+                            receipt.already_done += 1;
+                        } else {
+                            receipt.inflight_shared += 1;
+                        }
+                        st.shared_submissions += 1;
+                    }
+                    None => {
+                        st.points.insert(
+                            hash,
+                            PointEntry {
+                                label: job.label(),
+                                job: job.clone(),
+                                owner: id.clone(),
+                                status: PointStatus::Queued,
+                            },
+                        );
+                        receipt.new += 1;
+                        to_enqueue.push(hash);
+                    }
+                }
+            }
+            st.pending += to_enqueue.len();
+            st.sweeps.insert(
+                id.clone(),
+                SweepState {
+                    hashes,
+                    submitted: Instant::now(),
+                    done_wall_s: None,
+                },
+            );
+            receipt
+        };
+        if let Err(e) = manifest::store(&self.cfg.results_dir, &id, &request, &jobs) {
+            // Non-fatal: the sweep still runs, it just won't survive a
+            // restart (mirrors the cache's read-only-checkout behaviour).
+            eprintln!("warning: manifest write for {id} failed: {e}");
+        }
+        for hash in to_enqueue {
+            self.dispatch(hash);
+        }
+        Ok(receipt)
+    }
+
+    fn resubmission_receipt(st: &State, id: &str) -> Receipt {
+        let sweep = &st.sweeps[id];
+        let mut receipt = Receipt {
+            id: id.to_string(),
+            resubmitted: true,
+            total: sweep.hashes.len(),
+            new: 0,
+            already_done: 0,
+            inflight_shared: 0,
+        };
+        for hash in &sweep.hashes {
+            if st.points[hash].status.is_terminal() {
+                receipt.already_done += 1;
+            } else {
+                receipt.inflight_shared += 1;
+            }
+        }
+        receipt
+    }
+
+    /// Run one registered point on the pool: cache first, simulate on a
+    /// miss (budget permitting), store, publish.
+    fn dispatch(&self, hash: u64) {
+        let state = Arc::clone(&self.state);
+        let cache = self.cache.clone();
+        let verbose = self.cfg.verbose;
+        self.pool.submit(move || {
+            let (lock, cvar) = &*state;
+            let job = {
+                let mut st = lock.lock().unwrap();
+                if st.stopping {
+                    // Leave the point queued: the manifest resumes it next
+                    // session. The task still counts down `pending`.
+                    st.pending -= 1;
+                    cvar.notify_all();
+                    return;
+                }
+                st.points[&hash].job.clone()
+            };
+
+            // Store lookup outside the lock — it reads the filesystem.
+            if let Some(hit) = cache.load(&job) {
+                let mut st = lock.lock().unwrap();
+                st.cache_hits += 1;
+                Self::complete(
+                    &mut st,
+                    hash,
+                    PointStatus::Done {
+                        cycles: hit.report.cycles,
+                        resolution: Resolution::CacheHit,
+                    },
+                );
+                if verbose {
+                    eprintln!("  {:<24} cached", job.label());
+                }
+                cvar.notify_all();
+                return;
+            }
+
+            {
+                let mut st = lock.lock().unwrap();
+                if st.stopping {
+                    st.pending -= 1;
+                    cvar.notify_all();
+                    return;
+                }
+                if let Some(budget) = &mut st.budget_left {
+                    if *budget == 0 {
+                        // Out of budget: the point stays queued for the
+                        // next session.
+                        st.pending -= 1;
+                        cvar.notify_all();
+                        return;
+                    }
+                    *budget -= 1;
+                }
+                if let Some(entry) = st.points.get_mut(&hash) {
+                    entry.status = PointStatus::Running;
+                }
+            }
+
+            let outcome = catch_unwind(AssertUnwindSafe(|| job.execute()));
+            let mut st = lock.lock().unwrap();
+            match outcome {
+                Ok(result) => {
+                    cache.store(&job, &result);
+                    st.executed += 1;
+                    Self::complete(
+                        &mut st,
+                        hash,
+                        PointStatus::Done {
+                            cycles: result.report.cycles,
+                            resolution: Resolution::Executed,
+                        },
+                    );
+                    if verbose {
+                        eprintln!("  {:<24} ok ({:.1}s)", job.label(), result.wall_ms / 1e3);
+                    }
+                }
+                Err(p) => {
+                    let msg = p
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "simulation panicked".into());
+                    st.failed += 1;
+                    Self::complete(&mut st, hash, PointStatus::Failed(msg.clone()));
+                    eprintln!("warning: {} failed: {msg}", job.label());
+                }
+            }
+            cvar.notify_all();
+        });
+    }
+
+    /// Publish a terminal status for a point and close out any sweep this
+    /// completes. Called with the state lock held.
+    fn complete(st: &mut State, hash: u64, status: PointStatus) {
+        if let Some(entry) = st.points.get_mut(&hash) {
+            entry.status = status;
+        }
+        st.pending -= 1;
+        // Close out sweeps whose last point this was. O(sweeps × points),
+        // fine at service scale and only on completions.
+        let done_sweeps: Vec<(String, f64)> = st
+            .sweeps
+            .iter()
+            .filter(|(_, sw)| sw.done_wall_s.is_none() && sw.hashes.contains(&hash))
+            .filter(|(_, sw)| sw.hashes.iter().all(|h| st.points[h].status.is_terminal()))
+            .map(|(id, sw)| (id.clone(), sw.submitted.elapsed().as_secs_f64()))
+            .collect();
+        for (id, wall_s) in done_sweeps {
+            if let Some(sw) = st.sweeps.get_mut(&id) {
+                sw.done_wall_s = Some(wall_s);
+            }
+        }
+    }
+
+    /// Stop accepting work and stop starting simulations; queued points
+    /// stay queued (their manifests resume them next session). Running
+    /// simulations finish. Dropping the service calls this implicitly.
+    pub fn stop(&self) {
+        let (lock, cvar) = &*self.state;
+        lock.lock().unwrap().stopping = true;
+        cvar.notify_all();
+    }
+
+    /// Block until the sweep has no unfinished points, the service stalls
+    /// (budget exhausted / stopping), or the timeout elapses. Returns true
+    /// iff the sweep completed.
+    pub fn wait_for_sweep(&self, id: &str, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        loop {
+            let Some(sweep) = st.sweeps.get(id) else {
+                return false;
+            };
+            if sweep.done_wall_s.is_some() {
+                return true;
+            }
+            if st.pending == 0 {
+                return false; // stalled: budget ran out or stopping
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = cvar.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Block until no dispatched work remains (completed or stalled), or
+    /// the timeout elapses. Returns true iff the service went idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        while st.pending > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = cvar.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+        true
+    }
+
+    /// Record one served HTTP request for `/metrics` latency accounting.
+    pub fn record_endpoint(&self, label: &str, micros: u64) {
+        let (lock, _) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        let lat = st.endpoints.entry(label.to_string()).or_default();
+        lat.count += 1;
+        lat.total_us += micros;
+        lat.max_us = lat.max_us.max(micros);
+    }
+
+    /// The status document for one sweep (`GET /sweeps/:id`), or `None`
+    /// for an unknown id.
+    pub fn sweep_status(&self, id: &str) -> Option<json::Value> {
+        let (lock, _) = &*self.state;
+        let st = lock.lock().unwrap();
+        let sweep = st.sweeps.get(id)?;
+        let mut by_status = BTreeMap::<&str, u64>::new();
+        let (mut executed, mut cache_hits, mut shared) = (0u64, 0u64, 0u64);
+        let mut points = Vec::new();
+        for hash in &sweep.hashes {
+            let entry = &st.points[hash];
+            *by_status.entry(entry.status.name()).or_default() += 1;
+            if entry.owner == id {
+                if let PointStatus::Done { resolution, .. } = entry.status {
+                    match resolution {
+                        Resolution::Executed => executed += 1,
+                        Resolution::CacheHit => cache_hits += 1,
+                    }
+                }
+            } else {
+                shared += 1;
+            }
+            let mut fields = vec![
+                ("label".into(), json::Value::Str(entry.label.clone())),
+                ("run".into(), json::Value::Str(format!("{hash:016x}"))),
+                (
+                    "status".into(),
+                    json::Value::Str(entry.status.name().into()),
+                ),
+            ];
+            match &entry.status {
+                PointStatus::Done { cycles, .. } => {
+                    fields.push(("cycles".into(), json::Value::Int(*cycles)));
+                }
+                PointStatus::Failed(msg) => {
+                    fields.push(("error".into(), json::Value::Str(msg.clone())));
+                }
+                _ => {}
+            }
+            points.push(json::Value::Obj(fields));
+        }
+        let total = sweep.hashes.len() as u64;
+        let done = by_status.get("done").copied().unwrap_or(0);
+        let failed = by_status.get("failed").copied().unwrap_or(0);
+        let complete = sweep.done_wall_s.is_some();
+        let wall_s = sweep
+            .done_wall_s
+            .unwrap_or_else(|| sweep.submitted.elapsed().as_secs_f64());
+        let mut fields = vec![
+            ("schema".into(), json::Value::Str(SCHEMA.into())),
+            ("id".into(), json::Value::Str(id.into())),
+            ("complete".into(), json::Value::Bool(complete)),
+            ("total".into(), json::Value::Int(total)),
+            ("done".into(), json::Value::Int(done)),
+            (
+                "queued".into(),
+                json::Value::Int(by_status.get("queued").copied().unwrap_or(0)),
+            ),
+            (
+                "running".into(),
+                json::Value::Int(by_status.get("running").copied().unwrap_or(0)),
+            ),
+            ("failed".into(), json::Value::Int(failed)),
+            ("executed".into(), json::Value::Int(executed)),
+            ("cache_hits".into(), json::Value::Int(cache_hits)),
+            ("shared".into(), json::Value::Int(shared)),
+            ("wall_s".into(), json::Value::Float(wall_s)),
+        ];
+        if complete && wall_s > 0.0 {
+            fields.push((
+                "points_per_sec".into(),
+                json::Value::Float(total as f64 / wall_s),
+            ));
+        }
+        fields.push(("points".into(), json::Value::Arr(points)));
+        Some(json::Value::Obj(fields))
+    }
+
+    /// The service overview document (`GET /status`).
+    pub fn status(&self) -> json::Value {
+        let (lock, _) = &*self.state;
+        let st = lock.lock().unwrap();
+        let queued = st
+            .points
+            .values()
+            .filter(|p| matches!(p.status, PointStatus::Queued))
+            .count() as u64;
+        let running = st
+            .points
+            .values()
+            .filter(|p| matches!(p.status, PointStatus::Running))
+            .count() as u64;
+        let paused = st.budget_left == Some(0) && queued > 0;
+        let sweeps = st
+            .sweeps
+            .iter()
+            .map(|(id, sw)| {
+                let done = sw
+                    .hashes
+                    .iter()
+                    .filter(|h| st.points[h].status.is_terminal())
+                    .count() as u64;
+                json::Value::Obj(vec![
+                    ("id".into(), json::Value::Str(id.clone())),
+                    ("total".into(), json::Value::Int(sw.hashes.len() as u64)),
+                    ("done".into(), json::Value::Int(done)),
+                    (
+                        "complete".into(),
+                        json::Value::Bool(sw.done_wall_s.is_some()),
+                    ),
+                ])
+            })
+            .collect();
+        json::Value::Obj(vec![
+            ("schema".into(), json::Value::Str(SCHEMA.into())),
+            (
+                "uptime_s".into(),
+                json::Value::Float(self.started.elapsed().as_secs_f64()),
+            ),
+            (
+                "workers".into(),
+                json::Value::Int(self.pool.workers() as u64),
+            ),
+            (
+                "budget_left".into(),
+                match st.budget_left {
+                    Some(n) => json::Value::Int(n as u64),
+                    None => json::Value::Null,
+                },
+            ),
+            ("paused".into(), json::Value::Bool(paused)),
+            ("queue_depth".into(), json::Value::Int(queued)),
+            ("running".into(), json::Value::Int(running)),
+            ("sweeps".into(), json::Value::Arr(sweeps)),
+        ])
+    }
+
+    /// The service counters document (`GET /metrics`): queue depth,
+    /// in-flight, cache hit rate, points/sec, per-endpoint latency.
+    pub fn metrics(&self) -> json::Value {
+        let (lock, _) = &*self.state;
+        let st = lock.lock().unwrap();
+        let queued = st
+            .points
+            .values()
+            .filter(|p| matches!(p.status, PointStatus::Queued))
+            .count() as u64;
+        let running = st
+            .points
+            .values()
+            .filter(|p| matches!(p.status, PointStatus::Running))
+            .count() as u64;
+        let resolved = st.executed + st.cache_hits;
+        let hit_rate = if resolved > 0 {
+            st.cache_hits as f64 / resolved as f64
+        } else {
+            0.0
+        };
+        let uptime = self.started.elapsed().as_secs_f64();
+        let endpoints = st
+            .endpoints
+            .iter()
+            .map(|(label, lat)| {
+                (
+                    label.clone(),
+                    json::Value::Obj(vec![
+                        ("count".into(), json::Value::Int(lat.count)),
+                        ("total_us".into(), json::Value::Int(lat.total_us)),
+                        ("max_us".into(), json::Value::Int(lat.max_us)),
+                        (
+                            "mean_us".into(),
+                            json::Value::Float(if lat.count > 0 {
+                                lat.total_us as f64 / lat.count as f64
+                            } else {
+                                0.0
+                            }),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        json::Value::Obj(vec![
+            ("schema".into(), json::Value::Str(SCHEMA.into())),
+            ("uptime_s".into(), json::Value::Float(uptime)),
+            ("queue_depth".into(), json::Value::Int(queued)),
+            ("in_flight".into(), json::Value::Int(running)),
+            ("executed".into(), json::Value::Int(st.executed)),
+            ("cache_hits".into(), json::Value::Int(st.cache_hits)),
+            (
+                "shared_submissions".into(),
+                json::Value::Int(st.shared_submissions),
+            ),
+            ("failed".into(), json::Value::Int(st.failed)),
+            ("cache_hit_rate".into(), json::Value::Float(hit_rate)),
+            (
+                "points_per_sec".into(),
+                json::Value::Float(if uptime > 0.0 {
+                    resolved as f64 / uptime
+                } else {
+                    0.0
+                }),
+            ),
+            ("endpoints".into(), json::Value::Obj(endpoints)),
+        ])
+    }
+
+    /// (executed, cache_hits, shared_submissions, failed) session counters
+    /// — the accounting the tests assert single-flight semantics with.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        let (lock, _) = &*self.state;
+        let st = lock.lock().unwrap();
+        (st.executed, st.cache_hits, st.shared_submissions, st.failed)
+    }
+}
+
+impl Drop for SweepService {
+    fn drop(&mut self) {
+        // Stop starting new simulations; the pool's own Drop then joins
+        // the workers (queued tasks see `stopping` and return instantly).
+        self.stop();
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end test over a real socket: bind an ephemeral port, submit a
+//! grid with the client, poll it to completion, fetch an artifact, and
+//! re-submit asserting the store serves everything.
+
+use simt_harness::json;
+use simt_serve::client::Client;
+use simt_serve::http::Server;
+use simt_serve::{ServeConfig, SweepService};
+use std::fs;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn u(v: &json::Value, name: &str) -> u64 {
+    v.get(name).and_then(json::Value::as_u64).unwrap()
+}
+
+#[test]
+fn http_api_round_trip() {
+    let results = std::env::temp_dir().join(format!("dac-serve-test-http-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&results);
+    let service = Arc::new(SweepService::new(ServeConfig::new(&results, 2)));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.serve());
+    let client = Client::new(handle.addr().to_string());
+
+    // Bad requests are 400s with the valid names, not daemon crashes.
+    let bad = client
+        .post(
+            "/sweeps",
+            Some(&json::parse(r#"{"benches": ["WARP9"]}"#).unwrap()),
+        )
+        .unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(
+        bad.raw.contains("LIB"),
+        "error lists valid names: {}",
+        bad.raw
+    );
+    assert_eq!(client.get("/sweeps/sweep-zzz").unwrap().status, 404);
+    assert_eq!(client.get("/runs/not-hex").unwrap().status, 400);
+    assert_eq!(client.get("/runs/0123456789abcdef").unwrap().status, 404);
+
+    // Submit a 2-point grid and poll it to completion.
+    let request = json::parse(
+        r#"{"benches": ["LIB"], "designs": ["baseline", "dac"],
+            "overrides": {"num_sms": 2, "max_warps_per_sm": 16}}"#,
+    )
+    .unwrap();
+    let receipt = client
+        .post("/sweeps", Some(&request))
+        .unwrap()
+        .ok()
+        .unwrap();
+    let id = receipt
+        .get("id")
+        .and_then(json::Value::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(u(&receipt, "total"), 2);
+    assert_eq!(u(&receipt, "new"), 2);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let status = loop {
+        let status = client.get(&format!("/sweeps/{id}")).unwrap().ok().unwrap();
+        if status.get("complete").and_then(json::Value::as_bool) == Some(true) {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "sweep timed out");
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert_eq!(u(&status, "done"), 2);
+    assert_eq!(u(&status, "executed"), 2);
+    assert_eq!(u(&status, "failed"), 0);
+
+    // Fetch one run artifact: exactly the bytes the store holds.
+    let points = status.get("points").and_then(json::Value::as_arr).unwrap();
+    let run = points[0].get("run").and_then(json::Value::as_str).unwrap();
+    let fetched = client.get(&format!("/runs/{run}")).unwrap();
+    assert_eq!(fetched.status, 200);
+    let on_disk = fs::read_to_string(results.join("cache").join(format!("{run}.json"))).unwrap();
+    assert_eq!(fetched.raw, on_disk, "served artifact is byte-identical");
+    assert_eq!(
+        fetched.body.get("schema").and_then(json::Value::as_str),
+        Some("dac-run/v1")
+    );
+
+    // Re-submitting the identical grid is answered from the store: the
+    // receipt reports every point already done, and nothing re-executes.
+    let again = client
+        .post("/sweeps", Some(&request))
+        .unwrap()
+        .ok()
+        .unwrap();
+    assert_eq!(
+        again.get("resubmitted").and_then(json::Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(u(&again, "already_done"), 2);
+    let metrics = client.get("/metrics").unwrap().ok().unwrap();
+    assert_eq!(u(&metrics, "executed"), 2, "no re-execution on resubmit");
+    assert_eq!(u(&metrics, "queue_depth"), 0);
+    assert_eq!(
+        metrics.get("schema").and_then(json::Value::as_str),
+        Some("dac-serve/v1")
+    );
+    // Latency accounting saw the endpoints this test exercised (a request
+    // records itself after responding, so /metrics can't list this very
+    // call — but all earlier traffic must be there).
+    let endpoints = metrics.get("endpoints").unwrap();
+    for label in ["POST /sweeps", "GET /sweeps/:id", "GET /runs/:key"] {
+        assert!(
+            endpoints.get(label).map(|e| u(e, "count") >= 1) == Some(true),
+            "missing latency bucket for {label}"
+        );
+    }
+
+    // Service overview.
+    let overview = client.get("/status").unwrap().ok().unwrap();
+    assert_eq!(
+        overview.get("schema").and_then(json::Value::as_str),
+        Some("dac-serve/v1")
+    );
+    assert_eq!(u(&overview, "workers"), 2);
+    let sweeps = overview
+        .get("sweeps")
+        .and_then(json::Value::as_arr)
+        .unwrap();
+    assert_eq!(sweeps.len(), 1);
+    assert_eq!(
+        sweeps[0].get("complete").and_then(json::Value::as_bool),
+        Some(true)
+    );
+
+    // Shutdown over the API stops the accept loop.
+    let ack = client.post("/shutdown", None).unwrap().ok().unwrap();
+    assert_eq!(
+        ack.get("stopping").and_then(json::Value::as_bool),
+        Some(true)
+    );
+    serving.join().unwrap();
+    let _ = fs::remove_dir_all(&results);
+}
