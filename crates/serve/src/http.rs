@@ -20,11 +20,19 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Largest request body we accept (a grid request is a few hundred bytes;
 /// this is purely a safety bound against garbage input).
 const MAX_BODY: usize = 1 << 20;
+
+/// Largest request line + header block we accept; a client streaming
+/// endless headers gets a 400, not an ever-growing buffer.
+const MAX_HEAD: u64 = 16 << 10;
+
+/// Per-connection read timeout: a client that connects and goes silent
+/// must not pin a handler thread forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A bound, not-yet-serving HTTP server over a [`SweepService`].
 pub struct Server {
@@ -170,15 +178,15 @@ fn route(req: &Request, service: &SweepService) -> (&'static str, Response) {
         }
         ("GET", path) if path.starts_with("/runs/") => {
             let key = &path["/runs/".len()..];
-            let response = match u64::from_str_radix(key, 16) {
-                Ok(hash) if key.len() == 16 => match service.cache().load_raw_by_hash(hash) {
+            let response = match parse_run_key(key) {
+                Some(hash) => match service.cache().load_raw_by_hash(hash) {
                     Some(raw) => Response {
                         status: 200,
                         body: raw,
                     },
                     None => Response::error(404, &format!("no result for run {key}")),
                 },
-                _ => Response::error(400, "run key must be 16 hex digits"),
+                None => Response::error(400, "run key must be 16 hex digits"),
             };
             ("GET /runs/:key", response)
         }
@@ -187,6 +195,15 @@ fn route(req: &Request, service: &SweepService) -> (&'static str, Response) {
             Response::error(404, &format!("no route {} {}", req.method, req.path)),
         ),
     }
+}
+
+/// A run key is exactly 16 ASCII hex digits — stricter than
+/// `from_str_radix`, which also accepts a leading `+`.
+fn parse_run_key(key: &str) -> Option<u64> {
+    if key.len() != 16 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(key, 16).ok()
 }
 
 fn post_sweeps(req: &Request, service: &SweepService) -> Response {
@@ -203,10 +220,15 @@ fn post_sweeps(req: &Request, service: &SweepService) -> Response {
 }
 
 fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .map_err(|e| format!("cannot set read timeout: {e}"))?;
     let mut reader = BufReader::new(stream);
+    // The head (request line + headers) reads through a byte-capped
+    // handle; once the cap is hit, read_line returns Ok(0) and we bail.
+    let mut head = (&mut reader).take(MAX_HEAD);
     let mut line = String::new();
-    reader
-        .read_line(&mut line)
+    head.read_line(&mut line)
         .map_err(|e| format!("bad request line: {e}"))?;
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or("empty request line")?.to_string();
@@ -214,9 +236,12 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        reader
+        let n = head
             .read_line(&mut header)
             .map_err(|e| format!("bad header: {e}"))?;
+        if n == 0 {
+            return Err("headers truncated or too large".into());
+        }
         let header = header.trim();
         if header.is_empty() {
             break;

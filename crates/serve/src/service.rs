@@ -326,12 +326,17 @@ impl SweepService {
                 }
             }
             st.pending += to_enqueue.len();
+            // A grid whose every point is already terminal (e.g. a subset
+            // of a completed sweep) enqueues nothing, so `complete` never
+            // fires for it — close it out at submission time instead.
+            let already_complete = to_enqueue.is_empty()
+                && hashes.iter().all(|h| st.points[h].status.is_terminal());
             st.sweeps.insert(
                 id.clone(),
                 SweepState {
                     hashes,
                     submitted: Instant::now(),
-                    done_wall_s: None,
+                    done_wall_s: if already_complete { Some(0.0) } else { None },
                 },
             );
             receipt

@@ -39,6 +39,9 @@ fn http_api_round_trip() {
     );
     assert_eq!(client.get("/sweeps/sweep-zzz").unwrap().status, 404);
     assert_eq!(client.get("/runs/not-hex").unwrap().status, 400);
+    // from_str_radix alone would accept this 16-char key ('+' prefix) and
+    // silently resolve the wrong hash.
+    assert_eq!(client.get("/runs/+23456789abcdef0").unwrap().status, 400);
     assert_eq!(client.get("/runs/0123456789abcdef").unwrap().status, 404);
 
     // Submit a 2-point grid and poll it to completion.

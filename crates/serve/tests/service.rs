@@ -116,6 +116,39 @@ fn concurrent_overlapping_grids_share_work_and_match_serial() {
     let _ = fs::remove_dir_all(&serial_dir);
 }
 
+/// A brand-new sweep whose points are all already terminal — a subset of
+/// a grid completed earlier in the same session — enqueues nothing, so
+/// nothing ever transitions; it must still report complete immediately
+/// (regression: it used to stay `complete: false` forever and hang
+/// `wait_for_sweep`).
+#[test]
+fn subset_of_completed_sweep_is_complete_at_submission() {
+    let results = tmp_dir("subset");
+    let service = SweepService::new(ServeConfig::new(&results, 2));
+    let superset = service.submit(grid(&["LIB", "MQ"])).unwrap();
+    assert!(service.wait_for_sweep(&superset.id, WAIT), "superset done");
+
+    // The subset is a different grid (different sweep id), not a
+    // resubmission, and every one of its points is already terminal.
+    let subset = service.submit(grid(&["MQ"])).unwrap();
+    assert_ne!(subset.id, superset.id);
+    assert!(!subset.resubmitted);
+    assert_eq!(subset.new, 0);
+    assert_eq!(subset.already_done, 2);
+    assert!(
+        service.wait_for_sweep(&subset.id, Duration::from_millis(100)),
+        "all-terminal subset sweep must be complete at submission"
+    );
+    let status = service.sweep_status(&subset.id).unwrap();
+    assert_eq!(
+        status.get("complete").and_then(json::Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(field(&status, "done"), 2);
+
+    let _ = fs::remove_dir_all(&results);
+}
+
 /// Kill the daemon mid-sweep (in-process: stop after a bounded number of
 /// executions), restart over the same results root, and the sweep
 /// completes without re-executing any finished point.
