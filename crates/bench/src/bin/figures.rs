@@ -37,6 +37,7 @@ fn usage_exit(error: &str) -> ! {
 }
 
 fn main() {
+    simt_obs::log::init_from_env();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = CommonArgs::parse(&raw).unwrap_or_else(|e| usage_exit(&e));
     if args.positional.len() > 1 {

@@ -32,13 +32,20 @@ record to --bench-json (default BENCH_pr5.json, or BENCH_pr6.json with
 consulted. If --baseline FILE exists it also prints the geomean
 cycles/sec speedup against it.
 
+With --pr8 the run is the telemetry-overhead check: full-chip machine,
+record written to BENCH_pr8.json (dac-bench-pr8/v1), compared against the
+PR 7 era BENCH_pr6.json baseline, and the record carries the measured
+throughput_ratio — the schema requires it to stay >= 0.97 (within 3%).
+
 perf options:
   --repeat N         timed iterations per run; min wall time kept (default 3)
   --bench-json FILE  where to write the throughput record
   --baseline FILE    prior record to compare against (default BENCH_pr3.json,
-                     or BENCH_pr6.json with --full-chip)
+                     or BENCH_pr6.json with --full-chip / --pr8)
+  --pr8              telemetry-overhead mode: implies --full-chip, writes
+                     BENCH_pr8.json with a pinned baseline ratio
   --check-bench FILE validate FILE against the bench schema matching its
-                     \"schema\" field (pr5 or pr6) and exit (0 = valid)";
+                     \"schema\" field (pr5, pr6, or pr8) and exit (0 = valid)";
 
 /// Same suite as the profile binary, so BENCH_pr5.json rows are directly
 /// comparable to BENCH_pr3.json rows.
@@ -54,6 +61,7 @@ fn usage_exit(error: &str) -> ! {
 }
 
 fn main() {
+    simt_obs::log::init_from_env();
     let raw: Vec<String> = std::env::args().skip(1).collect();
 
     // Strip perf-only flags before handing the rest to CommonArgs.
@@ -61,6 +69,7 @@ fn main() {
     let mut bench_json: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut check_bench: Option<PathBuf> = None;
+    let mut pr8 = false;
     let mut rest: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
@@ -69,6 +78,7 @@ fn main() {
                 Some(n) if n >= 1 => repeat = n,
                 _ => usage_exit("--repeat requires a positive number"),
             },
+            "--pr8" => pr8 = true,
             "--bench-json" => match it.next() {
                 Some(v) => bench_json = Some(PathBuf::from(v)),
                 None => usage_exit("--bench-json requires a path"),
@@ -84,6 +94,11 @@ fn main() {
             _ => rest.push(arg),
         }
     }
+    // --pr8 measures the telemetry-overhead config: the same full-chip
+    // machine BENCH_pr6.json was recorded on.
+    if pr8 && !rest.iter().any(|a| a == "--full-chip") {
+        rest.push("--full-chip".into());
+    }
     let mut args = CommonArgs::parse(&rest).unwrap_or_else(|e| usage_exit(&e));
     if let Some(stray) = args.positional.first() {
         usage_exit(&format!("unexpected argument {stray:?}"));
@@ -95,12 +110,18 @@ fn main() {
 
     // --full-chip times the full 15-SM machine and records a pr6 file;
     // a full-chip record only compares sensibly against another one.
-    let schema = if args.full_chip {
+    // --pr8 is the same machine but records the telemetry-overhead ratio
+    // against the PR 7 era baseline.
+    let schema = if pr8 {
+        "dac-bench-pr8/v1"
+    } else if args.full_chip {
         "dac-bench-pr6/v1"
     } else {
         "dac-bench-pr5/v1"
     };
-    let default_json = if args.full_chip {
+    let default_json = if pr8 {
+        "BENCH_pr8.json"
+    } else if args.full_chip {
         "BENCH_pr6.json"
     } else {
         "BENCH_pr5.json"
@@ -183,7 +204,23 @@ fn main() {
         }
     }
 
-    let text = bench_record_json(schema, &args, repeat, &timings);
+    // --pr8 pins the telemetry-overhead ratio into the record itself: the
+    // schema rejects a record more than 3% below the PR 7 era baseline.
+    let pr8_baseline = if pr8 {
+        match baseline_ratio(&baseline, &timings) {
+            Some(info) => Some(info),
+            None => {
+                eprintln!(
+                    "perf: --pr8 needs a baseline with matching rows ({})",
+                    baseline.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    let text = bench_record_json(schema, &args, repeat, &timings, pr8_baseline.as_ref());
     if let Err(e) = json::parse(&text) {
         panic!(
             "{}: generated record is invalid JSON: {e}",
@@ -215,24 +252,25 @@ fn geomean_cycles_per_sec(timings: &[(String, String, u64, u64, f64)]) -> f64 {
     )
 }
 
-/// Print the geomean cycles/sec speedup against a prior throughput record
-/// (BENCH_pr3.json or an earlier BENCH_pr5.json), matching rows by
-/// `(bench, design)`. Silent when the baseline file does not exist.
-fn compare_baseline(path: &Path, timings: &[(String, String, u64, u64, f64)]) {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return;
-    };
-    let Ok(value) = json::parse(&text) else {
-        eprintln!(
-            "perf: {} is not valid JSON; skipping compare",
-            path.display()
-        );
-        return;
-    };
-    let Some(runs) = value.get("runs").and_then(|v| v.as_arr()) else {
-        eprintln!("perf: {} has no runs; skipping compare", path.display());
-        return;
-    };
+/// The measured relationship to a prior throughput record: matched rows,
+/// the geomean new/old cycles-per-sec ratio, and the baseline's own
+/// geomean (for the record).
+struct BaselineRatio {
+    file: String,
+    matched: usize,
+    ratio: f64,
+    baseline_geomean: f64,
+}
+
+/// Compare against a prior throughput record, matching rows by
+/// `(bench, design)`. `None` when the file is unreadable or no rows match.
+fn baseline_ratio(
+    path: &Path,
+    timings: &[(String, String, u64, u64, f64)],
+) -> Option<BaselineRatio> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value = json::parse(&text).ok()?;
+    let runs = value.get("runs").and_then(|v| v.as_arr())?;
     let mut ratios = Vec::new();
     for (bench, design, cycles, _, wall_s) in timings {
         if *wall_s <= 0.0 {
@@ -253,28 +291,53 @@ fn compare_baseline(path: &Path, timings: &[(String, String, u64, u64, f64)]) {
         }
     }
     if ratios.is_empty() {
+        return None;
+    }
+    Some(BaselineRatio {
+        file: path.display().to_string(),
+        matched: ratios.len(),
+        ratio: dac_bench::geomean(ratios),
+        baseline_geomean: value
+            .get("totals")
+            .and_then(|t| t.get("geomean_cycles_per_sec"))
+            .and_then(json::Value::as_f64)
+            .unwrap_or(0.0),
+    })
+}
+
+/// Print the geomean cycles/sec speedup against a prior throughput record
+/// (BENCH_pr3.json or an earlier BENCH_pr5.json), matching rows by
+/// `(bench, design)`. Silent when the baseline file does not exist.
+fn compare_baseline(path: &Path, timings: &[(String, String, u64, u64, f64)]) {
+    if !path.exists() {
+        return;
+    }
+    let Some(r) = baseline_ratio(path, timings) else {
         eprintln!(
             "perf: no matching (bench, design) rows in {}; skipping compare",
             path.display()
         );
         return;
-    }
-    let matched = ratios.len();
+    };
     println!(
-        "perf: geomean cycles/sec speedup vs {}: {:.2}x over {matched} matched runs",
+        "perf: geomean cycles/sec speedup vs {}: {:.2}x over {} matched runs",
         path.display(),
-        dac_bench::geomean(ratios)
+        r.ratio,
+        r.matched
     );
 }
 
-/// Render a throughput record (`dac-bench-pr5/v1` or `dac-bench-pr6/v1`).
-/// Same row shape as `dac-bench-pr3/v1` plus a top-level `repeat`, so rows
-/// stay directly comparable across all three schemas.
+/// Render a throughput record (`dac-bench-pr5/v1`, `dac-bench-pr6/v1`, or
+/// `dac-bench-pr8/v1`). Same row shape as `dac-bench-pr3/v1` plus a
+/// top-level `repeat`, so rows stay directly comparable across schemas;
+/// pr8 records additionally pin the measured `throughput_ratio` against
+/// their baseline.
 fn bench_record_json(
     schema: &str,
     args: &CommonArgs,
     repeat: usize,
     timings: &[(String, String, u64, u64, f64)],
+    baseline: Option<&BaselineRatio>,
 ) -> String {
     use std::fmt::Write as _;
     let mut out = format!("{{\"schema\": \"{schema}\"");
@@ -317,10 +380,10 @@ fn bench_record_json(
             rate(*cycles)
         );
     }
-    let _ = writeln!(
+    let _ = write!(
         out,
         "], \"totals\": {{\"runs\": {}, \"wall_s\": {:.4}, \"warp_instr_per_sec\": {:.1}, \
-         \"geomean_cycles_per_sec\": {:.1}}}}}",
+         \"geomean_cycles_per_sec\": {:.1}}}",
         timings.len(),
         total_wall,
         if total_wall > 0.0 {
@@ -330,6 +393,15 @@ fn bench_record_json(
         },
         geomean_cycles_per_sec(timings)
     );
+    if let Some(b) = baseline {
+        let _ = write!(
+            out,
+            ", \"baseline\": {{\"file\": \"{}\", \"matched_runs\": {}, \
+             \"geomean_cycles_per_sec\": {:.1}}}, \"throughput_ratio\": {:.4}",
+            b.file, b.matched, b.baseline_geomean, b.ratio
+        );
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -356,6 +428,7 @@ fn check_bench_file(path: &Path) -> i32 {
     let schema_path = match declared {
         Some("dac-bench-pr5/v1") => Path::new("schemas/bench_pr5.schema.json"),
         Some("dac-bench-pr6/v1") => Path::new("schemas/bench_pr6.schema.json"),
+        Some("dac-bench-pr8/v1") => Path::new("schemas/bench_pr8.schema.json"),
         other => {
             eprintln!("perf: {} declares unknown schema {other:?}", path.display());
             return 1;

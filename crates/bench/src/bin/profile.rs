@@ -55,6 +55,7 @@ fn usage_exit(error: &str) -> ! {
 }
 
 fn main() {
+    simt_obs::log::init_from_env();
     let raw: Vec<String> = std::env::args().skip(1).collect();
 
     // Strip profile-only flags before handing the rest to CommonArgs.

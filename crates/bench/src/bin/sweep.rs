@@ -37,6 +37,7 @@ fn usage_exit(error: &str) -> ! {
 }
 
 fn main() {
+    simt_obs::log::init_from_env();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = CommonArgs::parse(&raw).unwrap_or_else(|e| usage_exit(&e));
     if let Some(stray) = args.positional.first() {
@@ -109,12 +110,12 @@ fn main() {
         eprintln!("sweep: traces -> {}", dir.display());
     }
     if out.trace_drops > 0 {
-        eprintln!(
-            "sweep: WARNING: {} trace events dropped across {} job(s); \
-             exported timelines keep only the newest events \
-             (raise --trace-events, currently {})",
-            out.trace_drops, out.trace_dropped_jobs, args.trace_events
-        );
+        simt_obs::warn!("bench.sweep",
+            "trace events dropped; exported timelines keep only the newest \
+             events (raise --trace-events)";
+            dropped = out.trace_drops,
+            jobs = out.trace_dropped_jobs,
+            capacity = args.trace_events);
     }
 }
 

@@ -32,6 +32,7 @@ fn usage_exit(error: &str) -> ! {
 }
 
 fn main() {
+    simt_obs::log::init_from_env();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = CommonArgs::parse(&raw).unwrap_or_else(|e| usage_exit(&e));
     let abbr = match args.positional.as_slice() {
@@ -122,15 +123,13 @@ fn main() {
     summarize(&sink, result.report.cycles);
 
     if sink.dropped() > 0 {
-        eprintln!(
-            "trace: WARNING: ring buffer dropped {} of {} events; the exported \
-             timeline keeps only the newest {} (raise --trace-events, \
-             currently {})",
-            sink.dropped(),
-            sink.emitted(),
-            sink.len(),
-            args.trace_events
-        );
+        simt_obs::warn!("bench.trace",
+            "ring buffer dropped events; the exported timeline keeps only \
+             the newest (raise --trace-events)";
+            dropped = sink.dropped(),
+            total = sink.emitted(),
+            kept = sink.len(),
+            capacity = args.trace_events);
     }
 }
 

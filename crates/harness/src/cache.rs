@@ -13,6 +13,10 @@ use crate::json;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+fn count(name: &'static str, help: &'static str) {
+    simt_obs::metrics::global().counter_add(name, help, &[], 1);
+}
+
 /// 64-bit FNV-1a. Stable across platforms and releases — cache file names
 /// and output digests must not change under us (unlike `DefaultHasher`).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -73,7 +77,7 @@ impl ResultCache {
                 Err(_) => false,
             });
         if parsed.is_none() {
-            self.evict_corrupt(&path);
+            self.evict_corrupt(&path, hash);
             return None;
         }
         Some(text)
@@ -86,31 +90,51 @@ impl ResultCache {
     /// same bad bytes on every sweep. The cache never fails a run.
     pub fn load(&self, job: &Job) -> Option<JobResult> {
         let key = job.cache_key();
-        let path = self.entry_path(&key);
+        let hash = fnv1a64(key.as_bytes());
+        let path = self.entry_path_for_hash(hash);
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
-            Err(_) => return None, // plain miss: nothing stored
+            Err(_) => {
+                count(
+                    "simt_cache_misses_total",
+                    "Result-cache lookups that missed.",
+                );
+                return None; // plain miss: nothing stored
+            }
         };
         let result = json::parse(&text)
             .ok()
             .and_then(|v| artifact::from_json(&v).ok())
             .and_then(|(stored_key, result)| (stored_key == key).then_some(result));
-        if result.is_none() {
-            // The entry exists but is unusable (a hash collision also lands
-            // here — indistinguishable from corruption, and equally safe to
-            // recompute). Evict it so the fresh result can take its place.
-            self.evict_corrupt(&path);
+        match &result {
+            Some(_) => count(
+                "simt_cache_hits_total",
+                "Result-cache lookups served from disk.",
+            ),
+            None => {
+                // The entry exists but is unusable (a hash collision also lands
+                // here — indistinguishable from corruption, and equally safe to
+                // recompute). Evict it so the fresh result can take its place.
+                self.evict_corrupt(&path, hash);
+                count(
+                    "simt_cache_misses_total",
+                    "Result-cache lookups that missed.",
+                );
+            }
         }
         result
     }
 
-    fn evict_corrupt(&self, path: &Path) {
-        eprintln!(
-            "warning: evicting corrupt cache entry {} (recomputing)",
-            path.display()
+    fn evict_corrupt(&self, path: &Path, hash: u64) {
+        count(
+            "simt_cache_evictions_total",
+            "Corrupt result-cache entries evicted and recomputed.",
         );
+        simt_obs::warn!("harness.cache", "evicting corrupt cache entry (recomputing)";
+            path = path.display().to_string(), hash = format!("{hash:016x}"));
         if let Err(e) = fs::remove_file(path) {
-            eprintln!("warning: could not remove {}: {e}", path.display());
+            simt_obs::warn!("harness.cache", "could not remove corrupt cache entry";
+                path = path.display().to_string(), error = e.to_string());
         }
     }
 
@@ -128,8 +152,15 @@ impl ResultCache {
             fs::write(&tmp, record.as_bytes())?;
             fs::rename(&tmp, &path)
         };
-        if let Err(e) = write() {
-            eprintln!("warning: cache write {} failed: {e}", path.display());
+        match write() {
+            Ok(()) => count(
+                "simt_cache_stores_total",
+                "Fresh results written to the cache.",
+            ),
+            Err(e) => {
+                simt_obs::warn!("harness.cache", "cache write failed";
+                    path = path.display().to_string(), error = e.to_string());
+            }
         }
     }
 }

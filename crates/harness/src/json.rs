@@ -154,11 +154,12 @@ fn write_str(out: &mut String, s: &str) {
 }
 
 /// Validate `value` against a minimal JSON-Schema subset: `type`,
-/// `required`, `properties`, `items`, `const`, `minItems` — enough to pin
-/// artifact shapes (the checked-in `schemas/*.schema.json`) without an
-/// external schema library. Appends one message per violation to `errors`,
-/// with `at` as the JSONPath-style location prefix (pass `"$"` at the
-/// root). Shared by `perf --check-bench` and `sweepctl check-bench`.
+/// `required`, `properties`, `items`, `const`, `minItems`, `enum`, and the
+/// numeric bounds `minimum`/`maximum` — enough to pin artifact shapes (the
+/// checked-in `schemas/*.schema.json`) without an external schema library.
+/// Appends one message per violation to `errors`, with `at` as the
+/// JSONPath-style location prefix (pass `"$"` at the root). Shared by
+/// `perf --check-bench`, `sweepctl check-bench`, and `sweepctl check-log`.
 pub fn validate(value: &Value, schema: &Value, at: &str, errors: &mut Vec<String>) {
     if let Some(expected) = schema.get("const") {
         let matches = match (expected, value) {
@@ -170,6 +171,30 @@ pub fn validate(value: &Value, schema: &Value, at: &str, errors: &mut Vec<String
         };
         if !matches {
             errors.push(format!("{at}: expected const {expected:?}"));
+        }
+    }
+    if let Some(allowed) = schema.get("enum").and_then(Value::as_arr) {
+        let matches = allowed.iter().any(|e| match (e, value) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => match (e.as_f64(), value.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        });
+        if !matches {
+            errors.push(format!("{at}: value not in enum"));
+        }
+    }
+    if let Some(v) = value.as_f64() {
+        if let Some(min) = schema.get("minimum").and_then(Value::as_f64) {
+            if v < min {
+                errors.push(format!("{at}: {v} below minimum {min}"));
+            }
+        }
+        if let Some(max) = schema.get("maximum").and_then(Value::as_f64) {
+            if v > max {
+                errors.push(format!("{at}: {v} above maximum {max}"));
+            }
         }
     }
     if let Some(t) = schema.get("type").and_then(Value::as_str) {
@@ -521,6 +546,46 @@ mod tests {
             errors.iter().any(|e| e.starts_with("$.runs[0].n")),
             "{errors:?}"
         );
+    }
+
+    #[test]
+    fn validate_checks_bounds_and_enums() {
+        let schema = parse(
+            r#"{"type":"object","properties":{
+                  "ratio":{"type":"number","minimum":0.97,"maximum":2.0},
+                  "level":{"type":"string","enum":["warn","info"]}}}"#,
+        )
+        .unwrap();
+        let mut errors = Vec::new();
+        validate(
+            &parse(r#"{"ratio":1.0,"level":"info"}"#).unwrap(),
+            &schema,
+            "$",
+            &mut errors,
+        );
+        assert!(errors.is_empty(), "{errors:?}");
+        validate(
+            &parse(r#"{"ratio":0.5,"level":"loud"}"#).unwrap(),
+            &schema,
+            "$",
+            &mut errors,
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("below minimum")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("not in enum")),
+            "{errors:?}"
+        );
+        errors.clear();
+        validate(
+            &parse("3.5").unwrap(),
+            &parse(r#"{"maximum":2}"#).unwrap(),
+            "$",
+            &mut errors,
+        );
+        assert_eq!(errors.len(), 1, "{errors:?}");
     }
 
     #[test]

@@ -232,7 +232,8 @@ impl Harness {
                     let mut sink = simt_trace::RingSink::new(spec.events);
                     let result = job.execute_traced(&mut sink);
                     if let Err(e) = write_trace(spec, &job, &sink) {
-                        eprintln!("warning: trace write failed for {}: {e}", job.label());
+                        simt_obs::warn!("harness.run", "trace write failed";
+                            job = job.label(), error = e.to_string());
                     }
                     (result, sink.dropped())
                 }
@@ -263,7 +264,7 @@ impl Harness {
             .map(|dir| write_artifact(dir, jobs, &results))
             .transpose()
             .unwrap_or_else(|e| {
-                eprintln!("warning: artifact write failed: {e}");
+                simt_obs::warn!("harness.run", "artifact write failed"; error = e.to_string());
                 None
             });
 

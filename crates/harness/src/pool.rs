@@ -121,7 +121,13 @@ impl WorkerPool {
                                 .map(|s| s.to_string())
                                 .or_else(|| p.downcast_ref::<String>().cloned())
                                 .unwrap_or_else(|| "non-string panic".into());
-                            eprintln!("warning: pool task panicked: {msg}");
+                            simt_obs::metrics::global().counter_add(
+                                "simt_pool_task_panics_total",
+                                "Worker-pool tasks that panicked (caught; worker kept serving).",
+                                &[],
+                                1,
+                            );
+                            simt_obs::warn!("harness.pool", "pool task panicked"; panic = msg);
                         }
                     })
                     .expect("spawn pool worker")

@@ -1,0 +1,334 @@
+//! A registry of counters, gauges, and fixed-bucket histograms.
+//!
+//! Each metric **family** has a stable name (`simt_*`), help text, a kind,
+//! and one **series** per distinct label set. Histograms reuse
+//! `simt-profile`'s allocation-free uniform-width [`Histogram`] — widths
+//! and bucket counts are supplied at the first `observe` of a family and
+//! shared by every series in it.
+//!
+//! Two registries exist in practice: [`global()`] (harness cache counters,
+//! logger event counters — anything with no service handle in scope) and a
+//! per-`SweepService` registry for service metrics, so concurrent
+//! in-process services in tests do not interfere. Rendering concatenates
+//! snapshots from both; family names are kept disjoint.
+//!
+//! All mutation is behind one mutex — these are service-tier metrics
+//! (per request / per point, not per simulated cycle), so contention is
+//! irrelevant and determinism (BTreeMap ordering everywhere) matters more.
+
+use simt_profile::Histogram;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Metric family kind, matching Prometheus `# TYPE` names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonically increasing count.
+    Counter,
+    /// A value that goes up and down.
+    Gauge,
+    /// Fixed-bucket distribution of `u64` samples.
+    Histogram,
+}
+
+impl Kind {
+    /// Prometheus `# TYPE` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Series {
+    Counter(u64),
+    Gauge(f64),
+    Hist { width: u64, hist: Histogram },
+}
+
+struct Family {
+    help: &'static str,
+    kind: Kind,
+    series: BTreeMap<Vec<(String, String)>, Series>,
+}
+
+/// A registry of metric families. Cheap to construct; every method takes
+/// `&self`.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+fn label_key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut key: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    key.sort();
+    key
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add `by` to the counter series `name{labels}` (created at 0 on
+    /// first touch).
+    pub fn counter_add(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        by: u64,
+    ) {
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            kind: Kind::Counter,
+            series: BTreeMap::new(),
+        });
+        debug_assert_eq!(family.kind, Kind::Counter, "kind mismatch for {name}");
+        match family
+            .series
+            .entry(label_key(labels))
+            .or_insert(Series::Counter(0))
+        {
+            Series::Counter(n) => *n += by,
+            _ => debug_assert!(false, "series kind mismatch for {name}"),
+        }
+    }
+
+    /// Set the gauge series `name{labels}` to `value`.
+    pub fn gauge_set(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            kind: Kind::Gauge,
+            series: BTreeMap::new(),
+        });
+        debug_assert_eq!(family.kind, Kind::Gauge, "kind mismatch for {name}");
+        match family
+            .series
+            .entry(label_key(labels))
+            .or_insert(Series::Gauge(0.0))
+        {
+            Series::Gauge(g) => *g = value,
+            _ => debug_assert!(false, "series kind mismatch for {name}"),
+        }
+    }
+
+    /// Record `sample` into the histogram series `name{labels}`. The
+    /// series is created on first touch with `num_buckets` uniform buckets
+    /// of `width` each (the last bucket absorbs the overflow tail); later
+    /// calls reuse the existing buckets and ignore the sizing arguments.
+    pub fn observe(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        width: u64,
+        num_buckets: usize,
+        sample: u64,
+    ) {
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            kind: Kind::Histogram,
+            series: BTreeMap::new(),
+        });
+        debug_assert_eq!(family.kind, Kind::Histogram, "kind mismatch for {name}");
+        match family
+            .series
+            .entry(label_key(labels))
+            .or_insert_with(|| Series::Hist {
+                width: width.max(1),
+                hist: Histogram::new(width, num_buckets),
+            }) {
+            Series::Hist { hist, .. } => hist.record(sample),
+            _ => debug_assert!(false, "series kind mismatch for {name}"),
+        }
+    }
+
+    /// A deterministic point-in-time copy of every family, ordered by
+    /// family name then label set.
+    pub fn snapshot(&self) -> Vec<FamilySnapshot> {
+        let families = self.families.lock().unwrap();
+        families
+            .iter()
+            .map(|(name, family)| FamilySnapshot {
+                name,
+                help: family.help,
+                kind: family.kind,
+                series: family
+                    .series
+                    .iter()
+                    .map(|(labels, series)| SeriesSnapshot {
+                        labels: labels.clone(),
+                        value: match series {
+                            Series::Counter(n) => SeriesValue::Counter(*n),
+                            Series::Gauge(g) => SeriesValue::Gauge(*g),
+                            Series::Hist { width, hist } => SeriesValue::Hist(HistSnapshot {
+                                width: *width,
+                                buckets: hist.buckets().to_vec(),
+                                count: hist.count(),
+                                sum: hist.sum(),
+                                min: hist.min(),
+                                max: hist.max(),
+                                mean: hist.mean(),
+                                p50: hist.p50(),
+                                p90: hist.p90(),
+                                p99: hist.p99(),
+                            }),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// The process-global registry, for instrumentation points with no
+/// service handle in scope (harness cache, logger self-counters).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Snapshot of one family: name, help, kind, and all series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// Family name (`simt_*`).
+    pub name: &'static str,
+    /// Help text for `# HELP`.
+    pub help: &'static str,
+    /// Counter / gauge / histogram.
+    pub kind: Kind,
+    /// All series, ordered by label set.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// Snapshot of one series within a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Sorted `(key, value)` label pairs (empty for unlabeled series).
+    pub labels: Vec<(String, String)>,
+    /// The recorded value.
+    pub value: SeriesValue,
+}
+
+/// Snapshot value of one series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesValue {
+    /// Counter total.
+    Counter(u64),
+    /// Current gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Hist(HistSnapshot),
+}
+
+/// Snapshot of one fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    /// Uniform bucket width; bucket `i` covers `[i*width, (i+1)*width)`,
+    /// the last bucket absorbs the overflow tail.
+    pub width: u64,
+    /// Per-bucket sample counts.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Mean sample (0 when empty).
+    pub mean: f64,
+    /// Median, at bucket-edge resolution.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let reg = Registry::new();
+        reg.counter_add("simt_test_total", "t", &[("kind", "a")], 2);
+        reg.counter_add("simt_test_total", "t", &[("kind", "a")], 3);
+        reg.counter_add("simt_test_total", "t", &[("kind", "b")], 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].series.len(), 2);
+        assert_eq!(snap[0].series[0].value, SeriesValue::Counter(5));
+        assert_eq!(snap[0].series[1].value, SeriesValue::Counter(1));
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let reg = Registry::new();
+        reg.counter_add("simt_test_total", "t", &[("b", "2"), ("a", "1")], 1);
+        reg.counter_add("simt_test_total", "t", &[("a", "1"), ("b", "2")], 1);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap[0].series.len(),
+            1,
+            "same labels, any order → one series"
+        );
+        assert_eq!(snap[0].series[0].value, SeriesValue::Counter(2));
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let reg = Registry::new();
+        reg.gauge_set("simt_depth", "d", &[], 4.0);
+        reg.gauge_set("simt_depth", "d", &[], 1.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap[0].series[0].value, SeriesValue::Gauge(1.5));
+    }
+
+    #[test]
+    fn histograms_report_percentiles() {
+        let reg = Registry::new();
+        for v in 0..100u64 {
+            reg.observe("simt_lat_us", "l", &[("endpoint", "GET /x")], 10, 16, v);
+        }
+        let snap = reg.snapshot();
+        match &snap[0].series[0].value {
+            SeriesValue::Hist(h) => {
+                assert_eq!(h.count, 100);
+                assert_eq!(h.width, 10);
+                assert_eq!(h.buckets.len(), 16);
+                assert_eq!(h.p50, 50);
+                assert_eq!(h.p90, 90);
+                assert_eq!(h.p99, 99);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_orders_families_by_name() {
+        let reg = Registry::new();
+        reg.counter_add("simt_zz_total", "z", &[], 1);
+        reg.counter_add("simt_aa_total", "a", &[], 1);
+        let names: Vec<_> = reg.snapshot().iter().map(|f| f.name).collect();
+        assert_eq!(names, ["simt_aa_total", "simt_zz_total"]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Prometheus text exposition (format 0.0.4) and a scrape parser.
+//!
+//! [`render`] turns registry snapshots into the classic text format —
+//! `# HELP` / `# TYPE` headers, one sample per line, histogram families
+//! expanded into cumulative `_bucket{le=…}` series plus `_sum` and
+//! `_count`. Output is byte-deterministic: families in name order, series
+//! in label order, buckets ascending. [`parse`] is the inverse used by the
+//! round-trip tests and the CI smoke — it reads every sample line back
+//! into `(name, labels, value)` triples.
+
+use crate::metrics::{FamilySnapshot, SeriesValue};
+use std::fmt::Write as _;
+
+fn escape_help(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_label_value(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render `{labels}` (with an optional extra `le` label appended last in
+/// sorted-key order would be wrong — Prometheus does not require label
+/// ordering, but determinism does, so `le` is merged and sorted too).
+fn write_labels(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
+    let mut pairs: Vec<(&str, &str)> = labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    if let Some(le) = le {
+        pairs.push(("le", le));
+        pairs.sort();
+    }
+    if pairs.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label_value(out, v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Render family snapshots as Prometheus text exposition. Accepts the
+/// concatenation of several registries' snapshots; families must not
+/// repeat across them.
+pub fn render(families: &[FamilySnapshot]) -> String {
+    let mut out = String::with_capacity(1024);
+    for family in families {
+        out.push_str("# HELP ");
+        out.push_str(family.name);
+        out.push(' ');
+        escape_help(&mut out, family.help);
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(family.name);
+        out.push(' ');
+        out.push_str(family.kind.name());
+        out.push('\n');
+        for series in &family.series {
+            match &series.value {
+                SeriesValue::Counter(n) => {
+                    out.push_str(family.name);
+                    write_labels(&mut out, &series.labels, None);
+                    let _ = writeln!(out, " {n}");
+                }
+                SeriesValue::Gauge(g) => {
+                    out.push_str(family.name);
+                    write_labels(&mut out, &series.labels, None);
+                    out.push(' ');
+                    write_f64(&mut out, *g);
+                    out.push('\n');
+                }
+                SeriesValue::Hist(h) => {
+                    // Cumulative buckets; the overflow tail folds into +Inf.
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if i == h.buckets.len() - 1 {
+                            break;
+                        }
+                        cumulative += c;
+                        let mut le = String::new();
+                        let _ = write!(le, "{}", (i as u64 + 1) * h.width);
+                        out.push_str(family.name);
+                        out.push_str("_bucket");
+                        write_labels(&mut out, &series.labels, Some(&le));
+                        let _ = writeln!(out, " {cumulative}");
+                    }
+                    out.push_str(family.name);
+                    out.push_str("_bucket");
+                    write_labels(&mut out, &series.labels, Some("+Inf"));
+                    let _ = writeln!(out, " {}", h.count);
+                    out.push_str(family.name);
+                    out.push_str("_sum");
+                    write_labels(&mut out, &series.labels, None);
+                    let _ = writeln!(out, " {}", h.sum);
+                    out.push_str(family.name);
+                    out.push_str("_count");
+                    write_labels(&mut out, &series.labels, None);
+                    let _ = writeln!(out, " {}", h.count);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name as scraped (`_bucket`/`_sum`/`_count` suffixes intact).
+    pub name: String,
+    /// Label pairs in scrape order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+fn is_name_char(c: char, first: bool) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':' || (!first && c.is_ascii_digit())
+}
+
+/// Parsed label set plus the unconsumed remainder of the line.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+fn parse_labels(s: &str) -> Result<ParsedLabels<'_>, String> {
+    let mut labels = Vec::new();
+    let mut rest = &s[1..]; // past '{'
+    loop {
+        rest = rest.trim_start();
+        if let Some(tail) = rest.strip_prefix('}') {
+            return Ok((labels, tail));
+        }
+        let name_end = rest
+            .char_indices()
+            .find(|&(i, c)| !is_name_char(c, i == 0))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if name_end == 0 {
+            return Err(format!("expected label name at {rest:?}"));
+        }
+        let name = rest[..name_end].to_string();
+        rest = rest[name_end..].trim_start();
+        rest = rest
+            .strip_prefix('=')
+            .ok_or_else(|| format!("expected '=' after label {name}"))?
+            .trim_start();
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected '\"' opening value of {name}"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let close = loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| format!("unterminated value for label {name}"))?;
+            match c {
+                '"' => break i,
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| format!("dangling escape in label {name}"))?;
+                    match esc {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        other => return Err(format!("bad escape \\{other} in label {name}")),
+                    }
+                }
+                c => value.push(c),
+            }
+        };
+        labels.push((name, value));
+        rest = rest[close + 1..].trim_start();
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail;
+        }
+    }
+}
+
+/// Parse text exposition back into samples. Comment (`#`) and blank lines
+/// are skipped; every remaining line must be a well-formed sample.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+        let name_end = line
+            .char_indices()
+            .find(|&(i, c)| !is_name_char(c, i == 0))
+            .map(|(i, _)| i)
+            .unwrap_or(line.len());
+        if name_end == 0 {
+            return Err(err("expected metric name"));
+        }
+        let name = line[..name_end].to_string();
+        let rest = &line[name_end..];
+        let (labels, rest) = if rest.starts_with('{') {
+            parse_labels(rest).map_err(|e| err(&e))?
+        } else {
+            (Vec::new(), rest)
+        };
+        let value_text = rest.split_whitespace().next().unwrap_or("");
+        let value = match value_text {
+            "+Inf" | "Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v.parse::<f64>().map_err(|_| err("bad sample value"))?,
+        };
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn render_is_deterministic_and_ordered() {
+        let mk = || {
+            let reg = Registry::new();
+            reg.counter_add("simt_z_total", "z", &[("b", "2")], 1);
+            reg.counter_add("simt_z_total", "z", &[("a", "1")], 2);
+            reg.gauge_set("simt_a_depth", "queue depth", &[], 3.0);
+            reg.observe("simt_m_us", "lat", &[], 10, 4, 5);
+            reg.observe("simt_m_us", "lat", &[], 10, 4, 95);
+            render(&reg.snapshot())
+        };
+        let text = mk();
+        assert_eq!(text, mk(), "same inputs render byte-identically");
+        let a = text.find("simt_a_depth").unwrap();
+        let m = text.find("simt_m_us").unwrap();
+        let z = text.find("simt_z_total").unwrap();
+        assert!(a < m && m < z, "families in name order:\n{text}");
+        // Cumulative buckets + overflow folded into +Inf.
+        assert!(text.contains("simt_m_us_bucket{le=\"10\"} 1\n"), "{text}");
+        assert!(text.contains("simt_m_us_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("simt_m_us_sum 100\n"), "{text}");
+        assert!(text.contains("simt_m_us_count 2\n"), "{text}");
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let reg = Registry::new();
+        reg.counter_add(
+            "simt_esc_total",
+            "help with \\ and\nnewline",
+            &[("path", "a\"b\\c\nd")],
+            7,
+        );
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# HELP simt_esc_total help with \\\\ and\\nnewline\n"));
+        assert!(text.contains("path=\"a\\\"b\\\\c\\nd\""), "{text}");
+        let samples = parse(&text).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].name, "simt_esc_total");
+        assert_eq!(
+            samples[0].labels,
+            vec![("path".to_string(), "a\"b\\c\nd".to_string())]
+        );
+        assert_eq!(samples[0].value, 7.0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("123bad 1").is_err());
+        assert!(parse("simt_x{unterminated=\"v} 1").is_err());
+        assert!(parse("simt_x notanumber").is_err());
+    }
+
+    #[test]
+    fn every_family_kind_round_trips() {
+        let reg = Registry::new();
+        reg.counter_add("simt_c_total", "c", &[("k", "v")], 3);
+        reg.gauge_set("simt_g", "g", &[], 2.5);
+        for v in [1u64, 15, 999] {
+            reg.observe("simt_h_us", "h", &[("e", "x")], 10, 3, v);
+        }
+        let snap = reg.snapshot();
+        let samples = parse(&render(&snap)).unwrap();
+        let find = |name: &str, label: Option<(&str, &str)>| -> f64 {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && label
+                            .is_none_or(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+                })
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .value
+        };
+        assert_eq!(find("simt_c_total", Some(("k", "v"))), 3.0);
+        assert_eq!(find("simt_g", None), 2.5);
+        assert_eq!(find("simt_h_us_count", None), 3.0);
+        assert_eq!(find("simt_h_us_sum", None), 1015.0);
+        assert_eq!(find("simt_h_us_bucket", Some(("le", "10"))), 1.0);
+        assert_eq!(find("simt_h_us_bucket", Some(("le", "20"))), 2.0);
+        assert_eq!(find("simt_h_us_bucket", Some(("le", "+Inf"))), 3.0);
+    }
+}

@@ -23,6 +23,9 @@ options:
   --jobs N             simulation worker threads (default: available cores)
   --execute-budget N   simulate at most N fresh points this session, then
                        leave the rest queued for the next session
+  --log-level LEVEL    error|warn|info|debug|off (default info; env SIMT_LOG)
+  --log-format FORMAT  text|json dac-log/v1 lines (default text;
+                       env SIMT_LOG_FORMAT)
   -q, --quiet          no per-point progress lines
   -h, --help           this message";
 
@@ -86,6 +89,10 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| usage_exit("--execute-budget: expected an integer")),
                 )
             }
+            "--log-level" => simt_obs::log::set_level_str(&value("--log-level"))
+                .unwrap_or_else(|e| usage_exit(&format!("--log-level: {e}"))),
+            "--log-format" => simt_obs::log::set_format_str(&value("--log-format"))
+                .unwrap_or_else(|e| usage_exit(&format!("--log-format: {e}"))),
             "-q" | "--quiet" => args.quiet = true,
             "-h" | "--help" => usage_exit("help"),
             other => usage_exit(&format!("unknown option {other:?}")),
@@ -95,6 +102,7 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    simt_obs::log::init_from_env();
     let args = parse_args();
     let service = Arc::new(SweepService::new(ServeConfig {
         results_dir: args.results.clone().into(),
@@ -105,11 +113,8 @@ fn main() {
 
     let resumed = service.resume();
     if !resumed.is_empty() {
-        eprintln!(
-            "serve: resumed {} unfinished sweep(s): {}",
-            resumed.len(),
-            resumed.join(", ")
-        );
+        simt_obs::info!("serve.daemon", "resumed unfinished sweeps";
+            count = resumed.len(), sweeps = resumed.join(", "));
     }
 
     let server = Server::bind(
@@ -118,10 +123,8 @@ fn main() {
     )
     .unwrap_or_else(|e| usage_exit(&format!("cannot bind {}:{}: {e}", args.addr, args.port)));
     let bound = server.handle().addr();
-    eprintln!(
-        "serve: listening on http://{bound} (results: {}, workers: {})",
-        args.results, args.jobs
-    );
+    simt_obs::info!("serve.daemon", format!("listening on http://{bound}");
+        results = args.results.clone(), workers = args.jobs);
     if let Some(path) = &args.port_file {
         // Written only after bind succeeds, so pollers that wait for this
         // file never race a half-started daemon.
@@ -133,8 +136,13 @@ fn main() {
     server.serve();
     service.stop();
     let (executed, cache_hits, shared, failed) = service.counters();
-    eprintln!(
-        "serve: shutting down ({executed} simulated, {cache_hits} from cache, \
-         {shared} shared, {failed} failed)"
+    // CI greps serve.log for "shutting down"; the message must keep that
+    // substring in both text and json log formats.
+    simt_obs::info!(
+        "serve.daemon",
+        format!(
+            "shutting down ({executed} simulated, {cache_hits} from cache, \
+                 {shared} shared, {failed} failed)"
+        )
     );
 }

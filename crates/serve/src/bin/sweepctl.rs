@@ -16,17 +16,26 @@ usage: sweepctl <command> [options]
 commands:
   submit       submit a grid (--bench A,B --scenarios S --designs D --scale N
                --set k=v ...); add --watch to block until it completes
-  watch ID     poll a sweep until it completes
+  watch ID     poll a sweep until it completes, printing a one-line
+               progress summary (done/executed/hits/shared) as it moves
+  tail ID      stream the sweep's event journal live (point started /
+               finished / failed, resolution, wall time); --json prints
+               the raw event documents instead of human lines
   fetch KEY    print the raw dac-run/v1 artifact for a 16-hex run key
                (--out FILE writes it to disk instead)
   status       print the service overview
-  metrics      print service counters and per-endpoint latency
+  metrics      print service counters and p50/p90/p99 endpoint latency;
+               --prom prints the Prometheus text exposition instead
   shutdown     stop the daemon
   bench        run the cold/overlap/warm serving benchmark and write
                BENCH_pr7.json (--out FILE, --benches A,B,C,D, --designs D,
                --scale N)
   check-bench FILE
-               validate FILE against schemas/bench_pr7.schema.json
+               validate FILE against the bench schema it declares
+               (dac-bench-pr7/v1 or dac-bench-pr8/v1)
+  check-log FILE
+               validate every dac-log/v1 line in FILE against
+               schemas/log_v1.schema.json
 
 connection options (all commands):
   --addr HOST:PORT   daemon address (default 127.0.0.1:7878)
@@ -98,6 +107,7 @@ fn parse_common(raw: &[String]) -> Common {
 }
 
 fn main() {
+    simt_obs::log::init_from_env();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
         usage_exit("missing command");
@@ -118,9 +128,30 @@ fn main() {
             let status = watch(&client, id, common.timeout);
             println!("{}", status.to_json());
         }
+        "tail" => {
+            let id = common
+                .rest
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .unwrap_or_else(|| usage_exit("tail needs a sweep id"));
+            let json_mode = common.rest.iter().any(|a| a == "--json");
+            tail(&client, id, common.timeout, json_mode);
+        }
         "fetch" => fetch(&client, &common),
         "status" => print_endpoint(&client, "/status"),
-        "metrics" => print_endpoint(&client, "/metrics"),
+        "metrics" => {
+            if common.rest.iter().any(|a| a == "--prom") {
+                let (status, text) = client
+                    .get_text("/metrics?format=prom")
+                    .unwrap_or_else(|e| fail(&e));
+                if status != 200 {
+                    fail(&format!("HTTP {status} from /metrics?format=prom"));
+                }
+                print!("{text}");
+            } else {
+                print_endpoint(&client, "/metrics");
+            }
+        }
         "shutdown" => {
             let v = client
                 .post("/shutdown", None)
@@ -135,6 +166,13 @@ fn main() {
                 .first()
                 .unwrap_or_else(|| usage_exit("check-bench needs a file"));
             std::process::exit(check_bench_file(Path::new(path)));
+        }
+        "check-log" => {
+            let path = common
+                .rest
+                .first()
+                .unwrap_or_else(|| usage_exit("check-log needs a file"));
+            std::process::exit(check_log_file(Path::new(path)));
         }
         other => usage_exit(&format!("unknown command {other:?}")),
     }
@@ -254,22 +292,30 @@ fn submit(client: &Client, common: &Common) {
     }
 }
 
-/// Poll a sweep until it completes; exits the process on timeout or if any
-/// point failed. Returns the final status document.
+/// Poll a sweep until it completes, printing a one-line progress summary
+/// whenever it changes; exits the process on timeout or if any point
+/// failed. Returns the final status document.
 fn watch(client: &Client, id: &str, timeout: Duration) -> Value {
     let deadline = Instant::now() + timeout;
-    let mut last_done = u64::MAX;
+    let mut last_line = String::new();
     loop {
         let status = client
             .get(&format!("/sweeps/{id}"))
             .and_then(|r| r.ok())
             .unwrap_or_else(|e| fail(&e));
-        let done = status.get("done").and_then(Value::as_u64).unwrap_or(0);
-        let failed = status.get("failed").and_then(Value::as_u64).unwrap_or(0);
-        let total = status.get("total").and_then(Value::as_u64).unwrap_or(0);
-        if done + failed != last_done {
-            last_done = done + failed;
-            eprintln!("sweepctl: {id}: {done}/{total} done, {failed} failed");
+        let field = |name: &str| status.get(name).and_then(Value::as_u64).unwrap_or(0);
+        let (done, failed, total) = (field("done"), field("failed"), field("total"));
+        let line = format!(
+            "{done}/{total} done ({} executed, {} from cache, {} shared), \
+             {} running, {failed} failed",
+            field("executed"),
+            field("cache_hits"),
+            field("shared"),
+            field("running"),
+        );
+        if line != last_line {
+            eprintln!("sweepctl: {id}: {line}");
+            last_line = line;
         }
         if status.get("complete").and_then(Value::as_bool) == Some(true) {
             if failed > 0 {
@@ -281,6 +327,78 @@ fn watch(client: &Client, id: &str, timeout: Duration) -> Value {
             fail(&format!("{id}: timed out after {}s", timeout.as_secs()));
         }
         std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+/// Follow a sweep's event journal live: long-poll `/sweeps/:id/events`
+/// with a `since` cursor, printing each event as it arrives, until the
+/// sweep completes. Exits 1 if any point failed.
+fn tail(client: &Client, id: &str, timeout: Duration, json_mode: bool) {
+    let deadline = Instant::now() + timeout;
+    let mut since = 0u64;
+    let mut failures = 0u64;
+    loop {
+        let reply = client
+            .get(&format!(
+                "/sweeps/{id}/events?since={since}&timeout_ms=10000"
+            ))
+            .and_then(|r| r.ok())
+            .unwrap_or_else(|e| fail(&e));
+        let dropped = reply.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+        if dropped > since {
+            eprintln!(
+                "sweepctl: {id}: journal overflowed; {} event(s) before this cursor were dropped",
+                dropped - since
+            );
+        }
+        let events = reply
+            .get("events")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default();
+        for event in &events {
+            if json_mode {
+                println!("{}", event.to_json());
+            } else {
+                print_event(id, event);
+            }
+            if event.get("kind").and_then(Value::as_str) == Some("failed") {
+                failures += 1;
+            }
+        }
+        since = reply
+            .get("next")
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| fail("events reply has no next cursor"));
+        if reply.get("complete").and_then(Value::as_bool) == Some(true) {
+            if failures > 0 {
+                fail(&format!("{id}: {failures} point(s) failed"));
+            }
+            return;
+        }
+        if Instant::now() >= deadline {
+            fail(&format!("{id}: timed out after {}s", timeout.as_secs()));
+        }
+    }
+}
+
+/// One human-readable line per journal event.
+fn print_event(id: &str, event: &Value) {
+    let s = |name: &str| event.get(name).and_then(Value::as_str).unwrap_or("");
+    let wall_s = event.get("wall_us").and_then(Value::as_u64).unwrap_or(0) as f64 / 1e6;
+    match s("kind") {
+        "started" => println!("{} started", s("label")),
+        "finished" => {
+            let cycles = event.get("cycles").and_then(Value::as_u64).unwrap_or(0);
+            println!(
+                "{} finished ({}, {wall_s:.3}s, {cycles} cycles)",
+                s("label"),
+                s("resolution"),
+            );
+        }
+        "failed" => println!("{} FAILED: {}", s("label"), s("error")),
+        "complete" => println!("{id} complete ({wall_s:.3}s)"),
+        other => println!("{} {other}", s("label")),
     }
 }
 
@@ -488,8 +606,26 @@ fn bench(client: &Client, common: &Common) {
     println!("{text}");
 }
 
-/// Validate a `dac-bench-pr7/v1` record against the checked-in schema.
-/// Returns the process exit code (0 = valid).
+/// Load and parse a checked-in schema file; `Err` is the process exit code.
+fn load_schema(schema_path: &Path) -> Result<Value, i32> {
+    let schema_text = match std::fs::read_to_string(schema_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sweepctl: cannot read {}: {e}", schema_path.display());
+            return Err(2);
+        }
+    };
+    match json::parse(&schema_text) {
+        Ok(v) => Ok(v),
+        Err(e) => {
+            eprintln!("sweepctl: {} is invalid JSON: {e}", schema_path.display());
+            Err(1)
+        }
+    }
+}
+
+/// Validate a bench record against the schema it declares (`dac-bench-pr7/v1`
+/// or `dac-bench-pr8/v1`). Returns the process exit code (0 = valid).
 fn check_bench_file(path: &Path) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -506,35 +642,25 @@ fn check_bench_file(path: &Path) -> i32 {
         }
     };
     let declared = value.get("schema").and_then(Value::as_str);
-    if declared != Some("dac-bench-pr7/v1") {
-        eprintln!(
-            "sweepctl: {} declares unknown schema {declared:?}",
-            path.display()
-        );
-        return 1;
-    }
-    let schema_path = Path::new("schemas/bench_pr7.schema.json");
-    let schema_text = match std::fs::read_to_string(schema_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("sweepctl: cannot read {}: {e}", schema_path.display());
-            return 2;
-        }
-    };
-    let schema = match json::parse(&schema_text) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("sweepctl: {} is invalid JSON: {e}", schema_path.display());
+    let (name, schema_path) = match declared {
+        Some("dac-bench-pr7/v1") => ("dac-bench-pr7/v1", "schemas/bench_pr7.schema.json"),
+        Some("dac-bench-pr8/v1") => ("dac-bench-pr8/v1", "schemas/bench_pr8.schema.json"),
+        _ => {
+            eprintln!(
+                "sweepctl: {} declares unknown schema {declared:?}",
+                path.display()
+            );
             return 1;
         }
+    };
+    let schema = match load_schema(Path::new(schema_path)) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
     let mut errors = Vec::new();
     json::validate(&value, &schema, "$", &mut errors);
     if errors.is_empty() {
-        println!(
-            "sweepctl: {} is a valid dac-bench-pr7/v1 record",
-            path.display()
-        );
+        println!("sweepctl: {} is a valid {name} record", path.display());
         0
     } else {
         for e in &errors {
@@ -542,4 +668,69 @@ fn check_bench_file(path: &Path) -> i32 {
         }
         1
     }
+}
+
+/// Validate every `dac-log/v1` line in a log file against
+/// `schemas/log_v1.schema.json`. Non-JSON lines (CLI progress output mixed
+/// into the same stream) are skipped; a JSON line claiming the dac-log/v1
+/// schema must validate. Returns the process exit code (0 = valid, and at
+/// least one dac-log/v1 line was found).
+fn check_log_file(path: &Path) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sweepctl: cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let schema = match load_schema(Path::new("schemas/log_v1.schema.json")) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut checked = 0usize;
+    let mut bad = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue; // progress output, not a structured event
+        }
+        let value = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!(
+                    "sweepctl: {}:{}: invalid JSON: {e}",
+                    path.display(),
+                    lineno + 1
+                );
+                bad += 1;
+                continue;
+            }
+        };
+        if value.get("schema").and_then(Value::as_str) != Some("dac-log/v1") {
+            continue; // some other JSON document in the stream
+        }
+        checked += 1;
+        let mut errors = Vec::new();
+        json::validate(&value, &schema, "$", &mut errors);
+        for e in &errors {
+            eprintln!("sweepctl: {}:{}: {e}", path.display(), lineno + 1);
+        }
+        bad += usize::from(!errors.is_empty());
+    }
+    if checked == 0 {
+        eprintln!("sweepctl: {}: no dac-log/v1 lines found", path.display());
+        return 1;
+    }
+    if bad > 0 {
+        eprintln!(
+            "sweepctl: {}: {bad} invalid line(s) out of {checked} checked",
+            path.display()
+        );
+        return 1;
+    }
+    println!(
+        "sweepctl: {}: {checked} dac-log/v1 line(s), all valid",
+        path.display()
+    );
+    0
 }

@@ -51,19 +51,38 @@ impl Client {
     }
 
     pub fn get(&self, path: &str) -> Result<ApiResponse, String> {
+        let (status, body) = self.request("GET", path, None)?;
+        let parsed = json::parse(&body).map_err(|e| format!("bad JSON body: {e}"))?;
+        Ok(ApiResponse {
+            status,
+            body: parsed,
+            raw: body,
+        })
+    }
+
+    /// GET a non-JSON endpoint (`/metrics?format=prom`, `/dashboard`):
+    /// status plus the raw body, no parsing.
+    pub fn get_text(&self, path: &str) -> Result<(u16, String), String> {
         self.request("GET", path, None)
     }
 
     pub fn post(&self, path: &str, body: Option<&json::Value>) -> Result<ApiResponse, String> {
-        self.request("POST", path, body.map(json::Value::to_json))
+        let (status, body) = self.request("POST", path, body.map(json::Value::to_json))?;
+        let parsed = json::parse(&body).map_err(|e| format!("bad JSON body: {e}"))?;
+        Ok(ApiResponse {
+            status,
+            body: parsed,
+            raw: body,
+        })
     }
 
+    /// One request/response exchange: (status, raw body).
     fn request(
         &self,
         method: &str,
         path: &str,
         body: Option<String>,
-    ) -> Result<ApiResponse, String> {
+    ) -> Result<(u16, String), String> {
         let mut stream = TcpStream::connect(&self.addr)
             .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
         stream.set_read_timeout(Some(self.timeout)).ok();
@@ -81,24 +100,15 @@ impl Client {
         stream
             .read_to_string(&mut raw)
             .map_err(|e| format!("response read failed: {e}"))?;
-        parse_response(&raw)
+        let (head, body) = raw
+            .split_once("\r\n\r\n")
+            .ok_or("malformed HTTP response")?;
+        let status_line = head.lines().next().ok_or("empty HTTP response")?;
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+        Ok((status, body.to_string()))
     }
-}
-
-fn parse_response(raw: &str) -> Result<ApiResponse, String> {
-    let (head, body) = raw
-        .split_once("\r\n\r\n")
-        .ok_or("malformed HTTP response")?;
-    let status_line = head.lines().next().ok_or("empty HTTP response")?;
-    let status = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
-    let parsed = json::parse(body).map_err(|e| format!("bad JSON body: {e}"))?;
-    Ok(ApiResponse {
-        status,
-        body: parsed,
-        raw: body.to_string(),
-    })
 }

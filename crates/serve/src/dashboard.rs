@@ -1,0 +1,161 @@
+//! The read-only `GET /dashboard` HTML overview.
+//!
+//! Rendered entirely from the same public documents the JSON endpoints
+//! serve ([`SweepService::status`] and [`SweepService::metrics`]) — the
+//! dashboard can never disagree with the API, and it stays read-only by
+//! construction. No scripts, one meta-refresh; the first slice of the
+//! roadmap's figure-rendering-over-HTTP item.
+
+use crate::service::SweepService;
+use simt_harness::json;
+use std::fmt::Write as _;
+
+fn escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn get_u64(doc: &json::Value, field: &str) -> u64 {
+    doc.get(field).and_then(json::Value::as_u64).unwrap_or(0)
+}
+
+fn get_f64(doc: &json::Value, field: &str) -> f64 {
+    doc.get(field).and_then(json::Value::as_f64).unwrap_or(0.0)
+}
+
+fn card(out: &mut String, label: &str, value: &str) {
+    out.push_str("<div class=card><div class=v>");
+    escape(out, value);
+    out.push_str("</div><div class=l>");
+    escape(out, label);
+    out.push_str("</div></div>\n");
+}
+
+/// Render the dashboard HTML for the service's current state.
+pub fn render(service: &SweepService) -> String {
+    let status = service.status();
+    let metrics = service.metrics();
+    let mut out = String::with_capacity(4096);
+    out.push_str(
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n\
+         <meta http-equiv=\"refresh\" content=\"5\">\n\
+         <title>simt-serve dashboard</title>\n\
+         <style>\n\
+         body{font-family:system-ui,sans-serif;margin:2rem;color:#222}\n\
+         h1{font-size:1.3rem} h2{font-size:1.05rem;margin-top:1.6rem}\n\
+         .cards{display:flex;flex-wrap:wrap;gap:.8rem}\n\
+         .card{border:1px solid #ddd;border-radius:.5rem;padding:.6rem 1rem;min-width:7rem}\n\
+         .card .v{font-size:1.3rem;font-weight:600} .card .l{color:#666;font-size:.8rem}\n\
+         table{border-collapse:collapse;margin-top:.5rem}\n\
+         th,td{border:1px solid #ddd;padding:.3rem .6rem;text-align:right;font-size:.85rem}\n\
+         th{background:#f5f5f5} td.id,th.id{text-align:left;font-family:monospace}\n\
+         .done{color:#1a7f37} .active{color:#9a6700}\n\
+         </style></head><body>\n<h1>simt-serve</h1>\n<div class=cards>\n",
+    );
+    let uptime = get_f64(&status, "uptime_s");
+    card(&mut out, "uptime", &format!("{uptime:.0}s"));
+    card(
+        &mut out,
+        "workers",
+        &get_u64(&status, "workers").to_string(),
+    );
+    card(
+        &mut out,
+        "queue depth",
+        &get_u64(&status, "queue_depth").to_string(),
+    );
+    card(
+        &mut out,
+        "running",
+        &get_u64(&status, "running").to_string(),
+    );
+    card(
+        &mut out,
+        "executed",
+        &get_u64(&metrics, "executed").to_string(),
+    );
+    card(
+        &mut out,
+        "cache hits",
+        &get_u64(&metrics, "cache_hits").to_string(),
+    );
+    card(
+        &mut out,
+        "cache hit rate",
+        &format!("{:.0}%", get_f64(&metrics, "cache_hit_rate") * 100.0),
+    );
+    card(
+        &mut out,
+        "points/sec",
+        &format!("{:.2}", get_f64(&metrics, "points_per_sec")),
+    );
+    card(&mut out, "failed", &get_u64(&metrics, "failed").to_string());
+    out.push_str("</div>\n<h2>Sweeps</h2>\n");
+    let sweeps = status
+        .get("sweeps")
+        .and_then(json::Value::as_arr)
+        .map(|s| s.to_vec())
+        .unwrap_or_default();
+    if sweeps.is_empty() {
+        out.push_str("<p>No sweeps submitted yet.</p>\n");
+    } else {
+        out.push_str(
+            "<table><tr><th class=id>sweep</th><th>total</th><th>done</th><th>state</th></tr>\n",
+        );
+        for sweep in &sweeps {
+            let id = sweep.get("id").and_then(json::Value::as_str).unwrap_or("?");
+            let complete = sweep
+                .get("complete")
+                .and_then(json::Value::as_bool)
+                .unwrap_or(false);
+            out.push_str("<tr><td class=id>");
+            escape(&mut out, id);
+            let _ = writeln!(
+                out,
+                "</td><td>{}</td><td>{}</td><td class={}>{}</td></tr>",
+                get_u64(sweep, "total"),
+                get_u64(sweep, "done"),
+                if complete { "done" } else { "active" },
+                if complete { "complete" } else { "active" },
+            );
+        }
+        out.push_str("</table>\n");
+    }
+    out.push_str("<h2>Endpoint latency (µs)</h2>\n");
+    let endpoints = metrics
+        .get("endpoints")
+        .and_then(json::Value::as_obj)
+        .map(|o| o.to_vec())
+        .unwrap_or_default();
+    if endpoints.is_empty() {
+        out.push_str("<p>No requests served yet.</p>\n");
+    } else {
+        out.push_str(
+            "<table><tr><th class=id>endpoint</th><th>count</th><th>p50</th>\
+             <th>p90</th><th>p99</th><th>max</th></tr>\n",
+        );
+        for (label, stats) in &endpoints {
+            out.push_str("<tr><td class=id>");
+            escape(&mut out, label);
+            let _ = writeln!(
+                out,
+                "</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                get_u64(stats, "count"),
+                get_u64(stats, "p50_us"),
+                get_u64(stats, "p90_us"),
+                get_u64(stats, "p99_us"),
+                get_u64(stats, "max_us"),
+            );
+        }
+        out.push_str("</table>\n");
+    }
+    out.push_str("</body></html>\n");
+    out
+}

@@ -4,14 +4,16 @@
 //! bodies only. That is all a lab daemon needs, and it keeps the build
 //! offline-clean (no async runtime, no TLS, no frameworks).
 //!
-//! | Method | Path          | Body          | Response                      |
-//! |--------|---------------|---------------|-------------------------------|
-//! | POST   | `/sweeps`     | grid request  | submission receipt            |
-//! | GET    | `/sweeps/:id` | —             | sweep status + per-point list |
-//! | GET    | `/runs/:key`  | —             | raw `dac-run/v1` artifact     |
-//! | GET    | `/status`     | —             | service overview              |
-//! | GET    | `/metrics`    | —             | counters + endpoint latency   |
-//! | POST   | `/shutdown`   | —             | ack, then the daemon exits    |
+//! | Method | Path                 | Body         | Response                      |
+//! |--------|----------------------|--------------|-------------------------------|
+//! | POST   | `/sweeps`            | grid request | submission receipt            |
+//! | GET    | `/sweeps/:id`        | —            | sweep status + per-point list |
+//! | GET    | `/sweeps/:id/events` | —            | event journal (long-poll; `?since=N&timeout_ms=M`) |
+//! | GET    | `/runs/:key`         | —            | raw `dac-run/v1` artifact     |
+//! | GET    | `/status`            | —            | service overview              |
+//! | GET    | `/metrics`           | —            | counters + p50/p90/p99 endpoint latency (`?format=prom` for Prometheus text) |
+//! | GET    | `/dashboard`         | —            | read-only HTML overview       |
+//! | POST   | `/shutdown`          | —            | ack, then the daemon exits    |
 
 use crate::grid::GridRequest;
 use crate::service::SweepService;
@@ -33,6 +35,15 @@ const MAX_HEAD: u64 = 16 << 10;
 /// Per-connection read timeout: a client that connects and goes silent
 /// must not pin a handler thread forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default `/sweeps/:id/events` long-poll hold when the request names no
+/// `timeout_ms`.
+const DEFAULT_POLL_MS: u64 = 10_000;
+
+/// Hard cap on the long-poll hold — kept under the 30s read timeout
+/// [`crate::client::Client`] uses, so a well-behaved client never times
+/// out waiting for an intentionally-empty reply.
+const MAX_POLL_MS: u64 = 25_000;
 
 /// A bound, not-yet-serving HTTP server over a [`SweepService`].
 pub struct Server {
@@ -103,11 +114,25 @@ impl Server {
 struct Request {
     method: String,
     path: String,
+    /// Raw query string (no leading `?`; empty when absent).
+    query: String,
     body: String,
+}
+
+impl Request {
+    /// The value of `name` in the query string, if present. No percent
+    /// decoding — the service's parameters are plain integers and tokens.
+    fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 struct Response {
     status: u16,
+    content_type: &'static str,
     body: String,
 }
 
@@ -115,7 +140,24 @@ impl Response {
     fn json(status: u16, value: &json::Value) -> Response {
         Response {
             status,
+            content_type: "application/json",
             body: value.to_json(),
+        }
+    }
+
+    fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body,
+        }
+    }
+
+    fn html(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/html; charset=utf-8",
+            body,
         }
     }
 
@@ -158,7 +200,18 @@ fn route(req: &Request, service: &SweepService) -> (&'static str, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/sweeps") => ("POST /sweeps", post_sweeps(req, service)),
         ("GET", "/status") => ("GET /status", Response::json(200, &service.status())),
-        ("GET", "/metrics") => ("GET /metrics", Response::json(200, &service.metrics())),
+        ("GET", "/metrics") => {
+            let response = match req.query_param("format") {
+                Some("prom") => Response::text(200, service.prom_metrics()),
+                Some(other) => Response::error(400, &format!("unknown metrics format {other:?}")),
+                None => Response::json(200, &service.metrics()),
+            };
+            ("GET /metrics", response)
+        }
+        ("GET", "/dashboard") => (
+            "GET /dashboard",
+            Response::html(200, crate::dashboard::render(service)),
+        ),
         ("POST", "/shutdown") => (
             // The caller triggers the actual stop after the response is
             // written; here we only acknowledge.
@@ -168,6 +221,27 @@ fn route(req: &Request, service: &SweepService) -> (&'static str, Response) {
                 &json::Value::Obj(vec![("stopping".into(), json::Value::Bool(true))]),
             ),
         ),
+        ("GET", path) if path.starts_with("/sweeps/") && path.ends_with("/events") => {
+            let id = &path["/sweeps/".len()..path.len() - "/events".len()];
+            let since = req
+                .query_param("since")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            // Long-poll hold time, clamped below the client's own read
+            // timeout so a quiet sweep yields an empty reply, not a
+            // client-side timeout.
+            let timeout_ms = req
+                .query_param("timeout_ms")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(DEFAULT_POLL_MS)
+                .min(MAX_POLL_MS);
+            let response = match service.sweep_events(id, since, Duration::from_millis(timeout_ms))
+            {
+                Some(events) => Response::json(200, &events),
+                None => Response::error(404, &format!("unknown sweep {id:?}")),
+            };
+            ("GET /sweeps/:id/events", response)
+        }
         ("GET", path) if path.starts_with("/sweeps/") => {
             let id = &path["/sweeps/".len()..];
             let response = match service.sweep_status(id) {
@@ -182,6 +256,7 @@ fn route(req: &Request, service: &SweepService) -> (&'static str, Response) {
                 Some(hash) => match service.cache().load_raw_by_hash(hash) {
                     Some(raw) => Response {
                         status: 200,
+                        content_type: "application/json",
                         body: raw,
                     },
                     None => Response::error(404, &format!("no result for run {key}")),
@@ -232,7 +307,11 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         .map_err(|e| format!("bad request line: {e}"))?;
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or("empty request line")?.to_string();
-    let path = parts.next().ok_or("missing request path")?.to_string();
+    let target = parts.next().ok_or("missing request path")?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
@@ -267,6 +346,7 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     Ok(Request {
         method,
         path,
+        query,
         body: String::from_utf8_lossy(&body).into_owned(),
     })
 }
@@ -281,9 +361,10 @@ fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Resul
     };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         response.status,
         reason,
+        response.content_type,
         response.body.len(),
         response.body
     )?;

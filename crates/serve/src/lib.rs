@@ -16,14 +16,23 @@
 //!   resumable across daemon restarts (the cache itself is the progress
 //!   record);
 //! * [`http`] — a dependency-free HTTP/1.1 front end exposing
-//!   `POST /sweeps`, `GET /sweeps/:id`, `GET /runs/:key`, `GET /status`,
-//!   and `GET /metrics`;
+//!   `POST /sweeps`, `GET /sweeps/:id`, `GET /sweeps/:id/events`
+//!   (long-poll), `GET /runs/:key`, `GET /status`, `GET /metrics`
+//!   (JSON or Prometheus text), and `GET /dashboard`;
+//! * [`dashboard`] — the read-only HTML overview rendered from the same
+//!   status/metrics documents the JSON endpoints serve;
 //! * [`client`] — the tiny blocking HTTP client behind `sweepctl` and the
 //!   end-to-end tests.
 //!
-//! Binaries: `serve` (the daemon) and `sweepctl` (submit / watch / fetch).
+//! Telemetry (structured logs, the metric registries, Prometheus
+//! exposition) comes from `simt-obs`; the daemon initializes the logger
+//! and every warning in this crate is a structured `dac-log/v1` event.
+//!
+//! Binaries: `serve` (the daemon) and `sweepctl` (submit / watch / tail /
+//! fetch).
 
 pub mod client;
+pub mod dashboard;
 pub mod grid;
 pub mod http;
 pub mod manifest;

@@ -94,7 +94,8 @@ pub fn load_all(results: &Path) -> Vec<Manifest> {
     for p in paths {
         match load_one(&p) {
             Ok(m) => manifests.push(m),
-            Err(e) => eprintln!("warning: skipping manifest {}: {e}", p.display()),
+            Err(e) => simt_obs::warn!("serve.manifest", "skipping manifest";
+                path = p.display().to_string(), error = e),
         }
     }
     manifests

@@ -22,7 +22,8 @@
 use crate::grid::GridRequest;
 use crate::manifest;
 use simt_harness::{json, Job, ResultCache, WorkerPool};
-use std::collections::{BTreeMap, HashMap};
+use simt_obs::metrics::{Registry, SeriesValue};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
@@ -30,6 +31,21 @@ use std::time::{Duration, Instant};
 
 /// Schema tag on every status/metrics/receipt document the service emits.
 pub const SCHEMA: &str = "dac-serve/v1";
+
+/// Schema tag on `GET /sweeps/:id/events` documents.
+pub const EVENTS_SCHEMA: &str = "dac-sweep-events/v1";
+
+/// Per-sweep event journal capacity. The journal is a bounded window over
+/// the sweep's history: when it overflows, the oldest events are dropped
+/// and reported in the `dropped` count of every subsequent poll.
+const EVENT_CAP: usize = 4096;
+
+// Histogram shapes (uniform bucket width × bucket count; the last bucket
+// absorbs the tail). HTTP requests: 200µs grain out to ~25ms. Point wall
+// time: 250ms grain out to ~60s. Throughput: 100k cycles/s grain.
+const HTTP_LAT_US: (u64, usize) = (200, 128);
+const POINT_WALL_US: (u64, usize) = (250_000, 240);
+const POINT_CPS: (u64, usize) = (100_000, 128);
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -103,18 +119,71 @@ struct PointEntry {
     status: PointStatus,
 }
 
+/// One entry in a sweep's bounded event journal (see
+/// [`SweepService::sweep_events`]).
+#[derive(Debug, Clone)]
+struct SweepEvent {
+    seq: u64,
+    /// `started` | `finished` | `failed` | `complete`.
+    kind: &'static str,
+    label: String,
+    /// Point key hash (16 hex digits); empty for sweep-level events.
+    run: String,
+    /// `executed` | `cache_hit`, on `finished` events.
+    resolution: Option<&'static str>,
+    wall_us: Option<u64>,
+    cycles: Option<u64>,
+    error: Option<String>,
+}
+
+impl SweepEvent {
+    fn to_json(&self) -> json::Value {
+        let mut fields = vec![
+            ("seq".into(), json::Value::Int(self.seq)),
+            ("kind".into(), json::Value::Str(self.kind.into())),
+            ("label".into(), json::Value::Str(self.label.clone())),
+            ("run".into(), json::Value::Str(self.run.clone())),
+        ];
+        if let Some(r) = self.resolution {
+            fields.push(("resolution".into(), json::Value::Str(r.into())));
+        }
+        if let Some(w) = self.wall_us {
+            fields.push(("wall_us".into(), json::Value::Int(w)));
+        }
+        if let Some(c) = self.cycles {
+            fields.push(("cycles".into(), json::Value::Int(c)));
+        }
+        if let Some(e) = &self.error {
+            fields.push(("error".into(), json::Value::Str(e.clone())));
+        }
+        json::Value::Obj(fields)
+    }
+}
+
 struct SweepState {
     hashes: Vec<u64>,
     submitted: Instant,
     /// Wall seconds from submission to the last point completing.
     done_wall_s: Option<f64>,
+    /// Bounded journal of point lifecycle events, seq-numbered from 0.
+    events: VecDeque<SweepEvent>,
+    next_seq: u64,
+    /// Events pushed out of the bounded journal before anyone read them.
+    dropped_events: u64,
+    /// Log-correlation span id shared by this sweep's structured events.
+    span: u64,
 }
 
-#[derive(Default)]
-struct Latency {
-    count: u64,
-    total_us: u64,
-    max_us: u64,
+impl SweepState {
+    fn push_event(&mut self, mut event: SweepEvent) {
+        event.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.events.len() == EVENT_CAP {
+            self.events.pop_front();
+            self.dropped_events += 1;
+        }
+        self.events.push_back(event);
+    }
 }
 
 struct State {
@@ -132,7 +201,19 @@ struct State {
     /// Dispatched pool tasks not yet finished (for idle detection).
     pending: usize,
     stopping: bool,
-    endpoints: BTreeMap<String, Latency>,
+}
+
+impl State {
+    /// Append a point lifecycle event to the journal of every sweep that
+    /// names `hash`. Callers must hold the state lock and notify the
+    /// condvar afterwards (event polls wait on it).
+    fn push_point_event(&mut self, hash: u64, event: SweepEvent) {
+        for sweep in self.sweeps.values_mut() {
+            if sweep.done_wall_s.is_none() && sweep.hashes.contains(&hash) {
+                sweep.push_event(event.clone());
+            }
+        }
+    }
 }
 
 /// What a submission did, point-count wise, **at submission time**.
@@ -183,6 +264,11 @@ pub struct SweepService {
     state: Arc<(Mutex<State>, Condvar)>,
     pool: WorkerPool,
     started: Instant,
+    /// Service-local metric registry (endpoint latency, point histograms,
+    /// session counters). Per-instance so concurrent in-process services —
+    /// the tests run several — do not share series; `/metrics?format=prom`
+    /// concatenates this with the process-global registry (cache, logger).
+    registry: Arc<Registry>,
 }
 
 impl SweepService {
@@ -201,7 +287,6 @@ impl SweepService {
                 budget_left: cfg.execute_budget,
                 pending: 0,
                 stopping: false,
-                endpoints: BTreeMap::new(),
             }),
             Condvar::new(),
         ));
@@ -212,7 +297,14 @@ impl SweepService {
             state,
             pool,
             started: Instant::now(),
+            registry: Arc::new(Registry::new()),
         }
+    }
+
+    /// The service-local metric registry (exposed for tests and the
+    /// Prometheus endpoint).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The configuration this session runs under.
@@ -244,17 +336,17 @@ impl SweepService {
             let receipt = match self.submit(m.request.clone()) {
                 Ok(r) => r,
                 Err(e) => {
-                    eprintln!("warning: cannot resume {}: {e}", m.id);
+                    simt_obs::warn!("serve.service", "cannot resume sweep";
+                        sweep = m.id.clone(), error = e);
                     continue;
                 }
             };
             if receipt.id != m.id {
                 // Keys changed under us (e.g. a CACHE_VERSION bump): the
                 // grid resumes under its new identity.
-                eprintln!(
-                    "warning: manifest {} re-registered as {} (cache keys changed)",
-                    m.id, receipt.id
-                );
+                simt_obs::warn!("serve.service",
+                    "manifest re-registered under a new id (cache keys changed)";
+                    old = m.id.clone(), new = receipt.id.clone());
             }
             if unfinished > 0 {
                 resumed.push(receipt.id);
@@ -294,6 +386,15 @@ impl SweepService {
                 inflight_shared: 0,
             };
             let mut hashes = Vec::with_capacity(jobs.len());
+            let mut sweep = SweepState {
+                hashes: Vec::new(),
+                submitted: Instant::now(),
+                done_wall_s: None,
+                events: VecDeque::new(),
+                next_seq: 0,
+                dropped_events: 0,
+                span: simt_obs::log::next_span(),
+            };
             for job in &jobs {
                 let hash = job.cache_hash();
                 if hashes.contains(&hash) {
@@ -305,6 +406,10 @@ impl SweepService {
                     Some(entry) => {
                         if entry.status.is_terminal() {
                             receipt.already_done += 1;
+                            // Replay the terminal outcome into the fresh
+                            // journal so `sweepctl tail` of this sweep sees
+                            // every point, not just the newly-enqueued ones.
+                            sweep.push_event(Self::terminal_event(hash, entry));
                         } else {
                             receipt.inflight_shared += 1;
                         }
@@ -329,27 +434,74 @@ impl SweepService {
             // A grid whose every point is already terminal (e.g. a subset
             // of a completed sweep) enqueues nothing, so `complete` never
             // fires for it — close it out at submission time instead.
-            let already_complete = to_enqueue.is_empty()
-                && hashes.iter().all(|h| st.points[h].status.is_terminal());
-            st.sweeps.insert(
-                id.clone(),
-                SweepState {
-                    hashes,
-                    submitted: Instant::now(),
-                    done_wall_s: if already_complete { Some(0.0) } else { None },
-                },
-            );
+            let already_complete =
+                to_enqueue.is_empty() && hashes.iter().all(|h| st.points[h].status.is_terminal());
+            sweep.hashes = hashes;
+            if already_complete {
+                sweep.done_wall_s = Some(0.0);
+                sweep.push_event(SweepEvent {
+                    seq: 0,
+                    kind: "complete",
+                    label: String::new(),
+                    run: String::new(),
+                    resolution: None,
+                    wall_us: Some(0),
+                    cycles: None,
+                    error: None,
+                });
+            }
+            let span = sweep.span;
+            st.sweeps.insert(id.clone(), sweep);
+            simt_obs::log_at!(simt_obs::log::Level::Info, Some(span), "serve.service",
+                "sweep submitted";
+                sweep = id.clone(), total = receipt.total, new = receipt.new,
+                already_done = receipt.already_done);
             receipt
         };
+        let (_, cvar) = &*self.state;
+        cvar.notify_all(); // replayed events may satisfy a waiting poll
         if let Err(e) = manifest::store(&self.cfg.results_dir, &id, &request, &jobs) {
             // Non-fatal: the sweep still runs, it just won't survive a
             // restart (mirrors the cache's read-only-checkout behaviour).
-            eprintln!("warning: manifest write for {id} failed: {e}");
+            simt_obs::warn!("serve.service", "manifest write failed";
+                sweep = id.clone(), error = e.to_string());
         }
         for hash in to_enqueue {
             self.dispatch(hash);
         }
         Ok(receipt)
+    }
+
+    /// The journal event describing an already-terminal point (used when a
+    /// new sweep attaches to points finished under another sweep).
+    fn terminal_event(hash: u64, entry: &PointEntry) -> SweepEvent {
+        match &entry.status {
+            PointStatus::Done { cycles, resolution } => SweepEvent {
+                seq: 0,
+                kind: "finished",
+                label: entry.label.clone(),
+                run: format!("{hash:016x}"),
+                resolution: Some(match resolution {
+                    Resolution::Executed => "executed",
+                    Resolution::CacheHit => "cache_hit",
+                }),
+                wall_us: None,
+                cycles: Some(*cycles),
+                error: None,
+            },
+            PointStatus::Failed(msg) => SweepEvent {
+                seq: 0,
+                kind: "failed",
+                label: entry.label.clone(),
+                run: format!("{hash:016x}"),
+                resolution: None,
+                wall_us: None,
+                cycles: None,
+                error: Some(msg.clone()),
+            },
+            // Only called for terminal points.
+            _ => unreachable!("terminal_event on non-terminal point"),
+        }
     }
 
     fn resubmission_receipt(st: &State, id: &str) -> Receipt {
@@ -377,6 +529,7 @@ impl SweepService {
     fn dispatch(&self, hash: u64) {
         let state = Arc::clone(&self.state);
         let cache = self.cache.clone();
+        let registry = Arc::clone(&self.registry);
         let verbose = self.cfg.verbose;
         self.pool.submit(move || {
             let (lock, cvar) = &*state;
@@ -391,11 +544,33 @@ impl SweepService {
                 }
                 st.points[&hash].job.clone()
             };
+            let run = format!("{hash:016x}");
 
             // Store lookup outside the lock — it reads the filesystem.
+            let lookup_started = Instant::now();
             if let Some(hit) = cache.load(&job) {
+                let wall_us = lookup_started.elapsed().as_micros() as u64;
+                registry.counter_add(
+                    "simt_points_resolved_total",
+                    "Sweep points resolved this session, by how.",
+                    &[("resolution", "cache_hit")],
+                    1,
+                );
                 let mut st = lock.lock().unwrap();
                 st.cache_hits += 1;
+                st.push_point_event(
+                    hash,
+                    SweepEvent {
+                        seq: 0,
+                        kind: "finished",
+                        label: job.label(),
+                        run,
+                        resolution: Some("cache_hit"),
+                        wall_us: Some(wall_us),
+                        cycles: Some(hit.report.cycles),
+                        error: None,
+                    },
+                );
                 Self::complete(
                     &mut st,
                     hash,
@@ -431,19 +606,73 @@ impl SweepService {
                 if let Some(entry) = st.points.get_mut(&hash) {
                     entry.status = PointStatus::Running;
                 }
+                st.push_point_event(
+                    hash,
+                    SweepEvent {
+                        seq: 0,
+                        kind: "started",
+                        label: job.label(),
+                        run: run.clone(),
+                        resolution: None,
+                        wall_us: None,
+                        cycles: None,
+                        error: None,
+                    },
+                );
+                cvar.notify_all();
             }
 
+            let sim_started = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| job.execute()));
+            let wall_us = sim_started.elapsed().as_micros() as u64;
             let mut st = lock.lock().unwrap();
             match outcome {
                 Ok(result) => {
                     cache.store(&job, &result);
+                    let cycles = result.report.cycles;
+                    registry.counter_add(
+                        "simt_points_resolved_total",
+                        "Sweep points resolved this session, by how.",
+                        &[("resolution", "executed")],
+                        1,
+                    );
+                    registry.observe(
+                        "simt_point_wall_us",
+                        "Fresh-simulation wall time per point, microseconds.",
+                        &[],
+                        POINT_WALL_US.0,
+                        POINT_WALL_US.1,
+                        wall_us,
+                    );
+                    if wall_us > 0 {
+                        registry.observe(
+                            "simt_point_cycles_per_sec",
+                            "Simulation throughput per executed point, cycles per second.",
+                            &[],
+                            POINT_CPS.0,
+                            POINT_CPS.1,
+                            (cycles as u128 * 1_000_000 / wall_us as u128) as u64,
+                        );
+                    }
                     st.executed += 1;
+                    st.push_point_event(
+                        hash,
+                        SweepEvent {
+                            seq: 0,
+                            kind: "finished",
+                            label: job.label(),
+                            run,
+                            resolution: Some("executed"),
+                            wall_us: Some(wall_us),
+                            cycles: Some(cycles),
+                            error: None,
+                        },
+                    );
                     Self::complete(
                         &mut st,
                         hash,
                         PointStatus::Done {
-                            cycles: result.report.cycles,
+                            cycles,
                             resolution: Resolution::Executed,
                         },
                     );
@@ -457,9 +686,29 @@ impl SweepService {
                         .map(|s| s.to_string())
                         .or_else(|| p.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "simulation panicked".into());
+                    registry.counter_add(
+                        "simt_points_resolved_total",
+                        "Sweep points resolved this session, by how.",
+                        &[("resolution", "failed")],
+                        1,
+                    );
                     st.failed += 1;
+                    st.push_point_event(
+                        hash,
+                        SweepEvent {
+                            seq: 0,
+                            kind: "failed",
+                            label: job.label(),
+                            run,
+                            resolution: None,
+                            wall_us: Some(wall_us),
+                            cycles: None,
+                            error: Some(msg.clone()),
+                        },
+                    );
                     Self::complete(&mut st, hash, PointStatus::Failed(msg.clone()));
-                    eprintln!("warning: {} failed: {msg}", job.label());
+                    simt_obs::warn!("serve.service", "point failed";
+                        point = job.label(), error = msg);
                 }
             }
             cvar.notify_all();
@@ -485,6 +734,19 @@ impl SweepService {
         for (id, wall_s) in done_sweeps {
             if let Some(sw) = st.sweeps.get_mut(&id) {
                 sw.done_wall_s = Some(wall_s);
+                sw.push_event(SweepEvent {
+                    seq: 0,
+                    kind: "complete",
+                    label: String::new(),
+                    run: String::new(),
+                    resolution: None,
+                    wall_us: Some((wall_s * 1e6) as u64),
+                    cycles: None,
+                    error: None,
+                });
+                simt_obs::log_at!(simt_obs::log::Level::Info, Some(sw.span),
+                    "serve.service", "sweep complete";
+                    sweep = id.clone(), wall_s = wall_s);
             }
         }
     }
@@ -543,12 +805,67 @@ impl SweepService {
 
     /// Record one served HTTP request for `/metrics` latency accounting.
     pub fn record_endpoint(&self, label: &str, micros: u64) {
-        let (lock, _) = &*self.state;
+        self.registry.observe(
+            "simt_http_request_duration_us",
+            "HTTP request service time by endpoint, microseconds.",
+            &[("endpoint", label)],
+            HTTP_LAT_US.0,
+            HTTP_LAT_US.1,
+            micros,
+        );
+    }
+
+    /// The event-journal document for one sweep
+    /// (`GET /sweeps/:id/events?since=N`), or `None` for an unknown id.
+    ///
+    /// Long-poll: blocks up to `wait` for an event with `seq >= since` to
+    /// exist (returning early once the sweep is complete — there will be
+    /// no further events). The reply carries `next`, the cursor to pass as
+    /// the following poll's `since`, and `dropped`, the number of events
+    /// that aged out of the bounded journal before being read.
+    pub fn sweep_events(&self, id: &str, since: u64, wait: Duration) -> Option<json::Value> {
+        let deadline = Instant::now() + wait;
+        let (lock, cvar) = &*self.state;
         let mut st = lock.lock().unwrap();
-        let lat = st.endpoints.entry(label.to_string()).or_default();
-        lat.count += 1;
-        lat.total_us += micros;
-        lat.max_us = lat.max_us.max(micros);
+        loop {
+            let sweep = st.sweeps.get(id)?;
+            let has_new = sweep.next_seq > since;
+            if has_new || sweep.done_wall_s.is_some() {
+                let events: Vec<json::Value> = sweep
+                    .events
+                    .iter()
+                    .filter(|e| e.seq >= since)
+                    .map(SweepEvent::to_json)
+                    .collect();
+                return Some(json::Value::Obj(vec![
+                    ("schema".into(), json::Value::Str(EVENTS_SCHEMA.into())),
+                    ("id".into(), json::Value::Str(id.into())),
+                    ("since".into(), json::Value::Int(since)),
+                    ("next".into(), json::Value::Int(sweep.next_seq)),
+                    (
+                        "complete".into(),
+                        json::Value::Bool(sweep.done_wall_s.is_some()),
+                    ),
+                    ("dropped".into(), json::Value::Int(sweep.dropped_events)),
+                    ("events".into(), json::Value::Arr(events)),
+                ]));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                // Timed out with nothing new: an empty, well-formed reply.
+                return Some(json::Value::Obj(vec![
+                    ("schema".into(), json::Value::Str(EVENTS_SCHEMA.into())),
+                    ("id".into(), json::Value::Str(id.into())),
+                    ("since".into(), json::Value::Int(since)),
+                    ("next".into(), json::Value::Int(sweep.next_seq)),
+                    ("complete".into(), json::Value::Bool(false)),
+                    ("dropped".into(), json::Value::Int(sweep.dropped_events)),
+                    ("events".into(), json::Value::Arr(Vec::new())),
+                ]));
+            }
+            let (guard, _) = cvar.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
     }
 
     /// The status document for one sweep (`GET /sweeps/:id`), or `None`
@@ -710,26 +1027,35 @@ impl SweepService {
             0.0
         };
         let uptime = self.started.elapsed().as_secs_f64();
-        let endpoints = st
-            .endpoints
+        // Endpoint latency now lives in the registry as histograms; the
+        // JSON document reports their summary stats (count/mean/max plus
+        // the percentiles the old count/total/max accounting could not).
+        let endpoints = self
+            .registry
+            .snapshot()
             .iter()
-            .map(|(label, lat)| {
-                (
-                    label.clone(),
+            .filter(|f| f.name == "simt_http_request_duration_us")
+            .flat_map(|f| &f.series)
+            .filter_map(|series| {
+                let label = series
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "endpoint")
+                    .map(|(_, v)| v.clone())?;
+                let SeriesValue::Hist(h) = &series.value else {
+                    return None;
+                };
+                Some((
+                    label,
                     json::Value::Obj(vec![
-                        ("count".into(), json::Value::Int(lat.count)),
-                        ("total_us".into(), json::Value::Int(lat.total_us)),
-                        ("max_us".into(), json::Value::Int(lat.max_us)),
-                        (
-                            "mean_us".into(),
-                            json::Value::Float(if lat.count > 0 {
-                                lat.total_us as f64 / lat.count as f64
-                            } else {
-                                0.0
-                            }),
-                        ),
+                        ("count".into(), json::Value::Int(h.count)),
+                        ("mean_us".into(), json::Value::Float(h.mean)),
+                        ("max_us".into(), json::Value::Int(h.max)),
+                        ("p50_us".into(), json::Value::Int(h.p50)),
+                        ("p90_us".into(), json::Value::Int(h.p90)),
+                        ("p99_us".into(), json::Value::Int(h.p99)),
                     ]),
-                )
+                ))
             })
             .collect();
         json::Value::Obj(vec![
@@ -755,6 +1081,57 @@ impl SweepService {
             ),
             ("endpoints".into(), json::Value::Obj(endpoints)),
         ])
+    }
+
+    /// The Prometheus text exposition (`GET /metrics?format=prom`):
+    /// the service registry (request latency, point histograms, resolution
+    /// counters, freshly-set gauges) concatenated with the process-global
+    /// registry (harness cache counters, logger self-counters). Family
+    /// names are disjoint between the two; output is sorted by name.
+    pub fn prom_metrics(&self) -> String {
+        let (queued, running, shared) = {
+            let (lock, _) = &*self.state;
+            let st = lock.lock().unwrap();
+            (
+                st.points
+                    .values()
+                    .filter(|p| matches!(p.status, PointStatus::Queued))
+                    .count(),
+                st.points
+                    .values()
+                    .filter(|p| matches!(p.status, PointStatus::Running))
+                    .count(),
+                st.shared_submissions,
+            )
+        };
+        self.registry.gauge_set(
+            "simt_queue_depth",
+            "Points registered but not yet resolved or running.",
+            &[],
+            queued as f64,
+        );
+        self.registry.gauge_set(
+            "simt_in_flight",
+            "Points currently simulating.",
+            &[],
+            running as f64,
+        );
+        self.registry.gauge_set(
+            "simt_uptime_seconds",
+            "Seconds since service start.",
+            &[],
+            self.started.elapsed().as_secs_f64(),
+        );
+        self.registry.gauge_set(
+            "simt_shared_submissions",
+            "Submitted points that attached to an existing run (single-flight shares).",
+            &[],
+            shared as f64,
+        );
+        let mut families = self.registry.snapshot();
+        families.extend(simt_obs::metrics::global().snapshot());
+        families.sort_by(|a, b| a.name.cmp(b.name));
+        simt_obs::prom::render(&families)
     }
 
     /// (executed, cache_hits, shared_submissions, failed) session counters
