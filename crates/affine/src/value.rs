@@ -64,7 +64,13 @@ impl AffineVal {
     /// this is how control-flow-divergent definitions accumulate (§4.6).
     ///
     /// `num_warps` is the CTA's warp count; `masks[w]` are the lanes that
-    /// received `new`.
+    /// received `new`; `exist[w]` are the lanes that hold live threads (the
+    /// CTA's launch masks — the last warp of a ragged block is partial).
+    /// Lanes outside `exist` carry no state: a write covering every
+    /// existing lane replaces the value outright, and only existing lanes
+    /// keep tuples alive. Tuples no longer referenced by any existing lane
+    /// are compacted away, so stale definitions never count against the
+    /// hardware tuple budget.
     ///
     /// Returns `None` if the merge would exceed [`MAX_DIVERGENT_TUPLES`]
     /// (the compiler's two-condition limit guarantees this cannot happen
@@ -73,9 +79,11 @@ impl AffineVal {
         old: Option<&AffineVal>,
         new: AffineTuple,
         masks: &[u32],
+        exist: &[u32],
         num_warps: usize,
     ) -> Option<AffineVal> {
-        let full = masks.iter().take(num_warps).all(|&m| m == u32::MAX);
+        let ex = |w: usize| exist.get(w).copied().unwrap_or(u32::MAX);
+        let full = (0..num_warps).all(|w| masks.get(w).copied().unwrap_or(0) & ex(w) == ex(w));
         if full || old.is_none() {
             return Some(AffineVal::Tuple(new));
         }
@@ -88,9 +96,6 @@ impl AffineVal {
         let new_idx = match tuples.iter().position(|t| *t == new) {
             Some(i) => i,
             None => {
-                if tuples.len() >= MAX_DIVERGENT_TUPLES {
-                    return None;
-                }
                 tuples.push(new);
                 tuples.len() - 1
             }
@@ -103,14 +108,43 @@ impl AffineVal {
                 }
             }
         }
-        // Collapse back to a single tuple if only one remains referenced.
-        let referenced: std::collections::HashSet<u8> =
-            select.iter().flat_map(|s| s.iter().copied()).collect();
-        if referenced.len() == 1 {
-            let only = *referenced.iter().next().unwrap() as usize;
-            return Some(AffineVal::Tuple(tuples[only]));
+        // Compact: keep only tuples an existing lane still references, in
+        // first-reference order, and remap the selectors. Ghost lanes are
+        // repointed at tuple 0 so every selector stays in range for callers
+        // that sweep all 32 lanes.
+        let mut remap = vec![u8::MAX; tuples.len()];
+        let mut kept: Vec<AffineTuple> = Vec::new();
+        for (w, sel) in select.iter_mut().enumerate().take(num_warps) {
+            let e = ex(w);
+            for (lane, s) in sel.iter_mut().enumerate() {
+                if e & (1 << lane) == 0 {
+                    continue;
+                }
+                let t = *s as usize;
+                if remap[t] == u8::MAX {
+                    remap[t] = kept.len() as u8;
+                    kept.push(tuples[t]);
+                }
+                *s = remap[t];
+            }
         }
-        Some(AffineVal::Divergent(DivergentVal { tuples, select }))
+        for (w, sel) in select.iter_mut().enumerate().take(num_warps) {
+            let e = ex(w);
+            for (lane, s) in sel.iter_mut().enumerate() {
+                if e & (1 << lane) == 0 {
+                    *s = 0;
+                }
+            }
+        }
+        match kept.len() {
+            0 => Some(AffineVal::Tuple(new)),
+            1 => Some(AffineVal::Tuple(kept[0])),
+            n if n > MAX_DIVERGENT_TUPLES => None,
+            _ => Some(AffineVal::Divergent(DivergentVal {
+                tuples: kept,
+                select,
+            })),
+        }
     }
 }
 
@@ -158,7 +192,14 @@ mod tests {
     #[test]
     fn full_mask_write_replaces() {
         let old = AffineVal::Tuple(tup(1, 1));
-        let v = AffineVal::merge_masked(Some(&old), tup(2, 2), &[u32::MAX, u32::MAX], 2).unwrap();
+        let v = AffineVal::merge_masked(
+            Some(&old),
+            tup(2, 2),
+            &[u32::MAX, u32::MAX],
+            &[u32::MAX; 2],
+            2,
+        )
+        .unwrap();
         assert_eq!(v, AffineVal::Tuple(tup(2, 2)));
     }
 
@@ -166,7 +207,8 @@ mod tests {
     fn partial_mask_diverges_and_selects() {
         let old = AffineVal::Tuple(tup(0, 4));
         // Lanes 0..16 of warp 0 get the new tuple (0, 0).
-        let v = AffineVal::merge_masked(Some(&old), tup(0, 0), &[0x0000_FFFF], 1).unwrap();
+        let v =
+            AffineVal::merge_masked(Some(&old), tup(0, 0), &[0x0000_FFFF], &[u32::MAX], 1).unwrap();
         assert_eq!(v.tuple_count(), 2);
         assert_eq!(v.eval(0, 3, (3, 0, 0)), 0); // new tuple
         assert_eq!(v.eval(0, 20, (20, 0, 0)), 80); // old tuple: 20*4
@@ -175,19 +217,21 @@ mod tests {
     #[test]
     fn merge_same_tuple_stays_single() {
         let old = AffineVal::Tuple(tup(7, 0));
-        let v = AffineVal::merge_masked(Some(&old), tup(7, 0), &[0xFF], 1).unwrap();
+        let v = AffineVal::merge_masked(Some(&old), tup(7, 0), &[0xFF], &[u32::MAX], 1).unwrap();
         assert_eq!(v, AffineVal::Tuple(tup(7, 0)));
     }
 
     #[test]
     fn overwrite_all_selected_collapses() {
         let old = AffineVal::Tuple(tup(1, 1));
-        let d = AffineVal::merge_masked(Some(&old), tup(2, 2), &[0x0000_FFFF], 1).unwrap();
+        let d =
+            AffineVal::merge_masked(Some(&old), tup(2, 2), &[0x0000_FFFF], &[u32::MAX], 1).unwrap();
         assert_eq!(d.tuple_count(), 2);
         // Now overwrite the *other* half with the same new tuple — every
         // lane selects tuple 2, so the value collapses back to a single
         // tuple.
-        let v = AffineVal::merge_masked(Some(&d), tup(2, 2), &[0xFFFF_0000], 1).unwrap();
+        let v =
+            AffineVal::merge_masked(Some(&d), tup(2, 2), &[0xFFFF_0000], &[u32::MAX], 1).unwrap();
         assert_eq!(v, AffineVal::Tuple(tup(2, 2)));
     }
 
@@ -195,10 +239,52 @@ mod tests {
     fn exceeding_four_tuples_fails() {
         let mut v = AffineVal::Tuple(tup(0, 0));
         for i in 1..4 {
-            v = AffineVal::merge_masked(Some(&v), tup(i, 0), &[1 << i], 1).unwrap();
+            v = AffineVal::merge_masked(Some(&v), tup(i, 0), &[1 << i], &[u32::MAX], 1).unwrap();
         }
         assert_eq!(v.tuple_count(), 4);
-        assert!(AffineVal::merge_masked(Some(&v), tup(99, 0), &[1 << 5], 1).is_none());
+        assert!(AffineVal::merge_masked(Some(&v), tup(99, 0), &[1 << 5], &[u32::MAX], 1).is_none());
+    }
+
+    /// A CTA whose last warp is partial (e.g. 48 threads → exist 0xFFFF):
+    /// a write covering every *existing* lane is a full replacement, and
+    /// repeated uniform redefinitions (a counted loop's induction variable)
+    /// never accumulate tuples from ghost lanes.
+    #[test]
+    fn partial_warp_uniform_writes_stay_single() {
+        let exist = [u32::MAX, 0x0000_FFFF];
+        let mut v = AffineVal::Tuple(tup(0, 0));
+        for i in 1..10 {
+            v = AffineVal::merge_masked(Some(&v), tup(i, 0), &[u32::MAX, 0x0000_FFFF], &exist, 2)
+                .unwrap();
+            assert_eq!(v, AffineVal::Tuple(tup(i, 0)), "iteration {i}");
+        }
+    }
+
+    /// Tuples no longer referenced by any existing lane are compacted away
+    /// instead of counting against the budget forever.
+    #[test]
+    fn overwritten_tuples_are_compacted() {
+        let exist = [u32::MAX];
+        let mut v = AffineVal::Tuple(tup(0, 0));
+        // Cycle many distinct definitions over the two halves of the warp:
+        // at any moment only two tuples are live.
+        for i in 1..32 {
+            let mask = if i % 2 == 0 { 0x0000_FFFF } else { 0xFFFF_0000 };
+            v = AffineVal::merge_masked(Some(&v), tup(i, 0), &[mask], &exist, 1).unwrap();
+            assert!(v.tuple_count() <= 2, "iteration {i}: {:?}", v.tuple_count());
+        }
+    }
+
+    /// Ghost-lane selectors stay in range after compaction.
+    #[test]
+    fn ghost_lanes_select_in_range() {
+        let exist = [0x0000_00FF];
+        let old = AffineVal::Tuple(tup(1, 1));
+        let v = AffineVal::merge_masked(Some(&old), tup(2, 0), &[0x0F], &exist, 1).unwrap();
+        // Sweeping all 32 lanes (as the engine's PEU does) must not panic.
+        for lane in 0..32 {
+            v.eval(0, lane, (lane as u32, 0, 0));
+        }
     }
 
     #[test]

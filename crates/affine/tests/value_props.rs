@@ -57,7 +57,13 @@ fn merge_masked_is_last_writer_wins() {
         let mut ok = true;
         for (mask, base, off) in &writes {
             let masks = [*mask, mask.rotate_left(7)];
-            match AffineVal::merge_masked(val.as_ref(), tup(*base, *off), &masks, nw) {
+            match AffineVal::merge_masked(
+                val.as_ref(),
+                tup(*base, *off),
+                &masks,
+                &[u32::MAX; 2],
+                nw,
+            ) {
                 Some(v) => {
                     val = Some(v);
                     for w in 0..nw {
@@ -105,7 +111,9 @@ fn divergent_invariants() {
             .collect();
         let mut val: Option<AffineVal> = None;
         for (mask, base, off) in &writes {
-            if let Some(v) = AffineVal::merge_masked(val.as_ref(), tup(*base, *off), &[*mask], 1) {
+            if let Some(v) =
+                AffineVal::merge_masked(val.as_ref(), tup(*base, *off), &[*mask], &[u32::MAX], 1)
+            {
                 val = Some(v);
             }
         }

@@ -54,6 +54,10 @@ pub struct AffineCtx {
     /// Affine barrier epoch (§4.2): incremented when the affine warp
     /// passes a `bar.sync`.
     pub epoch: u32,
+    /// Per-warp launch masks: which lanes hold live threads (the last warp
+    /// of a ragged block is partial). Lanes outside these masks carry no
+    /// architectural state.
+    exist: Vec<u32>,
     regs: Vec<Option<AffineVal>>,
     preds: Vec<Option<PredVal>>,
 }
@@ -73,6 +77,7 @@ impl AffineCtx {
             cta_linear,
             cta_coords,
             warps,
+            exist: launch_masks.clone(),
             stack: AffineStack::new(launch_masks),
             epoch: 0,
             regs: vec![None; kernel.num_regs as usize],
@@ -253,10 +258,14 @@ impl AffineCtx {
     fn write_reg(&mut self, r: u16, v: AffineVal, write_masks: &[u32]) {
         let nw = self.num_warps();
         let merged = match &v {
-            AffineVal::Tuple(t) => {
-                AffineVal::merge_masked(self.regs[r as usize].as_ref(), *t, write_masks, nw)
-                    .expect("divergent tuple limit exceeded (compiler bug)")
-            }
+            AffineVal::Tuple(t) => AffineVal::merge_masked(
+                self.regs[r as usize].as_ref(),
+                *t,
+                write_masks,
+                &self.exist,
+                nw,
+            )
+            .expect("divergent tuple limit exceeded (compiler bug)"),
             // Divergent results under partial masks: merge tuple by tuple.
             AffineVal::Divergent(d) => {
                 let mut cur = self.regs[r as usize].clone();
@@ -278,7 +287,7 @@ impl AffineCtx {
                         continue;
                     }
                     cur = Some(
-                        AffineVal::merge_masked(cur.as_ref(), *t, &masks, nw)
+                        AffineVal::merge_masked(cur.as_ref(), *t, &masks, &self.exist, nw)
                             .expect("divergent tuple limit exceeded (compiler bug)"),
                     );
                 }

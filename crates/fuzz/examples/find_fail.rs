@@ -1,0 +1,17 @@
+//! Dev helper: scan a seed window and print any differential failures.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(1);
+    let count: u64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(100);
+    let cfg = simt_fuzz::DiffConfig::default();
+    let mut failures = 0;
+    for index in 0..count {
+        let w = simt_fuzz::gen_spec(seed, index).build_workload();
+        if let Err(f) = simt_fuzz::check_workload(&w, &cfg) {
+            eprintln!("index {index}: FAIL {f}");
+            failures += 1;
+        }
+    }
+    eprintln!("done: {failures}/{count} failed (seed {seed})");
+    std::process::exit(if failures > 0 { 1 } else { 0 });
+}

@@ -1,0 +1,116 @@
+//! Corpus-promotion helper: scan a generated window for divergence-stress
+//! candidates and dump chosen kernels as `.asm` text for freezing into
+//! `gpu-workloads`' stress registry.
+//!
+//! ```text
+//! cargo run --release -p simt-fuzz --example promote -- scan 1 200
+//! cargo run --release -p simt-fuzz --example promote -- dump 1 7 23 42
+//! ```
+
+use gpu_workloads::Design;
+use simt_fuzz::diff::{run_one, small_overrides};
+use simt_fuzz::gen::gen_spec;
+use simt_fuzz::spec::Stmt;
+
+fn count(body: &[Stmt], c: &mut [u32; 4]) {
+    for s in body {
+        match s {
+            Stmt::If { then, els, .. } => {
+                c[0] += 1;
+                count(then, c);
+                count(els, c);
+            }
+            Stmt::Loop { body, .. } => {
+                c[1] += 1;
+                count(body, c);
+            }
+            Stmt::Switch { arms, .. } => {
+                c[2] += 1;
+                for a in arms {
+                    count(a, c);
+                }
+            }
+            Stmt::Atomic { .. } => c[3] += 1,
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ov = small_overrides();
+    match args.first().map(String::as_str) {
+        Some("scan") => {
+            let seed: u64 = args[1].parse().unwrap();
+            let n: u64 = args[2].parse().unwrap();
+            println!(
+                "{:>5} {:>4}x{:<4} {:>6} {:>3} {:>3} {:>3} {:>3} {:>9} {:>9} {:>6} {:>5} {:>5}",
+                "idx",
+                "grid",
+                "blk",
+                "instrs",
+                "if",
+                "lp",
+                "sw",
+                "at",
+                "base",
+                "dac",
+                "ratio",
+                "aff%",
+                "dec%"
+            );
+            for i in 0..n {
+                let spec = gen_spec(seed, i);
+                let mut c = [0u32; 4];
+                count(&spec.body, &mut c);
+                let w = spec.build_workload();
+                let base = run_one(&w, Design::Baseline, &ov);
+                let dac = run_one(&w, Design::Dac, &ov);
+                let s = &dac.report.stats;
+                println!(
+                    "{:>5} {:>4}x{:<4} {:>6} {:>3} {:>3} {:>3} {:>3} {:>9} {:>9} {:>6.3} {:>5.1} {:>5.1}",
+                    i,
+                    spec.grid,
+                    spec.block,
+                    w.kernel.instrs.len(),
+                    c[0],
+                    c[1],
+                    c[2],
+                    c[3],
+                    base.report.cycles,
+                    dac.report.cycles,
+                    base.report.cycles as f64 / dac.report.cycles as f64,
+                    100.0 * s.affine_instruction_fraction(),
+                    100.0 * s.decoupled_load_fraction(),
+                );
+            }
+        }
+        Some("dump") => {
+            let seed: u64 = args[1].parse().unwrap();
+            for a in &args[2..] {
+                let i: u64 = a.parse().unwrap();
+                let spec = gen_spec(seed, i);
+                let w = spec.build_workload();
+                println!("// ---- seed {seed} index {i} ----");
+                println!(
+                    "// grid {} block {} slots {} abbr {}",
+                    spec.grid, spec.block, spec.slots, w.abbr
+                );
+                for d in Design::ALL {
+                    let r = run_one(&w, d, &ov);
+                    println!(
+                        "// {}: cycles {} instrs {}",
+                        d.name(),
+                        r.report.cycles,
+                        r.report.stats.warp_instructions
+                    );
+                }
+                println!("{}", simt_ir::disasm::to_asm(&w.kernel));
+            }
+        }
+        _ => {
+            eprintln!("usage: promote scan <seed> <count> | promote dump <seed> <idx>...");
+            std::process::exit(2);
+        }
+    }
+}

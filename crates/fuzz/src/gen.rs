@@ -1,0 +1,374 @@
+//! Seeded random kernel generation.
+//!
+//! Each `(seed, index)` pair deterministically maps to one [`KernelSpec`]:
+//! the pair seeds a private SplitMix64 stream, so `fuzz --seed S --count N`
+//! is byte-reproducible and each index can be regenerated in isolation.
+//!
+//! Every kernel draws a *profile* that skews the statement mix — affine
+//! streaming, nested divergence, switch-heavy control flow, irregular loops,
+//! or atomic/gather pressure — so the corpus exercises CAE, MTA, and DAC
+//! along different axes instead of averaging into uniform noise.
+
+use crate::spec::{Cond, KernelSpec, Stmt, Trip, Vref, A_WORDS};
+use gpu_workloads::kernels::SplitMix64;
+use simt_ir::{AtomOp, CmpOp, Op};
+
+/// Statement kinds, in weight-table order.
+const K_ALU_IMM: usize = 0;
+const K_ALU2: usize = 1;
+const K_MAD: usize = 2;
+const K_ACCUM: usize = 3;
+const K_LOAD_AFFINE: usize = 4;
+const K_LOAD_INDIRECT: usize = 5;
+const K_SELECT: usize = 6;
+const K_FLOAT: usize = 7;
+const K_IF: usize = 8;
+const K_LOOP: usize = 9;
+const K_SWITCH: usize = 10;
+const K_STORE: usize = 11;
+const K_ATOMIC: usize = 12;
+const N_KINDS: usize = 13;
+
+/// Per-profile statement weights.
+const PROFILES: [[u32; N_KINDS]; 5] = [
+    // 0: affine-heavy — long address chains DAC can decouple.
+    [20, 5, 5, 5, 25, 5, 3, 4, 8, 6, 2, 8, 4],
+    // 1: divergence-heavy — nested/irregular if trees.
+    [10, 8, 3, 5, 8, 8, 6, 2, 25, 8, 8, 6, 3],
+    // 2: switch-heavy control flow.
+    [10, 8, 4, 4, 10, 6, 4, 2, 10, 5, 25, 8, 4],
+    // 3: loop-irregular — data-dependent trip counts.
+    [10, 8, 4, 10, 8, 10, 4, 2, 12, 20, 4, 6, 2],
+    // 4: atomic / gather pressure.
+    [10, 10, 4, 4, 10, 12, 6, 4, 10, 6, 4, 5, 15],
+];
+
+/// Generate the spec for `(seed, index)`.
+pub fn gen_spec(seed: u64, index: u64) -> KernelSpec {
+    let mut rng = SplitMix64::new(seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+    // Burn one draw so nearby seeds decorrelate quickly.
+    rng.next_u64();
+    let profile = rng.below(PROFILES.len() as u32) as usize;
+    let grid = 1 + rng.below(3);
+    let block = match rng.below(6) {
+        0 => 32,
+        1 => 64,
+        2 => 128,
+        3 => 48, // partial warp
+        4 => 96,
+        _ => 1 + rng.below(127), // arbitrary, usually ragged
+    };
+    let mut g = Gen {
+        rng,
+        weights: &PROFILES[profile],
+        grid,
+        block,
+        atom_op: AtomOp::Add,
+    };
+    // One atomic op per kernel: mixing ops on a shared slot (e.g. add then
+    // min) is order-dependent, which would break the oracle contract. A
+    // homogeneous op stream commutes regardless of interleaving.
+    g.atom_op = [AtomOp::Add, AtomOp::Min, AtomOp::Max][g.rng.below(3) as usize];
+    let n = 5 + g.rng.below(8);
+    let body = g.block(n as usize, 0, 0);
+    let mut spec = KernelSpec {
+        seed,
+        index,
+        grid,
+        block,
+        slots: 8,
+        body,
+    };
+    // The lowerer does no register allocation — every value gets a fresh
+    // register — so statement-heavy kernels can exceed an SM's register
+    // file and become permanently unplaceable (the simulator rejects such
+    // launches at validation time). Halve the block until the CTA's static
+    // footprint fits the smallest machine shape the fuzzer targets.
+    let regs = spec.build_kernel().regs_per_thread as u64;
+    while spec.block > 32 && spec.block.div_ceil(32) as u64 * 32 * regs > FUZZ_REGFILE {
+        spec.block = spec.block.div_ceil(2);
+    }
+    assert!(
+        32 * regs <= FUZZ_REGFILE,
+        "seed {seed:#x} index {index}: single-warp CTA needs {regs} regs/thread"
+    );
+    spec
+}
+
+/// Smallest per-SM register file the differential harness simulates
+/// (matches the default `Cfg::regfile_per_sm`).
+const FUZZ_REGFILE: u64 = 32768;
+
+struct Gen<'a> {
+    rng: SplitMix64,
+    weights: &'a [u32; N_KINDS],
+    grid: u32,
+    block: u32,
+    atom_op: AtomOp,
+}
+
+impl Gen<'_> {
+    fn vref(&mut self) -> Vref {
+        Vref(self.rng.next_u64() as u32)
+    }
+
+    fn cond(&mut self) -> Cond {
+        let k = 1 + self.rng.below(6);
+        let mask = (1i64 << k) - 1;
+        let cmp = match self.rng.below(6) {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            _ => CmpOp::Ge,
+        };
+        Cond {
+            a: self.vref(),
+            mask,
+            cmp,
+            imm: self.rng.below(mask as u32 + 1) as i64,
+        }
+    }
+
+    /// An affine load index must stay inside `A_WORDS` for the worst thread.
+    fn affine_load(&mut self) -> Stmt {
+        let max_tid = (self.grid * self.block - 1) as i64;
+        let scale = [1i64, 1, 2, 4][self.rng.below(4) as usize];
+        let headroom = A_WORDS as i64 - 1 - max_tid * scale;
+        let offset = if headroom > 0 {
+            self.rng.below(headroom.min(64) as u32) as i64
+        } else {
+            0
+        };
+        Stmt::LoadAffine {
+            arr: self.rng.below(2) as u8,
+            scale: if max_tid * scale + offset < A_WORDS as i64 {
+                scale
+            } else {
+                1
+            },
+            offset,
+        }
+    }
+
+    fn alu2_op(&mut self) -> Op {
+        [
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Min,
+            Op::Max,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Div,
+            Op::Rem,
+        ][self.rng.below(10) as usize]
+    }
+
+    fn stmt(&mut self, depth: u32, loop_depth: u32) -> Stmt {
+        let total: u32 = self.weights.iter().sum();
+        let mut pick = self.rng.below(total);
+        let mut kind = 0;
+        for (k, w) in self.weights.iter().enumerate() {
+            if pick < *w {
+                kind = k;
+                break;
+            }
+            pick -= w;
+        }
+        // Depth limits: no further nesting at depth 3, at most two nested
+        // loops (keeps worst-case trip products small and runtimes bounded).
+        let structural_ok = depth < 3;
+        let loop_ok = structural_ok && loop_depth < 2;
+        match kind {
+            K_IF | K_SWITCH if !structural_ok => self.stmt_leaf(),
+            K_LOOP if !loop_ok => self.stmt_leaf(),
+            K_ALU_IMM => self.alu_imm(),
+            K_ALU2 => Stmt::Alu2 {
+                op: self.alu2_op(),
+                a: self.vref(),
+                b: self.vref(),
+            },
+            K_MAD => Stmt::Mad {
+                a: self.vref(),
+                b: self.vref(),
+                c: self.vref(),
+            },
+            K_ACCUM => Stmt::Accum {
+                dst: self.vref(),
+                op: [Op::Add, Op::Xor, Op::Min, Op::Max][self.rng.below(4) as usize],
+                src: self.vref(),
+            },
+            K_LOAD_AFFINE => self.affine_load(),
+            K_LOAD_INDIRECT => Stmt::LoadIndirect {
+                arr: self.rng.below(2) as u8,
+                a: self.vref(),
+                scale: 1 + self.rng.below(8) as i64,
+                offset: self.rng.below(64) as i64,
+                guard: if self.rng.below(4) == 0 {
+                    Some(self.cond())
+                } else {
+                    None
+                },
+            },
+            K_SELECT => Stmt::Select {
+                cond: self.cond(),
+                t: self.vref(),
+                f: self.vref(),
+            },
+            K_FLOAT => Stmt::Float {
+                a: self.vref(),
+                factor: (1 + self.rng.below(15)) as f32 * 0.5,
+                bias: self.rng.below(8) as f32,
+            },
+            K_IF => {
+                let n_then = 1 + self.rng.below(3) as usize;
+                let n_els = self.rng.below(3) as usize;
+                Stmt::If {
+                    cond: self.cond(),
+                    then: self.block(n_then, depth + 1, loop_depth),
+                    els: self.block(n_els, depth + 1, loop_depth),
+                }
+            }
+            K_LOOP => {
+                let trip = if self.rng.below(2) == 0 {
+                    Trip::Const(1 + self.rng.below(if loop_depth == 0 { 7 } else { 3 }) as u8)
+                } else {
+                    Trip::Data(self.vref(), if loop_depth == 0 { 7 } else { 3 })
+                };
+                let n = 1 + self.rng.below(3) as usize;
+                Stmt::Loop {
+                    trip,
+                    body: self.block(n, depth + 1, loop_depth + 1),
+                }
+            }
+            K_SWITCH => {
+                let ways = if self.rng.below(2) == 0 { 2 } else { 4 };
+                let arms = (0..ways)
+                    .map(|_| {
+                        let n = 1 + self.rng.below(2) as usize;
+                        self.block(n, depth + 1, loop_depth)
+                    })
+                    .collect();
+                Stmt::Switch {
+                    a: self.vref(),
+                    arms,
+                }
+            }
+            K_STORE => Stmt::Store {
+                val: self.vref(),
+                guard: if self.rng.below(3) == 0 {
+                    Some(self.cond())
+                } else {
+                    None
+                },
+            },
+            K_ATOMIC => Stmt::Atomic {
+                op: self.atom_op,
+                slot: self.vref(),
+                val: self.vref(),
+            },
+            _ => self.stmt_leaf(),
+        }
+    }
+
+    /// A guaranteed-leaf statement for when nesting limits are hit.
+    fn stmt_leaf(&mut self) -> Stmt {
+        if self.rng.below(3) == 0 {
+            self.affine_load()
+        } else {
+            self.alu_imm()
+        }
+    }
+
+    fn alu_imm(&mut self) -> Stmt {
+        let (op, imm) = match self.rng.below(10) {
+            0..=2 => (Op::Add, self.rng.below(64) as i64),
+            3 => (Op::Sub, self.rng.below(64) as i64),
+            4 => (Op::Mul, 1 + self.rng.below(7) as i64),
+            5 => (Op::Shl, self.rng.below(4) as i64),
+            6 => (Op::Shr, self.rng.below(5) as i64),
+            7 => (Op::And, (1i64 << (1 + self.rng.below(10))) - 1),
+            8 => (Op::Xor, self.rng.below(256) as i64),
+            _ => (Op::Rem, 1 + self.rng.below(9) as i64),
+        };
+        Stmt::AluImm {
+            op,
+            a: self.vref(),
+            imm,
+        }
+    }
+
+    fn block(&mut self, n: usize, depth: u32, loop_depth: u32) -> Vec<Stmt> {
+        (0..n).map(|_| self.stmt(depth, loop_depth)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for i in 0..32 {
+            assert_eq!(gen_spec(42, i), gen_spec(42, i));
+        }
+        assert_ne!(gen_spec(42, 0), gen_spec(43, 0));
+    }
+
+    #[test]
+    fn generated_kernels_validate() {
+        for i in 0..64 {
+            let spec = gen_spec(0xF00D, i);
+            let w = spec.build_workload();
+            w.kernel.validate().unwrap_or_else(|e| {
+                panic!("seed 0xF00D index {i}: invalid kernel: {e:?}");
+            });
+            assert!(w.launch.params.len() == 4);
+        }
+    }
+
+    #[test]
+    fn profiles_cover_all_statement_kinds() {
+        // Across a modest window every statement kind should appear.
+        let mut seen = [false; N_KINDS];
+        fn mark(seen: &mut [bool; N_KINDS], body: &[Stmt]) {
+            for s in body {
+                let k = match s {
+                    Stmt::AluImm { .. } => K_ALU_IMM,
+                    Stmt::Alu2 { .. } => K_ALU2,
+                    Stmt::Mad { .. } => K_MAD,
+                    Stmt::Accum { .. } => K_ACCUM,
+                    Stmt::LoadAffine { .. } => K_LOAD_AFFINE,
+                    Stmt::LoadIndirect { .. } => K_LOAD_INDIRECT,
+                    Stmt::Select { .. } => K_SELECT,
+                    Stmt::Float { .. } => K_FLOAT,
+                    Stmt::If { then, els, .. } => {
+                        mark(seen, then);
+                        mark(seen, els);
+                        K_IF
+                    }
+                    Stmt::Loop { body, .. } => {
+                        mark(seen, body);
+                        K_LOOP
+                    }
+                    Stmt::Switch { arms, .. } => {
+                        for a in arms {
+                            mark(seen, a);
+                        }
+                        K_SWITCH
+                    }
+                    Stmt::Store { .. } => K_STORE,
+                    Stmt::Atomic { .. } => K_ATOMIC,
+                };
+                seen[k] = true;
+            }
+        }
+        for i in 0..200 {
+            mark(&mut seen, &gen_spec(1, i).body);
+        }
+        assert!(seen.iter().all(|s| *s), "missing kinds: {seen:?}");
+    }
+}

@@ -1,0 +1,331 @@
+//! The functional oracle: a per-thread reference interpreter.
+//!
+//! Executes a kernel one thread at a time over a [`SparseMemory`] image,
+//! using the same `ir::eval` ALU as the simulator. Because the generator's
+//! grammar guarantees order-independent memory effects (read-only inputs,
+//! per-thread-unique stores, commutative bounded atomics), the sequential
+//! per-thread result must be bit-identical to any SIMT interleaving — which
+//! is exactly what the differential driver asserts.
+//!
+//! Semantics mirror `simt_sim::sm` exec paths instruction by instruction:
+//! registers initialize to zero, guards mask execution, `setp` compares
+//! i64 (or f32 on bit patterns), addresses are `reg + disp` wrapping, loads
+//! and stores move `width.bytes()` little-endian bytes, and atomics are
+//! 32-bit RMWs that compare sign-extended but store truncated.
+
+use simt_ir::instr::Guard;
+use simt_ir::{
+    eval, AddrMode, AtomOp, Instr, Kernel, LaunchConfig, Operand, PredSrc, Space, SpecialReg, Value,
+};
+use simt_mem::SparseMemory;
+
+/// Why the oracle refused or aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// A thread ran more than the step limit (runaway loop).
+    StepLimit { cta: u64, thread: u64 },
+    /// The kernel uses a feature outside the oracle contract.
+    Unsupported { pc: usize, what: String },
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::StepLimit { cta, thread } => {
+                write!(f, "oracle step limit exceeded (cta {cta}, thread {thread})")
+            }
+            OracleError::Unsupported { pc, what } => {
+                write!(f, "oracle: unsupported at pc {pc}: {what}")
+            }
+        }
+    }
+}
+
+const STEP_LIMIT: u64 = 200_000;
+
+/// Run every thread of `kernel` under `launch` against `mem`.
+pub fn run_oracle(
+    kernel: &Kernel,
+    launch: &LaunchConfig,
+    mem: &mut SparseMemory,
+) -> Result<(), OracleError> {
+    for cta in 0..launch.grid.count() {
+        let coords = launch.grid.unflatten(cta);
+        for t in 0..launch.block.count() {
+            run_thread(kernel, launch, mem, cta, coords, t)?;
+        }
+    }
+    Ok(())
+}
+
+fn run_thread(
+    kernel: &Kernel,
+    launch: &LaunchConfig,
+    mem: &mut SparseMemory,
+    cta: u64,
+    cta_coords: (u32, u32, u32),
+    t: u64,
+) -> Result<(), OracleError> {
+    let (tx, ty, tz) = launch.block.unflatten(t);
+    let mut regs = vec![0u64; kernel.num_regs as usize];
+    let mut preds = vec![false; kernel.num_preds.max(1) as usize];
+    let mut pc = 0usize;
+    let mut steps = 0u64;
+
+    let operand = |regs: &[u64], op: Operand| -> Value {
+        match op {
+            Operand::Reg(r) => regs[r as usize],
+            Operand::Imm(i) => i as Value,
+            Operand::Param(p) => launch.params[p as usize],
+            Operand::Special(s) => {
+                let v = match s {
+                    SpecialReg::TidX => tx,
+                    SpecialReg::TidY => ty,
+                    SpecialReg::TidZ => tz,
+                    SpecialReg::CtaIdX => cta_coords.0,
+                    SpecialReg::CtaIdY => cta_coords.1,
+                    SpecialReg::CtaIdZ => cta_coords.2,
+                    SpecialReg::NTidX => launch.block.x,
+                    SpecialReg::NTidY => launch.block.y,
+                    SpecialReg::NTidZ => launch.block.z,
+                    SpecialReg::NCtaIdX => launch.grid.x,
+                    SpecialReg::NCtaIdY => launch.grid.y,
+                    SpecialReg::NCtaIdZ => launch.grid.z,
+                };
+                v as Value
+            }
+        }
+    };
+    let pass = |preds: &[bool], g: &Option<Guard>| -> bool {
+        match g {
+            None => true,
+            Some(g) => preds[g.pred as usize] != g.negate,
+        }
+    };
+
+    loop {
+        steps += 1;
+        if steps > STEP_LIMIT {
+            return Err(OracleError::StepLimit { cta, thread: t });
+        }
+        let instr = &kernel.instrs[pc];
+        match instr {
+            Instr::Alu {
+                op,
+                dst,
+                srcs,
+                guard,
+            } => {
+                if pass(&preds, guard) {
+                    let a = operand(&regs, srcs[0]);
+                    let b = operand(&regs, srcs[1]);
+                    let c = operand(&regs, srcs[2]);
+                    regs[*dst as usize] = eval::eval(*op, a, b, c);
+                }
+                pc += 1;
+            }
+            Instr::SetP {
+                dst,
+                cmp,
+                a,
+                b,
+                float,
+                guard,
+            } => {
+                if pass(&preds, guard) {
+                    let av = operand(&regs, *a);
+                    let bv = operand(&regs, *b);
+                    preds[*dst as usize] = if *float {
+                        cmp.eval_f32(f32::from_bits(av as u32), f32::from_bits(bv as u32))
+                    } else {
+                        cmp.eval_i64(av as i64, bv as i64)
+                    };
+                }
+                pc += 1;
+            }
+            Instr::Sel { dst, pred, a, b } => {
+                let cond = preds[pred.pred as usize] != pred.negate;
+                let v = if cond {
+                    operand(&regs, *a)
+                } else {
+                    operand(&regs, *b)
+                };
+                regs[*dst as usize] = v;
+                pc += 1;
+            }
+            Instr::Ld {
+                dst,
+                space,
+                addr,
+                width,
+                guard,
+            } => {
+                if *space != Space::Global {
+                    return Err(OracleError::Unsupported {
+                        pc,
+                        what: format!("ld.{space}"),
+                    });
+                }
+                if pass(&preds, guard) {
+                    let a = resolve(&regs, addr, pc)?;
+                    regs[*dst as usize] = mem.read_bytes(a, width.bytes() as usize);
+                }
+                pc += 1;
+            }
+            Instr::St {
+                space,
+                addr,
+                src,
+                width,
+                guard,
+            } => {
+                if *space != Space::Global {
+                    return Err(OracleError::Unsupported {
+                        pc,
+                        what: format!("st.{space}"),
+                    });
+                }
+                if pass(&preds, guard) {
+                    let a = resolve(&regs, addr, pc)?;
+                    let v = operand(&regs, *src);
+                    mem.write_bytes(a, v, width.bytes() as usize);
+                }
+                pc += 1;
+            }
+            Instr::Atom {
+                op,
+                dst,
+                addr,
+                src,
+                guard,
+            } => {
+                if pass(&preds, guard) {
+                    let a = resolve(&regs, addr, pc)?;
+                    let old = mem.read_u32(a) as u64;
+                    let v = operand(&regs, *src);
+                    let new = match op {
+                        AtomOp::Add => (old as u32).wrapping_add(v as u32) as u64,
+                        AtomOp::Min => (old as i64).min(v as i64) as u64,
+                        AtomOp::Max => (old as i64).max(v as i64) as u64,
+                        AtomOp::Exch => v,
+                    };
+                    mem.write_u32(a, new as u32);
+                    regs[*dst as usize] = old;
+                }
+                pc += 1;
+            }
+            Instr::Bra { target, pred } => {
+                let taken = match pred {
+                    None => true,
+                    Some(PredSrc::Reg(g)) => preds[g.pred as usize] != g.negate,
+                    Some(PredSrc::Deq { .. }) => {
+                        return Err(OracleError::Unsupported {
+                            pc,
+                            what: "deq.pred branch".into(),
+                        })
+                    }
+                };
+                pc = if taken { *target } else { pc + 1 };
+            }
+            Instr::Bar => {
+                // The oracle contract forbids inter-thread communication, so
+                // a barrier is a no-op for a sequential executor.
+                pc += 1;
+            }
+            Instr::Exit => return Ok(()),
+            Instr::Enq { .. } => {
+                return Err(OracleError::Unsupported {
+                    pc,
+                    what: "enq in vector stream".into(),
+                })
+            }
+        }
+    }
+}
+
+fn resolve(regs: &[u64], addr: &AddrMode, pc: usize) -> Result<u64, OracleError> {
+    match addr {
+        AddrMode::Reg(r, disp) => Ok(regs[*r as usize].wrapping_add(*disp as u64)),
+        AddrMode::DeqData | AddrMode::DeqAddr => Err(OracleError::Unsupported {
+            pc,
+            what: "deq address mode".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_workloads::kernels::ARR_C;
+    use simt_ir::{CmpOp, KernelBuilder, Op, Width};
+
+    /// `C[tid] = tid*3 + 7` for 2 CTAs × 48 threads.
+    #[test]
+    fn affine_store_matches_hand_computation() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.tid_linear_x();
+        let v = b.alu3(Op::Mad, Operand::Reg(tid), Operand::Imm(3), Operand::Imm(7));
+        let addr = b.alu3(
+            Op::Mad,
+            Operand::Reg(tid),
+            Operand::Imm(4),
+            Operand::Param(0),
+        );
+        b.st(Space::Global, addr, 0, Operand::Reg(v), Width::W32);
+        b.exit();
+        let k = b.build();
+        let launch = LaunchConfig::linear(2, 48, vec![ARR_C]);
+        let mut mem = SparseMemory::new();
+        run_oracle(&k, &launch, &mut mem).unwrap();
+        for t in 0..96u64 {
+            assert_eq!(mem.read_u32(ARR_C + t * 4), (t * 3 + 7) as u32);
+        }
+    }
+
+    /// Divergent loop: each thread iterates `tid & 3` times, accumulating.
+    #[test]
+    fn divergent_loop_trip_counts() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.tid_linear_x();
+        let n = b.alu2(Op::And, Operand::Reg(tid), Operand::Imm(3));
+        let i = b.mov(Operand::Imm(0));
+        let acc = b.mov(Operand::Imm(0));
+        b.label("top");
+        let p = b.setp(CmpOp::Ge, Operand::Reg(i), Operand::Reg(n));
+        b.bra_if(p, "done");
+        b.alu_into(acc, Op::Add, &[Operand::Reg(acc), Operand::Imm(10)]);
+        b.alu_into(i, Op::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+        b.bra("top");
+        b.label("done");
+        let addr = b.alu3(
+            Op::Mad,
+            Operand::Reg(tid),
+            Operand::Imm(4),
+            Operand::Param(0),
+        );
+        b.st(Space::Global, addr, 0, Operand::Reg(acc), Width::W32);
+        b.exit();
+        let k = b.build();
+        let launch = LaunchConfig::linear(1, 64, vec![ARR_C]);
+        let mut mem = SparseMemory::new();
+        run_oracle(&k, &launch, &mut mem).unwrap();
+        for t in 0..64u64 {
+            assert_eq!(mem.read_u32(ARR_C + t * 4), ((t & 3) * 10) as u32);
+        }
+    }
+
+    #[test]
+    fn runaway_loop_hits_step_limit() {
+        let mut b = KernelBuilder::new("k", 0);
+        b.label("top");
+        b.bra("top");
+        b.exit();
+        let k = b.build();
+        let launch = LaunchConfig::linear(1, 32, vec![]);
+        let mut mem = SparseMemory::new();
+        assert!(matches!(
+            run_oracle(&k, &launch, &mut mem),
+            Err(OracleError::StepLimit { .. })
+        ));
+    }
+}

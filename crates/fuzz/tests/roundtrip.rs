@@ -1,0 +1,41 @@
+//! Satellite: asm ⇄ disasm round-trip property over generated kernels.
+//!
+//! Every kernel the generator can produce must survive
+//! `parse_kernel(to_asm(k))` with an identical instruction stream — the
+//! repro files the reducer emits are only useful if they re-parse to the
+//! exact kernel that failed.
+
+use simt_fuzz::gen_spec;
+use simt_ir::{asm, disasm};
+
+#[test]
+fn generated_kernels_roundtrip_through_asm() {
+    for seed in [1u64, 0xABCD, 0xDEAD_BEEF] {
+        for index in 0..20u64 {
+            let k = gen_spec(seed, index).build_kernel();
+            let text = disasm::to_asm(&k);
+            let back = asm::parse_kernel(&text).unwrap_or_else(|e| {
+                panic!("seed {seed:#x} index {index}: reparse failed: {e:?}\n{text}")
+            });
+            assert_eq!(
+                back.instrs, k.instrs,
+                "seed {seed:#x} index {index}: instruction stream drifted\n{text}"
+            );
+            assert_eq!(back.num_params, k.num_params);
+            back.validate().unwrap();
+        }
+    }
+}
+
+/// Round-tripping twice is a fixpoint: `to_asm` of the re-parsed kernel is
+/// byte-identical to the first rendering (labels, operand syntax, widths).
+#[test]
+fn disasm_is_a_fixpoint_after_one_roundtrip() {
+    for index in 0..12u64 {
+        let k = gen_spec(0x0F1C, index).build_kernel();
+        let once = disasm::to_asm(&k);
+        let back = asm::parse_kernel(&once).unwrap();
+        let twice = disasm::to_asm(&back);
+        assert_eq!(once, twice, "index {index}: disasm not stable");
+    }
+}

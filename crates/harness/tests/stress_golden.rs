@@ -1,0 +1,106 @@
+//! Golden pins for the promoted divergence-stress corpus
+//! (`gpu_workloads::divergence_stress`) — every design's cycle count and
+//! headline counters on the standard fuzzing machine shape (2 SMs ×
+//! 16 warps, the same shape `simt-fuzz` differentials run on).
+//!
+//! Any drift here means simulator behaviour changed on fuzzer-discovered
+//! control-flow/divergence patterns; if intentional, update the table AND
+//! bump `CACHE_VERSION` in `simt_harness::job`.
+
+use gpu_workloads::divergence_stress;
+use simt_harness::{suite_jobs, DesignPoint, Harness, Overrides};
+
+/// (bench, design, cycles, warp_instructions, decoupled_loads).
+const GOLDEN: &[(&str, &str, u64, u64, u64)] = &[
+    ("FZS05", "baseline", 673, 309, 0),
+    ("FZS05", "cae", 673, 309, 0),
+    ("FZS05", "mta", 672, 309, 0),
+    ("FZS05", "dac", 427, 293, 4),
+    ("FZS07", "baseline", 1194, 206, 0),
+    ("FZS07", "cae", 1194, 206, 0),
+    ("FZS07", "mta", 1194, 206, 0),
+    ("FZS07", "dac", 616, 196, 4),
+    ("FZS11", "baseline", 1608, 528, 0),
+    ("FZS11", "cae", 1608, 528, 0),
+    ("FZS11", "mta", 1572, 528, 0),
+    ("FZS11", "dac", 1854, 516, 3),
+    ("FZS12", "baseline", 1488, 892, 0),
+    ("FZS12", "cae", 1487, 892, 0),
+    ("FZS12", "mta", 1486, 892, 0),
+    ("FZS12", "dac", 1488, 892, 0),
+    ("FZS22", "baseline", 454, 24, 0),
+    ("FZS22", "cae", 454, 24, 0),
+    ("FZS22", "mta", 454, 24, 0),
+    ("FZS22", "dac", 417, 14, 3),
+    ("FZS66", "baseline", 5941, 2267, 0),
+    ("FZS66", "cae", 5920, 2267, 0),
+    ("FZS66", "mta", 5941, 2267, 0),
+    ("FZS66", "dac", 5751, 1817, 18),
+    ("FZS77", "baseline", 524, 46, 0),
+    ("FZS77", "cae", 524, 46, 0),
+    ("FZS77", "mta", 524, 46, 0),
+    ("FZS77", "dac", 767, 36, 4),
+    ("FZS85", "baseline", 1391, 980, 0),
+    ("FZS85", "cae", 1379, 980, 0),
+    ("FZS85", "mta", 1380, 980, 0),
+    ("FZS85", "dac", 1433, 962, 6),
+];
+
+#[test]
+fn stress_corpus_counters_match_golden_values() {
+    let overrides = Overrides {
+        num_sms: Some(2),
+        max_warps_per_sm: Some(16),
+        ..Overrides::default()
+    };
+    let jobs = suite_jobs(divergence_stress(), 1, &DesignPoint::HW_ALL, &overrides);
+    let out = Harness::serial().run(&jobs);
+    if jobs.len() != GOLDEN.len() {
+        let mut table = String::new();
+        for (job, result) in jobs.iter().zip(&out.results) {
+            let s = &result.report.stats;
+            table.push_str(&format!(
+                "    (\"{}\", \"{}\", {}, {}, {}),\n",
+                job.bench(),
+                job.point.name(),
+                result.report.cycles,
+                s.warp_instructions,
+                s.decoupled_loads
+            ));
+        }
+        panic!("golden table out of date; actual values:\n{table}");
+    }
+    for ((job, result), &(bench, design, cycles, warp_instructions, decoupled_loads)) in
+        jobs.iter().zip(&out.results).zip(GOLDEN)
+    {
+        assert_eq!(job.bench(), bench);
+        assert_eq!(job.point.name(), design);
+        let s = &result.report.stats;
+        assert_eq!(
+            (result.report.cycles, s.warp_instructions, s.decoupled_loads),
+            (cycles, warp_instructions, decoupled_loads),
+            "{bench}/{design}: counters drifted from golden values"
+        );
+    }
+}
+
+/// All four designs agree bit-for-bit on every stress workload's output
+/// region (per-thread words + atomic slots).
+#[test]
+fn stress_corpus_outputs_agree_across_designs() {
+    let overrides = Overrides {
+        num_sms: Some(2),
+        max_warps_per_sm: Some(16),
+        ..Overrides::default()
+    };
+    for w in divergence_stress() {
+        let jobs = suite_jobs(vec![w.clone()], 1, &DesignPoint::HW_ALL, &overrides);
+        let out = Harness::serial().run(&jobs);
+        let digests: Vec<u64> = out.results.iter().map(|r| r.output_digest).collect();
+        assert!(
+            digests.windows(2).all(|p| p[0] == p[1]),
+            "{}: designs disagree: {digests:x?}",
+            w.abbr
+        );
+    }
+}

@@ -233,10 +233,15 @@ fn parse_instr(
             let dst = parse_reg_name(get(0)?, line)?;
             let a = parse_operand(get(1)?, line)?;
             let b = parse_operand(get(2)?, line)?;
-            let p = parse_pred_name(get(3)?, line)?;
+            let ps = get(3)?;
+            let (negate, ps) = match ps.strip_prefix('!') {
+                Some(rest) => (true, rest),
+                None => (false, ps),
+            };
+            let p = parse_pred_name(ps, line)?;
             Ok(Instr::Sel {
                 dst,
-                pred: Guard::pos(p),
+                pred: if negate { Guard::neg(p) } else { Guard::pos(p) },
                 a,
                 b,
             })

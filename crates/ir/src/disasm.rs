@@ -146,6 +146,16 @@ LOOP:
     }
 
     #[test]
+    fn roundtrips_guarded_enq_and_negated_sel() {
+        // The enq width/space/guard and the sel negate bit were once dropped
+        // by Display; parse-back must reproduce the identical instructions.
+        let text = ".kernel e\n setp.lt p1, r0, 4;\n @!p1 enq.data.local.b64 r2;\n @p1 enq.addr.b16 r3;\n enq.data r9;\n enq.pred p1;\n sel r4, r2, r3, !p1;\n sel r5, 1, 2, p1;\n exit;";
+        let k = parse_kernel(text).unwrap();
+        let k2 = parse_kernel(&to_asm(&k)).unwrap();
+        assert_eq!(k.instrs, k2.instrs);
+    }
+
+    #[test]
     fn negative_displacements_roundtrip() {
         let text = ".kernel n\n ld.global r0, [r1-8];\n st.shared.b16 [r2+6], r0;\n exit;";
         let k = parse_kernel(text).unwrap();

@@ -630,7 +630,8 @@ impl fmt::Display for Instr {
                 )
             }
             Instr::Sel { dst, pred, a, b } => {
-                write!(f, "sel r{}, {}, {}, p{};", dst, a, b, pred.pred)
+                let bang = if pred.negate { "!" } else { "" };
+                write!(f, "sel r{}, {}, {}, {}p{};", dst, a, b, bang, pred.pred)
             }
             Instr::Ld {
                 dst,
@@ -714,10 +715,31 @@ impl fmt::Display for Instr {
             Instr::Bar => write!(f, "bar.sync;"),
             Instr::Exit => write!(f, "exit;"),
             Instr::Enq {
-                kind, src, pred, ..
+                kind,
+                src,
+                pred,
+                width,
+                space,
+                guard,
             } => match kind {
-                QueueKind::Pred => write!(f, "enq.pred p{};", pred.unwrap_or(0)),
-                _ => write!(f, "enq.{} r{};", kind, src.unwrap_or(0)),
+                QueueKind::Pred => write!(f, "{}enq.pred p{};", g(guard), pred.unwrap_or(0)),
+                _ => {
+                    let sp = if *space == Space::Local { ".local" } else { "" };
+                    let w = if *width == Width::W32 {
+                        String::new()
+                    } else {
+                        format!(".{width}")
+                    };
+                    write!(
+                        f,
+                        "{}enq.{}{}{} r{};",
+                        g(guard),
+                        kind,
+                        sp,
+                        w,
+                        src.unwrap_or(0)
+                    )
+                }
             },
         }
     }

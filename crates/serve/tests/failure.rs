@@ -1,0 +1,105 @@
+//! A sweep containing a failing point must (a) record a `failed` event in
+//! the journal with the panic message, (b) count it in the status
+//! document, and (c) make `sweepctl tail` exit non-zero.
+//!
+//! The failing point is an unplaceable launch: `max_warps_per_sm: 0`
+//! means no SM can ever accept a CTA, which the simulator rejects at
+//! launch validation ("can never be placed"). The panic is caught by the
+//! sweep worker and journaled rather than tearing the daemon down.
+
+use simt_harness::json;
+use simt_serve::client::Client;
+use simt_serve::http::Server;
+use simt_serve::{ServeConfig, SweepService};
+use std::fs;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn u(v: &json::Value, name: &str) -> u64 {
+    v.get(name).and_then(json::Value::as_u64).unwrap()
+}
+
+fn s<'a>(v: &'a json::Value, name: &str) -> &'a str {
+    v.get(name).and_then(json::Value::as_str).unwrap()
+}
+
+#[test]
+fn failing_point_is_journaled_and_tail_exits_nonzero() {
+    let results = std::env::temp_dir().join(format!("dac-serve-test-fail-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&results);
+    let service = Arc::new(SweepService::new(ServeConfig::new(&results, 2)));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let addr = handle.addr().to_string();
+    let serving = std::thread::spawn(move || server.serve());
+    let client = Client::new(addr.clone());
+
+    let request = json::parse(
+        r#"{"benches": ["LIB"], "designs": ["baseline"],
+            "overrides": {"max_warps_per_sm": 0, "num_sms": 2}}"#,
+    )
+    .unwrap();
+    let receipt = client
+        .post("/sweeps", Some(&request))
+        .unwrap()
+        .ok()
+        .unwrap();
+    let id = s(&receipt, "id").to_string();
+
+    // Wait for completion; the single point must be counted as failed.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let status = loop {
+        let status = client.get(&format!("/sweeps/{id}")).unwrap().ok().unwrap();
+        if status.get("complete").and_then(json::Value::as_bool) == Some(true) {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "sweep did not complete");
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert_eq!(u(&status, "failed"), 1, "{status:?}");
+    // A failed point is terminal but not "done"; nothing may be left over.
+    assert_eq!(u(&status, "done"), 0);
+    assert_eq!(u(&status, "queued"), 0);
+    assert_eq!(u(&status, "running"), 0);
+
+    // The journal carries a `failed` event naming the violated resource.
+    let reply = client
+        .get(&format!("/sweeps/{id}/events?since=0"))
+        .unwrap()
+        .ok()
+        .unwrap();
+    let events = reply.get("events").and_then(json::Value::as_arr).unwrap();
+    let failed: Vec<_> = events.iter().filter(|e| s(e, "kind") == "failed").collect();
+    assert_eq!(failed.len(), 1, "{events:?}");
+    let error = s(failed[0], "error");
+    assert!(
+        error.contains("can never be placed"),
+        "unexpected failure message: {error}"
+    );
+    assert_eq!(
+        events.iter().filter(|e| s(e, "kind") == "complete").count(),
+        1
+    );
+
+    // `sweepctl tail` replays the journal and exits 1 on the failure.
+    let out = Command::new(env!("CARGO_BIN_EXE_sweepctl"))
+        .args(["tail", "--addr", &addr, "--timeout", "60", &id])
+        .output()
+        .expect("run sweepctl");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAILED"), "tail output: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("point(s) failed"), "tail stderr: {stderr}");
+
+    client.post("/shutdown", None).unwrap().ok().unwrap();
+    serving.join().unwrap();
+    let _ = fs::remove_dir_all(&results);
+}

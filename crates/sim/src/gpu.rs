@@ -223,6 +223,37 @@ impl GpuSim {
         );
         for (_, _, l) in &flat {
             l.program.kernel.validate().expect("invalid kernel");
+            // A CTA whose static footprint exceeds an *empty* SM can never
+            // be placed; without this check the command processor would
+            // retry every cycle until the deadlock guard fires at
+            // `max_cycles`. Fail fast with the violated resource instead.
+            let kernel = &l.program.kernel;
+            let warps = l.program.launch.warps_per_cta();
+            let cta_regs = warps * 32 * kernel.regs_per_thread as u32;
+            assert!(
+                warps as usize <= cfg.max_warps_per_sm,
+                "kernel {} can never be placed: CTA needs {} warps, SM has {} slots",
+                kernel.name,
+                warps,
+                cfg.max_warps_per_sm
+            );
+            assert!(
+                cta_regs <= cfg.regfile_per_sm,
+                "kernel {} can never be placed: CTA needs {} registers \
+                 ({} warps x 32 lanes x {} regs/thread), SM regfile holds {}",
+                kernel.name,
+                cta_regs,
+                warps,
+                kernel.regs_per_thread,
+                cfg.regfile_per_sm
+            );
+            assert!(
+                kernel.shared_bytes <= cfg.shared_mem_per_sm,
+                "kernel {} can never be placed: CTA needs {} shared bytes, SM has {}",
+                kernel.name,
+                kernel.shared_bytes,
+                cfg.shared_mem_per_sm
+            );
         }
         let cfgraphs: Vec<Cfg> = flat
             .iter()

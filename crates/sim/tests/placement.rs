@@ -1,0 +1,77 @@
+//! Launch-time rejection of kernels that can never be placed.
+//!
+//! A CTA whose static footprint (warp slots, registers, shared memory)
+//! exceeds an *empty* SM would make the command processor retry every
+//! cycle until the deadlock guard fires hundreds of millions of cycles
+//! later. The simulator instead panics immediately at launch validation
+//! with a message naming the violated resource — these tests pin that
+//! behaviour for each resource axis.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use simt_ir::{KernelBuilder, LaunchConfig, Program};
+use simt_mem::SparseMemory;
+use simt_sim::{GpuConfig, GpuSim};
+
+/// A kernel that just exits, with optional occupancy declarations.
+fn trivial_kernel(regs: u16, shared: u32) -> KernelBuilder {
+    let mut k = KernelBuilder::new("hog", 0);
+    k.regs_per_thread(regs);
+    k.shared(shared);
+    k.exit();
+    k
+}
+
+fn run_hog(regs: u16, shared: u32, block: u32) -> Result<(), String> {
+    let k = trivial_kernel(regs, shared);
+    let prog = Program::new(k.build(), LaunchConfig::linear(1, block, vec![])).unwrap();
+    let gpu = GpuSim::new(GpuConfig::test_small());
+    catch_unwind(AssertUnwindSafe(|| {
+        gpu.run(&prog, &mut SparseMemory::new());
+    }))
+    .map(|_| ())
+    .map_err(|e| {
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    })
+}
+
+#[test]
+fn oversized_register_footprint_fails_fast() {
+    // 4 warps x 32 lanes x 2000 regs far exceeds the 32 K register file.
+    let err = run_hog(2000, 0, 128).unwrap_err();
+    assert!(
+        err.contains("can never be placed") && err.contains("register"),
+        "unexpected panic message: {err}"
+    );
+}
+
+#[test]
+fn oversized_shared_footprint_fails_fast() {
+    let cfg = GpuConfig::test_small();
+    let err = run_hog(1, cfg.shared_mem_per_sm + 1, 32).unwrap_err();
+    assert!(
+        err.contains("can never be placed") && err.contains("shared"),
+        "unexpected panic message: {err}"
+    );
+}
+
+#[test]
+fn oversized_warp_footprint_fails_fast() {
+    // test_small allows 16 resident warps; a 1024-thread CTA needs 32.
+    let err = run_hog(1, 0, 1024).unwrap_err();
+    assert!(
+        err.contains("can never be placed") && err.contains("warps"),
+        "unexpected panic message: {err}"
+    );
+}
+
+#[test]
+fn placeable_kernel_still_runs() {
+    // Just inside every budget on test_small: 16 warps, 64 regs/thread
+    // (16 x 32 x 64 = 32768 exactly), full shared memory.
+    let cfg = GpuConfig::test_small();
+    run_hog(64, cfg.shared_mem_per_sm, 512).expect("placeable kernel must run");
+}

@@ -1,0 +1,284 @@
+//! Randomized reconvergence properties of the per-warp SIMT stack over
+//! *arbitrarily nested* structured control flow (the companion
+//! `stack_props.rs` suite covers sequential diamonds against a per-thread
+//! reference executor).
+//!
+//! Programs are generated as random nests of if/else diamonds with optional
+//! early exits, then executed on a [`SimtStack`]. The properties:
+//!
+//! * lanes are never lost or duplicated — every live lane visits every
+//!   straight-line instruction on its path exactly once;
+//! * after each top-level diamond the stack reconverges to the full
+//!   top-level mask;
+//! * the stack always terminates with every launched lane exited.
+
+use simt_sim::SimtStack;
+
+/// Deterministic SplitMix64 generator (same construction as
+/// `gpu_workloads::kernels::SplitMix64`, duplicated to keep this crate's
+/// dev-dependency graph empty).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// One instruction of a generated structured program.
+#[derive(Debug, Clone, Copy)]
+enum I {
+    /// Straight-line work; `join_of_top_level` marks the instruction right
+    /// after a top-level diamond, where the full mask must be restored.
+    Work { top_level_join: bool },
+    /// Conditional branch: lanes in `taken` go to `t`, the rest fall
+    /// through; reconvergence at `rpc`.
+    Br { taken: u32, t: usize, rpc: usize },
+    /// Unconditional jump (ends the not-taken block of a diamond).
+    Jmp(usize),
+    /// Currently active lanes terminate.
+    Exit,
+}
+
+/// Emit one block of `n` statements at `depth`; diamonds recurse.
+fn gen_block(prog: &mut Vec<I>, rng: &mut Rng, depth: usize, allow_exit: bool) {
+    let n = 1 + rng.below(3) as usize;
+    for _ in 0..n {
+        let roll = rng.below(10);
+        if depth < 5 && roll < 4 {
+            // Diamond: branch / else-block / jmp-to-join / then-block / join.
+            let br = prog.len();
+            prog.push(I::Work {
+                top_level_join: false,
+            }); // placeholder
+            gen_block(prog, rng, depth + 1, allow_exit); // not-taken (fallthrough)
+            let jmp = prog.len();
+            prog.push(I::Work {
+                top_level_join: false,
+            }); // placeholder
+            let then_start = prog.len();
+            gen_block(prog, rng, depth + 1, allow_exit); // taken (target)
+            let join = prog.len();
+            prog[br] = I::Br {
+                taken: rng.next_u32(),
+                t: then_start,
+                rpc: join,
+            };
+            prog[jmp] = I::Jmp(join);
+            prog.push(I::Work {
+                top_level_join: depth == 0,
+            });
+        } else if allow_exit && roll == 9 {
+            prog.push(I::Exit);
+        } else {
+            prog.push(I::Work {
+                top_level_join: false,
+            });
+        }
+    }
+}
+
+struct Run {
+    /// Per-(pc, lane) visit counts.
+    visits: Vec<[u32; 32]>,
+    /// Lanes that executed some `Exit`.
+    exited: u32,
+}
+
+/// Execute `prog` from a full stack and check step invariants.
+fn run(prog: &[I], init: u32) -> Run {
+    let mut s = SimtStack::new(init);
+    let mut visits = vec![[0u32; 32]; prog.len()];
+    let mut exited = 0u32;
+    let mut fuel = 100_000;
+    while !s.done() {
+        fuel -= 1;
+        assert!(fuel > 0, "stack did not terminate");
+        let pc = s.pc();
+        let active = s.active_mask();
+        assert_ne!(active, 0, "active path with no lanes");
+        assert_eq!(active & !init, 0, "lanes appeared out of thin air");
+        assert_eq!(
+            active & s.exited_mask(),
+            0,
+            "exited lanes still marked active"
+        );
+        for (lane, count) in visits[pc].iter_mut().enumerate() {
+            if active & (1 << lane) != 0 {
+                *count += 1;
+            }
+        }
+        match prog[pc] {
+            I::Work { top_level_join } => {
+                if top_level_join {
+                    assert_eq!(
+                        active | exited,
+                        init,
+                        "pc {pc}: top-level join did not reconverge to the launch mask"
+                    );
+                }
+                s.advance();
+            }
+            I::Br { taken, t, rpc } => {
+                s.branch(taken, t, rpc);
+            }
+            I::Jmp(t) => {
+                s.branch(u32::MAX, t, t);
+            }
+            I::Exit => {
+                exited |= active;
+                s.exit();
+            }
+        }
+    }
+    assert_eq!(s.exited_mask(), init, "some launched lanes never exited");
+    Run { visits, exited }
+}
+
+/// Build a random program (final `Exit` appended) for one scenario.
+fn gen_program(rng: &mut Rng, allow_exit: bool) -> Vec<I> {
+    let mut prog = Vec::new();
+    gen_block(&mut prog, rng, 0, allow_exit);
+    prog.push(I::Exit);
+    prog
+}
+
+/// Without early exits: every launched lane walks its unique path — each
+/// (pc, lane) visited at most once, the final `Exit` visited by *all*
+/// lanes, and full reconvergence after every top-level diamond (asserted
+/// inside `run`).
+#[test]
+fn nested_diamonds_conserve_lanes() {
+    let mut rng = Rng(0x57AC_0001);
+    for case in 0..400 {
+        let prog = gen_program(&mut rng, false);
+        let init = match case % 3 {
+            0 => u32::MAX,
+            1 => 0x0000_FFFF, // partial warp
+            _ => {
+                let m = rng.next_u32();
+                if m == 0 {
+                    1
+                } else {
+                    m
+                }
+            }
+        };
+        let r = run(&prog, init);
+        for (pc, row) in r.visits.iter().enumerate() {
+            for (lane, &count) in row.iter().enumerate() {
+                assert!(
+                    count <= 1,
+                    "case {case}: lane {lane} visited pc {pc} {count} times"
+                );
+                if init & (1 << lane) == 0 {
+                    assert_eq!(count, 0, "case {case}: ghost lane {lane} executed pc {pc}");
+                }
+            }
+        }
+        // The final Exit is the program's unique sink: every launched lane
+        // must reach it (no lane lost in a diamond).
+        let last = prog.len() - 1;
+        for lane in 0..32 {
+            if init & (1 << lane) != 0 {
+                assert_eq!(
+                    r.visits[last][lane], 1,
+                    "case {case}: lane {lane} never reached the final exit"
+                );
+            }
+        }
+    }
+}
+
+/// With random early exits: lanes may leave at different depths, but the
+/// stack still terminates with every lane exited exactly once and no
+/// (pc, lane) pair executed twice.
+#[test]
+fn random_early_exits_never_leak_lanes() {
+    let mut rng = Rng(0x57AC_0002);
+    for case in 0..400 {
+        let prog = gen_program(&mut rng, true);
+        let init = if case % 2 == 0 {
+            u32::MAX
+        } else {
+            let m = rng.next_u32();
+            if m == 0 {
+                1
+            } else {
+                m
+            }
+        };
+        let r = run(&prog, init);
+        for (pc, row) in r.visits.iter().enumerate() {
+            for (lane, &count) in row.iter().enumerate() {
+                assert!(
+                    count <= 1,
+                    "case {case}: lane {lane} visited pc {pc} {count} times"
+                );
+            }
+        }
+        // Each launched lane executed exactly one Exit.
+        let mut exit_visits = [0u32; 32];
+        for (pc, row) in r.visits.iter().enumerate() {
+            if matches!(prog[pc], I::Exit) {
+                for (lane, &count) in row.iter().enumerate() {
+                    exit_visits[lane] += count;
+                }
+            }
+        }
+        for (lane, &visits) in exit_visits.iter().enumerate() {
+            let want = u32::from(init & (1 << lane) != 0);
+            assert_eq!(
+                visits, want,
+                "case {case}: lane {lane} executed {visits} exits"
+            );
+        }
+        assert_eq!(r.exited, init);
+    }
+}
+
+/// Stack depth never exceeds nesting + 1 — structured control flow cannot
+/// blow the hardware's entry budget.
+#[test]
+fn depth_tracks_nesting() {
+    let mut rng = Rng(0x57AC_0003);
+    for _ in 0..100 {
+        let prog = gen_program(&mut rng, false);
+        let mut s = SimtStack::new(u32::MAX);
+        let mut fuel = 100_000;
+        let mut max_depth = 0;
+        while !s.done() {
+            fuel -= 1;
+            assert!(fuel > 0);
+            max_depth = max_depth.max(s.depth());
+            match prog[s.pc()] {
+                I::Work { .. } => s.advance(),
+                I::Br { taken, t, rpc } => {
+                    s.branch(taken, t, rpc);
+                }
+                I::Jmp(t) => {
+                    s.branch(u32::MAX, t, t);
+                }
+                I::Exit => s.exit(),
+            }
+        }
+        // Generator nests at most 6 deep (depth < 5 recursion guard + top);
+        // each divergent diamond adds at most 2 entries above its parent.
+        assert!(
+            max_depth <= 13,
+            "depth {max_depth} exceeds structured bound"
+        );
+    }
+}

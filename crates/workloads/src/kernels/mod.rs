@@ -2,6 +2,7 @@
 
 pub mod compute;
 pub mod memory;
+pub mod stress;
 
 use crate::Workload;
 use simt_ir::{KernelBuilder, Op, Operand, RegId};

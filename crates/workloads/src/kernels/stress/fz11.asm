@@ -1,0 +1,305 @@
+.kernel fz11
+.params 4
+    mad r0, %ctaid.x, %ntid.x, %tid.x;
+    and r1, %tid.x, 31;
+    shr r2, r0, 5;
+    mad r3, r0, 1, 50;
+    mad r4, r3, 4, %p0;
+    ld.global.b32 r5, [r4];
+    and r6, r1, 255;
+    cvt.f32.s64 r7, r6;
+    mad.f32 r8, r7, 1056964608, 1065353216;
+    cvt.s64.f32 r9, r8;
+    and r10, r1, 3;
+    setp.eq p0, r10, 1;
+    @p0 bra L0;
+    setp.eq p1, r10, 2;
+    @p1 bra L1;
+    setp.eq p2, r10, 3;
+    @p2 bra L2;
+    add r11, r1, 32;
+    and r12, r0, 31;
+    setp.eq p3, r12, 2;
+    mad r13, r0, 4, %p2;
+    @p3 st.global.b32 [r13], r11;
+    bra L3;
+L0:
+    mad r14, r0, 4, 31;
+    mad r15, r14, 4, %p0;
+    ld.global.b32 r16, [r15];
+    mad r17, r1, r11, r16;
+    bra L3;
+L1:
+    mov r18, 2;
+    mov r19, 0;
+L10:
+    setp.ge p4, r19, r18;
+    @p4 bra L4;
+    and r20, r2, 15;
+    setp.le p5, r20, 6;
+    sel r21, r9, r2, p5;
+    and r22, r16, 63;
+    setp.ne p6, r22, 32;
+    @!p6 bra L5;
+    mad r23, r0, 1, 13;
+    mad r24, r23, 4, %p1;
+    ld.global.b32 r25, [r24];
+    bra L5;
+L5:
+    and r26, r5, 3;
+    setp.eq p7, r26, 1;
+    @p7 bra L6;
+    setp.eq p8, r26, 2;
+    @p8 bra L7;
+    setp.eq p9, r26, 3;
+    @p9 bra L8;
+    and r27, r0, 255;
+    bra L9;
+L6:
+    sub r28, r2, 35;
+    bra L9;
+L7:
+    max r28, r28, r19;
+    bra L9;
+L8:
+    min r9, r9, r25;
+    bra L9;
+L9:
+    add r19, r19, 1;
+    bra L10;
+L4:
+    bra L3;
+L2:
+    and r29, r19, 1;
+    setp.eq p10, r29, 1;
+    @p10 bra L11;
+    xor r30, r1, r2;
+    shl r31, r1, 3;
+    bra L12;
+L11:
+    add r32, r27, 41;
+    bra L12;
+L12:
+    bra L3;
+L3:
+    add r11, r11, r28;
+    mad r33, r30, r17, r9;
+    mad r34, r0, 4, %p2;
+    st.global.b32 [r34], r33;
+    mad r35, r16, 1, 8;
+    and r36, r35, 4095;
+    mad r37, r36, 4, %p1;
+    and r38, r0, 3;
+    setp.ne p11, r38, 2;
+    @p11 ld.global.b32 r39, [r37];
+    and r40, r27, 3;
+    setp.eq p12, r40, 1;
+    @p12 bra L13;
+    setp.eq p13, r40, 2;
+    @p13 bra L14;
+    setp.eq p14, r40, 3;
+    @p14 bra L15;
+    and r41, r27, 1;
+    setp.eq p15, r41, 1;
+    @p15 bra L16;
+    mad r42, r21, 8, 62;
+    and r43, r42, 4095;
+    mad r44, r43, 4, %p1;
+    ld.global.b32 r45, [r44];
+    and r46, r33, 1;
+    setp.eq p16, r46, 1;
+    @p16 bra L17;
+    mad r47, r0, 2, 58;
+    mad r48, r47, 4, %p1;
+    ld.global.b32 r49, [r48];
+    max r50, r5, r2;
+    bra L18;
+L17:
+    add r51, r39, 36;
+    bra L18;
+L18:
+    bra L19;
+L16:
+    and r52, r51, 3;
+    setp.eq p17, r52, 1;
+    @p17 bra L20;
+    setp.eq p18, r52, 2;
+    @p18 bra L21;
+    setp.eq p19, r52, 3;
+    @p19 bra L22;
+    mad r53, r0, 4, %p2;
+    st.global.b32 [r53], r5;
+    bra L23;
+L20:
+    sub r54, r1, 2;
+    mad r55, r0, 2, 57;
+    mad r56, r55, 4, %p1;
+    ld.global.b32 r57, [r56];
+    bra L23;
+L21:
+    mad r58, r1, 6, 21;
+    and r59, r58, 4095;
+    mad r60, r59, 4, %p0;
+    ld.global.b32 r61, [r60];
+    bra L23;
+L22:
+    max r62, r9, r54;
+    mad r63, r0, 4, 45;
+    mad r64, r63, 4, %p1;
+    ld.global.b32 r65, [r64];
+    bra L23;
+L23:
+    rem r66, r33, r49;
+    bra L19;
+L19:
+    and r67, r21, 1;
+    setp.eq p20, r67, 1;
+    @p20 bra L24;
+    mad r68, r28, r33, r33;
+    bra L25;
+L24:
+    and r69, r19, 3;
+    setp.eq p21, r69, 1;
+    @p21 bra L26;
+    setp.eq p22, r69, 2;
+    @p22 bra L27;
+    setp.eq p23, r69, 3;
+    @p23 bra L28;
+    add r70, r57, 60;
+    bra L29;
+L26:
+    mad r71, r0, 1, 17;
+    mad r72, r71, 4, %p1;
+    ld.global.b32 r73, [r72];
+    bra L29;
+L27:
+    add r74, r5, 10;
+    and r75, r39, 7;
+    bra L29;
+L28:
+    add r76, r25, 63;
+    bra L29;
+L29:
+    bra L25;
+L25:
+    bra L30;
+L13:
+    mad r77, r0, 4, 12;
+    mad r78, r77, 4, %p0;
+    ld.global.b32 r79, [r78];
+    max r80, r79, r27;
+    bra L30;
+L14:
+    and r81, r80, 3;
+    setp.eq p24, r81, 1;
+    @p24 bra L31;
+    setp.eq p25, r81, 2;
+    @p25 bra L32;
+    setp.eq p26, r81, 3;
+    @p26 bra L33;
+    and r82, r70, 3;
+    setp.ge p27, r82, 3;
+    @!p27 bra L34;
+    mad r83, r0, 2, 30;
+    mad r84, r83, 4, %p0;
+    ld.global.b32 r85, [r84];
+    bra L35;
+L34:
+    mad r86, r0, 4, 18;
+    mad r87, r86, 4, %p1;
+    ld.global.b32 r88, [r87];
+    mad r89, r68, r2, r51;
+L35:
+    and r90, r0, 3;
+    setp.eq p28, r90, 1;
+    @p28 bra L36;
+    setp.eq p29, r90, 2;
+    @p29 bra L37;
+    setp.eq p30, r90, 3;
+    @p30 bra L38;
+    and r91, r88, 15;
+    setp.ne p31, r91, 0;
+    mad r92, r0, 4, %p2;
+    @p31 st.global.b32 [r92], r27;
+    bra L39;
+L36:
+    and r93, r79, 63;
+    setp.lt p32, r93, 53;
+    sel r94, r5, r50, p32;
+    add r95, r51, 18;
+    bra L39;
+L37:
+    mad r96, r0, 1, 20;
+    mad r97, r96, 4, %p1;
+    ld.global.b32 r98, [r97];
+    bra L39;
+L38:
+    mad r99, r0, 4, 0;
+    mad r100, r99, 4, %p0;
+    ld.global.b32 r101, [r100];
+    rem r102, r94, 3;
+    bra L39;
+L39:
+    bra L40;
+L31:
+    and r103, r1, 3;
+    setp.eq p33, r103, 1;
+    @p33 bra L41;
+    setp.eq p34, r103, 2;
+    @p34 bra L42;
+    setp.eq p35, r103, 3;
+    @p35 bra L43;
+    mad r104, r0, 2, 36;
+    mad r105, r104, 4, %p1;
+    ld.global.b32 r106, [r105];
+    bra L44;
+L41:
+    xor r107, r9, r80;
+    mad r108, r88, 3, 56;
+    and r109, r108, 4095;
+    mad r110, r109, 4, %p0;
+    ld.global.b32 r111, [r110];
+    bra L44;
+L42:
+    add r112, r73, 52;
+    mad r113, r0, 2, 29;
+    mad r114, r113, 4, %p1;
+    ld.global.b32 r115, [r114];
+    bra L44;
+L43:
+    add r116, r1, 52;
+    mad r117, r107, 5, 51;
+    and r118, r117, 4095;
+    mad r119, r118, 4, %p1;
+    ld.global.b32 r120, [r119];
+    bra L44;
+L44:
+    rem r121, r31, 2;
+    bra L40;
+L32:
+    add r66, r66, r5;
+    mad r122, r0, 1, 45;
+    mad r123, r122, 4, %p1;
+    ld.global.b32 r124, [r123];
+    bra L40;
+L33:
+    mad r125, r57, r31, r75;
+    bra L40;
+L40:
+    bra L30;
+L15:
+    mad r126, r33, r62, r76;
+    bra L30;
+L30:
+    mad r127, r31, r88, r62;
+    and r128, r61, 1;
+    setp.ge p36, r128, 0;
+    mad r129, r0, 4, %p2;
+    @p36 st.global.b32 [r129], r120;
+    and r130, r106, 63;
+    setp.le p37, r130, 55;
+    mad r131, r0, 4, %p2;
+    @p37 st.global.b32 [r131], r51;
+    mad r132, r0, 4, %p2;
+    st.global.b32 [r132], r127;
+    exit;

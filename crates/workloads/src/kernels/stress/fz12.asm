@@ -1,0 +1,516 @@
+.kernel fz12
+.params 4
+    mad r0, %ctaid.x, %ntid.x, %tid.x;
+    and r1, %tid.x, 31;
+    shr r2, r0, 5;
+    and r3, r0, 1;
+    setp.gt p0, r3, 1;
+    @!p0 bra L0;
+    and r4, r1, 63;
+    setp.ge p1, r4, 6;
+    sel r5, r1, r0, p1;
+    add r6, r0, r2;
+    and r7, r1, 7;
+    setp.gt p2, r7, 6;
+    @!p2 bra L1;
+    mov r8, 2;
+    mov r9, 0;
+L3:
+    setp.ge p3, r9, r8;
+    @p3 bra L2;
+    mad r10, r0, 1, 49;
+    mad r11, r10, 4, %p0;
+    ld.global.b32 r12, [r11];
+    add r13, r1, 62;
+    mad r14, r6, 7, 20;
+    and r15, r14, 4095;
+    mad r16, r15, 4, %p0;
+    ld.global.b32 r17, [r16];
+    add r9, r9, 1;
+    bra L3;
+L2:
+    and r18, r9, 63;
+    setp.lt p4, r18, 3;
+    sel r19, r9, r5, p4;
+    mov r20, 6;
+    mov r21, 0;
+L5:
+    setp.ge p5, r21, r20;
+    @p5 bra L4;
+    add r22, r21, 7;
+    add r21, r21, 1;
+    bra L5;
+L4:
+    bra L6;
+L1:
+    and r23, r22, 3;
+    setp.eq p6, r23, 1;
+    @p6 bra L7;
+    setp.eq p7, r23, 2;
+    @p7 bra L8;
+    setp.eq p8, r23, 3;
+    @p8 bra L9;
+    mad r24, r0, 7, 58;
+    and r25, r24, 4095;
+    mad r26, r25, 4, %p1;
+    and r27, r5, 15;
+    setp.lt p9, r27, 0;
+    @p9 ld.global.b32 r28, [r26];
+    mad r29, r0, 4, 51;
+    mad r30, r29, 4, %p0;
+    ld.global.b32 r31, [r30];
+    bra L6;
+L7:
+    and r32, r2, 15;
+    bra L6;
+L8:
+    add r33, r0, 1;
+    xor r34, r19, 83;
+    bra L6;
+L9:
+    and r35, r17, 255;
+    mad r36, r0, 4, 7;
+    mad r37, r36, 4, %p1;
+    ld.global.b32 r38, [r37];
+    bra L6;
+L6:
+    bra L10;
+L0:
+    and r39, r22, 15;
+    setp.eq p10, r39, 12;
+    @!p10 bra L11;
+    shr r40, r12, 1;
+    xor r41, r21, 30;
+    mad r42, r0, 2, 32;
+    mad r43, r42, 4, %p0;
+    ld.global.b32 r44, [r43];
+    bra L12;
+L11:
+    and r45, r5, 7;
+    mov r46, 0;
+L13:
+    setp.ge p11, r46, r45;
+    @p11 bra L12;
+    mad r47, r0, 4, %p2;
+    st.global.b32 [r47], r46;
+    add r48, r34, 7;
+    add r46, r46, 1;
+    bra L13;
+L12:
+    and r49, r19, 1;
+    setp.eq p12, r49, 1;
+    @p12 bra L14;
+    and r50, r5, 7;
+    setp.ge p13, r50, 2;
+    @!p13 bra L15;
+    add r51, r32, 12;
+    bra L16;
+L15:
+    mad r52, r0, 1, 14;
+    mad r53, r52, 4, %p0;
+    ld.global.b32 r54, [r53];
+L16:
+    mad r55, r0, 4, %p2;
+    st.global.b32 [r55], r5;
+    bra L10;
+L14:
+    mad r56, r0, 4, %p2;
+    st.global.b32 [r56], r46;
+    bra L10;
+L10:
+    and r57, r17, 3;
+    setp.gt p14, r57, 1;
+    sel r58, r38, r44, p14;
+    mad r59, r0, 1, 5;
+    mad r60, r59, 4, %p1;
+    ld.global.b32 r61, [r60];
+    and r62, r17, 3;
+    setp.eq p15, r62, 1;
+    @p15 bra L17;
+    setp.eq p16, r62, 2;
+    @p16 bra L18;
+    setp.eq p17, r62, 3;
+    @p17 bra L19;
+    and r63, r17, 3;
+    setp.lt p18, r63, 1;
+    sel r64, r41, r21, p18;
+    mov r65, 7;
+    mov r66, 0;
+L23:
+    setp.ge p19, r66, r65;
+    @p19 bra L20;
+    and r67, r22, 7;
+    setp.eq p20, r67, 7;
+    @!p20 bra L21;
+    mad r68, r0, 1, 12;
+    mad r69, r68, 4, %p1;
+    ld.global.b32 r70, [r69];
+    shr r71, r17, 3;
+    shr r72, r35, 1;
+    bra L22;
+L21:
+    and r73, r21, 1;
+    setp.lt p21, r73, 0;
+    sel r74, r71, r19, p21;
+    and r75, r41, 63;
+    setp.ne p22, r75, 11;
+    mad r76, r0, 4, %p2;
+    @p22 st.global.b32 [r76], r33;
+L22:
+    and r77, r9, 7;
+    setp.eq p23, r77, 3;
+    mad r78, r0, 4, %p2;
+    @p23 st.global.b32 [r78], r48;
+    add r66, r66, 1;
+    bra L23;
+L20:
+    bra L24;
+L17:
+    and r79, r64, 3;
+    setp.lt p24, r79, 0;
+    @!p24 bra L25;
+    add r80, r5, 37;
+    and r81, r28, 7;
+    setp.gt p25, r81, 7;
+    @!p25 bra L26;
+    rem r82, r21, 6;
+    shl r83, r32, 0;
+    bra L27;
+L26:
+    and r84, r66, 7;
+    mad r85, r84, 4, %p3;
+    and r86, r70, 65535;
+    atom.min r87, [r85+0], r86;
+    max r58, r58, r82;
+L27:
+    and r88, r28, 7;
+    setp.lt p26, r88, 6;
+    @!p26 bra L28;
+    add r89, r64, 63;
+    mad r90, r0, 1, 28;
+    mad r91, r90, 4, %p1;
+    ld.global.b32 r92, [r91];
+    bra L29;
+L28:
+    mul r93, r44, 2;
+    and r94, r13, 15;
+    setp.ne p27, r94, 8;
+    mad r95, r0, 4, %p2;
+    @p27 st.global.b32 [r95], r72;
+L29:
+    bra L25;
+L25:
+    and r96, r54, 3;
+    setp.eq p28, r96, 1;
+    @p28 bra L30;
+    setp.eq p29, r96, 2;
+    @p29 bra L31;
+    setp.eq p30, r96, 3;
+    @p30 bra L32;
+    mad r97, r74, 6, 45;
+    and r98, r97, 4095;
+    mad r99, r98, 4, %p1;
+    ld.global.b32 r100, [r99];
+    bra L33;
+L30:
+    and r101, r22, 7;
+    mad r102, r101, 4, %p3;
+    and r103, r100, 65535;
+    atom.min r104, [r102+0], r103;
+    bra L33;
+L31:
+    and r105, r33, 3;
+    setp.gt p31, r105, 3;
+    @!p31 bra L34;
+    mad r106, r0, 4, %p2;
+    st.global.b32 [r106], r19;
+    mad r107, r0, 1, 36;
+    mad r108, r107, 4, %p1;
+    ld.global.b32 r109, [r108];
+    bra L35;
+L34:
+    mad r110, r40, 6, 18;
+    and r111, r110, 4095;
+    mad r112, r111, 4, %p0;
+    ld.global.b32 r113, [r112];
+    add r114, r0, 7;
+L35:
+    mad r115, r1, r113, r58;
+    bra L33;
+L32:
+    and r116, r33, 1;
+    setp.eq p32, r116, 0;
+    @!p32 bra L36;
+    add r117, r19, r115;
+    add r118, r1, 40;
+    bra L36;
+L36:
+    and r119, r44, 1;
+    setp.eq p33, r119, 1;
+    @p33 bra L37;
+    mad r120, r0, 4, 24;
+    mad r121, r120, 4, %p0;
+    ld.global.b32 r122, [r121];
+    mad r123, r32, 5, 22;
+    and r124, r123, 4095;
+    mad r125, r124, 4, %p0;
+    ld.global.b32 r126, [r125];
+    bra L38;
+L37:
+    and r127, r82, r117;
+    sub r128, r74, 21;
+    bra L38;
+L38:
+    bra L33;
+L33:
+    bra L24;
+L18:
+    mov r129, 6;
+    mov r130, 0;
+L44:
+    setp.ge p34, r130, r129;
+    @p34 bra L39;
+    shr r131, r74, 3;
+    and r132, r64, 3;
+    setp.eq p35, r132, 1;
+    @p35 bra L40;
+    setp.eq p36, r132, 2;
+    @p36 bra L41;
+    setp.eq p37, r132, 3;
+    @p37 bra L42;
+    add r133, r44, 20;
+    bra L43;
+L40:
+    mad r134, r19, 2, 58;
+    and r135, r134, 4095;
+    mad r136, r135, 4, %p0;
+    ld.global.b32 r137, [r136];
+    bra L43;
+L41:
+    mad r138, r0, 4, 31;
+    mad r139, r138, 4, %p0;
+    ld.global.b32 r140, [r139];
+    and r141, r66, 7;
+    mad r142, r141, 4, %p3;
+    and r143, r35, 65535;
+    atom.min r144, [r142+0], r143;
+    bra L43;
+L42:
+    sub r145, r117, r74;
+    bra L43;
+L43:
+    add r146, r2, 28;
+    add r130, r130, 1;
+    bra L44;
+L39:
+    bra L24;
+L19:
+    and r147, r122, 31;
+    setp.eq p38, r147, 3;
+    @!p38 bra L45;
+    and r148, r115, 1;
+    setp.ge p39, r148, 0;
+    @!p39 bra L46;
+    mad r149, r0, 4, 13;
+    mad r150, r149, 4, %p0;
+    ld.global.b32 r151, [r150];
+    bra L47;
+L46:
+    mad r152, r0, 1, 61;
+    mad r153, r152, 4, %p0;
+    ld.global.b32 r154, [r153];
+    xor r155, r114, 3;
+L47:
+    mad r156, r0, 4, %p2;
+    st.global.b32 [r156], r72;
+    bra L48;
+L45:
+    and r157, r109, 15;
+    setp.lt p40, r157, 9;
+    @!p40 bra L49;
+    shr r158, r64, 1;
+    bra L48;
+L49:
+    mad r159, r0, 1, 34;
+    mad r160, r159, 4, %p0;
+    ld.global.b32 r161, [r160];
+    xor r162, r61, 153;
+L48:
+    and r163, r1, 3;
+    setp.ne p41, r163, 1;
+    @!p41 bra L50;
+    and r164, r38, 7;
+    setp.lt p42, r164, 6;
+    mad r165, r0, 4, %p2;
+    @p42 st.global.b32 [r165], r137;
+    bra L51;
+L50:
+    and r166, r13, 15;
+    setp.ge p43, r166, 3;
+    @!p43 bra L51;
+    mul r167, r1, 2;
+    bra L51;
+L51:
+    bra L24;
+L24:
+    mad r168, r13, 1, 22;
+    and r169, r168, 4095;
+    mad r170, r169, 4, %p0;
+    ld.global.b32 r171, [r170];
+    max r172, r80, r82;
+    add r115, r115, r158;
+    mad r173, r0, 1, 63;
+    mad r174, r173, 4, %p0;
+    ld.global.b32 r175, [r174];
+    and r176, r100, 63;
+    setp.eq p44, r176, 59;
+    @!p44 bra L52;
+    and r177, r126, 31;
+    setp.ge p45, r177, 6;
+    sel r178, r127, r58, p45;
+    bra L53;
+L52:
+    and r179, r178, 3;
+    setp.ne p46, r179, 3;
+    @!p46 bra L54;
+    mad r180, r0, 4, %p2;
+    st.global.b32 [r180], r1;
+    mad r181, r31, r155, r40;
+    and r182, r175, 31;
+    setp.lt p47, r182, 4;
+    sel r183, r48, r28, p47;
+    bra L55;
+L54:
+    and r184, r155, 3;
+    setp.gt p48, r184, 1;
+    @!p48 bra L55;
+    mad r185, r0, 1, 29;
+    mad r186, r185, 4, %p0;
+    ld.global.b32 r187, [r186];
+    add r188, r31, 2;
+    bra L55;
+L55:
+    mad r189, r0, 1, 4;
+    mad r190, r189, 4, %p1;
+    ld.global.b32 r191, [r190];
+L53:
+    and r192, r32, 7;
+    setp.lt p49, r192, 4;
+    @!p49 bra L56;
+    min r161, r161, r151;
+    bra L57;
+L56:
+    and r193, r48, 31;
+    setp.eq p50, r193, 24;
+    @!p50 bra L58;
+    and r194, r31, 1;
+    setp.eq p51, r194, 1;
+    @p51 bra L59;
+    mad r195, r0, 2, 32;
+    mad r196, r195, 4, %p1;
+    ld.global.b32 r197, [r196];
+    mad r198, r0, 4, %p2;
+    st.global.b32 [r198], r0;
+    bra L60;
+L59:
+    sub r199, r158, r13;
+    mad r200, r22, 2, 41;
+    and r201, r200, 4095;
+    mad r202, r201, 4, %p1;
+    ld.global.b32 r203, [r202];
+    bra L60;
+L60:
+    bra L57;
+L58:
+    min r204, r70, r31;
+    and r205, r12, 15;
+    setp.eq p52, r205, 9;
+    @!p52 bra L61;
+    and r206, r21, 1;
+    setp.ne p53, r206, 0;
+    sel r207, r80, r34, p53;
+    mad r208, r0, 2, 45;
+    mad r209, r208, 4, %p1;
+    ld.global.b32 r210, [r209];
+    mad r211, r0, 2, 51;
+    mad r212, r211, 4, %p1;
+    ld.global.b32 r213, [r212];
+    bra L57;
+L61:
+    and r214, r19, r127;
+    mul r215, r5, 5;
+L57:
+    and r216, r17, 7;
+    setp.ge p54, r216, 5;
+    @!p54 bra L62;
+    mad r217, r167, 3, 36;
+    and r218, r217, 4095;
+    mad r219, r218, 4, %p0;
+    ld.global.b32 r220, [r219];
+    mad r221, r0, 2, 52;
+    mad r222, r221, 4, %p1;
+    ld.global.b32 r223, [r222];
+    bra L63;
+L62:
+    mad r224, r0, 1, 4;
+    mad r225, r224, 4, %p0;
+    ld.global.b32 r226, [r225];
+L63:
+    and r227, r66, 15;
+    setp.lt p55, r227, 15;
+    @!p55 bra L64;
+    and r228, r34, 1;
+    setp.eq p56, r228, 1;
+    @p56 bra L65;
+    mad r229, r92, 8, 9;
+    and r230, r229, 4095;
+    mad r231, r230, 4, %p1;
+    ld.global.b32 r232, [r231];
+    bra L66;
+L65:
+    mad r233, r0, 2, 8;
+    mad r234, r233, 4, %p1;
+    ld.global.b32 r235, [r234];
+    bra L66;
+L66:
+    bra L67;
+L64:
+    and r236, r58, 7;
+    setp.eq p57, r236, 6;
+    @!p57 bra L68;
+    mad r237, r35, 5, 47;
+    and r238, r237, 4095;
+    mad r239, r238, 4, %p0;
+    and r240, r213, 3;
+    setp.gt p58, r240, 0;
+    @p58 ld.global.b32 r241, [r239];
+    rem r242, r113, 2;
+    bra L69;
+L68:
+    mov r243, 7;
+    mov r244, 0;
+L70:
+    setp.ge p59, r244, r243;
+    @p59 bra L69;
+    mad r245, r0, 2, 62;
+    mad r246, r245, 4, %p0;
+    ld.global.b32 r247, [r246];
+    add r248, r199, 40;
+    add r244, r244, 1;
+    bra L70;
+L69:
+    and r249, r213, 63;
+    setp.gt p60, r249, 38;
+    @!p60 bra L71;
+    and r250, r0, 1;
+    mad r251, r0, 4, 62;
+    mad r252, r251, 4, %p0;
+    ld.global.b32 r253, [r252];
+    bra L67;
+L71:
+    mad r254, r0, 4, %p2;
+    st.global.b32 [r254], r172;
+L67:
+    mad r255, r0, 4, %p2;
+    st.global.b32 [r255], r253;
+    exit;

@@ -1,0 +1,26 @@
+.kernel fz22
+.params 4
+    mad r0, %ctaid.x, %ntid.x, %tid.x;
+    and r1, %tid.x, 31;
+    shr r2, r0, 5;
+    mad r3, r0, 4, %p2;
+    st.global.b32 [r3], r2;
+    mad r4, r0, 1, 45;
+    mad r5, r4, 4, %p1;
+    ld.global.b32 r6, [r5];
+    xor r7, r1, 27;
+    mad r8, r0, 4, %p2;
+    st.global.b32 [r8], r1;
+    rem r9, r2, r7;
+    mad r10, r0, 1, 46;
+    mad r11, r10, 4, %p0;
+    ld.global.b32 r12, [r11];
+    mad r13, r7, r7, r7;
+    mad r14, r0, 1, 54;
+    mad r15, r14, 4, %p1;
+    ld.global.b32 r16, [r15];
+    mad r17, r0, 4, %p2;
+    st.global.b32 [r17], r2;
+    mad r18, r0, 4, %p2;
+    st.global.b32 [r18], r16;
+    exit;

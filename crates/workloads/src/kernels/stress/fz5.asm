@@ -1,0 +1,262 @@
+.kernel fz5
+.params 4
+    mad r0, %ctaid.x, %ntid.x, %tid.x;
+    and r1, %tid.x, 31;
+    shr r2, r0, 5;
+    mad r3, r0, 4, %p2;
+    st.global.b32 [r3], r0;
+    and r4, r2, 1;
+    setp.eq p0, r4, 1;
+    sel r5, r0, r2, p0;
+    and r6, r1, 31;
+    setp.ge p1, r6, 30;
+    @!p1 bra L0;
+    and r7, r2, 3;
+    setp.le p2, r7, 3;
+    sel r8, r5, r2, p2;
+    and r9, r5, 3;
+    setp.eq p3, r9, 1;
+    @p3 bra L1;
+    setp.eq p4, r9, 2;
+    @p4 bra L2;
+    setp.eq p5, r9, 3;
+    @p5 bra L3;
+    and r10, r8, 7;
+    mad r11, r10, 4, %p3;
+    and r12, r2, 65535;
+    atom.max r13, [r11+0], r12;
+    bra L4;
+L1:
+    and r14, r0, 1;
+    setp.eq p6, r14, 1;
+    @p6 bra L5;
+    shr r15, r0, 3;
+    sub r16, r0, 0;
+    bra L6;
+L5:
+    shr r17, r15, 1;
+    bra L6;
+L6:
+    bra L4;
+L2:
+    xor r8, r8, r16;
+    and r18, r1, 7;
+    setp.le p7, r18, 7;
+    mad r19, r0, 4, %p2;
+    @p7 st.global.b32 [r19], r2;
+    bra L4;
+L3:
+    and r20, r16, 1;
+    setp.ne p8, r20, 1;
+    mad r21, r0, 4, %p2;
+    @p8 st.global.b32 [r21], r2;
+    and r22, r17, 31;
+    setp.ge p9, r22, 30;
+    sel r23, r17, r2, p9;
+    bra L4;
+L4:
+    and r24, r8, 3;
+    setp.ne p10, r24, 3;
+    @!p10 bra L7;
+    and r25, r23, 3;
+    setp.eq p11, r25, 1;
+    @p11 bra L8;
+    setp.eq p12, r25, 2;
+    @p12 bra L9;
+    setp.eq p13, r25, 3;
+    @p13 bra L10;
+    add r26, r2, 20;
+    or r27, r26, r17;
+    bra L11;
+L8:
+    and r28, r2, 3;
+    setp.eq p14, r28, 2;
+    mad r29, r0, 4, %p2;
+    @p14 st.global.b32 [r29], r26;
+    add r30, r17, 5;
+    bra L11;
+L9:
+    min r31, r5, r1;
+    add r32, r17, 14;
+    bra L11;
+L10:
+    mul r33, r0, r15;
+    rem r34, r27, 6;
+    bra L11;
+L11:
+    xor r35, r8, r1;
+    bra L7;
+L7:
+    bra L12;
+L0:
+    and r36, r33, 7;
+    mad r37, r36, 4, %p3;
+    and r38, r26, 65535;
+    atom.max r39, [r37+0], r38;
+    mad r40, r0, 4, %p2;
+    st.global.b32 [r40], r31;
+L12:
+    max r41, r33, r16;
+    and r42, r32, 7;
+    mov r43, 0;
+L16:
+    setp.ge p15, r43, r42;
+    @p15 bra L13;
+    and r44, r30, 1;
+    setp.eq p16, r44, 1;
+    @p16 bra L14;
+    and r45, r27, 63;
+    add r15, r15, r33;
+    bra L15;
+L14:
+    add r46, r1, 59;
+    and r47, r1, 255;
+    cvt.f32.s64 r48, r47;
+    mad.f32 r49, r48, 1088421888, 1088421888;
+    cvt.s64.f32 r50, r49;
+    bra L15;
+L15:
+    add r43, r43, 1;
+    bra L16;
+L13:
+    and r51, r2, 3;
+    setp.eq p17, r51, 1;
+    @p17 bra L17;
+    setp.eq p18, r51, 2;
+    @p18 bra L18;
+    setp.eq p19, r51, 3;
+    @p19 bra L19;
+    mad r52, r0, 1, 62;
+    mad r53, r52, 4, %p1;
+    ld.global.b32 r54, [r53];
+    bra L20;
+L17:
+    mad r55, r45, r17, r54;
+    mad r56, r0, 4, %p2;
+    st.global.b32 [r56], r46;
+    bra L20;
+L18:
+    and r57, r2, 31;
+    setp.gt p20, r57, 31;
+    sel r58, r8, r16, p20;
+    bra L20;
+L19:
+    sub r59, r2, 2;
+    bra L20;
+L20:
+    mad r60, r0, 4, 45;
+    mad r61, r60, 4, %p1;
+    ld.global.b32 r62, [r61];
+    max r58, r58, r59;
+    and r63, r32, 7;
+    mov r64, 0;
+L38:
+    setp.ge p21, r64, r63;
+    @p21 bra L21;
+    and r65, r8, 3;
+    setp.eq p22, r65, 1;
+    @p22 bra L22;
+    setp.eq p23, r65, 2;
+    @p23 bra L23;
+    setp.eq p24, r65, 3;
+    @p24 bra L24;
+    and r66, r23, 7;
+    mad r67, r66, 4, %p3;
+    and r68, r15, 65535;
+    atom.max r69, [r67+0], r68;
+    and r70, r33, 63;
+    setp.le p25, r70, 41;
+    mad r71, r0, 4, %p2;
+    @p25 st.global.b32 [r71], r41;
+    bra L25;
+L22:
+    and r72, r62, 3;
+    setp.gt p26, r72, 1;
+    @!p26 bra L26;
+    add r73, r16, 38;
+    bra L27;
+L26:
+    mad r74, r0, 4, 32;
+    mad r75, r74, 4, %p1;
+    ld.global.b32 r76, [r75];
+    rem r77, r17, 4;
+L27:
+    mad r78, r0, 1, 56;
+    mad r79, r78, 4, %p0;
+    ld.global.b32 r80, [r79];
+    bra L25;
+L23:
+    and r81, r76, 1;
+    setp.eq p27, r81, 1;
+    @p27 bra L28;
+    mad r82, r0, 1, 13;
+    mad r83, r82, 4, %p1;
+    ld.global.b32 r84, [r83];
+    mad r85, r0, 4, 50;
+    mad r86, r85, 4, %p0;
+    ld.global.b32 r87, [r86];
+    bra L29;
+L28:
+    shl r88, r54, 3;
+    bra L29;
+L29:
+    sub r89, r8, 20;
+    bra L25;
+L24:
+    mad r90, r80, 4, 47;
+    and r91, r90, 4095;
+    mad r92, r91, 4, %p0;
+    ld.global.b32 r93, [r92];
+    bra L25;
+L25:
+    and r94, r16, 1;
+    setp.eq p28, r94, 1;
+    @p28 bra L30;
+    and r95, r43, 3;
+    setp.eq p29, r95, 1;
+    @p29 bra L31;
+    setp.eq p30, r95, 2;
+    @p30 bra L32;
+    setp.eq p31, r95, 3;
+    @p31 bra L33;
+    and r96, r33, 3;
+    setp.ne p32, r96, 2;
+    sel r97, r89, r50, p32;
+    bra L34;
+L31:
+    mad r98, r0, 4, 10;
+    mad r99, r98, 4, %p0;
+    ld.global.b32 r100, [r99];
+    mad r101, r0, 4, %p2;
+    st.global.b32 [r101], r80;
+    bra L34;
+L32:
+    mad r102, r0, 1, 37;
+    mad r103, r102, 4, %p1;
+    ld.global.b32 r104, [r103];
+    bra L34;
+L33:
+    mad r105, r0, 4, %p2;
+    st.global.b32 [r105], r88;
+    bra L34;
+L34:
+    bra L35;
+L30:
+    mov r106, 3;
+    mov r107, 0;
+L37:
+    setp.ge p33, r107, r106;
+    @p33 bra L36;
+    add r108, r5, r77;
+    add r107, r107, 1;
+    bra L37;
+L36:
+    add r109, r55, 17;
+    bra L35;
+L35:
+    add r64, r64, 1;
+    bra L38;
+L21:
+    mad r110, r0, 4, %p2;
+    st.global.b32 [r110], r109;
+    exit;

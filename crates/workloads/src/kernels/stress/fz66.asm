@@ -1,0 +1,150 @@
+.kernel fz66
+.params 4
+    mad r0, %ctaid.x, %ntid.x, %tid.x;
+    and r1, %tid.x, 31;
+    shr r2, r0, 5;
+    mov r3, 6;
+    mov r4, 0;
+L3:
+    setp.ge p0, r4, r3;
+    @p0 bra L0;
+    mad r5, r0, 4, %p2;
+    st.global.b32 [r5], r1;
+    mov r6, 3;
+    mov r7, 0;
+L2:
+    setp.ge p1, r7, r6;
+    @p1 bra L1;
+    and r8, r2, 7;
+    setp.lt p2, r8, 5;
+    sel r9, r7, r2, p2;
+    and r10, r7, 15;
+    add r7, r7, 1;
+    bra L2;
+L1:
+    mad r11, r10, 8, 39;
+    and r12, r11, 4095;
+    mad r13, r12, 4, %p1;
+    ld.global.b32 r14, [r13];
+    add r4, r4, 1;
+    bra L3;
+L0:
+    add r15, r0, 13;
+    and r16, r2, 3;
+    setp.gt p3, r16, 1;
+    @!p3 bra L4;
+    mad r17, r0, 1, 43;
+    mad r18, r17, 4, %p1;
+    ld.global.b32 r19, [r18];
+    bra L4;
+L4:
+    and r20, r19, 7;
+    mad r21, r20, 4, %p3;
+    and r22, r19, 65535;
+    atom.add r23, [r21+0], r22;
+    xor r19, r19, r2;
+    and r24, r1, 7;
+    setp.lt p4, r24, 3;
+    @!p4 bra L5;
+    and r25, r14, 7;
+    mov r26, 0;
+L11:
+    setp.ge p5, r26, r25;
+    @p5 bra L6;
+    and r27, r19, 3;
+    setp.eq p6, r27, 1;
+    @p6 bra L7;
+    setp.eq p7, r27, 2;
+    @p7 bra L8;
+    setp.eq p8, r27, 3;
+    @p8 bra L9;
+    mad r28, r0, 1, 47;
+    mad r29, r28, 4, %p1;
+    ld.global.b32 r30, [r29];
+    rem r31, r10, 7;
+    bra L10;
+L7:
+    shl r32, r15, 2;
+    and r33, r10, 15;
+    setp.ne p9, r33, 6;
+    sel r34, r26, r9, p9;
+    bra L10;
+L8:
+    mad r35, r31, 8, 47;
+    and r36, r35, 4095;
+    mad r37, r36, 4, %p0;
+    ld.global.b32 r38, [r37];
+    bra L10;
+L9:
+    mad r39, r0, 1, 38;
+    mad r40, r39, 4, %p1;
+    ld.global.b32 r41, [r40];
+    bra L10;
+L10:
+    or r42, r9, r26;
+    add r26, r26, 1;
+    bra L11;
+L6:
+    and r43, r1, 1;
+    setp.eq p10, r43, 1;
+    @p10 bra L12;
+    mov r44, 5;
+    mov r45, 0;
+L14:
+    setp.ge p11, r45, r44;
+    @p11 bra L13;
+    add r46, r15, 57;
+    add r45, r45, 1;
+    bra L14;
+L13:
+    bra L15;
+L12:
+    mad r47, r0, 4, 54;
+    mad r48, r47, 4, %p0;
+    ld.global.b32 r49, [r48];
+    bra L15;
+L15:
+    mad r50, r0, 2, 38;
+    mad r51, r50, 4, %p1;
+    ld.global.b32 r52, [r51];
+    bra L5;
+L5:
+    and r53, r41, 255;
+    cvt.f32.s64 r54, r53;
+    mad.f32 r55, r54, 1086324736, 1077936128;
+    cvt.s64.f32 r56, r55;
+    mov r57, 7;
+    mov r58, 0;
+L21:
+    setp.ge p12, r58, r57;
+    @p12 bra L16;
+    mov r59, 3;
+    mov r60, 0;
+L20:
+    setp.ge p13, r60, r59;
+    @p13 bra L17;
+    and r61, r49, 1;
+    setp.eq p14, r61, 1;
+    @p14 bra L18;
+    mul r62, r56, 6;
+    shr r63, r14, 0;
+    bra L19;
+L18:
+    and r64, r63, 7;
+    mad r65, r64, 4, %p3;
+    and r66, r10, 65535;
+    atom.add r67, [r65+0], r66;
+    bra L19;
+L19:
+    sub r68, r42, 35;
+    add r69, r10, 15;
+    add r60, r60, 1;
+    bra L20;
+L17:
+    add r58, r58, 1;
+    bra L21;
+L16:
+    and r70, r38, r26;
+    mad r71, r0, 4, %p2;
+    st.global.b32 [r71], r70;
+    exit;

@@ -1,0 +1,33 @@
+.kernel fz7
+.params 4
+    mad r0, %ctaid.x, %ntid.x, %tid.x;
+    and r1, %tid.x, 31;
+    shr r2, r0, 5;
+    and r3, r0, 7;
+    mov r4, 0;
+L1:
+    setp.ge p0, r4, r3;
+    @p0 bra L0;
+    and r5, r0, 63;
+    setp.ge p1, r5, 56;
+    sel r6, r4, r1, p1;
+    and r7, r6, 1;
+    setp.lt p2, r7, 0;
+    mad r8, r0, 4, %p2;
+    @p2 st.global.b32 [r8], r0;
+    min r6, r6, r1;
+    add r4, r4, 1;
+    bra L1;
+L0:
+    min r9, r6, r2;
+    mad r10, r0, 1, 25;
+    mad r11, r10, 4, %p0;
+    ld.global.b32 r12, [r11];
+    div r13, r1, r12;
+    sub r14, r9, 28;
+    mad r15, r0, 4, 40;
+    mad r16, r15, 4, %p0;
+    ld.global.b32 r17, [r16];
+    mad r18, r0, 4, %p2;
+    st.global.b32 [r18], r17;
+    exit;

@@ -1,0 +1,25 @@
+.kernel fz77
+.params 4
+    mad r0, %ctaid.x, %ntid.x, %tid.x;
+    and r1, %tid.x, 31;
+    shr r2, r0, 5;
+    xor r3, r0, 1;
+    and r4, r2, 7;
+    mad r5, r4, 4, %p3;
+    and r6, r3, 65535;
+    atom.max r7, [r5+0], r6;
+    mad r8, r0, 2, 27;
+    mad r9, r8, 4, %p0;
+    ld.global.b32 r10, [r9];
+    add r11, r3, r0;
+    mad r12, r0, 1, 50;
+    mad r13, r12, 4, %p1;
+    ld.global.b32 r14, [r13];
+    and r15, r1, 7;
+    mad r16, r1, 3, 38;
+    and r17, r16, 4095;
+    mad r18, r17, 4, %p1;
+    ld.global.b32 r19, [r18];
+    mad r20, r0, 4, %p2;
+    st.global.b32 [r20], r19;
+    exit;

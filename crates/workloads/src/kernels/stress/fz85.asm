@@ -1,0 +1,462 @@
+.kernel fz85
+.params 4
+    mad r0, %ctaid.x, %ntid.x, %tid.x;
+    and r1, %tid.x, 31;
+    shr r2, r0, 5;
+    add r3, r0, 23;
+    and r4, r2, 1;
+    setp.eq p0, r4, 1;
+    @p0 bra L0;
+    mad r5, r2, 1, 42;
+    and r6, r5, 4095;
+    mad r7, r6, 4, %p1;
+    ld.global.b32 r8, [r7];
+    and r9, r1, 15;
+    setp.lt p1, r9, 8;
+    @!p1 bra L1;
+    and r10, r3, 63;
+    setp.ne p2, r10, 58;
+    @!p2 bra L2;
+    and r11, r2, 15;
+    mad r12, r0, 2, 20;
+    mad r13, r12, 4, %p0;
+    ld.global.b32 r14, [r13];
+    add r15, r8, 60;
+    bra L3;
+L2:
+    add r16, r1, 48;
+L3:
+    bra L4;
+L1:
+    xor r14, r14, r2;
+    and r17, r1, 63;
+    setp.ne p3, r17, 50;
+    @!p3 bra L4;
+    and r18, r2, 1023;
+    rem r19, r14, 1;
+    bra L4;
+L4:
+    bra L5;
+L0:
+    and r20, r18, 7;
+    bra L5;
+L5:
+    and r21, r11, 3;
+    setp.eq p4, r21, 1;
+    @p4 bra L6;
+    setp.eq p5, r21, 2;
+    @p5 bra L7;
+    setp.eq p6, r21, 3;
+    @p6 bra L8;
+    and r22, r15, 3;
+    setp.ge p7, r22, 2;
+    @!p7 bra L9;
+    and r23, r8, 3;
+    setp.ne p8, r23, 3;
+    @!p8 bra L10;
+    mad r24, r0, 2, 56;
+    mad r25, r24, 4, %p0;
+    ld.global.b32 r26, [r25];
+    mad r27, r14, 1, 38;
+    and r28, r27, 4095;
+    mad r29, r28, 4, %p0;
+    ld.global.b32 r30, [r29];
+    bra L11;
+L10:
+    and r31, r15, r2;
+    xor r31, r31, r0;
+L11:
+    mad r32, r0, 4, %p2;
+    st.global.b32 [r32], r18;
+    bra L9;
+L9:
+    bra L12;
+L6:
+    and r33, r26, 63;
+    setp.ne p9, r33, 59;
+    @!p9 bra L13;
+    xor r16, r16, r15;
+    bra L13;
+L13:
+    and r34, r30, 31;
+    setp.eq p10, r34, 30;
+    @!p10 bra L14;
+    and r35, r15, 3;
+    setp.eq p11, r35, 1;
+    @p11 bra L15;
+    setp.eq p12, r35, 2;
+    @p12 bra L16;
+    setp.eq p13, r35, 3;
+    @p13 bra L17;
+    mad r36, r15, 5, 49;
+    and r37, r36, 4095;
+    mad r38, r37, 4, %p1;
+    ld.global.b32 r39, [r38];
+    shr r40, r3, 1;
+    bra L18;
+L15:
+    and r41, r39, 63;
+    setp.eq p14, r41, 56;
+    mad r42, r0, 4, %p2;
+    @p14 st.global.b32 [r42], r20;
+    bra L18;
+L16:
+    add r16, r16, r39;
+    bra L18;
+L17:
+    mad r43, r0, 2, 63;
+    mad r44, r43, 4, %p1;
+    ld.global.b32 r45, [r44];
+    add r46, r8, 52;
+    bra L18;
+L18:
+    and r47, r20, 7;
+    mov r48, 0;
+L20:
+    setp.ge p15, r48, r47;
+    @p15 bra L19;
+    add r49, r8, 33;
+    add r50, r16, 39;
+    add r48, r48, 1;
+    bra L20;
+L19:
+    bra L21;
+L14:
+    xor r51, r31, r0;
+    and r52, r11, 3;
+    setp.gt p16, r52, 2;
+    @!p16 bra L22;
+    mad r53, r0, 1, 3;
+    mad r54, r53, 4, %p1;
+    ld.global.b32 r55, [r54];
+    mad r56, r0, 4, %p2;
+    st.global.b32 [r56], r39;
+    shr r57, r49, 0;
+    bra L21;
+L22:
+    xor r58, r31, 33;
+    and r59, r46, 7;
+    mad r60, r59, 4, %p3;
+    and r61, r48, 65535;
+    atom.min r62, [r60+0], r61;
+L21:
+    bra L12;
+L7:
+    mad r63, r0, 2, 32;
+    mad r64, r63, 4, %p0;
+    ld.global.b32 r65, [r64];
+    and r66, r8, 63;
+    setp.eq p17, r66, 7;
+    sel r67, r0, r31, p17;
+    bra L12;
+L8:
+    and r68, r58, 63;
+    setp.ne p18, r68, 36;
+    mad r69, r0, 4, %p2;
+    @p18 st.global.b32 [r69], r19;
+    bra L12;
+L12:
+    mad r70, r0, 4, 42;
+    mad r71, r70, 4, %p0;
+    ld.global.b32 r72, [r71];
+    and r73, r45, 1;
+    setp.lt p19, r73, 1;
+    @!p19 bra L23;
+    and r74, r45, 1;
+    setp.lt p20, r74, 0;
+    @!p20 bra L24;
+    and r75, r49, 3;
+    setp.ne p21, r75, 1;
+    @!p21 bra L25;
+    xor r76, r0, 100;
+    and r77, r31, 15;
+    setp.ne p22, r77, 12;
+    sel r78, r40, r26, p22;
+    bra L25;
+L25:
+    and r79, r39, 31;
+    setp.ge p23, r79, 11;
+    @!p23 bra L26;
+    and r80, r20, 15;
+    setp.ge p24, r80, 8;
+    sel r81, r20, r49, p24;
+    mad r82, r0, 4, 6;
+    mad r83, r82, 4, %p1;
+    ld.global.b32 r84, [r83];
+    sub r85, r0, 40;
+    bra L27;
+L26:
+    xor r86, r8, r18;
+L27:
+    and r87, r1, 31;
+    setp.gt p25, r87, 13;
+    @!p25 bra L28;
+    add r88, r51, 4;
+    rem r89, r76, 1;
+    xor r90, r67, r3;
+    bra L28;
+L28:
+    bra L29;
+L24:
+    mul r91, r78, r65;
+L29:
+    bra L30;
+L23:
+    and r92, r1, 63;
+    setp.ne p26, r92, 8;
+    @!p26 bra L30;
+    mad r93, r0, 4, 9;
+    mad r94, r93, 4, %p1;
+    ld.global.b32 r95, [r94];
+    bra L30;
+L30:
+    sub r96, r76, r84;
+    and r97, r78, 7;
+    mad r98, r97, 4, %p3;
+    and r99, r20, 65535;
+    atom.min r100, [r98+0], r99;
+    and r101, r88, 3;
+    setp.eq p27, r101, 1;
+    @p27 bra L31;
+    setp.eq p28, r101, 2;
+    @p28 bra L32;
+    setp.eq p29, r101, 3;
+    @p29 bra L33;
+    mov r102, 3;
+    mov r103, 0;
+L37:
+    setp.ge p30, r103, r102;
+    @p30 bra L34;
+    and r104, r95, 7;
+    setp.ne p31, r104, 7;
+    @!p31 bra L35;
+    and r105, r50, 63;
+    setp.le p32, r105, 43;
+    mad r106, r0, 4, %p2;
+    @p32 st.global.b32 [r106], r39;
+    add r107, r15, 10;
+    bra L36;
+L35:
+    and r108, r2, 7;
+    mad r109, r108, 4, %p3;
+    and r110, r65, 65535;
+    atom.min r111, [r109+0], r110;
+    mul r112, r30, r86;
+L36:
+    mad r113, r0, 1, 5;
+    mad r114, r113, 4, %p0;
+    ld.global.b32 r115, [r114];
+    add r103, r103, 1;
+    bra L37;
+L34:
+    mul r116, r48, 4;
+    bra L38;
+L31:
+    mad r117, r0, 4, %p2;
+    st.global.b32 [r117], r81;
+    bra L38;
+L32:
+    max r81, r81, r115;
+    bra L38;
+L33:
+    mad r118, r16, 1, 6;
+    and r119, r118, 4095;
+    mad r120, r119, 4, %p0;
+    ld.global.b32 r121, [r120];
+    and r122, r48, 7;
+    setp.gt p33, r122, 0;
+    @!p33 bra L39;
+    and r123, r85, 63;
+    setp.lt p34, r123, 14;
+    @!p34 bra L40;
+    mad r124, r0, 1, 62;
+    mad r125, r124, 4, %p0;
+    ld.global.b32 r126, [r125];
+    mad r127, r18, r40, r11;
+    shl r128, r107, 3;
+    bra L40;
+L40:
+    xor r115, r115, r126;
+    and r129, r8, 7;
+    mov r130, 0;
+L42:
+    setp.ge p35, r130, r129;
+    @p35 bra L41;
+    div r131, r20, r26;
+    add r130, r130, 1;
+    bra L42;
+L41:
+    bra L43;
+L39:
+    and r132, r50, 3;
+    setp.lt p36, r132, 1;
+    @!p36 bra L44;
+    and r133, r48, r67;
+    max r134, r121, r95;
+    bra L45;
+L44:
+    and r135, r45, 255;
+    cvt.f32.s64 r136, r135;
+    mad.f32 r137, r136, 1082130432, 1086324736;
+    cvt.s64.f32 r138, r137;
+    and r139, r134, 7;
+    mad r140, r139, 4, %p3;
+    and r141, r30, 65535;
+    atom.min r142, [r140+0], r141;
+L45:
+    mov r143, 5;
+    mov r144, 0;
+L46:
+    setp.ge p37, r144, r143;
+    @p37 bra L43;
+    mul r145, r26, 7;
+    mad r146, r0, 2, 16;
+    mad r147, r146, 4, %p0;
+    ld.global.b32 r148, [r147];
+    and r149, r134, 7;
+    mad r150, r149, 4, %p3;
+    and r151, r112, 65535;
+    atom.min r152, [r150+0], r151;
+    add r144, r144, 1;
+    bra L46;
+L43:
+    bra L38;
+L38:
+    and r153, r51, 3;
+    setp.lt p38, r153, 3;
+    @!p38 bra L47;
+    shr r154, r127, 4;
+    and r155, r112, 1;
+    setp.eq p39, r155, 1;
+    @p39 bra L48;
+    and r156, r144, 3;
+    setp.le p40, r156, 2;
+    @!p40 bra L49;
+    add r157, r19, 10;
+    and r158, r11, 15;
+    setp.eq p41, r158, 1;
+    sel r159, r148, r112, p41;
+    mad r160, r0, 1, 23;
+    mad r161, r160, 4, %p0;
+    ld.global.b32 r162, [r161];
+    bra L50;
+L49:
+    mad r163, r0, 4, %p2;
+    st.global.b32 [r163], r116;
+    mad r164, r0, 4, %p2;
+    st.global.b32 [r164], r40;
+L50:
+    and r165, r157, 1;
+    setp.eq p42, r165, 1;
+    @p42 bra L51;
+    and r166, r15, 7;
+    mad r167, r166, 4, %p3;
+    and r168, r58, 65535;
+    atom.min r169, [r167+0], r168;
+    shr r170, r116, 1;
+    bra L52;
+L51:
+    and r171, r133, 511;
+    xor r172, r0, 144;
+    bra L52;
+L52:
+    bra L53;
+L48:
+    min r67, r67, r30;
+    and r173, r133, 1;
+    setp.gt p43, r173, 1;
+    @!p43 bra L54;
+    and r174, r116, 255;
+    cvt.f32.s64 r175, r174;
+    mad.f32 r176, r175, 1084227584, 1077936128;
+    cvt.s64.f32 r177, r176;
+    bra L54;
+L54:
+    bra L53;
+L53:
+    and r178, r134, 7;
+    mad r179, r178, 4, %p3;
+    and r180, r85, 65535;
+    atom.min r181, [r179+0], r180;
+    bra L55;
+L47:
+    and r182, r19, 63;
+    setp.le p44, r182, 17;
+    @!p44 bra L56;
+    and r183, r50, 63;
+    setp.eq p45, r183, 54;
+    @!p45 bra L57;
+    and r184, r20, 7;
+    mad r185, r184, 4, %p3;
+    and r186, r3, 65535;
+    atom.min r187, [r185+0], r186;
+    bra L58;
+L57:
+    and r188, r133, 1;
+    setp.le p46, r188, 1;
+    sel r189, r3, r170, p46;
+    shr r190, r72, 0;
+L58:
+    and r191, r154, 63;
+    setp.ne p47, r191, 9;
+    @!p47 bra L59;
+    mad r192, r0, 1, 53;
+    mad r193, r192, 4, %p0;
+    ld.global.b32 r194, [r193];
+    mul r195, r11, 5;
+    bra L60;
+L59:
+    mad r196, r0, 2, 60;
+    mad r197, r196, 4, %p0;
+    ld.global.b32 r198, [r197];
+    mad r199, r0, 2, 1;
+    and r200, r199, 4095;
+    mad r201, r200, 4, %p0;
+    ld.global.b32 r202, [r201];
+L60:
+    and r203, r76, 7;
+    mad r204, r203, 4, %p3;
+    and r205, r48, 65535;
+    atom.min r206, [r204+0], r205;
+    bra L55;
+L56:
+    and r207, r78, 63;
+    setp.eq p48, r207, 42;
+    @!p48 bra L61;
+    mad r208, r45, 8, 34;
+    and r209, r208, 4095;
+    mad r210, r209, 4, %p1;
+    ld.global.b32 r211, [r210];
+    add r212, r65, 24;
+    bra L55;
+L61:
+    mad r213, r0, 4, 14;
+    mad r214, r213, 4, %p0;
+    ld.global.b32 r215, [r214];
+    sub r216, r144, 5;
+L55:
+    and r217, r154, 15;
+    setp.ne p49, r217, 4;
+    @!p49 bra L62;
+    mad r218, r0, 1, 29;
+    mad r219, r218, 4, %p1;
+    ld.global.b32 r220, [r219];
+    bra L63;
+L62:
+    and r221, r49, 1;
+    setp.gt p50, r221, 0;
+    sel r222, r49, r91, p50;
+    mad r223, r154, 8, 49;
+    and r224, r223, 4095;
+    mad r225, r224, 4, %p0;
+    and r226, r133, 1;
+    setp.le p51, r226, 1;
+    @p51 ld.global.b32 r227, [r225];
+L63:
+    mad r228, r157, 7, 56;
+    and r229, r228, 4095;
+    mad r230, r229, 4, %p1;
+    ld.global.b32 r231, [r230];
+    mad r232, r0, 4, %p2;
+    st.global.b32 [r232], r231;
+    exit;

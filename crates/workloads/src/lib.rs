@@ -112,6 +112,13 @@ pub fn benchmark(abbr: &str, scale: u32) -> Option<Workload> {
         .find(|w| w.abbr.eq_ignore_ascii_case(abbr))
 }
 
+/// The eight divergence-stress workloads promoted from the fuzz corpus —
+/// a validation suite, deliberately *not* part of [`all_benchmarks`] (the
+/// 29-benchmark registry mirrors the paper's Table 2).
+pub fn divergence_stress() -> Vec<Workload> {
+    kernels::stress::divergence_stress()
+}
+
 /// Abbreviations of all 29 benchmarks in Table 2 order
 /// (compute-intensive first).
 pub const ALL_ABBRS: [&str; 29] = [
