@@ -64,8 +64,10 @@ impl Tag {
 pub struct Cae {
     #[allow(dead_code)]
     cfg: CaeConfig,
-    /// Per (sm, warp) register tags.
-    tags: HashMap<(usize, usize), Vec<Tag>>,
+    /// Per-SM map of warp → register tags. Sharded by SM (not one global
+    /// map) so `issue_cost` — which runs inside the threaded SM-compute
+    /// phase — only ever touches its own SM's shard.
+    sms: Vec<HashMap<usize, Vec<Tag>>>,
     num_regs: usize,
     /// Can `tid.x` be treated as one warp-wide stride? (innermost block
     /// dimension ≥ 32 and a multiple of 32.)
@@ -125,8 +127,9 @@ impl CoProcessor for Cae {
         "cae"
     }
 
-    fn on_kernel_launch(&mut self, program: &Program, _num_sms: usize) {
-        self.tags.clear();
+    fn on_kernel_launch(&mut self, program: &Program, num_sms: usize) {
+        self.sms.clear();
+        self.sms.resize_with(num_sms, HashMap::new);
         self.num_regs = program.kernel.num_regs as usize;
         let bx = program.launch.block.x;
         self.tidx_affine = bx >= 32 && bx.is_multiple_of(32);
@@ -142,9 +145,11 @@ impl CoProcessor for Cae {
     ) -> IssueCost {
         let tidx_affine = self.tidx_affine;
         let num_regs = self.num_regs;
-        let tags = self
-            .tags
-            .entry((sm, warp))
+        if self.sms.len() <= sm {
+            self.sms.resize_with(sm + 1, HashMap::new);
+        }
+        let tags = self.sms[sm]
+            .entry(warp)
             .or_insert_with(|| vec![Tag::Vector; num_regs]);
         let diverged = active != u32::MAX;
         match instr {

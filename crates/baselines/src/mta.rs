@@ -57,10 +57,19 @@ struct PcEntry {
 struct SmMta {
     table: HashMap<usize, PcEntry>,
     queue: VecDeque<u64>,
+    /// Prefetch popped from the queue head this cycle, occupying the port
+    /// latch until the fabric accepts it (`pump` re-queues it at the front
+    /// on a structural stall). While latched it frees its queue slot and is
+    /// invisible to the duplicate check — the latch is port state, not a
+    /// queue entry — which keeps enqueue decisions independent of fabric
+    /// admission and therefore identical across thread counts.
+    pending_pump: Option<u64>,
     last_eval: u64,
     last_unused: u64,
     last_fills: u64,
     degree: u32,
+    predicted: u64,
+    throttled: u64,
 }
 
 /// The MTA prefetcher coprocessor.
@@ -68,10 +77,6 @@ struct SmMta {
 pub struct Mta {
     cfg: MtaConfig,
     sms: Vec<SmMta>,
-    /// Total prefetch lines enqueued (before fabric issue).
-    pub predicted: u64,
-    /// Throttle-downs applied.
-    pub throttled: u64,
 }
 
 impl Mta {
@@ -80,9 +85,17 @@ impl Mta {
         Mta {
             cfg,
             sms: Vec::new(),
-            predicted: 0,
-            throttled: 0,
         }
+    }
+
+    /// Total prefetch lines enqueued across all SMs (before fabric issue).
+    pub fn predicted(&self) -> u64 {
+        self.sms.iter().map(|s| s.predicted).sum()
+    }
+
+    /// Throttle-downs applied across all SMs.
+    pub fn throttled(&self) -> u64 {
+        self.sms.iter().map(|s| s.throttled).sum()
     }
 
     fn enqueue(&mut self, sm: usize, line: i128) {
@@ -93,7 +106,7 @@ impl Mta {
         let s = &mut self.sms[sm];
         if s.queue.len() < cap && !s.queue.contains(&(line as u64)) {
             s.queue.push_back(line as u64);
-            self.predicted += 1;
+            s.predicted += 1;
         }
     }
 }
@@ -201,48 +214,79 @@ impl CoProcessor for Mta {
             return;
         }
         // Throttle: compare the prefetch buffer's unused-eviction rate.
+        // The counters move only during the fabric cycle, so the post-fabric
+        // snapshot in `ctx.pbuf_stats` (requested via `wants_pbuf_stats`)
+        // equals what a direct read would see.
         let (period, threshold) = (self.cfg.throttle_period, self.cfg.pollution_threshold);
-        {
-            let stats = ctx.fabric.stats();
+        if let Some((pbuf_unused, pbuf_fills)) = ctx.pbuf_stats {
             let s = &mut self.sms[sm];
             if ctx.now.saturating_sub(s.last_eval) >= period {
                 s.last_eval = ctx.now;
-                let unused = stats.pbuf_unused_evictions.saturating_sub(s.last_unused);
-                let fills = stats.pbuf_fills.saturating_sub(s.last_fills);
-                s.last_unused = stats.pbuf_unused_evictions;
-                s.last_fills = stats.pbuf_fills;
+                let unused = pbuf_unused.saturating_sub(s.last_unused);
+                let fills = pbuf_fills.saturating_sub(s.last_fills);
+                s.last_unused = pbuf_unused;
+                s.last_fills = pbuf_fills;
                 if fills > 8 {
                     let ratio = unused as f64 / fills as f64;
                     if ratio > threshold && s.degree > 1 {
                         s.degree -= 1;
-                        self.throttled += 1;
+                        s.throttled += 1;
                     } else if ratio < threshold / 2.0 && s.degree < self.cfg.max_degree {
                         s.degree += 1;
                     }
                 }
             }
         }
-        // Issue one prefetch per cycle. Inter-warp deltas are trained by
-        // dividing line addresses by warp distance, so a predicted address
-        // can fall mid-line; prefetch the containing line.
-        let Some(&predicted) = self.sms[sm].queue.front() else {
+        // Latch one prefetch per cycle into the port latch; `pump` submits
+        // it to the fabric in the replay phase.
+        let s = &mut self.sms[sm];
+        debug_assert!(s.pending_pump.is_none(), "pump did not drain the latch");
+        s.pending_pump = s.queue.pop_front();
+    }
+
+    /// Submit the latched prefetch. Inter-warp deltas are trained by
+    /// dividing line addresses by warp distance, so a predicted address can
+    /// fall mid-line; prefetch the containing line. On a structural stall
+    /// the prediction returns to the queue head for retry next cycle.
+    fn pump(
+        &mut self,
+        sm: usize,
+        now: u64,
+        fabric: &mut simt_mem::MemoryFabric,
+        stats: &mut SimStats,
+        tracer: &mut dyn simt_trace::Tracer,
+    ) {
+        if self.sms.is_empty() {
+            return;
+        }
+        let line_bytes = fabric.config().line_bytes;
+        let s = &mut self.sms[sm];
+        let Some(predicted) = s.pending_pump.take() else {
             return;
         };
-        let line = predicted & !(ctx.fabric.config().line_bytes - 1);
         let req = MemRequest {
             sm,
-            line,
+            line: predicted & !(line_bytes - 1),
             kind: ReqKind::Prefetch,
             client: Client::Mta,
             token: 0,
         };
-        match ctx.fabric.access_traced(ctx.now, req, &mut *ctx.tracer) {
+        match fabric.access_traced(now, req, tracer) {
             AccessOutcome::Accepted => {
-                self.sms[sm].queue.pop_front();
-                ctx.stats.prefetches_issued += 1;
+                stats.prefetches_issued += 1;
             }
-            AccessOutcome::Stall(_) => {}
+            AccessOutcome::Stall(_) => {
+                self.sms[sm].queue.push_front(predicted);
+            }
         }
+    }
+
+    /// The throttle evaluation is the only consumer of the prefetch-buffer
+    /// counter snapshot; ask for it exactly on evaluation deadlines.
+    fn wants_pbuf_stats(&self, now: u64) -> bool {
+        self.sms
+            .iter()
+            .any(|s| now.saturating_sub(s.last_eval) >= self.cfg.throttle_period)
     }
 
     /// The throttle re-evaluation is MTA's only time-driven state: each SM's
@@ -349,13 +393,13 @@ mod tests {
         mta.on_kernel_launch(&prog, 1);
         // First access: first-touch only, no stride prediction.
         mta.observe_mem(0, 0, 5, Space::Global, false, &[0x1000]);
-        assert_eq!(mta.predicted, 0);
+        assert_eq!(mta.predicted(), 0);
         // Second access establishes a stride but without confirmation.
         mta.observe_mem(0, 0, 5, Space::Global, false, &[0x1080]);
-        assert_eq!(mta.predicted, 0);
+        assert_eq!(mta.predicted(), 0);
         // Third confirms: predictions fire.
         mta.observe_mem(0, 0, 5, Space::Global, false, &[0x1100]);
-        assert!(mta.predicted > 0);
+        assert!(mta.predicted() > 0);
     }
 
     #[test]
@@ -375,7 +419,7 @@ mod tests {
         mta.observe_mem(0, 0, 9, Space::Global, false, &[0x0]);
         mta.observe_mem(0, 1, 9, Space::Global, false, &[0x80]);
         // Delta = 0x80/warp: warp 1's first touch predicts for warps 2+.
-        assert!(mta.predicted > 0);
+        assert!(mta.predicted() > 0);
         let lines: Vec<u64> = mta.sms[0].queue.iter().copied().collect();
         assert!(lines.contains(&0x100));
     }
@@ -397,6 +441,6 @@ mod tests {
             mta.observe_mem(0, 0, 1, Space::Global, true, &[0x80 * i]);
             mta.observe_mem(0, 0, 2, Space::Shared, false, &[0x80 * i]);
         }
-        assert_eq!(mta.predicted, 0);
+        assert_eq!(mta.predicted(), 0);
     }
 }

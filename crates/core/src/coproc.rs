@@ -24,6 +24,16 @@ struct SmDac {
     /// Pending early line requests `(record id, line)` awaiting fabric
     /// acceptance.
     pending_lines: VecDeque<(u64, u64)>,
+    /// Front of `pending_lines` captured by [`Dac`]'s `step` (compute
+    /// phase), submitted to the fabric by `pump` (replay phase). Captured
+    /// before the expansion units push new lines, so the request submitted
+    /// each cycle is exactly the one the serial single-phase code chose.
+    pump_capture: Option<(u64, u64)>,
+    /// PEU cost classification counters (per-SM so the compute phase never
+    /// writes shared coprocessor state).
+    peu_scalar: u64,
+    peu_two_compare: u64,
+    peu_full: u64,
     /// Round-robin pointer over CTA slots for the affine warp.
     rr: usize,
 }
@@ -36,12 +46,6 @@ pub struct Dac {
     affine_reconv: HashMap<usize, usize>,
     launch: Option<simt_ir::LaunchConfig>,
     sms: Vec<SmDac>,
-    /// PEU cost classification counters (§4.3: 64% scalar, 93% ≤ 2 cmp).
-    pub peu_scalar: u64,
-    /// Two-comparison (warp-uniform) predicate expansions.
-    pub peu_two_compare: u64,
-    /// Full 32-lane predicate expansions.
-    pub peu_full: u64,
     /// Queue items discarded at CTA retire (should stay 0 for matched
     /// streams; nonzero indicates a decoupling bug).
     pub dropped_at_retire: u64,
@@ -57,9 +61,6 @@ impl Dac {
             affine_reconv,
             launch: None,
             sms: Vec::new(),
-            peu_scalar: 0,
-            peu_two_compare: 0,
-            peu_full: 0,
             dropped_at_retire: 0,
         }
     }
@@ -67,6 +68,22 @@ impl Dac {
     /// The decoupled kernel this coprocessor runs.
     pub fn decoupled(&self) -> &DecoupledKernel {
         &self.dk
+    }
+
+    /// Scalar PEU cost classifications across all SMs (§4.3: 64% scalar,
+    /// 93% ≤ 2 cmp).
+    pub fn peu_scalar(&self) -> u64 {
+        self.sms.iter().map(|s| s.peu_scalar).sum()
+    }
+
+    /// Two-comparison (warp-uniform) predicate expansions across all SMs.
+    pub fn peu_two_compare(&self) -> u64 {
+        self.sms.iter().map(|s| s.peu_two_compare).sum()
+    }
+
+    /// Full 32-lane predicate expansions across all SMs.
+    pub fn peu_full(&self) -> u64 {
+        self.sms.iter().map(|s| s.peu_full).sum()
     }
 
     fn active(&self) -> bool {
@@ -88,7 +105,7 @@ impl Dac {
     /// oldest expandable Data/Addr tuple (per-CTA accumulators let the AEU
     /// skip tuples of blocked CTAs, §4.2).
     fn aeu_step(&mut self, sm: usize, ctx: &mut CoCtx<'_>) {
-        let line_bytes = ctx.fabric.config().line_bytes;
+        let line_bytes = ctx.line_bytes;
         let s = &mut self.sms[sm];
         // CTA slots are per-SM hardware resources (far fewer than 64), so a
         // bitmask replaces the per-cycle HashSet this loop used to allocate.
@@ -214,34 +231,6 @@ impl Dac {
         true
     }
 
-    /// Issue pending early line requests: one per cycle reaches the L1
-    /// (the AEU shares the cache port, §4.2). Retries on structural
-    /// stalls — lock-budget stalls included.
-    fn pump_lines(&mut self, sm: usize, ctx: &mut CoCtx<'_>) {
-        let s = &mut self.sms[sm];
-        let Some(&(id, line)) = s.pending_lines.front() else {
-            return;
-        };
-        let kind = if self.cfg.lock_lines {
-            ReqKind::PrefetchLock
-        } else {
-            ReqKind::Load
-        };
-        let req = MemRequest {
-            sm,
-            line,
-            kind,
-            client: Client::Dac,
-            token: id,
-        };
-        match ctx.fabric.access_traced(ctx.now, req, &mut *ctx.tracer) {
-            AccessOutcome::Accepted => {
-                s.pending_lines.pop_front();
-            }
-            AccessOutcome::Stall(_) => {}
-        }
-    }
-
     /// One affine-warp issue: round-robin across CTA slots; consumes the
     /// SM's issue slot when an instruction executes (§4.4).
     fn affine_issue(&mut self, sm: usize, ctx: &mut CoCtx<'_>) {
@@ -279,9 +268,9 @@ impl Dac {
                         );
                     }
                     match peu {
-                        Some(PeuClass::Scalar) => self.peu_scalar += 1,
-                        Some(PeuClass::TwoCompare) => self.peu_two_compare += 1,
-                        Some(PeuClass::Full) => self.peu_full += 1,
+                        Some(PeuClass::Scalar) => s.peu_scalar += 1,
+                        Some(PeuClass::TwoCompare) => s.peu_two_compare += 1,
+                        Some(PeuClass::Full) => s.peu_full += 1,
                         None => {}
                     }
                     *ctx.issue_slot = false;
@@ -317,6 +306,10 @@ impl CoProcessor for Dac {
                 slot_warps: Vec::new(),
                 nonaffine_epoch: Vec::new(),
                 pending_lines: VecDeque::new(),
+                pump_capture: None,
+                peu_scalar: 0,
+                peu_two_compare: 0,
+                peu_full: 0,
                 rr: 0,
             })
             .collect();
@@ -462,7 +455,10 @@ impl CoProcessor for Dac {
             return;
         }
         let sm = ctx.sm;
-        self.pump_lines(sm, ctx);
+        // Latch the line request the fabric will see this cycle (submitted
+        // by `pump` in the replay phase). Captured before the expansion
+        // units can push new lines, matching the serial issue order.
+        self.sms[sm].pump_capture = self.sms[sm].pending_lines.front().copied();
         // Two expansion ALUs per SM (§4.8). The PEU claims one when it has
         // predicate work; otherwise both serve address expansion.
         let did_pred = self.peu_step(sm, ctx);
@@ -497,6 +493,45 @@ impl CoProcessor for Dac {
                     runahead: runahead as u32,
                 },
             );
+        }
+    }
+
+    /// Issue the early line request latched by `step`: one per cycle
+    /// reaches the L1 (the AEU shares the cache port, §4.2). Retries on
+    /// structural stalls — lock-budget stalls included.
+    fn pump(
+        &mut self,
+        sm: usize,
+        now: u64,
+        fabric: &mut simt_mem::MemoryFabric,
+        _stats: &mut SimStats,
+        tracer: &mut dyn simt_trace::Tracer,
+    ) {
+        if !self.active() || self.sms.is_empty() {
+            return;
+        }
+        let s = &mut self.sms[sm];
+        let Some((id, line)) = s.pump_capture.take() else {
+            return;
+        };
+        let kind = if self.cfg.lock_lines {
+            ReqKind::PrefetchLock
+        } else {
+            ReqKind::Load
+        };
+        let req = MemRequest {
+            sm,
+            line,
+            kind,
+            client: Client::Dac,
+            token: id,
+        };
+        match fabric.access_traced(now, req, tracer) {
+            AccessOutcome::Accepted => {
+                debug_assert_eq!(s.pending_lines.front(), Some(&(id, line)));
+                s.pending_lines.pop_front();
+            }
+            AccessOutcome::Stall(_) => {}
         }
     }
 

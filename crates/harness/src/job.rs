@@ -15,11 +15,12 @@ use std::time::Instant;
 
 /// Version tag folded into every cache key. Bump whenever simulator
 /// behaviour changes in a way that invalidates cached results (the
-/// golden-stats test catches unintended shifts). v4: the command
-/// processor's occupancy model added the register-file term to CTA
-/// admission (kernels declaring `.regs` can now occupy fewer CTAs per
-/// SM than under v3).
-pub const CACHE_VERSION: &str = "dac-cache-v4";
+/// golden-stats test catches unintended shifts). v5: MTA prefetches pop
+/// into a one-entry port latch before the fabric admission attempt, so
+/// enqueue decisions no longer depend on admission timing (required by
+/// the deterministic intra-run parallel schedule; shifts MTA cycle
+/// counts slightly).
+pub const CACHE_VERSION: &str = "dac-cache-v5";
 
 /// A point in the design space: one of the paper's four hardware designs,
 /// or the perfect-memory machine used for the §5.1.2 compute/memory
@@ -86,6 +87,13 @@ pub struct Overrides {
     /// determinism test pins this), so it is deliberately *excluded* from
     /// [`Overrides::relevant`] — cache entries and artifacts are shared.
     pub no_fast_forward: bool,
+    /// Intra-run worker threads (`--threads N`): shard SMs and L2
+    /// partitions within one simulation. Like `no_fast_forward` this is
+    /// purely a simulator-speed knob — results are byte-identical for any
+    /// value (the determinism tests pin this) — so it is deliberately
+    /// *excluded* from [`Overrides::relevant`]: cache entries and
+    /// artifacts are shared across thread counts.
+    pub threads: Option<usize>,
     /// Multi-kernel scenario selected with `--set streams=NAME`. Not a
     /// per-job knob: the CLIs consume it to build scenario jobs (the
     /// scenario name enters the cache key through the job payload, so it
@@ -113,6 +121,9 @@ impl Overrides {
             cfg.max_warps_per_sm = n;
         }
         cfg.fast_forward = !self.no_fast_forward;
+        if let Some(t) = self.threads {
+            cfg.threads = t;
+        }
         cfg
     }
 

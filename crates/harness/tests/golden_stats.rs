@@ -20,7 +20,13 @@ const GOLDEN: &[(&str, &str, u64, u64, u64)] = &[
     ("MQ", "dac", 60183, 94560, 23040),
     ("LIB", "baseline", 21295, 18000, 0),
     ("LIB", "cae", 21009, 18000, 0),
-    ("LIB", "mta", 21899, 18000, 0),
+    // LIB/mta moved 21899 -> 22287 when the MTA pump latch landed: a
+    // predicted prefetch now pops off the queue into a one-entry port
+    // latch before the fabric admission attempt, so the queue slot frees
+    // (and the duplicate check forgets the line) one cycle earlier. This
+    // makes enqueue decisions independent of fabric admission timing,
+    // which the deterministic intra-run parallel schedule requires.
+    ("LIB", "mta", 22287, 18000, 0),
     ("LIB", "dac", 18186, 8520, 3360),
     ("BFS", "baseline", 12635, 6600, 0),
     ("BFS", "cae", 12491, 6600, 0),

@@ -1,0 +1,120 @@
+//! The intra-run parallelism guarantee: `--threads N` produces
+//! byte-identical artifacts to the serial simulator, for every N. The
+//! worker pool shards SMs and L2 partitions across threads with
+//! barrier-separated phases (see `simt_sim::par` and DESIGN.md
+//! "Intra-run parallelism"); these tests pin that the sharding is an
+//! optimization, never an approximation, across the whole behaviour
+//! surface: the full 29-workload suite, every multi-kernel scenario,
+//! and the promoted divergence-stress corpus, under all four designs.
+//!
+//! `Overrides::threads` is excluded from the serialized artifact
+//! precisely because of this guarantee, so runs compare as raw bytes.
+
+use gpu_workloads::{all_benchmarks, all_scenarios, benchmark, divergence_stress};
+use simt_harness::{artifact, scenario_jobs, suite_jobs, DesignPoint, Job, Overrides};
+
+/// The standard affordable machine shape for debug-mode CI (the same
+/// 2-SM × 16-warp shape the fuzz differentials and stress goldens use).
+/// Two SMs and two threads is the smallest genuinely-sharded pool: each
+/// worker owns one SM and three of the six L2 partitions.
+fn small(threads: Option<usize>) -> Overrides {
+    Overrides {
+        num_sms: Some(2),
+        max_warps_per_sm: Some(16),
+        threads,
+        ..Overrides::default()
+    }
+}
+
+/// Execute every job serially (we are testing intra-run threads, not the
+/// harness's job pool) and serialize through the artifact schema minus
+/// the per-invocation fields — the same byte surface sweeps ship.
+fn artifact_bytes(jobs: &[Job]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for job in jobs {
+        let result = job.execute();
+        out.extend_from_slice(
+            artifact::to_json(job, &result, None, None)
+                .to_json()
+                .as_bytes(),
+        );
+        out.push(b'\n');
+    }
+    out
+}
+
+/// All 29 benchmarks under all four designs: a 2-shard run must produce
+/// byte-identical artifacts (cycles, every counter, memory stats, energy,
+/// output digest) to the serial path.
+#[test]
+fn threaded_suite_is_byte_identical_to_serial() {
+    let jobs = |t| suite_jobs(all_benchmarks(1), 1, &DesignPoint::HW_ALL, &small(t));
+    let serial = jobs(None);
+    assert_eq!(serial.len(), 116, "29 benchmarks x 4 designs");
+    let bytes = artifact_bytes(&serial);
+    assert_eq!(
+        bytes,
+        artifact_bytes(&jobs(Some(2))),
+        "--threads 2 changed an artifact somewhere in the suite"
+    );
+}
+
+/// Four-way sharding needs at least four SMs (the pool clamps to
+/// `num_sms`), so this runs corner-of-the-suite workloads on a 4-SM
+/// machine: serial, 2 shards, 4 shards, and an over-provisioned pool
+/// (64 threads, clamped to 4) must all agree byte-for-byte.
+#[test]
+fn four_way_sharding_is_byte_identical_to_serial() {
+    let jobs = |t: Option<usize>| {
+        let overrides = Overrides {
+            num_sms: Some(4),
+            ..small(t)
+        };
+        suite_jobs(
+            ["LIB", "MQ", "ST", "BFS"]
+                .iter()
+                .map(|a| benchmark(a, 1).expect("known benchmark"))
+                .collect(),
+            1,
+            &DesignPoint::HW_ALL,
+            &overrides,
+        )
+    };
+    let bytes = artifact_bytes(&jobs(None));
+    for threads in [2, 4, 64] {
+        assert_eq!(
+            bytes,
+            artifact_bytes(&jobs(Some(threads))),
+            "--threads {threads} changed an artifact on the 4-SM machine"
+        );
+    }
+}
+
+/// The three multi-kernel stream scenarios: concurrent kernels share the
+/// fabric and the command processor rebinds SMs mid-run, so per-kernel
+/// attribution bins and dispatch ordering must survive sharding.
+#[test]
+fn threaded_scenarios_are_byte_identical_to_serial() {
+    let jobs = |t| scenario_jobs(all_scenarios(1), 1, &DesignPoint::HW_ALL, &small(t));
+    let serial = jobs(None);
+    assert_eq!(serial.len(), 12, "3 scenarios x 4 designs");
+    let bytes = artifact_bytes(&serial);
+    assert_eq!(
+        bytes,
+        artifact_bytes(&jobs(Some(2))),
+        "--threads 2 changed a multi-kernel scenario artifact"
+    );
+}
+
+/// The promoted divergence-stress corpus: fuzzer-discovered control-flow
+/// patterns that historically exposed reconvergence and replay bugs.
+#[test]
+fn threaded_stress_corpus_is_byte_identical_to_serial() {
+    let jobs = |t| suite_jobs(divergence_stress(), 1, &DesignPoint::HW_ALL, &small(t));
+    let bytes = artifact_bytes(&jobs(None));
+    assert_eq!(
+        bytes,
+        artifact_bytes(&jobs(Some(2))),
+        "--threads 2 changed a stress-corpus artifact"
+    );
+}

@@ -147,7 +147,7 @@ pub enum AccessOutcome {
     Stall(StallReason),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum PartEvent {
     /// A line fill heading to an SM (goes through the MSHR release path).
     Fill { line: u64 },
@@ -163,6 +163,19 @@ struct Partition {
     /// Outstanding DRAM reads by id. FxHashMap: hot path, never iterated.
     inflight: FxHashMap<u64, MemRequest>,
     next_id: u64,
+    /// Events generated this cycle, headed for SM ports: `(sm, ready_at,
+    /// event)` in generation order. Ports merge these in partition-index
+    /// order after every partition has cycled, which decouples partitions
+    /// from ports (they can tick on different worker threads) while
+    /// reproducing the serial delivery order exactly. Cleared at the start
+    /// of the partition's next cycle; entries are *copied* out by the
+    /// ports, so the stale buffer is never read again.
+    outbox: Vec<(usize, u64, PartEvent)>,
+    /// Dirty L2 evictions written back to DRAM (partition-local slice of
+    /// [`MemStats::writebacks`]).
+    writebacks: u64,
+    /// Partition-local slice of the fast-forward progress counter.
+    progress: u64,
 }
 
 #[derive(Debug)]
@@ -184,9 +197,25 @@ struct SmPort {
     ready: BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
     ready_slab: Vec<Option<MemResponse>>,
     ready_free: Vec<usize>,
+    /// Port-local sequence counter. `seq` only ever tie-breaks within this
+    /// port's two heaps, so a per-port counter reproduces the serial
+    /// ordering exactly as long as values are assigned in the serial
+    /// relative order (partition events in partition-index order first,
+    /// then client accesses in SM-index order).
+    seq: u64,
+    /// Fills delivered into the prefetch buffer (port-local slice of
+    /// [`MemStats::pbuf_fills`]).
+    pbuf_fills: u64,
+    /// Port-local slice of the fast-forward progress counter.
+    progress: u64,
 }
 
 impl SmPort {
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
     fn push_incoming(&mut self, at: u64, seq: u64, ev: PartEvent) {
         let ord = self.next_ev;
         self.next_ev += 1;
@@ -218,6 +247,218 @@ impl SmPort {
         };
         self.ready.push(Reverse((at, seq, ord, slot)));
     }
+
+    /// Pull this port's events out of every partition outbox, scanning
+    /// partitions in index order so `seq` assignment matches the serial
+    /// delivery order.
+    fn merge_outboxes<'p>(&mut self, sm: usize, parts: impl Iterator<Item = &'p Partition>) {
+        for part in parts {
+            for &(t_sm, at, ev) in &part.outbox {
+                if t_sm == sm {
+                    let seq = self.next_seq();
+                    self.push_incoming(at, seq, ev);
+                }
+            }
+        }
+    }
+
+    /// Process matured incoming events: MSHR releases, L1/prefetch-buffer
+    /// fills, and direct responses. Entirely port-local.
+    fn incoming_cycle(&mut self, sm: usize, now: u64, tracer: &mut dyn Tracer) {
+        loop {
+            let pop = matches!(self.incoming.peek(),
+                Some(&Reverse((at, _, _, _))) if at <= now);
+            if !pop {
+                break;
+            }
+            let Reverse((_, seq, _, slot)) = self.incoming.pop().unwrap();
+            let ev = self.incoming_slab[slot].take().unwrap();
+            self.incoming_free.push(slot);
+            self.progress += 1;
+            match ev {
+                PartEvent::Direct(resp) => {
+                    self.push_ready(now, seq, resp);
+                }
+                PartEvent::Fill { line, .. } => {
+                    if tracer.enabled() {
+                        tracer.emit(
+                            now,
+                            TraceEvent::Fill {
+                                sm: sm as u32,
+                                line,
+                            },
+                        );
+                    }
+                    let targets = self.mshr.release(line);
+                    let locks = self.l1.pending_locks_for(line);
+                    let to_l1 = locks > 0
+                        || targets
+                            .iter()
+                            .any(|t| Client::from_u8(t.client) != Client::Mta);
+                    if to_l1 {
+                        let _ = self.l1.fill(line, locks);
+                    } else if let Some(pbuf) = self.pbuf.as_mut() {
+                        let _ = pbuf.fill(line, 0);
+                        self.pbuf_fills += 1;
+                    } else {
+                        // No prefetch buffer configured: fill L1 anyway.
+                        let _ = self.l1.fill(line, 0);
+                    }
+                    for t in targets {
+                        let client = Client::from_u8(t.client);
+                        if client == Client::Mta {
+                            continue; // prefetches need no response
+                        }
+                        self.push_ready(
+                            now,
+                            seq,
+                            MemResponse {
+                                sm,
+                                line,
+                                client,
+                                token: t.token,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Partition {
+    /// Start a new cycle: drop last cycle's outbox (its entries were copied
+    /// into the ports at the end of that cycle).
+    fn begin_cycle(&mut self) {
+        self.outbox.clear();
+    }
+
+    /// Advance this partition one cycle: service the input-queue head, run
+    /// DRAM, and route completions into the outbox. Touches only
+    /// partition-local state, so partitions can cycle concurrently.
+    fn cycle(&mut self, cfg: &MemConfig, p: usize, now: u64, tracer: &mut dyn Tracer) {
+        let l2_latency = cfg.l2_latency;
+        let icnt = cfg.icnt_latency;
+        // 1. Service the head of the input queue.
+        let pop = matches!(self.inq.front(), Some(&(arrive, _)) if arrive <= now);
+        if pop {
+            let (_, req) = self.inq.front().copied().unwrap();
+            let mut l2_hit = false;
+            let proceed = match req.kind {
+                ReqKind::Store => {
+                    match self.l2.access(req.line, true) {
+                        CacheOutcome::Hit => {
+                            l2_hit = true;
+                            true // dirty in L2, done
+                        }
+                        CacheOutcome::Miss => {
+                            // Write-no-allocate: forward to DRAM if room.
+                            if self.dram.can_accept() {
+                                let id = self.next_id;
+                                self.next_id += 1;
+                                self.dram.push(DramRequest {
+                                    line: req.line,
+                                    write: true,
+                                    id,
+                                });
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let is_atomic = req.kind == ReqKind::Atomic;
+                    let hit = self.l2.access(req.line, is_atomic) == CacheOutcome::Hit;
+                    l2_hit = hit;
+                    if hit {
+                        let at = now + l2_latency + icnt;
+                        let ev = if is_atomic {
+                            PartEvent::Direct(MemResponse {
+                                sm: req.sm,
+                                line: req.line,
+                                client: req.client,
+                                token: req.token,
+                            })
+                        } else {
+                            PartEvent::Fill { line: req.line }
+                        };
+                        self.outbox.push((req.sm, at, ev));
+                        true
+                    } else if self.dram.can_accept() {
+                        let id = self.next_id;
+                        self.next_id += 1;
+                        self.inflight.insert(id, req);
+                        self.dram.push(DramRequest {
+                            line: req.line,
+                            write: false,
+                            id,
+                        });
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if proceed {
+                self.inq.pop_front();
+                self.progress += 1;
+                if tracer.enabled() {
+                    tracer.emit(
+                        now,
+                        TraceEvent::L2Access {
+                            partition: p as u32,
+                            line: req.line,
+                            hit: l2_hit,
+                            client: req.client.trace(),
+                        },
+                    );
+                }
+            }
+        }
+        // 2. DRAM. A scheduling decision (serviced bump) is progress.
+        let serviced_before = self.dram.serviced;
+        self.dram.cycle_traced(now, p, tracer);
+        self.progress += self.dram.serviced - serviced_before;
+        // 3. Completed DRAM reads → fill L2, route to SM.
+        while let Some(done) = self.dram.pop_done(now) {
+            self.progress += 1;
+            let req = match self.inflight.remove(&done.id) {
+                Some(r) => r,
+                None => continue,
+            };
+            // Fill L2 (atomics dirty the line).
+            let dirty_evict = self.l2.fill(req.line, 0);
+            if req.kind == ReqKind::Atomic {
+                let _ = self.l2.access(req.line, true);
+            }
+            if let Some(wb_line) = dirty_evict {
+                self.writebacks += 1;
+                if self.dram.can_accept() {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.dram.push(DramRequest {
+                        line: wb_line,
+                        write: true,
+                        id,
+                    });
+                }
+            }
+            let at = now + l2_latency + icnt;
+            let ev = if req.kind == ReqKind::Atomic {
+                PartEvent::Direct(MemResponse {
+                    sm: req.sm,
+                    line: req.line,
+                    client: req.client,
+                    token: req.token,
+                })
+            } else {
+                PartEvent::Fill { line: req.line }
+            };
+            self.outbox.push((req.sm, at, ev));
+        }
+    }
 }
 
 /// The complete memory hierarchy for `num_sms` SMs.
@@ -226,7 +467,6 @@ pub struct MemoryFabric {
     cfg: MemConfig,
     sms: Vec<SmPort>,
     parts: Vec<Partition>,
-    seq: u64,
     stats_extra: MemStats,
     /// Acceptance cycle of in-flight traced requests, keyed by
     /// `(sm, client, token)`. Populated only while a tracer is enabled
@@ -257,6 +497,9 @@ impl MemoryFabric {
                 ready: BinaryHeap::new(),
                 ready_slab: Vec::new(),
                 ready_free: Vec::new(),
+                seq: 0,
+                pbuf_fills: 0,
+                progress: 0,
             })
             .collect();
         let parts = (0..cfg.num_partitions)
@@ -275,13 +518,15 @@ impl MemoryFabric {
                 ),
                 inflight: FxHashMap::default(),
                 next_id: 0,
+                outbox: Vec::new(),
+                writebacks: 0,
+                progress: 0,
             })
             .collect();
         MemoryFabric {
             cfg,
             sms,
             parts,
-            seq: 0,
             stats_extra: MemStats::default(),
             trace_t0: FxHashMap::default(),
             progress: 0,
@@ -291,11 +536,6 @@ impl MemoryFabric {
     /// The configuration in use.
     pub fn config(&self) -> &MemConfig {
         &self.cfg
-    }
-
-    fn next_seq(&mut self) -> u64 {
-        self.seq += 1;
-        self.seq
     }
 
     /// Submit a request at cycle `now`.
@@ -360,7 +600,7 @@ impl MemoryFabric {
     }
 
     fn access_perfect(&mut self, now: u64, req: MemRequest) -> AccessOutcome {
-        let seq = self.next_seq();
+        let seq = self.sms[req.sm].next_seq();
         match req.kind {
             ReqKind::Store | ReqKind::Prefetch => {
                 self.stats_extra.stores += (req.kind == ReqKind::Store) as u64;
@@ -386,7 +626,7 @@ impl MemoryFabric {
     fn access_load(&mut self, now: u64, req: MemRequest) -> AccessOutcome {
         let lock = req.kind == ReqKind::PrefetchLock;
         let sm = req.sm;
-        let seq = self.next_seq();
+        let seq = self.sms[sm].next_seq();
         // Probe without updating statistics: structural stalls retry this
         // call every cycle and must not inflate hit/miss counts.
         if self.sms[sm].l1.probe(req.line) {
@@ -541,211 +781,23 @@ impl MemoryFabric {
     }
 
     /// [`MemoryFabric::cycle`] with L2-access and SM-fill events emitted
-    /// into `tracer`.
+    /// into `tracer`. Runs the same two phases the parallel runner shards
+    /// across workers: every partition cycles (filling its outbox), then
+    /// every port merges outbox events in partition-index order and
+    /// processes matured fills — so serial and threaded runs execute
+    /// identical event sequences.
     pub fn cycle_traced(&mut self, now: u64, tracer: &mut dyn Tracer) {
         // Partitions: accept one request per cycle, run DRAM, route returns.
         for p in 0..self.parts.len() {
-            self.partition_cycle(p, now, tracer);
-        }
-        // SMs: process incoming fills.
-        for sm in 0..self.sms.len() {
-            self.sm_incoming_cycle(sm, now, tracer);
-        }
-    }
-
-    fn partition_cycle(&mut self, p: usize, now: u64, tracer: &mut dyn Tracer) {
-        let l2_latency = self.cfg.l2_latency;
-        let icnt = self.cfg.icnt_latency;
-        // 1. Service the head of the input queue.
-        let pop = {
             let part = &mut self.parts[p];
-            matches!(part.inq.front(), Some(&(arrive, _)) if arrive <= now)
-        };
-        if pop {
-            let (_, req) = self.parts[p].inq.front().copied().unwrap();
-            let mut l2_hit = false;
-            let proceed = match req.kind {
-                ReqKind::Store => {
-                    let part = &mut self.parts[p];
-                    match part.l2.access(req.line, true) {
-                        CacheOutcome::Hit => {
-                            l2_hit = true;
-                            true // dirty in L2, done
-                        }
-                        CacheOutcome::Miss => {
-                            // Write-no-allocate: forward to DRAM if room.
-                            if part.dram.can_accept() {
-                                let id = part.next_id;
-                                part.next_id += 1;
-                                part.dram.push(DramRequest {
-                                    line: req.line,
-                                    write: true,
-                                    id,
-                                });
-                                true
-                            } else {
-                                false
-                            }
-                        }
-                    }
-                }
-                _ => {
-                    let is_atomic = req.kind == ReqKind::Atomic;
-                    let part = &mut self.parts[p];
-                    let hit = part.l2.access(req.line, is_atomic) == CacheOutcome::Hit;
-                    l2_hit = hit;
-                    if hit {
-                        let seq = self.next_seq();
-                        let at = now + l2_latency + icnt;
-                        let ev = if is_atomic {
-                            PartEvent::Direct(MemResponse {
-                                sm: req.sm,
-                                line: req.line,
-                                client: req.client,
-                                token: req.token,
-                            })
-                        } else {
-                            PartEvent::Fill { line: req.line }
-                        };
-                        self.sms[req.sm].push_incoming(at, seq, ev);
-                        true
-                    } else {
-                        let part = &mut self.parts[p];
-                        if part.dram.can_accept() {
-                            let id = part.next_id;
-                            part.next_id += 1;
-                            part.inflight.insert(id, req);
-                            part.dram.push(DramRequest {
-                                line: req.line,
-                                write: false,
-                                id,
-                            });
-                            true
-                        } else {
-                            false
-                        }
-                    }
-                }
-            };
-            if proceed {
-                self.parts[p].inq.pop_front();
-                self.progress += 1;
-                if tracer.enabled() {
-                    tracer.emit(
-                        now,
-                        TraceEvent::L2Access {
-                            partition: p as u32,
-                            line: req.line,
-                            hit: l2_hit,
-                            client: req.client.trace(),
-                        },
-                    );
-                }
-            }
+            part.begin_cycle();
+            part.cycle(&self.cfg, p, now, tracer);
         }
-        // 2. DRAM. A scheduling decision (serviced bump) is progress.
-        let serviced_before = self.parts[p].dram.serviced;
-        self.parts[p].dram.cycle_traced(now, p, tracer);
-        self.progress += self.parts[p].dram.serviced - serviced_before;
-        // 3. Completed DRAM reads → fill L2, route to SM.
-        while let Some(done) = self.parts[p].dram.pop_done(now) {
-            self.progress += 1;
-            let req = match self.parts[p].inflight.remove(&done.id) {
-                Some(r) => r,
-                None => continue,
-            };
-            // Fill L2 (atomics dirty the line).
-            let dirty_evict = self.parts[p].l2.fill(req.line, 0);
-            if req.kind == ReqKind::Atomic {
-                let _ = self.parts[p].l2.access(req.line, true);
-            }
-            if let Some(wb_line) = dirty_evict {
-                self.stats_extra.writebacks += 1;
-                let part = &mut self.parts[p];
-                if part.dram.can_accept() {
-                    let id = part.next_id;
-                    part.next_id += 1;
-                    part.dram.push(DramRequest {
-                        line: wb_line,
-                        write: true,
-                        id,
-                    });
-                }
-            }
-            let seq = self.next_seq();
-            let at = now + self.cfg.l2_latency + self.cfg.icnt_latency;
-            let ev = if req.kind == ReqKind::Atomic {
-                PartEvent::Direct(MemResponse {
-                    sm: req.sm,
-                    line: req.line,
-                    client: req.client,
-                    token: req.token,
-                })
-            } else {
-                PartEvent::Fill { line: req.line }
-            };
-            self.sms[req.sm].push_incoming(at, seq, ev);
-        }
-    }
-
-    fn sm_incoming_cycle(&mut self, sm: usize, now: u64, tracer: &mut dyn Tracer) {
-        loop {
-            let pop = matches!(self.sms[sm].incoming.peek(),
-                Some(&Reverse((at, _, _, _))) if at <= now);
-            if !pop {
-                break;
-            }
-            let Reverse((_, seq, _, slot)) = self.sms[sm].incoming.pop().unwrap();
-            let ev = self.sms[sm].incoming_slab[slot].take().unwrap();
-            self.sms[sm].incoming_free.push(slot);
-            self.progress += 1;
-            match ev {
-                PartEvent::Direct(resp) => {
-                    self.sms[sm].push_ready(now, seq, resp);
-                }
-                PartEvent::Fill { line, .. } => {
-                    if tracer.enabled() {
-                        tracer.emit(
-                            now,
-                            TraceEvent::Fill {
-                                sm: sm as u32,
-                                line,
-                            },
-                        );
-                    }
-                    let targets = self.sms[sm].mshr.release(line);
-                    let locks = self.sms[sm].l1.pending_locks_for(line);
-                    let to_l1 = locks > 0
-                        || targets
-                            .iter()
-                            .any(|t| Client::from_u8(t.client) != Client::Mta);
-                    if to_l1 {
-                        let _ = self.sms[sm].l1.fill(line, locks);
-                    } else if let Some(pbuf) = self.sms[sm].pbuf.as_mut() {
-                        let _ = pbuf.fill(line, 0);
-                        self.stats_extra.pbuf_fills += 1;
-                    } else {
-                        // No prefetch buffer configured: fill L1 anyway.
-                        let _ = self.sms[sm].l1.fill(line, 0);
-                    }
-                    for t in targets {
-                        let client = Client::from_u8(t.client);
-                        if client == Client::Mta {
-                            continue; // prefetches need no response
-                        }
-                        self.sms[sm].push_ready(
-                            now,
-                            seq,
-                            MemResponse {
-                                sm,
-                                line,
-                                client,
-                                token: t.token,
-                            },
-                        );
-                    }
-                }
-            }
+        // SMs: merge partition events, then process matured fills.
+        for sm in 0..self.sms.len() {
+            let (ports, parts) = (&mut self.sms, &self.parts);
+            ports[sm].merge_outboxes(sm, parts.iter());
+            ports[sm].incoming_cycle(sm, now, tracer);
         }
     }
 
@@ -779,36 +831,8 @@ impl MemoryFabric {
         tracer: &mut dyn Tracer,
         out: &mut Vec<MemResponse>,
     ) {
-        let start = out.len();
-        loop {
-            let pop = matches!(self.sms[sm].ready.peek(),
-                Some(&Reverse((at, _, _, _))) if at <= now);
-            if !pop {
-                break;
-            }
-            let Reverse((_, _, _, slot)) = self.sms[sm].ready.pop().unwrap();
-            out.push(self.sms[sm].ready_slab[slot].take().unwrap());
-            self.sms[sm].ready_free.push(slot);
-            self.progress += 1;
-        }
-        if tracer.enabled() {
-            for r in &out[start..] {
-                let t0 = self
-                    .trace_t0
-                    .remove(&(r.sm, r.client.to_u8(), r.token))
-                    .unwrap_or(now);
-                tracer.emit(
-                    now,
-                    TraceEvent::MemResp {
-                        sm: r.sm as u32,
-                        line: r.line,
-                        client: r.client.trace(),
-                        token: r.token,
-                        latency: now - t0,
-                    },
-                );
-            }
-        }
+        self.port_view(sm)
+            .drain_responses_into(sm, now, tracer, out);
     }
 
     /// Unlock a DAC-locked L1 line after its demand access (paper §4.2).
@@ -844,6 +868,7 @@ impl MemoryFabric {
             s.l1_hits += port.l1.hits;
             s.l1_misses += port.l1.misses;
             s.mshr_full_stalls += port.mshr.full_stalls;
+            s.pbuf_fills += port.pbuf_fills;
             if let Some(p) = &port.pbuf {
                 s.pbuf_unused_evictions += p.unused_evictions;
             }
@@ -854,15 +879,51 @@ impl MemoryFabric {
             s.dram_row_hits += p.dram.row_hits;
             s.dram_row_misses += p.dram.row_misses;
             s.dram_serviced += p.dram.serviced;
+            s.writebacks += p.writebacks;
         }
         s
+    }
+
+    /// The two prefetch-buffer counters the MTA throttle reads
+    /// (`pbuf_unused_evictions`, `pbuf_fills`), exactly as
+    /// [`MemoryFabric::stats`] would report them. Both move only on the
+    /// port fill path, so a snapshot taken after the fabric cycle is stable
+    /// for the whole SM phase — serial or threaded.
+    pub fn pbuf_stats(&self) -> (u64, u64) {
+        let mut unused = self.stats_extra.pbuf_unused_evictions;
+        let mut fills = self.stats_extra.pbuf_fills;
+        for port in &self.sms {
+            fills += port.pbuf_fills;
+            if let Some(p) = &port.pbuf {
+                unused += p.unused_evictions;
+            }
+        }
+        (unused, fills)
     }
 
     /// Fast-forward probe: total fabric progress events so far. Two
     /// identical values across a cycle mean the hierarchy neither accepted,
     /// moved, scheduled, completed, nor delivered anything that cycle.
     pub fn progress_count(&self) -> u64 {
-        self.progress
+        let mut n = self.progress;
+        for port in &self.sms {
+            n += port.progress;
+        }
+        for p in &self.parts {
+            n += p.progress;
+        }
+        n
+    }
+
+    /// Per-unit progress counters for deadlock diagnostics: the
+    /// coordinator-side residue (accepted requests), then one entry per
+    /// partition and one per SM port.
+    pub fn progress_breakdown(&self) -> (u64, Vec<u64>, Vec<u64>) {
+        (
+            self.progress,
+            self.parts.iter().map(|p| p.progress).collect(),
+            self.sms.iter().map(|s| s.progress).collect(),
+        )
     }
 
     /// Earliest cycle after `now` at which the hierarchy could act on its
@@ -913,6 +974,174 @@ impl MemoryFabric {
                 debug_assert!(ok, "unknown MemStats field {name}");
             }
         }
+    }
+
+    /// A mutable view of one SM's port (L1, MSHR, prefetch buffer,
+    /// response queues), detached from the rest of the fabric so SM ticks
+    /// can run without `&mut MemoryFabric`. The serial view also carries
+    /// the trace-latency map; the [`FabricGrid`] view does not (tracing
+    /// forces the serial runner).
+    pub fn port_view(&mut self, sm: usize) -> SmPortView<'_> {
+        SmPortView {
+            port: &mut self.sms[sm],
+            trace_t0: &mut self.trace_t0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Raw handle for the phase-parallel runner. See [`FabricGrid`] for
+    /// the aliasing contract.
+    pub fn grid(&mut self) -> FabricGrid {
+        FabricGrid { fabric: self }
+    }
+
+    /// Number of L2/DRAM partitions (0 for perfect memory).
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+/// Raw, shareable handle over a [`MemoryFabric`] for the intra-run worker
+/// pool. Each method touches exactly one partition or one SM port (plus,
+/// in the port-merge phase, read-only partition outboxes), so workers
+/// operating on disjoint unit indices never alias.
+///
+/// # Safety contract
+/// Callers must uphold the phase protocol:
+/// - between barriers, at most one worker touches any given unit index;
+/// - [`FabricGrid::partition_cycle`] calls (mutating partitions) never
+///   overlap [`FabricGrid::port_cycle`] / [`FabricGrid::port_view`] calls
+///   that read partition outboxes or mutate ports;
+/// - no `&mut MemoryFabric` method runs while any grid call is in flight;
+/// - the fabric outlives the grid and is not moved while it exists.
+pub struct FabricGrid {
+    fabric: *mut MemoryFabric,
+}
+
+// Safety: the grid is only a capability to *derive* disjoint per-unit
+// references under the phase protocol above; it carries no thread-affine
+// state of its own.
+unsafe impl Send for FabricGrid {}
+unsafe impl Sync for FabricGrid {}
+
+impl FabricGrid {
+    /// Advance partition `p` one cycle (phase A). Tracing is unavailable
+    /// here by design: the parallel runner only exists when tracing is off.
+    ///
+    /// # Safety
+    /// See the [`FabricGrid`] contract; `p` must be in range and owned by
+    /// the calling worker for this phase.
+    pub unsafe fn partition_cycle(&self, p: usize, now: u64) {
+        let cfg = &*std::ptr::addr_of!((*self.fabric).cfg);
+        let parts = std::ptr::addr_of_mut!((*self.fabric).parts);
+        let part = &mut *(*parts).as_mut_ptr().add(p);
+        part.begin_cycle();
+        part.cycle(cfg, p, now, &mut NullTracer);
+    }
+
+    /// Merge partition outboxes into port `sm` and process matured events
+    /// (phase B). Partitions are read-only here.
+    ///
+    /// # Safety
+    /// See the [`FabricGrid`] contract; `sm` must be in range and owned by
+    /// the calling worker for this phase, and no partition may be mutated
+    /// concurrently.
+    pub unsafe fn port_cycle(&self, sm: usize, now: u64) {
+        let parts = &*std::ptr::addr_of!((*self.fabric).parts);
+        let ports = std::ptr::addr_of_mut!((*self.fabric).sms);
+        let port = &mut *(*ports).as_mut_ptr().add(sm);
+        port.merge_outboxes(sm, parts.iter());
+        port.incoming_cycle(sm, now, &mut NullTracer);
+    }
+
+    /// Snapshot `(pbuf_unused_evictions, pbuf_fills)` for the MTA
+    /// throttle. The counters only move on the port fill path (phase B).
+    ///
+    /// # Safety
+    /// See the [`FabricGrid`] contract; must only be called between
+    /// barriers while no worker mutates any partition or port.
+    pub unsafe fn pbuf_stats(&self) -> (u64, u64) {
+        (*self.fabric).pbuf_stats()
+    }
+
+    /// A port view for the SM-compute phase (drains + unlocks only).
+    ///
+    /// # Safety
+    /// See the [`FabricGrid`] contract; `sm` must be in range and owned by
+    /// the calling worker until the view is dropped.
+    pub unsafe fn port_view(&self, sm: usize) -> SmPortView<'static> {
+        let ports = std::ptr::addr_of_mut!((*self.fabric).sms);
+        SmPortView {
+            port: (*ports).as_mut_ptr().add(sm),
+            trace_t0: std::ptr::null_mut(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Exclusive access to one SM's fabric port: response draining and L1
+/// lock release — everything an SM tick needs from the fabric without
+/// touching partitions or other ports.
+pub struct SmPortView<'a> {
+    port: *mut SmPort,
+    /// Trace-latency map; null in grid-derived views (tracing off).
+    trace_t0: *mut FxHashMap<(usize, u8, u64), u64>,
+    _marker: std::marker::PhantomData<&'a mut MemoryFabric>,
+}
+
+impl SmPortView<'_> {
+    /// Drain all responses ready for `sm` at cycle `now` into `out`,
+    /// emitting [`TraceEvent::MemResp`] when tracing.
+    pub fn drain_responses_into(
+        &mut self,
+        sm: usize,
+        now: u64,
+        tracer: &mut dyn Tracer,
+        out: &mut Vec<MemResponse>,
+    ) {
+        let _ = sm;
+        let port = unsafe { &mut *self.port };
+        let start = out.len();
+        loop {
+            let pop = matches!(port.ready.peek(),
+                Some(&Reverse((at, _, _, _))) if at <= now);
+            if !pop {
+                break;
+            }
+            let Reverse((_, _, _, slot)) = port.ready.pop().unwrap();
+            out.push(port.ready_slab[slot].take().unwrap());
+            port.ready_free.push(slot);
+            port.progress += 1;
+        }
+        if tracer.enabled() {
+            let t0map = unsafe { self.trace_t0.as_mut() };
+            for r in &out[start..] {
+                let t0 = t0map
+                    .as_ref()
+                    .and_then(|m| m.get(&(r.sm, r.client.to_u8(), r.token)).copied())
+                    .unwrap_or(now);
+                tracer.emit(
+                    now,
+                    TraceEvent::MemResp {
+                        sm: r.sm as u32,
+                        line: r.line,
+                        client: r.client.trace(),
+                        token: r.token,
+                        latency: now - t0,
+                    },
+                );
+            }
+            if let Some(m) = t0map {
+                for r in &out[start..] {
+                    m.remove(&(r.sm, r.client.to_u8(), r.token));
+                }
+            }
+        }
+    }
+
+    /// Unlock a DAC-locked L1 line after its demand access (paper §4.2).
+    pub fn unlock(&mut self, line: u64) {
+        unsafe { (*self.port).l1.unlock(line) };
     }
 }
 

@@ -30,7 +30,9 @@ pub mod stats;
 pub use cache::{Cache, CacheOutcome};
 pub use config::MemConfig;
 pub use dram::DramPartition;
-pub use fabric::{AccessOutcome, Client, MemRequest, MemResponse, MemoryFabric, ReqKind};
+pub use fabric::{
+    AccessOutcome, Client, FabricGrid, MemRequest, MemResponse, MemoryFabric, ReqKind, SmPortView,
+};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use mshr::MshrTable;
 pub use sparse::SparseMemory;

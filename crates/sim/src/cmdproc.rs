@@ -202,7 +202,7 @@ impl CommandProcessor {
         sms: &mut [Sm],
         kctxs: &[KernelCtx<'_>],
         coproc: &mut dyn CoProcessor,
-        bins: &mut [SimStats],
+        rows: &mut [Vec<SimStats>],
         tracer: &mut dyn Tracer,
     ) {
         // Release pass (only meaningful with several kernels): an SM whose
@@ -261,7 +261,7 @@ impl CommandProcessor {
                 if st.first_cycle.is_none() {
                     st.first_cycle = Some(now);
                 }
-                let slot = sms[sm].launch_cta(cfg, &kctxs[k], k, cta, coproc, &mut bins[k]);
+                let slot = sms[sm].launch_cta(cfg, &kctxs[k], k, cta, coproc, &mut rows[sm][k]);
                 if tracer.enabled() {
                     tracer.emit(
                         now,
@@ -403,6 +403,23 @@ impl CoProcessor for MultiCoProcessor<'_> {
         if let Some(k) = self.bindings.get(ctx.sm).copied().flatten() {
             self.children[k].step(ctx);
         }
+    }
+
+    fn pump(
+        &mut self,
+        sm: usize,
+        now: u64,
+        fabric: &mut simt_mem::MemoryFabric,
+        stats: &mut SimStats,
+        tracer: &mut dyn Tracer,
+    ) {
+        if let Some(k) = self.bindings.get(sm).copied().flatten() {
+            self.children[k].pump(sm, now, fabric, stats, tracer);
+        }
+    }
+
+    fn wants_pbuf_stats(&self, now: u64) -> bool {
+        self.children.iter().any(|c| c.wants_pbuf_stats(now))
     }
 
     fn quiescent(&self) -> bool {

@@ -61,13 +61,22 @@ pub enum IssueCost {
 }
 
 /// Mutable per-SM, per-cycle context handed to [`CoProcessor::step`].
+///
+/// Deliberately fabric-free: `step` runs inside the (potentially
+/// multi-threaded) SM-compute phase, so fabric traffic is deferred to
+/// [`CoProcessor::pump`], which the run loop replays in SM-index order.
 pub struct CoCtx<'a> {
     /// Current cycle.
     pub now: u64,
     /// SM index.
     pub sm: usize,
-    /// The memory hierarchy (for AEU early requests / MTA prefetches).
-    pub fabric: &'a mut MemoryFabric,
+    /// Cache-line size (the only fabric geometry coprocessors need).
+    pub line_bytes: u64,
+    /// `(pbuf_unused_evictions, pbuf_fills)` snapshot taken after the
+    /// fabric cycle, present only on cycles where
+    /// [`CoProcessor::wants_pbuf_stats`] asked for it (MTA's periodic
+    /// throttle re-evaluation).
+    pub pbuf_stats: Option<(u64, u64)>,
     /// True while this SM still has an unconsumed issue slot this cycle;
     /// set it to `false` to model the affine warp occupying the slot.
     pub issue_slot: &'a mut bool,
@@ -179,9 +188,36 @@ pub trait CoProcessor {
     }
 
     /// Per-SM, per-cycle execution (affine warp, expansion units,
-    /// prefetch issue).
+    /// prefetch bookkeeping). No fabric access: requests captured here are
+    /// submitted by [`CoProcessor::pump`] in the replay phase, preserving
+    /// the serial SM-index submission order under the threaded runner.
     fn step(&mut self, ctx: &mut CoCtx<'_>) {
         let _ = ctx;
+    }
+
+    /// Submit this SM's fabric traffic for the cycle (AEU early requests,
+    /// MTA prefetches). Runs after every SM's [`CoProcessor::step`] and
+    /// issue phase, invoked in SM-index order by both the serial and
+    /// threaded runners — the single point where coprocessors touch shared
+    /// fabric state.
+    fn pump(
+        &mut self,
+        sm: usize,
+        now: u64,
+        fabric: &mut MemoryFabric,
+        stats: &mut SimStats,
+        tracer: &mut dyn Tracer,
+    ) {
+        let _ = (sm, now, fabric, stats, tracer);
+    }
+
+    /// Does [`CoProcessor::step`] need the prefetch-buffer counter
+    /// snapshot (`CoCtx::pbuf_stats`) this cycle? Computing it walks every
+    /// port, so the run loop only takes the snapshot when some coprocessor
+    /// asks (MTA, on throttle-evaluation deadlines).
+    fn wants_pbuf_stats(&self, now: u64) -> bool {
+        let _ = now;
+        false
     }
 
     /// Is the coprocessor fully drained (no queued work that should keep

@@ -74,11 +74,11 @@ pub struct StreamReport {
     pub per_kernel: Vec<KernelReport>,
 }
 
-/// Progress fingerprint over the attribution bins (a handful of u64
-/// sums): any issue slot, coprocessor record, or CTA launch shows up
+/// Progress fingerprint over the per-SM attribution rows (a handful of
+/// u64 sums): any issue slot, coprocessor record, or CTA launch shows up
 /// here, so "fingerprint unchanged" means the cycle was quiet.
-fn fingerprint(bins: &[SimStats]) -> (u64, u64, u64, u64, u64) {
-    bins.iter().fold((0, 0, 0, 0, 0), |a, s| {
+fn fingerprint(rows: &[Vec<SimStats>]) -> (u64, u64, u64, u64, u64) {
+    rows.iter().flatten().fold((0, 0, 0, 0, 0), |a, s| {
         (
             a.0 + s.slot_issued,
             a.1 + s.affine_issue_slots,
@@ -87,6 +87,95 @@ fn fingerprint(bins: &[SimStats]) -> (u64, u64, u64, u64, u64) {
             a.4 + s.ctas_launched,
         )
     })
+}
+
+/// Build the deadlock-guard panic message: the stalled cycle, every
+/// unit's progress counter, and every unit's pending wake deadline, so a
+/// hang is diagnosable from the panic alone (which SM/partition stopped
+/// moving, and what each one claims it is waiting for).
+fn deadlock_report(
+    now: u64,
+    cfg: &GpuConfig,
+    sms: &[Sm],
+    fabric: &MemoryFabric,
+    coproc: &dyn CoProcessor,
+    cmdproc: &CommandProcessor,
+    flat: &[(usize, usize, &StreamLaunch)],
+) -> String {
+    use std::fmt::Write as _;
+    let fmt_wake = |w: u64| -> String {
+        if w == u64::MAX {
+            "never".to_string()
+        } else {
+            w.to_string()
+        }
+    };
+    let mut r = format!(
+        "simulation exceeded {} cycles — deadlock? stalled at cycle {} \
+         (first kernel={} coproc={} threads={})\n",
+        cfg.max_cycles,
+        now,
+        flat[0].2.program.kernel.name,
+        coproc.name(),
+        cfg.threads.max(1),
+    );
+    let _ = writeln!(
+        r,
+        "  dispatch: {}",
+        (0..cmdproc.num_kernels())
+            .map(|k| {
+                let st = cmdproc.state(k);
+                format!(
+                    "k{}[{}/{} dispatched, {} retired]",
+                    k, st.next_cta, st.total_ctas, st.retired_ctas
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for s in sms {
+        let _ = writeln!(
+            r,
+            "  sm{}: progress={} wake={} idle={}",
+            s.id,
+            s.progress_count(),
+            fmt_wake(s.next_event_time(now)),
+            s.idle()
+        );
+    }
+    let (residue, parts, ports) = fabric.progress_breakdown();
+    let _ = writeln!(
+        r,
+        "  fabric: residue={} wake={} quiescent={}",
+        residue,
+        fmt_wake(fabric.next_event_time(now)),
+        fabric.quiescent()
+    );
+    let _ = writeln!(
+        r,
+        "  fabric partitions progress: [{}]",
+        parts
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        r,
+        "  fabric sm-ports progress: [{}]",
+        ports
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = write!(
+        r,
+        "  coproc: wake={} quiescent={}",
+        fmt_wake(coproc.ff_wake(now)),
+        coproc.quiescent()
+    );
+    r
 }
 
 /// The per-SM coprocessor view of a run: a single child is handed
@@ -271,9 +360,12 @@ impl GpuSim {
         let mut fabric = MemoryFabric::new(cfg.mem.clone(), cfg.num_sms);
         let mut sms: Vec<Sm> = (0..cfg.num_sms).map(|i| Sm::new(i, cfg)).collect();
         let nk = flat.len();
-        // One attribution bin per kernel plus one for unbound-SM cycles,
-        // so the issue-slot invariant holds on the fold.
-        let mut bins: Vec<SimStats> = vec![SimStats::default(); nk + 1];
+        // Per-SM attribution rows: one bin per kernel plus one for
+        // unbound-SM cycles, so the issue-slot invariant holds on the fold.
+        // Sharded by SM so the threaded compute phase writes only its own
+        // rows; all reports are sums over rows, which are placement- and
+        // thread-count-invariant (u64 addition is associative).
+        let mut rows: Vec<Vec<SimStats>> = vec![vec![SimStats::default(); nk + 1]; cfg.num_sms];
         let coproc_names: Vec<String> = coprocs.iter().map(|c| c.name().to_string()).collect();
         for (k, c) in coprocs.iter_mut().enumerate() {
             c.on_kernel_launch(&flat[k].2.program, cfg.num_sms);
@@ -309,11 +401,31 @@ impl GpuSim {
         // Disabled while tracing (skipped cycles would drop their per-cycle
         // stall events from the trace).
         let ff_enabled = cfg.fast_forward && !tracer.enabled();
+        // The threaded runner is only engaged for untraced runs (like
+        // fast-forward, tracing byte-layout depends on per-cycle event
+        // order within a phase, which a worker pool does not preserve).
+        // More threads than SMs would only add idle barrier participants.
+        let threads = cfg.threads.max(1).min(cfg.num_sms);
+        let mut pool = if threads > 1 && !tracer.enabled() {
+            Some(crate::par::WorkerPool::new(threads))
+        } else {
+            None
+        };
+        // Per-SM routing snapshots, refreshed after each dispatch round:
+        // which attribution bin and which kernel context each SM uses this
+        // cycle. Stable for the whole cycle (bindings only change during
+        // dispatch), so the compute phase can read them from any thread.
+        let mut bins_of: Vec<usize> = vec![nk; cfg.num_sms];
+        let mut kctx_of: Vec<usize> = vec![0; cfg.num_sms];
         let mut prev_quiet = false;
         let mut now = 0u64;
 
         loop {
-            cmdproc.dispatch(now, cfg, &mut sms, &kctxs, coproc, &mut bins, tracer);
+            cmdproc.dispatch(now, cfg, &mut sms, &kctxs, coproc, &mut rows, tracer);
+            for i in 0..cfg.num_sms {
+                bins_of[i] = cmdproc.binding(i).unwrap_or(nk);
+                kctx_of[i] = cmdproc.binding(i).unwrap_or(0);
+            }
 
             // Cheap progress fingerprint (a handful of u64 reads). The full
             // statistics snapshot needed to credit skipped cycles is only
@@ -324,25 +436,60 @@ impl GpuSim {
             // for the probe; idle stretches pay one extra stepped cycle.
             let prog_before =
                 fabric.progress_count() + sms.iter().map(Sm::progress_count).sum::<u64>();
-            let fp_before = fingerprint(&bins);
+            let fp_before = fingerprint(&rows);
             let ff_probe = if ff_enabled && prev_quiet {
-                Some((bins.clone(), fabric.stats()))
+                Some((rows.clone(), fabric.stats()))
             } else {
                 None
             };
 
-            fabric.cycle_traced(now, tracer);
-            for sm in &mut sms {
-                let bin = cmdproc.binding(sm.id).unwrap_or(nk);
-                let kctx = &kctxs[cmdproc.binding(sm.id).unwrap_or(0)];
-                sm.cycle(
+            let need_pbuf = coproc.wants_pbuf_stats(now);
+            if let Some(pool) = &mut pool {
+                // Threaded cycle: partitions, then ports, then SM compute,
+                // each phase sharded across the pool with a barrier between
+                // (the coordinator works its own shard too). Determinism:
+                // each phase touches only per-unit state, and the fabric
+                // merge walks partitions in index order regardless of which
+                // thread ran them.
+                pool.cycle(
                     now,
+                    need_pbuf,
                     cfg,
-                    kctx,
+                    &mut sms,
+                    &mut rows,
+                    &bins_of,
+                    &kctx_of,
+                    &kctxs,
+                    &mut fabric,
+                    coproc,
+                );
+            } else {
+                fabric.cycle_traced(now, tracer);
+                let pbuf = need_pbuf.then(|| fabric.pbuf_stats());
+                for i in 0..cfg.num_sms {
+                    let mut port = fabric.port_view(i);
+                    sms[i].cycle_compute(
+                        now,
+                        cfg,
+                        &kctxs[kctx_of[i]],
+                        &mut port,
+                        coproc,
+                        &mut rows[i][bins_of[i]],
+                        pbuf,
+                        tracer,
+                    );
+                }
+            }
+            // Replay phase: single-threaded, SM-index order — the only
+            // point where SMs touch shared state (fabric admission, the
+            // global memory image), so request order is the serial order.
+            for i in 0..cfg.num_sms {
+                sms[i].cycle_replay(
+                    now,
                     mem,
                     &mut fabric,
                     coproc,
-                    &mut bins[bin],
+                    &mut rows[i][bins_of[i]],
                     tracer,
                 );
             }
@@ -367,9 +514,9 @@ impl GpuSim {
             let quiet = ff_enabled
                 && prog_before
                     == fabric.progress_count() + sms.iter().map(Sm::progress_count).sum::<u64>()
-                && fp_before == fingerprint(&bins);
+                && fp_before == fingerprint(&rows);
             if quiet {
-                if let Some((bins_before, mem_before)) = ff_probe {
+                if let Some((rows_before, mem_before)) = ff_probe {
                     let wake = sms
                         .iter()
                         .map(|s| s.next_event_time(now))
@@ -382,8 +529,10 @@ impl GpuSim {
                     // (a wake of `u64::MAX` means nothing can ever happen).
                     if wake > now + 1 {
                         let k = wake - 1 - now;
-                        for (b, before) in bins.iter_mut().zip(&bins_before) {
-                            b.ff_credit(before, k);
+                        for (row, before) in rows.iter_mut().zip(&rows_before) {
+                            for (b, bb) in row.iter_mut().zip(before) {
+                                b.ff_credit(bb, k);
+                            }
                         }
                         fabric.ff_credit(&mem_before, k);
                         now += k;
@@ -393,18 +542,19 @@ impl GpuSim {
             prev_quiet = quiet;
 
             now += 1;
-            assert!(
-                now < cfg.max_cycles,
-                "simulation exceeded {} cycles — deadlock? first kernel={} coproc={}",
-                cfg.max_cycles,
-                flat[0].2.program.kernel.name,
-                coproc.name()
-            );
+            if now >= cfg.max_cycles {
+                drop(pool);
+                panic!(
+                    "{}",
+                    deadlock_report(now, cfg, &sms, &fabric, coproc, &cmdproc, &flat)
+                );
+            }
         }
+        drop(pool);
 
         // The loop above executed SM cycles for now = 0..=now inclusive.
         let mut stats = SimStats::default();
-        for b in &bins {
+        for b in rows.iter().flatten() {
             stats.accumulate(b);
         }
         stats.cycles = now + 1;
@@ -428,7 +578,10 @@ impl GpuSim {
                 let st = cmdproc.state(k);
                 let first = st.first_cycle.unwrap_or(0);
                 let done = st.done_cycle.unwrap_or(first);
-                let mut kstats = bins[k].clone();
+                let mut kstats = SimStats::default();
+                for row in &rows {
+                    kstats.accumulate(&row[k]);
+                }
                 kstats.cycles = done - first + 1;
                 KernelReport {
                     label: l.label.clone(),

@@ -27,6 +27,7 @@ pub mod coalesce;
 pub mod config;
 pub mod coproc;
 pub mod gpu;
+pub mod par;
 pub mod sm;
 pub mod stack;
 pub mod stats;

@@ -1,0 +1,346 @@
+//! Intra-run worker pool: shard SMs and L2 partitions across threads.
+//!
+//! One simulated cycle is split into barrier-separated phases so that
+//! between any two barriers each worker owns a disjoint set of units
+//! (partitions in phase A, SM ports in phase B, SM cores in phase C) and
+//! therefore never races another worker. Because every phase processes
+//! its units independently and all cross-unit communication happens at
+//! the barriers through index-ordered merges ([`simt_mem::FabricGrid`]),
+//! the result is *byte-identical* to the serial schedule regardless of
+//! thread count — parallelism here is purely a wall-clock optimisation,
+//! never an approximation. The memory-coupled parts of an SM tick
+//! (functional memory, fabric submission, retire) are replayed serially
+//! by the coordinator in SM-index order after phase C; see
+//! DESIGN.md "Intra-run parallelism" for the full determinism argument.
+//!
+//! The pool is persistent: `threads - 1` workers are spawned once per run
+//! and parked in a spin barrier between cycles, so a cycle costs four to
+//! five barrier crossings and no syscalls. The coordinator (the thread
+//! driving [`crate::gpu`]'s run loop) participates as shard 0.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use simt_mem::{FabricGrid, MemoryFabric};
+use simt_trace::NullTracer;
+
+use crate::config::GpuConfig;
+use crate::coproc::CoProcessor;
+use crate::sm::{KernelCtx, Sm};
+use crate::stats::SimStats;
+
+/// A counting spin barrier with a generation word, sized for sub-
+/// microsecond cycles where parking threads in the kernel would dominate
+/// the simulated work.
+///
+/// After [`SPINS_BEFORE_YIELD`] unproductive spins a waiter starts
+/// yielding its timeslice: on a machine with fewer free cores than
+/// participants, pure spinning would make every barrier crossing cost a
+/// scheduler quantum per stranded thread (an effective livelock on one
+/// core). Yielding keeps oversubscribed runs merely slow — and still
+/// byte-identical, since the barrier protocol does not depend on timing.
+struct SpinBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+/// Spin iterations before a barrier waiter starts yielding. A phase is
+/// microseconds of work, so a same-speed peer arrives within a few dozen
+/// PAUSE iterations; anything longer means the peer lost its core and
+/// spinning just steals the time it needs. Keep this small: at 2^14
+/// PAUSEs (~1 ms) a single-core host pays milliseconds per barrier
+/// crossing and a 10k-cycle run stretches into minutes.
+const SPINS_BEFORE_YIELD: u32 = 128;
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Block (spinning) until all `total` participants have arrived.
+    /// The last arrival resets the count and releases the rest; the
+    /// acquire/release pairing on `generation` makes every write before
+    /// any participant's arrival visible to every participant after.
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) == self.total - 1 {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if spins < SPINS_BEFORE_YIELD {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// One cycle's worth of raw pointers into the run-loop state, published
+/// by the coordinator before the start barrier and read by workers after
+/// it. All pointees outlive the `WorkerPool::cycle` call that publishes
+/// them, and the phase protocol guarantees disjoint access.
+struct Job {
+    now: u64,
+    need_pbuf: bool,
+    sms: *mut Sm,
+    num_sms: usize,
+    rows: *mut Vec<SimStats>,
+    bins_of: *const usize,
+    kctx_of: *const usize,
+    kctxs: *const KernelCtx<'static>,
+    grid: FabricGrid,
+    num_parts: usize,
+    /// Shared mutable across workers. Sound only because every coprocessor
+    /// keeps its mutable per-SM state in per-SM shards and phase C hands
+    /// each SM index to exactly one worker; cross-SM state is only read
+    /// (configs) or updated outside phase C (retire, pump — coordinator).
+    coproc: *mut (dyn CoProcessor + 'static),
+    cfg: *const GpuConfig,
+}
+
+enum Cmd {
+    Cycle(Job),
+    Exit,
+}
+
+/// State shared between the coordinator and the workers.
+struct Shared {
+    barrier: SpinBarrier,
+    /// Written by the coordinator strictly before the start barrier of a
+    /// cycle (or the exit handshake); read by workers strictly between
+    /// that barrier and the cycle's final barrier.
+    cmd: UnsafeCell<Cmd>,
+    /// Port-buffer counter snapshot for the MTA throttle, written by
+    /// shard 0 between the phase-B barrier and the pbuf barrier, read by
+    /// everyone after the pbuf barrier.
+    pbuf: UnsafeCell<Option<(u64, u64)>>,
+}
+
+// Safety: all access to the UnsafeCells follows the barrier-separated
+// write/read protocol documented on the fields; the raw pointers inside
+// `Job` are dereferenced only under the phase ownership discipline.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+/// The contiguous unit range owned by shard `t` of `total` over `n` units.
+fn chunk(t: usize, total: usize, n: usize) -> std::ops::Range<usize> {
+    (t * n / total)..((t + 1) * n / total)
+}
+
+/// Run this shard's slice of one cycle. Called by workers (t ≥ 1) and the
+/// coordinator (t = 0) alike; every participant passes the same barrier
+/// sequence: A-done, B-done, [pbuf-done], C-done.
+///
+/// # Safety
+/// Must be entered by all `total` participants with the same `job`
+/// between the same pair of start/end barriers.
+unsafe fn run_shard(t: usize, total: usize, job: &Job, shared: &Shared) {
+    // Phase A: advance this shard's L2/DRAM partitions.
+    for p in chunk(t, total, job.num_parts) {
+        job.grid.partition_cycle(p, job.now);
+    }
+    shared.barrier.wait();
+
+    // Phase B: merge partition outboxes into this shard's SM ports (in
+    // partition-index order — the same order the serial fabric cycle
+    // uses) and process matured port events.
+    for sm in chunk(t, total, job.num_sms) {
+        job.grid.port_cycle(sm, job.now);
+    }
+    shared.barrier.wait();
+
+    // Optional pbuf snapshot: the counters it reads move only during
+    // phase B, so a post-barrier snapshot equals serial direct reads.
+    let pbuf = if job.need_pbuf {
+        if t == 0 {
+            *shared.pbuf.get() = Some(job.grid.pbuf_stats());
+        }
+        shared.barrier.wait();
+        *shared.pbuf.get()
+    } else {
+        None
+    };
+
+    // Phase C: the compute half of this shard's SM ticks. Memory-coupled
+    // work (functional loads/stores, fabric submission, retire) was split
+    // out into `cycle_replay`, which the coordinator runs serially in
+    // SM-index order after the end barrier.
+    for sm in chunk(t, total, job.num_sms) {
+        let mut port = job.grid.port_view(sm);
+        let kctx = &*job.kctxs.add(*job.kctx_of.add(sm));
+        let bin = *job.bins_of.add(sm);
+        let row = &mut *job.rows.add(sm);
+        let sm_ref = &mut *job.sms.add(sm);
+        sm_ref.cycle_compute(
+            job.now,
+            &*job.cfg,
+            kctx,
+            &mut port,
+            &mut *job.coproc,
+            &mut row[bin],
+            pbuf,
+            &mut NullTracer,
+        );
+    }
+    shared.barrier.wait();
+}
+
+/// A persistent pool of `threads - 1` workers plus the calling thread,
+/// advancing all SMs and L2 partitions one barrier-phased cycle per
+/// [`WorkerPool::cycle`] call.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    total: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `threads - 1` workers (the caller is shard 0).
+    pub fn new(threads: usize) -> Self {
+        let total = threads.max(1);
+        let shared = Arc::new(Shared {
+            barrier: SpinBarrier::new(total),
+            cmd: UnsafeCell::new(Cmd::Exit),
+            pbuf: UnsafeCell::new(None),
+        });
+        let handles = (1..total)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("simt-worker-{t}"))
+                    .spawn(move || loop {
+                        shared.barrier.wait();
+                        // Safety: the coordinator wrote `cmd` before the
+                        // start barrier and will not touch it again until
+                        // after the end barrier we hit in `run_shard`.
+                        match unsafe { &*shared.cmd.get() } {
+                            Cmd::Exit => break,
+                            Cmd::Cycle(job) => unsafe { run_shard(t, total, job, &shared) },
+                        }
+                    })
+                    .expect("spawn simt worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            total,
+            handles,
+        }
+    }
+
+    /// Advance every partition, port, and SM one cycle (phases A/B/C of
+    /// the parallel schedule). On return all compute halves are done and
+    /// the caller runs the serial replay. Byte-identical to the serial
+    /// path for any thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cycle(
+        &mut self,
+        now: u64,
+        need_pbuf: bool,
+        cfg: &GpuConfig,
+        sms: &mut [Sm],
+        rows: &mut [Vec<SimStats>],
+        bins_of: &[usize],
+        kctx_of: &[usize],
+        kctxs: &[KernelCtx<'_>],
+        fabric: &mut MemoryFabric,
+        coproc: &mut dyn CoProcessor,
+    ) {
+        debug_assert_eq!(sms.len(), rows.len());
+        debug_assert_eq!(sms.len(), bins_of.len());
+        debug_assert_eq!(sms.len(), kctx_of.len());
+        let job = Job {
+            now,
+            need_pbuf,
+            sms: sms.as_mut_ptr(),
+            num_sms: sms.len(),
+            rows: rows.as_mut_ptr(),
+            bins_of: bins_of.as_ptr(),
+            kctx_of: kctx_of.as_ptr(),
+            // Safety (lifetime erasure): the pointees outlive this call,
+            // and no pointer escapes it — workers drop their `Job`
+            // reference at the end barrier inside `run_shard`.
+            kctxs: kctxs.as_ptr().cast::<KernelCtx<'static>>(),
+            grid: fabric.grid(),
+            num_parts: fabric.num_partitions(),
+            coproc: unsafe {
+                std::mem::transmute::<*mut (dyn CoProcessor + '_), *mut (dyn CoProcessor + 'static)>(
+                    coproc,
+                )
+            },
+            cfg,
+        };
+        // Safety: workers are parked at the start barrier; `cmd` is ours
+        // until we arrive there too.
+        unsafe {
+            *self.shared.cmd.get() = Cmd::Cycle(job);
+        }
+        self.shared.barrier.wait(); // start
+        let job = unsafe { &*self.shared.cmd.get() };
+        let Cmd::Cycle(job) = job else { unreachable!() };
+        // Safety: same job, same barrier window as every worker.
+        unsafe { run_shard(0, self.total, job, &self.shared) };
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // If we are unwinding out of the middle of a cycle the workers
+        // may be parked at an *internal* phase barrier, where the exit
+        // handshake below would be misread as a phase transition. The
+        // process is going down anyway — leak the workers instead.
+        if std::thread::panicking() {
+            return;
+        }
+        // Safety: workers are parked at the start barrier between cycles.
+        unsafe {
+            *self.shared.cmd.get() = Cmd::Exit;
+        }
+        self.shared.barrier.wait();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_and_partition() {
+        for total in 1..6 {
+            for n in 0..20 {
+                let mut covered = vec![false; n];
+                for t in 0..total {
+                    for i in chunk(t, total, n) {
+                        assert!(!covered[i], "unit {i} owned twice");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "n={n} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_spawns_and_exits_cleanly() {
+        for threads in 1..5 {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.handles.len(), threads.saturating_sub(1));
+            drop(pool);
+        }
+    }
+}
